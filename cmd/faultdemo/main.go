@@ -1,0 +1,34 @@
+// Command faultdemo kills replicas mid-run and shows the application
+// completing — the live version of the paper's Figures 3 and 4.
+//
+//	faultdemo              # crash + substitution (Figure 3)
+//	faultdemo -recover     # crash + recovery of the replica (Figure 4)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	rec := flag.Bool("recover", false, "also recover the crashed replica (§3.4)")
+	steps := flag.Int("steps", 16, "application steps")
+	failAt := flag.Int("fail-at", 5, "step at which the replica crashes")
+	recoverAt := flag.Int("recover-at", 10, "step at which the substitute forks the replacement")
+	flag.Parse()
+
+	var err error
+	if *rec {
+		err = bench.RunFig4(os.Stdout, *steps, *failAt, *recoverAt)
+	} else {
+		err = bench.RunFig3(os.Stdout, *steps, *failAt)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultdemo:", err)
+		os.Exit(1)
+	}
+	fmt.Println("application survived the injected failure")
+}

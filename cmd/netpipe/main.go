@@ -1,0 +1,33 @@
+// Command netpipe is the standalone ping-pong tool (the paper's §4.3
+// measurement): it sweeps message sizes on the IB-20G-calibrated simulated
+// network and prints latency and throughput for the native stack and for
+// SDR-MPI, plus the relative performance decrease.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	maxSize := flag.Int("max", 8<<20, "largest message size in bytes")
+	flag.Parse()
+
+	var sizes []int
+	for _, s := range bench.NetpipeSizes() {
+		if s <= *maxSize {
+			sizes = append(sizes, s)
+		}
+	}
+	nc, err := bench.RunNetpipe(sizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netpipe:", err)
+		os.Exit(1)
+	}
+	nc.RenderFig7a(os.Stdout)
+	fmt.Println()
+	nc.RenderFig7b(os.Stdout)
+}

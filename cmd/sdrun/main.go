@@ -1,0 +1,211 @@
+// Command sdrun launches one workload under a chosen protocol — the
+// simulation's mpirun. It prints per-replica results, traffic statistics,
+// and optionally a native-run comparison and send-determinism verdicts.
+//
+//	sdrun -app cg -ranks 8                        # native baseline
+//	sdrun -app cg -ranks 8 -protocol sdr          # dual replication
+//	sdrun -app lu -protocol sdr -kill 1:1:3       # crash rank 1 replica 1 at step 3
+//	sdrun -app hpccg -protocol sdr -r 3           # triple replication
+//	sdrun -app mw -protocol sdr -trace            # master-worker + verdicts
+//	sdrun -app is -protocol sdr -compare          # measure overhead vs native
+//
+// Crash injection (-kill, repeatable) needs an application with step
+// boundaries; apps without them (all except lu, is, mw) reject it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/trace"
+)
+
+// appEntry describes one launchable workload.
+type appEntry struct {
+	steps bool // supports -kill (has step boundaries)
+	build func(scale int, env *cluster.Env) apps.Result
+}
+
+func registry() map[string]appEntry {
+	return map[string]appEntry{
+		"cg": {false, func(f int, env *cluster.Env) apps.Result {
+			return apps.CG(env.World, apps.CGParams{N: 1024 * f, Iters: 12 * f, Work: 2000})
+		}},
+		"mg": {false, func(f int, env *cluster.Env) apps.Result {
+			return apps.MG(env.World, apps.MGParams{M: 1024 * f, Levels: 4, Cycles: 3 * f, Work: 2000})
+		}},
+		"ft": {false, func(f int, env *cluster.Env) apps.Result {
+			return apps.FT(env.World, apps.FTParams{BlockBytes: 4096 * f, Iters: 4 * f, Work: 8000})
+		}},
+		"bt": {false, func(f int, env *cluster.Env) apps.Result {
+			p := apps.BTParams(f)
+			p.Work = 2000
+			return apps.ADI(env.World, p)
+		}},
+		"sp": {false, func(f int, env *cluster.Env) apps.Result {
+			p := apps.SPParams(f)
+			p.Work = 1500
+			return apps.ADI(env.World, p)
+		}},
+		"lu": {true, func(f int, env *cluster.Env) apps.Result {
+			return apps.LU(env.World, apps.LUParams{NX: 12, NZ: 6 * f, Iters: 4 * f, Work: 1500,
+				OnIter: func(it int) { env.Step(it, nil) }})
+		}},
+		"is": {true, func(f int, env *cluster.Env) apps.Result {
+			return apps.IS(env.World, apps.ISParams{KeysPerRank: 1024 * f, MaxKey: 1 << 14,
+				Iters: 5 * f, Work: 5000, OnIter: func(it int) { env.Step(it, nil) }})
+		}},
+		"ep": {false, func(f int, env *cluster.Env) apps.Result {
+			return apps.EP(env.World, apps.EPParams{Pairs: 20000 * f, Work: 20000})
+		}},
+		"hpccg": {false, func(f int, env *cluster.Env) apps.Result {
+			return apps.HPCCG(env.World, apps.HPCCGParams{NX: 16, NY: 16, NZ: 8 * f, Iters: 6 * f, Work: 8000})
+		}},
+		"cm1": {false, func(f int, env *cluster.Env) apps.Result {
+			return apps.CM1(env.World, apps.CM1Params{NX: 16, NY: 16, NZ: 8, Steps: 8 * f, Work: 4000, CFLEvery: 4})
+		}},
+		"mw": {false, func(f int, env *cluster.Env) apps.Result {
+			return apps.MasterWorker(env.World, apps.MWParams{Tasks: 24 * f, Work: 500, Skew: 3})
+		}},
+	}
+}
+
+// killList collects repeated -kill flags.
+type killList []cluster.FailureEvent
+
+func (k *killList) String() string { return fmt.Sprint(*k) }
+
+func (k *killList) Set(v string) error {
+	var rank, rep, step int
+	if _, err := fmt.Sscanf(v, "%d:%d:%d", &rank, &rep, &step); err != nil {
+		return fmt.Errorf("want rank:rep:step, got %q", v)
+	}
+	*k = append(*k, cluster.FailureEvent{Rank: rank, Rep: rep, AtStep: step})
+	return nil
+}
+
+func main() {
+	var kills killList
+	app := flag.String("app", "cg", "workload: cg mg ft bt sp lu is ep hpccg cm1 mw")
+	ranks := flag.Int("ranks", 4, "logical MPI ranks")
+	protoName := flag.String("protocol", "native", "native | sdr | mirror | leader")
+	r := flag.Int("r", 2, "replication degree (replicated protocols)")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	traceSends := flag.Bool("trace", false, "record send sequences and print determinism verdicts")
+	compare := flag.Bool("compare", false, "also run natively and report the overhead")
+	timeout := flag.Duration("timeout", 2*time.Minute, "watchdog deadline")
+	flag.Var(&kills, "kill", "inject a crash: rank:rep:step (repeatable)")
+	flag.Parse()
+
+	entry, ok := registry()[*app]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sdrun: unknown app %q (have: %s)\n", *app, strings.Join(appNames(), " "))
+		os.Exit(2)
+	}
+	if len(kills) > 0 && !entry.steps {
+		fmt.Fprintf(os.Stderr, "sdrun: -kill needs an app with step boundaries (lu, is)\n")
+		os.Exit(2)
+	}
+	proto := cluster.Protocol(*protoName)
+	switch proto {
+	case cluster.Native, cluster.SDR, cluster.Mirror, cluster.Leader:
+	default:
+		fmt.Fprintf(os.Stderr, "sdrun: unknown protocol %q\n", *protoName)
+		os.Exit(2)
+	}
+
+	run := func(p cluster.Protocol, fails []cluster.FailureEvent, tr bool) *cluster.Report {
+		return cluster.Run(cluster.Config{
+			Ranks: *ranks, Protocol: p, Replication: *r, Timeout: *timeout,
+			Failures: fails, TraceSends: tr, KeepEvents: 64,
+		}, func(env *cluster.Env) (any, error) {
+			c := env.World
+			c.Barrier()
+			start := time.Now()
+			res := entry.build(*scale, env)
+			c.Barrier()
+			return timed{res, time.Since(start)}, nil
+		})
+	}
+
+	rep := run(proto, kills, *traceSends)
+	if err := rep.FirstError(); err != nil {
+		fmt.Fprintf(os.Stderr, "sdrun: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s on %d ranks under %s (r=%d)\n", *app, *ranks, proto, rep.Config.Replication)
+	var wall time.Duration
+	for _, p := range rep.Procs {
+		if p.Phantom {
+			continue
+		}
+		if p.Crashed {
+			fmt.Printf("  rank %2d rep %d: crashed (injected)\n", p.Rank, p.Rep)
+			continue
+		}
+		tr := p.Result.(timed)
+		if p.Rep == 0 && tr.d > wall {
+			wall = tr.d
+		}
+		fmt.Printf("  rank %2d rep %d: %8.3fs checksum=%.6g iters=%d\n",
+			p.Rank, p.Rep, tr.d.Seconds(), tr.r.Checksum, tr.r.Iterations)
+	}
+	fmt.Printf("wall (slowest world-0 rank): %v\n", wall.Round(time.Millisecond))
+	fmt.Printf("traffic: %d app msgs, %d acks\n",
+		rep.Stats.AppMsgs(), rep.Stats.AckMsgs())
+
+	if *traceSends && proto != cluster.Native {
+		fmt.Println("send-determinism verdicts:")
+		for rank := 0; rank < *ranks; rank++ {
+			var recs []*trace.Recorder
+			for _, p := range rep.Procs {
+				if p.Rank == rank && !p.Phantom {
+					if rc := rep.Recorders[p.Proc]; rc != nil {
+						recs = append(recs, rc)
+					}
+				}
+			}
+			if err := trace.CheckSendDeterminism(recs...); err != nil {
+				fmt.Printf("  rank %d: VIOLATION — %v\n", rank, err)
+			} else {
+				fmt.Printf("  rank %d: ok (%d replicas compared)\n", rank, len(recs))
+			}
+		}
+	}
+
+	if *compare && proto != cluster.Native {
+		nat := run(cluster.Native, nil, false)
+		if err := nat.FirstError(); err != nil {
+			fmt.Fprintf(os.Stderr, "sdrun: native comparison: %v\n", err)
+			os.Exit(1)
+		}
+		var natWall time.Duration
+		for _, p := range nat.Procs {
+			if d := p.Result.(timed).d; d > natWall {
+				natWall = d
+			}
+		}
+		fmt.Printf("native wall: %v — overhead %.2f%%\n", natWall.Round(time.Millisecond),
+			(wall.Seconds()-natWall.Seconds())/natWall.Seconds()*100)
+	}
+}
+
+// timed pairs a workload result with its in-application wall time.
+type timed struct {
+	r apps.Result
+	d time.Duration
+}
+
+func appNames() []string {
+	var out []string
+	for name := range registry() {
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,7 @@
+// Package repro is a Go reproduction of "Replication for Send-Deterministic
+// MPI HPC Applications" (Lefray, Ropars, Schiper — FTXS/HPDC 2013): the
+// SDR-MPI replication protocol, an MPI-like messaging substrate to host it,
+// the comparison protocols (mirror, leader-based), the paper's workloads,
+// and a benchmark harness regenerating every table and figure of the
+// evaluation. See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,127 @@
+package apps_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+)
+
+func TestLUTransparency(t *testing.T) {
+	checkReplicationTransparency(t, 4, func(c *mpi.Comm) apps.Result {
+		return apps.LU(c, apps.LUParams{NX: 8, NZ: 4, Iters: 3, Work: 1})
+	})
+}
+
+func TestLUNonSquareGrid(t *testing.T) {
+	// 6 ranks → 3x2 grid: exercises the wavefront off the square case.
+	checkReplicationTransparency(t, 6, func(c *mpi.Comm) apps.Result {
+		return apps.LU(c, apps.LUParams{NX: 6, NZ: 3, Iters: 2, Work: 0})
+	})
+}
+
+func TestLUSmoothing(t *testing.T) {
+	// The relaxation is an averaging operator: the field must stay
+	// bounded, and iterations must be counted.
+	res := runApp(t, cluster.Native, 4, func(c *mpi.Comm) apps.Result {
+		return apps.LU(c, apps.LUParams{NX: 8, NZ: 2, Iters: 10, Work: 0})
+	})
+	if res[0].Iterations != 10 {
+		t.Errorf("iterations = %d", res[0].Iterations)
+	}
+	if res[0].Checksum <= 0 || res[0].Checksum > 1e9 {
+		t.Errorf("checksum diverged: %v", res[0].Checksum)
+	}
+}
+
+func TestISTransparency(t *testing.T) {
+	checkReplicationTransparency(t, 4, func(c *mpi.Comm) apps.Result {
+		return apps.IS(c, apps.ISParams{KeysPerRank: 200, MaxKey: 1 << 10, Iters: 3, Work: 1})
+	})
+}
+
+func TestISSortsCorrectly(t *testing.T) {
+	// The position-weighted checksum poisons on any routing error
+	// (+1e12); a clean run stays far below that.
+	res := runApp(t, cluster.Native, 4, func(c *mpi.Comm) apps.Result {
+		return apps.IS(c, apps.ISParams{KeysPerRank: 500, MaxKey: 1 << 12, Iters: 2})
+	})
+	if res[0].Checksum >= 1e12 {
+		t.Errorf("bucket routing violated: checksum %v", res[0].Checksum)
+	}
+}
+
+func TestEPTransparency(t *testing.T) {
+	checkReplicationTransparency(t, 4, func(c *mpi.Comm) apps.Result {
+		return apps.EP(c, apps.EPParams{Pairs: 2000, Work: 1})
+	})
+}
+
+func TestEPStatistics(t *testing.T) {
+	// Marsaglia polar accepts π/4 ≈ 78.5% of pairs; the annulus counts
+	// must reflect roughly that volume (loose sanity bound).
+	res := runApp(t, cluster.Native, 2, func(c *mpi.Comm) apps.Result {
+		return apps.EP(c, apps.EPParams{Pairs: 20000})
+	})
+	if res[0].Checksum == 0 {
+		t.Error("EP produced no deviates")
+	}
+}
+
+func TestNewWorkloadsSingleRank(t *testing.T) {
+	fns := map[string]func(c *mpi.Comm) apps.Result{
+		"lu": func(c *mpi.Comm) apps.Result { return apps.LU(c, apps.LUParams{NX: 4, NZ: 2, Iters: 2}) },
+		"is": func(c *mpi.Comm) apps.Result { return apps.IS(c, apps.ISParams{KeysPerRank: 50, MaxKey: 64, Iters: 2}) },
+		"ep": func(c *mpi.Comm) apps.Result { return apps.EP(c, apps.EPParams{Pairs: 100}) },
+		"mw": func(c *mpi.Comm) apps.Result { return apps.MasterWorker(c, apps.MWParams{Tasks: 10}) },
+	}
+	for name, fn := range fns {
+		t.Run(name, func(t *testing.T) {
+			res := runApp(t, cluster.Native, 1, fn)
+			if len(res) != 1 {
+				t.Fatalf("expected 1 result, got %d", len(res))
+			}
+		})
+	}
+}
+
+func TestMasterWorkerChecksumDeterministic(t *testing.T) {
+	// The commutative-sum checksum is identical across runs even though
+	// the task assignment may differ — the property that makes the
+	// send-determinism violation invisible to output checks.
+	fn := func(c *mpi.Comm) apps.Result {
+		return apps.MasterWorker(c, apps.MWParams{Tasks: 30, Work: 1, Skew: 4})
+	}
+	a := runApp(t, cluster.Native, 4, fn)
+	b := runApp(t, cluster.Native, 4, fn)
+	if a[0].Checksum != b[0].Checksum {
+		t.Errorf("checksums differ: %v vs %v", a[0].Checksum, b[0].Checksum)
+	}
+	// The master accounts for every task.
+	if a[0].Iterations != 30 {
+		t.Errorf("master completed %d tasks, want 30", a[0].Iterations)
+	}
+	want := 0.0
+	for task := 0; task < 30; task++ {
+		want += apps.TaskValue(task)
+	}
+	if a[0].Checksum != want {
+		t.Errorf("checksum %v != task-value sum %v", a[0].Checksum, want)
+	}
+}
+
+func TestMasterWorkerQuota(t *testing.T) {
+	// With a per-worker quota the load split is exact: 3 workers × 5.
+	res := runApp(t, cluster.Native, 4, func(c *mpi.Comm) apps.Result {
+		return apps.MasterWorker(c, apps.MWParams{Tasks: 15, PerWorkerQuota: 5, Work: 1})
+	})
+	if res[0].Iterations != 15 {
+		t.Errorf("master saw %d results, want 15", res[0].Iterations)
+	}
+	for w := 1; w < 4; w++ {
+		if res[w].Iterations != 5 {
+			t.Errorf("worker %d did %d tasks, want 5", w, res[w].Iterations)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package apps
+
+import (
+	"repro/internal/mpi"
+)
+
+// CGParams sizes the NAS CG proxy.
+type CGParams struct {
+	// N is the global number of rows (split into contiguous blocks).
+	N int
+	// Iters is the number of conjugate-gradient iterations.
+	Iters int
+	// Work scales the synthetic compute between communication phases.
+	Work int
+}
+
+// CG is the NAS CG proxy: a conjugate-gradient solve of a symmetric
+// positive-definite operator (a 1D Laplacian with Dirichlet boundaries)
+// distributed by row blocks. Its communication skeleton matches the
+// benchmark's character: nearest-neighbour exchanges inside the matvec and
+// two global reductions (dot products) per iteration — CG is the most
+// reduction-bound of the NAS kernels, which is why the paper's Table 1
+// shows it with the highest replication overhead (4.92%).
+func CG(c *mpi.Comm, p CGParams) Result {
+	size := c.Size()
+	rank := int(c.Rank())
+	m := p.N / size
+	if m < 1 {
+		m = 1
+	}
+
+	x := make([]float64, m)
+	r := make([]float64, m)
+	pv := make([]float64, m)
+	ap := make([]float64, m)
+
+	// Start from x = 0 with a deterministic right-hand side, so r0 = b.
+	fill(r, rank, 1)
+	copy(pv, r)
+
+	rr := dot(c, r, r)
+	res0 := rr
+
+	iters := 0
+	for it := 0; it < p.Iters; it++ {
+		matvec1D(c, pv, ap)
+		compute(ap, p.Work)
+		pap := dot(c, pv, ap)
+		if pap == 0 {
+			break
+		}
+		alpha := rr / pap
+		for i := range x {
+			x[i] += alpha * pv[i]
+			r[i] -= alpha * ap[i]
+		}
+		rrNew := dot(c, r, r)
+		beta := rrNew / rr
+		rr = rrNew
+		for i := range pv {
+			pv[i] = r[i] + beta*pv[i]
+		}
+		iters++
+	}
+
+	sum := c.AllreduceFloat64(localSum(x), mpi.OpSum)
+	return Result{Checksum: sum, Residual: rr / res0, Iterations: iters}
+}
+
+// matvec1D applies the 1D Laplacian: out[i] = 2.5·v[i] − v[i−1] − v[i+1],
+// with the off-block neighbours obtained by halo exchange.
+func matvec1D(c *mpi.Comm, v, out []float64) {
+	size := c.Size()
+	rank := int(c.Rank())
+	m := len(v)
+	left, right := 0.0, 0.0
+
+	var reqs []*mpi.Request
+	lbuf := make([]byte, 8)
+	rbuf := make([]byte, 8)
+	if rank > 0 {
+		reqs = append(reqs, c.Irecv(mpi.Rank(rank-1), tagRight, lbuf))
+	}
+	if rank < size-1 {
+		reqs = append(reqs, c.Irecv(mpi.Rank(rank+1), tagLeft, rbuf))
+	}
+	if rank > 0 {
+		c.Send(mpi.Rank(rank-1), tagLeft, mpi.Float64Bytes(v[:1]))
+	}
+	if rank < size-1 {
+		c.Send(mpi.Rank(rank+1), tagRight, mpi.Float64Bytes(v[m-1:]))
+	}
+	mpi.Waitall(reqs...)
+	if rank > 0 {
+		left = mpi.BytesFloat64(lbuf)[0]
+	}
+	if rank < size-1 {
+		right = mpi.BytesFloat64(rbuf)[0]
+	}
+
+	for i := 0; i < m; i++ {
+		lo := left
+		if i > 0 {
+			lo = v[i-1]
+		}
+		hi := right
+		if i < m-1 {
+			hi = v[i+1]
+		}
+		out[i] = 2.5*v[i] - lo - hi
+	}
+}
+
+func localSum(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,208 @@
+package apps
+
+import (
+	"repro/internal/mpi"
+)
+
+// CM1Params sizes the CM1 proxy (Bryan & Fritsch's cloud model; the paper
+// runs a 160x160x160 thunderstorm case).
+type CM1Params struct {
+	// NX, NY are the local horizontal tile dimensions; NZ the column
+	// height (not decomposed — CM1 splits the horizontal plane).
+	NX, NY, NZ int
+	// Steps is the number of time steps.
+	Steps int
+	// Work scales the micro-physics compute per step.
+	Work int
+	// CFLEvery inserts a global max-reduction (the CFL/stability check)
+	// every that many steps.
+	CFLEvery int
+}
+
+// CM1 is the CM1 proxy: an atmospheric time-stepping code on a 2D
+// horizontal process grid, exchanging four halo faces per step with
+// MPI_ANY_SOURCE receptions (direction disambiguated by tag, as in the
+// original's MPI layer) plus a periodic global CFL reduction. Together
+// with HPCCG it is the paper's Table 2 wildcard workload.
+func CM1(c *mpi.Comm, p CM1Params) Result {
+	size := c.Size()
+	rank := int(c.Rank())
+	// Process grid: as square as the rank count allows.
+	px := 1
+	for d := 1; d*d <= size; d++ {
+		if size%d == 0 {
+			px = d
+		}
+	}
+	py := size / px
+	cx, cy := rank%px, rank/px
+
+	vol := p.NX * p.NY * p.NZ
+	field := make([]float64, vol)
+	fill(field, rank, 37)
+
+	// Face sizes: east/west faces carry NY*NZ points, north/south NX*NZ.
+	ew := p.NY * p.NZ
+	ns := p.NX * p.NZ
+	wbuf := make([]byte, ew*8)
+	ebuf := make([]byte, ew*8)
+	sbuf := make([]byte, ns*8)
+	nbuf := make([]byte, ns*8)
+
+	neighbor := func(dx, dy int) (mpi.Rank, bool) {
+		x, y := cx+dx, cy+dy
+		if x < 0 || x >= px || y < 0 || y >= py {
+			return 0, false
+		}
+		return mpi.Rank(y*px + x), true
+	}
+
+	cfl := 0.0
+	for step := 0; step < p.Steps; step++ {
+		var reqs []*mpi.Request
+		west, hasW := neighbor(-1, 0)
+		east, hasE := neighbor(1, 0)
+		south, hasS := neighbor(0, -1)
+		north, hasN := neighbor(0, 1)
+		if hasW {
+			reqs = append(reqs, c.Irecv(mpi.AnySource, tagLeft, wbuf))
+		}
+		if hasE {
+			reqs = append(reqs, c.Irecv(mpi.AnySource, tagRight, ebuf))
+		}
+		if hasS {
+			reqs = append(reqs, c.Irecv(mpi.AnySource, tagDown, sbuf))
+		}
+		if hasN {
+			reqs = append(reqs, c.Irecv(mpi.AnySource, tagUp, nbuf))
+		}
+		if hasW {
+			c.Send(west, tagRight, mpi.Float64Bytes(face(field, p, 0)))
+		}
+		if hasE {
+			c.Send(east, tagLeft, mpi.Float64Bytes(face(field, p, 1)))
+		}
+		if hasS {
+			c.Send(south, tagUp, mpi.Float64Bytes(face(field, p, 2)))
+		}
+		if hasN {
+			c.Send(north, tagDown, mpi.Float64Bytes(face(field, p, 3)))
+		}
+		mpi.Waitall(reqs...)
+
+		// Fold the received faces into the boundary columns and advance
+		// the local state (synthetic advection + micro-physics).
+		if hasW {
+			foldFace(field, mpi.BytesFloat64(wbuf), p, 0)
+		}
+		if hasE {
+			foldFace(field, mpi.BytesFloat64(ebuf), p, 1)
+		}
+		if hasS {
+			foldFace(field, mpi.BytesFloat64(sbuf), p, 2)
+		}
+		if hasN {
+			foldFace(field, mpi.BytesFloat64(nbuf), p, 3)
+		}
+		advance(field, p.Work)
+
+		if p.CFLEvery > 0 && (step+1)%p.CFLEvery == 0 {
+			local := 0.0
+			for _, v := range field {
+				if v > local {
+					local = v
+				}
+			}
+			cfl = c.AllreduceFloat64(local, mpi.OpMax)
+		}
+	}
+
+	sum := c.AllreduceFloat64(localSum(field), mpi.OpSum)
+	return Result{Checksum: sum, Residual: cfl, Iterations: p.Steps}
+}
+
+// face extracts one boundary face (0=W,1=E,2=S,3=N) of the local tile.
+func face(field []float64, p CM1Params, side int) []float64 {
+	idx := func(i, j, k int) int { return (k*p.NY+j)*p.NX + i }
+	switch side {
+	case 0: // west: i = 0
+		out := make([]float64, p.NY*p.NZ)
+		for k := 0; k < p.NZ; k++ {
+			for j := 0; j < p.NY; j++ {
+				out[k*p.NY+j] = field[idx(0, j, k)]
+			}
+		}
+		return out
+	case 1: // east: i = NX-1
+		out := make([]float64, p.NY*p.NZ)
+		for k := 0; k < p.NZ; k++ {
+			for j := 0; j < p.NY; j++ {
+				out[k*p.NY+j] = field[idx(p.NX-1, j, k)]
+			}
+		}
+		return out
+	case 2: // south: j = 0
+		out := make([]float64, p.NX*p.NZ)
+		for k := 0; k < p.NZ; k++ {
+			for i := 0; i < p.NX; i++ {
+				out[k*p.NX+i] = field[idx(i, 0, k)]
+			}
+		}
+		return out
+	default: // north: j = NY-1
+		out := make([]float64, p.NX*p.NZ)
+		for k := 0; k < p.NZ; k++ {
+			for i := 0; i < p.NX; i++ {
+				out[k*p.NX+i] = field[idx(i, p.NY-1, k)]
+			}
+		}
+		return out
+	}
+}
+
+// foldFace blends a received halo face into the matching boundary.
+func foldFace(field, halo []float64, p CM1Params, side int) {
+	idx := func(i, j, k int) int { return (k*p.NY+j)*p.NX + i }
+	switch side {
+	case 0:
+		for k := 0; k < p.NZ; k++ {
+			for j := 0; j < p.NY; j++ {
+				field[idx(0, j, k)] = 0.7*field[idx(0, j, k)] + 0.3*halo[k*p.NY+j]
+			}
+		}
+	case 1:
+		for k := 0; k < p.NZ; k++ {
+			for j := 0; j < p.NY; j++ {
+				field[idx(p.NX-1, j, k)] = 0.7*field[idx(p.NX-1, j, k)] + 0.3*halo[k*p.NY+j]
+			}
+		}
+	case 2:
+		for k := 0; k < p.NZ; k++ {
+			for i := 0; i < p.NX; i++ {
+				field[idx(i, 0, k)] = 0.7*field[idx(i, 0, k)] + 0.3*halo[k*p.NX+i]
+			}
+		}
+	default:
+		for k := 0; k < p.NZ; k++ {
+			for i := 0; i < p.NX; i++ {
+				field[idx(i, p.NY-1, k)] = 0.7*field[idx(i, p.NY-1, k)] + 0.3*halo[k*p.NX+i]
+			}
+		}
+	}
+}
+
+// advance is the local time step: a damped diffusion plus the synthetic
+// compute load.
+func advance(field []float64, work int) {
+	prev := field[0]
+	for i := range field {
+		cur := field[i]
+		next := cur
+		if i+1 < len(field) {
+			next = field[i+1]
+		}
+		field[i] = 0.8*cur + 0.1*prev + 0.1*next
+		prev = cur
+	}
+	compute(field, work)
+}

@@ -1,0 +1,64 @@
+package apps
+
+import (
+	"math"
+
+	"repro/internal/mpi"
+)
+
+// EPParams sizes the NAS EP proxy.
+type EPParams struct {
+	// Pairs is the number of random pairs each rank generates.
+	Pairs int
+	// Work scales the synthetic compute.
+	Work int
+}
+
+// EP is the NAS EP proxy: embarrassingly parallel Gaussian-deviate
+// generation with only a final reduction. Each rank draws uniform pairs,
+// applies the Marsaglia polar acceptance test, tallies the accepted
+// deviates into ring annuli, and the ranks combine the tallies with
+// Allreduce. EP bounds the replication overhead from below: with almost no
+// communication, SDR-MPI's per-message cost cannot show, so native and
+// replicated timings must coincide.
+func EP(c *mpi.Comm, p EPParams) Result {
+	rank := int(c.Rank())
+	var counts [10]int64
+	sx, sy := 0.0, 0.0
+	x := uint64(rank*2654435761 + 98765)
+	next := func() float64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return float64(x%(1<<53)) / float64(1<<53)
+	}
+	for i := 0; i < p.Pairs; i++ {
+		a := 2*next() - 1
+		b := 2*next() - 1
+		t := a*a + b*b
+		if t >= 1 || t == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(t) / t)
+		gx, gy := a*f, b*f
+		sx += gx
+		sy += gy
+		m := math.Max(math.Abs(gx), math.Abs(gy))
+		if k := int(m); k < len(counts) {
+			counts[k]++
+		}
+	}
+	sink := []float64{sx}
+	compute(sink, p.Work)
+
+	// The only communication: combine annulus counts and deviate sums.
+	global := mpi.BytesInt64(c.Allreduce(mpi.Int64Bytes(counts[:]), mpi.Int64T, mpi.OpSum))
+	gx := c.AllreduceFloat64(sink[0], mpi.OpSum)
+	gy := c.AllreduceFloat64(sy, mpi.OpSum)
+
+	checksum := gx + gy
+	for k, n := range global {
+		checksum += float64(n) * float64(k+1)
+	}
+	return Result{Checksum: checksum, Iterations: p.Pairs}
+}

@@ -1,0 +1,72 @@
+package apps
+
+import (
+	"math"
+
+	"repro/internal/mpi"
+)
+
+// FTParams sizes the NAS FT proxy.
+type FTParams struct {
+	// BlockBytes is the per-destination block size of each transpose
+	// (FT class D moves multi-megabyte all-to-all volumes; scale down
+	// proportionally to rank count).
+	BlockBytes int
+	// Iters is the number of time steps (each with one forward and one
+	// inverse transpose, like FT's 3D FFT pair).
+	Iters int
+	// Work scales the local butterfly compute between transposes.
+	Work int
+}
+
+// FT is the NAS FT proxy: its communication is completely dominated by the
+// global transpose (MPI_Alltoall) between the local FFT passes — the
+// heaviest collective of the NAS suite and the bandwidth-bound case for a
+// replication protocol.
+func FT(c *mpi.Comm, p FTParams) Result {
+	size := c.Size()
+	if p.BlockBytes < 8 {
+		p.BlockBytes = 8
+	}
+	// Local "spectral" data: one block per destination rank.
+	local := make([]float64, size*p.BlockBytes/8)
+	fill(local, int(c.Rank()), 11)
+
+	for it := 0; it < p.Iters; it++ {
+		// Forward local FFT pass (synthetic butterfly) plus the
+		// simulated kernel time.
+		butterfly(local)
+		compute(local, p.Work)
+		// Global transpose.
+		out := c.Alltoall(mpi.Float64Bytes(local), p.BlockBytes)
+		local = mpi.BytesFloat64(out)
+		// Inverse pass + second transpose, as in FT's forward/backward
+		// FFT per checksum step.
+		butterfly(local)
+		compute(local, p.Work)
+		out = c.Alltoall(mpi.Float64Bytes(local), p.BlockBytes)
+		local = mpi.BytesFloat64(out)
+	}
+
+	sum := c.AllreduceFloat64(localSum(local), mpi.OpSum)
+	return Result{Checksum: sum, Iterations: p.Iters}
+}
+
+// butterfly is a synthetic in-place FFT-like pass: stride-doubling
+// pairwise updates, numerically tame.
+func butterfly(v []float64) {
+	n := len(v)
+	for stride := 1; stride < n; stride *= 2 {
+		for i := 0; i+stride < n; i += 2 * stride {
+			a, b := v[i], v[i+stride]
+			v[i] = 0.5*(a+b) + 1e-9
+			v[i+stride] = 0.5 * (a - b)
+		}
+	}
+	// Keep magnitudes bounded.
+	for i := range v {
+		if math.Abs(v[i]) > 1e6 {
+			v[i] = math.Mod(v[i], 1e3)
+		}
+	}
+}

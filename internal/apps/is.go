@@ -1,0 +1,111 @@
+package apps
+
+import (
+	"sort"
+
+	"repro/internal/mpi"
+)
+
+// ISParams sizes the NAS IS proxy.
+type ISParams struct {
+	// KeysPerRank is the number of integer keys each rank generates.
+	KeysPerRank int
+	// MaxKey is the exclusive key range upper bound.
+	MaxKey int
+	// Iters repeats the ranking.
+	Iters int
+	// Work scales the synthetic compute.
+	Work int
+	// OnIter, when non-nil, is called at the top of every iteration — a
+	// quiescent point for crash/recovery injection.
+	OnIter func(iter int)
+}
+
+// IS is the NAS IS proxy: a parallel bucket sort of integer keys. Each
+// iteration generates keys, histograms them into per-destination buckets,
+// exchanges the bucket sizes with an all-to-all, and the keys themselves
+// with an all-to-all-v — IS is the only NAS kernel dominated by Alltoallv
+// volume, which exercises the replication protocol under its largest
+// per-call message counts.
+func IS(c *mpi.Comm, p ISParams) Result {
+	size := c.Size()
+	rank := int(c.Rank())
+	bucketWidth := (p.MaxKey + size - 1) / size
+	if bucketWidth < 1 {
+		bucketWidth = 1
+	}
+
+	var checksum float64
+	iters := 0
+	for it := 0; it < p.Iters; it++ {
+		if p.OnIter != nil {
+			p.OnIter(it)
+		}
+		keys := genKeys(rank, it, p.KeysPerRank, p.MaxKey)
+
+		// Bucket the keys by destination rank.
+		buckets := make([][]int64, size)
+		for _, k := range keys {
+			d := int(k) / bucketWidth
+			if d >= size {
+				d = size - 1
+			}
+			buckets[d] = append(buckets[d], k)
+		}
+
+		// Exchange bucket sizes (Alltoall of one int64 per destination),
+		// then the keys (Alltoallv).
+		sendCounts := make([]int, size)
+		sizesWire := make([]int64, size)
+		var sendKeys []int64
+		for d, b := range buckets {
+			sizesWire[d] = int64(len(b))
+			sendCounts[d] = 8 * len(b)
+			sendKeys = append(sendKeys, b...)
+		}
+		recvSizes := mpi.BytesInt64(c.Alltoall(mpi.Int64Bytes(sizesWire), 8))
+		recvCounts := make([]int, size)
+		for d, n := range recvSizes {
+			recvCounts[d] = 8 * int(n)
+		}
+		mineWire := c.Alltoallv(mpi.Int64Bytes(sendKeys), sendCounts, recvCounts)
+		mine := mpi.BytesInt64(mineWire)
+
+		// Local sort of my bucket range.
+		sort.Slice(mine, func(i, j int) bool { return mine[i] < mine[j] })
+
+		// Verify the bucket property and accumulate a position-weighted
+		// checksum (order-sensitive, so a mis-sorted exchange cannot
+		// cancel out).
+		lo, hi := int64(rank*bucketWidth), int64((rank+1)*bucketWidth)
+		if rank == size-1 {
+			hi = int64(p.MaxKey)
+		}
+		local := 0.0
+		for i, k := range mine {
+			if k < lo || k >= hi {
+				// A routing error: poison the checksum deterministically.
+				local += 1e12
+			}
+			local += float64(k) * float64(i%97+1)
+		}
+		sink := []float64{local}
+		compute(sink, p.Work)
+		checksum += c.AllreduceFloat64(sink[0], mpi.OpSum)
+		iters++
+	}
+	return Result{Checksum: checksum, Iterations: iters}
+}
+
+// genKeys produces rank- and iteration-deterministic keys.
+func genKeys(rank, iter, n, maxKey int) []int64 {
+	x := uint64(rank*48271 + iter*69621 + 777)
+	out := make([]int64, n)
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = int64(x % uint64(maxKey))
+	}
+	return out
+}

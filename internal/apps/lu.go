@@ -1,0 +1,159 @@
+package apps
+
+import (
+	"repro/internal/mpi"
+)
+
+// LUParams sizes the NAS LU proxy.
+type LUParams struct {
+	// NX is the local tile edge (NX×NX points per rank).
+	NX int
+	// NZ is the number of k-planes swept per iteration (the pipeline
+	// depth of the wavefront).
+	NZ int
+	// Iters is the number of SSOR iterations (one forward plus one
+	// backward sweep each).
+	Iters int
+	// Work scales the synthetic compute per plane.
+	Work int
+	// OnIter, when non-nil, is called at the top of every iteration — a
+	// quiescent point the cluster harness uses for crash and recovery
+	// injection.
+	OnIter func(iter int)
+}
+
+// LU is the NAS LU proxy: the pipelined wavefront ("sweep") communication
+// of the SSOR solver. Ranks form a 2D grid; the forward sweep carries a
+// lower-triangular dependency so each rank receives its north and west
+// tile boundaries, relaxes its tile plane by plane, and forwards its south
+// and east boundaries; the backward sweep reverses the direction. Unlike
+// the collectives-bound kernels, LU's cost is dominated by many small
+// pipelined point-to-point messages — the worst case for per-message
+// replication-ack latency, which makes it a useful extension to the
+// paper's Table 1 set.
+func LU(c *mpi.Comm, p LUParams) Result {
+	size := c.Size()
+	rank := int(c.Rank())
+	dims := mpi.DimsCreate(size, 2, nil)
+	py, px := dims[0], dims[1]
+	row, col := rank/px, rank%px
+
+	n := p.NX
+	field := make([]float64, n*n)
+	fill(field, rank, 7)
+
+	north := make([]float64, n) // boundary entering from the north
+	west := make([]float64, n)
+	south := make([]float64, n)
+	east := make([]float64, n)
+
+	iters := 0
+	for it := 0; it < p.Iters; it++ {
+		if p.OnIter != nil {
+			p.OnIter(it)
+		}
+		// Forward sweep: dependency flows from (0,0) to (py-1,px-1).
+		for k := 0; k < p.NZ; k++ {
+			if row > 0 {
+				recvFloat64s(c, mpi.Rank((row-1)*px+col), tagSweepFwd, north)
+			} else {
+				zero(north)
+			}
+			if col > 0 {
+				recvFloat64s(c, mpi.Rank(row*px+col-1), tagSweepFwd+1, west)
+			} else {
+				zero(west)
+			}
+			relaxForward(field, north, west, south, east, n)
+			compute(field, p.Work)
+			if row < py-1 {
+				c.Send(mpi.Rank((row+1)*px+col), tagSweepFwd, mpi.Float64Bytes(south))
+			}
+			if col < px-1 {
+				c.Send(mpi.Rank(row*px+col+1), tagSweepFwd+1, mpi.Float64Bytes(east))
+			}
+		}
+		// Backward sweep: dependency flows from (py-1,px-1) to (0,0).
+		for k := 0; k < p.NZ; k++ {
+			if row < py-1 {
+				recvFloat64s(c, mpi.Rank((row+1)*px+col), tagSweepBwd, south)
+			} else {
+				zero(south)
+			}
+			if col < px-1 {
+				recvFloat64s(c, mpi.Rank(row*px+col+1), tagSweepBwd+1, east)
+			} else {
+				zero(east)
+			}
+			relaxBackward(field, north, west, south, east, n)
+			compute(field, p.Work)
+			if row > 0 {
+				c.Send(mpi.Rank((row-1)*px+col), tagSweepBwd, mpi.Float64Bytes(north))
+			}
+			if col > 0 {
+				c.Send(mpi.Rank(row*px+col-1), tagSweepBwd+1, mpi.Float64Bytes(west))
+			}
+		}
+		iters++
+	}
+
+	sum := c.AllreduceFloat64(localSum(field), mpi.OpSum)
+	return Result{Checksum: sum, Iterations: iters}
+}
+
+// relaxForward applies the lower-triangular relaxation: each point is
+// averaged with its north and west neighbours (incoming boundaries at the
+// tile edge), then the south and east outgoing boundaries are extracted.
+func relaxForward(field, north, west, south, east []float64, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			up := north[j]
+			if i > 0 {
+				up = field[(i-1)*n+j]
+			}
+			left := west[i]
+			if j > 0 {
+				left = field[i*n+j-1]
+			}
+			field[i*n+j] = 0.6*field[i*n+j] + 0.2*up + 0.2*left
+		}
+	}
+	for j := 0; j < n; j++ {
+		south[j] = field[(n-1)*n+j]
+	}
+	for i := 0; i < n; i++ {
+		east[i] = field[i*n+n-1]
+	}
+}
+
+// relaxBackward applies the upper-triangular relaxation (south and east
+// neighbours), extracting the north and west outgoing boundaries.
+func relaxBackward(field, north, west, south, east []float64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		for j := n - 1; j >= 0; j-- {
+			down := south[j]
+			if i < n-1 {
+				down = field[(i+1)*n+j]
+			}
+			right := east[i]
+			if j < n-1 {
+				right = field[i*n+j+1]
+			}
+			field[i*n+j] = 0.6*field[i*n+j] + 0.2*down + 0.2*right
+		}
+	}
+	for j := 0; j < n; j++ {
+		north[j] = field[j]
+	}
+	for i := 0; i < n; i++ {
+		west[i] = field[i*n]
+	}
+}
+
+// recvFloat64s receives a float64 vector: a blocking receive into a wire
+// buffer followed by decode into dst.
+func recvFloat64s(c *mpi.Comm, from mpi.Rank, tag int, dst []float64) {
+	buf := make([]byte, 8*len(dst))
+	c.Recv(from, tag, buf)
+	copy(dst, mpi.BytesFloat64(buf))
+}

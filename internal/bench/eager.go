@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/transport"
+)
+
+// Eager/rendezvous ablation: the same payload exchanged through the two
+// wire protocols (by overriding the eager limit), native vs SDR. It
+// isolates where the replication cost lands on each path — on the eager
+// path the sender retains a payload copy until the acks arrive; on the
+// rendezvous path the sender's completion already waits for the
+// receiver's CTS, so the ack adds less on top (§3.2/§3.3).
+
+// EagerRow is one line of the eager/rendezvous ablation.
+type EagerRow struct {
+	Mode        string // "eager" or "rendezvous"
+	Native      time.Duration
+	SDR         time.Duration
+	OverheadPct float64
+}
+
+// RunEagerAblation ping-pongs `rounds` messages of `size` bytes under
+// both wire protocols, native vs SDR (median of reps).
+func RunEagerAblation(size, rounds, reps int) ([]EagerRow, error) {
+	modes := []struct {
+		name  string
+		limit int // EagerLimit override: above size → eager; 1 → rendezvous
+	}{
+		{"eager", size * 2},
+		{"rendezvous", 1},
+	}
+	var rows []EagerRow
+	for _, m := range modes {
+		var per [2]time.Duration // native, sdr
+		for i, proto := range []cluster.Protocol{cluster.Native, cluster.SDR} {
+			var ds []time.Duration
+			for rep := 0; rep < reps; rep++ {
+				d, err := timePingPong(proto, m.limit, size, rounds)
+				if err != nil {
+					return nil, fmt.Errorf("eager ablation %s/%s: %w", m.name, proto, err)
+				}
+				ds = append(ds, d)
+			}
+			sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
+			per[i] = ds[len(ds)/2]
+		}
+		rows = append(rows, EagerRow{
+			Mode:        m.name,
+			Native:      per[0],
+			SDR:         per[1],
+			OverheadPct: (per[1].Seconds() - per[0].Seconds()) / per[0].Seconds() * 100,
+		})
+	}
+	return rows, nil
+}
+
+// timePingPong measures `rounds` round trips of `size` bytes. A coarse
+// delay model (50 µs hops, IB-20G bandwidth) makes the modelled wire time
+// dominate goroutine-scheduling noise, so the reported overheads reflect
+// protocol hops and ack placement rather than simulation-host contention.
+func timePingPong(proto cluster.Protocol, eagerLimit, size, rounds int) (time.Duration, error) {
+	type outcome struct{ D time.Duration }
+	rep := cluster.Run(cluster.Config{
+		Ranks: 2, Protocol: proto, EagerLimit: eagerLimit, Timeout: 2 * time.Minute,
+		Delay: &transport.DelayModel{Latency: 50 * time.Microsecond, BytesPerSec: 1.6e9},
+	}, func(env *cluster.Env) (any, error) {
+		c := env.World
+		buf := make([]byte, size)
+		c.Barrier()
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			if c.Rank() == 0 {
+				c.Send(1, 0, buf)
+				c.Recv(1, 1, buf)
+			} else {
+				c.Recv(0, 0, buf)
+				c.Send(0, 1, buf)
+			}
+		}
+		c.Barrier()
+		return outcome{D: time.Since(start)}, nil
+	})
+	if err := rep.FirstError(); err != nil {
+		return 0, err
+	}
+	var worst time.Duration
+	for _, p := range rep.Procs {
+		if p.Rep != 0 {
+			continue
+		}
+		if d := p.Result.(outcome).D; d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+// RenderEager prints the ablation table.
+func RenderEager(w io.Writer, size, rounds int, rows []EagerRow) {
+	fmt.Fprintf(w, "Ablation — eager vs rendezvous wire protocol (%d B × %d round trips)\n", size, rounds)
+	fmt.Fprintf(w, "%-12s %12s %12s %14s\n", "", "native", "SDR-MPI", "overhead (%)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %12v %12v %14.2f\n", r.Mode, r.Native.Round(time.Microsecond),
+			r.SDR.Round(time.Microsecond), r.OverheadPct)
+	}
+}

@@ -1,0 +1,188 @@
+// Package bench regenerates the paper's evaluation artifacts: the NetPipe
+// latency/throughput figures (7a, 7b), the NAS and wildcard-application
+// overhead tables (1, 2), the anonymous-reception micro-benchmark
+// (Figure 2), and the ablation comparisons (mirror vs parallel message
+// complexity, leader vs leaderless ANY_SOURCE).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/transport"
+)
+
+// NetpipePoint is one message-size sample of the ping-pong sweep.
+type NetpipePoint struct {
+	Bytes          int
+	LatencyUS      float64 // one-way latency, microseconds (half RTT)
+	ThroughputMbps float64
+}
+
+// NetpipeSizes returns the sweep the paper plots: 1 B … 8 MiB.
+func NetpipeSizes() []int {
+	var sizes []int
+	for s := 1; s <= 8<<20; s *= 4 {
+		sizes = append(sizes, s)
+	}
+	return sizes
+}
+
+// netpipeIters picks the repetition count per size (more for small
+// messages, as NetPipe does).
+func netpipeIters(size int) int {
+	switch {
+	case size <= 1024:
+		return 40
+	case size <= 64<<10:
+		return 16
+	case size <= 1<<20:
+		return 6
+	default:
+		return 3
+	}
+}
+
+// netpipeDilation returns the time-dilation factor applied to the delay
+// model for one message size. The simulation measures real elapsed time,
+// and on a machine with few cores the goroutine-scheduling cost of each
+// message event (~microseconds) would swamp the microsecond-scale wire
+// latencies being modelled. Dilating the model uniformly — latency,
+// bandwidth and CPU overhead together — slows the simulated network so
+// scheduling noise becomes negligible, and the measurement is divided back
+// by the factor. Large messages are transfer-dominated (milliseconds) and
+// need little dilation.
+func netpipeDilation(size int) float64 {
+	switch {
+	case size <= 4096:
+		return 60
+	case size <= 64<<10:
+		return 25
+	case size <= 1<<20:
+		return 16
+	default:
+		// Rendezvous sizes: keep the simulated wire time well above the
+		// host's real memcpy cost per transfer, so buffer copies do not
+		// pollute the ack-gated critical path.
+		return 32
+	}
+}
+
+// dilated scales every time constant of the IB-20G model by f.
+func dilated(f float64) *transport.DelayModel {
+	d := transport.IB20G()
+	return &transport.DelayModel{
+		Latency:      time.Duration(float64(d.Latency) * f),
+		BytesPerSec:  d.BytesPerSec / f,
+		SendOverhead: time.Duration(float64(d.SendOverhead) * f),
+	}
+}
+
+// Netpipe runs the two-rank ping-pong sweep under the given protocol on
+// the IB-20G-calibrated delay model and returns one point per size. The
+// measured quantity matches the paper's Figure 7: half the round-trip time
+// of an MPI_Send/MPI_Recv exchange.
+func Netpipe(proto cluster.Protocol, sizes []int) ([]NetpipePoint, error) {
+	var points []NetpipePoint
+	for _, size := range sizes {
+		size := size
+		iters := netpipeIters(size)
+		f := netpipeDilation(size)
+		rep := cluster.Run(cluster.Config{
+			Ranks:    2,
+			Protocol: proto,
+			Delay:    dilated(f),
+			Timeout:  10 * time.Minute,
+		}, func(env *cluster.Env) (any, error) {
+			c := env.World
+			buf := make([]byte, size)
+			rbuf := make([]byte, size)
+			// One warm-up exchange, then the timed loop.
+			c.Barrier()
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				if c.Rank() == 0 {
+					c.Send(1, 0, buf)
+					c.Recv(1, 1, rbuf)
+				} else {
+					c.Recv(0, 0, rbuf)
+					c.Send(0, 1, buf)
+				}
+			}
+			return time.Since(start), nil
+		})
+		if err := rep.FirstError(); err != nil {
+			return nil, fmt.Errorf("netpipe %s size %d: %w", proto, size, err)
+		}
+		elapsed, ok := rep.ResultOf(0, 0).(time.Duration)
+		if !ok {
+			return nil, fmt.Errorf("bench: unexpected netpipe result %T", rep.ResultOf(0, 0))
+		}
+		oneWay := elapsed.Seconds() / float64(2*iters) / f
+		points = append(points, NetpipePoint{
+			Bytes:          size,
+			LatencyUS:      oneWay * 1e6,
+			ThroughputMbps: float64(size) * 8 / oneWay / 1e6,
+		})
+	}
+	return points, nil
+}
+
+// NetpipeComparison pairs native and SDR sweeps with the relative
+// performance decrease, the quantity on Figure 7's right-hand axis.
+type NetpipeComparison struct {
+	Native []NetpipePoint
+	SDR    []NetpipePoint
+}
+
+// RunNetpipe performs both sweeps.
+func RunNetpipe(sizes []int) (*NetpipeComparison, error) {
+	native, err := Netpipe(cluster.Native, sizes)
+	if err != nil {
+		return nil, fmt.Errorf("native sweep: %w", err)
+	}
+	sdr, err := Netpipe(cluster.SDR, sizes)
+	if err != nil {
+		return nil, fmt.Errorf("sdr sweep: %w", err)
+	}
+	return &NetpipeComparison{Native: native, SDR: sdr}, nil
+}
+
+// LatencyDecreasePct returns SDR's latency increase at point i, as a
+// percentage of native latency.
+func (nc *NetpipeComparison) LatencyDecreasePct(i int) float64 {
+	return (nc.SDR[i].LatencyUS - nc.Native[i].LatencyUS) / nc.Native[i].LatencyUS * 100
+}
+
+// ThroughputDecreasePct returns SDR's throughput loss at point i, as a
+// percentage of native throughput.
+func (nc *NetpipeComparison) ThroughputDecreasePct(i int) float64 {
+	return (nc.Native[i].ThroughputMbps - nc.SDR[i].ThroughputMbps) / nc.Native[i].ThroughputMbps * 100
+}
+
+// RenderFig7a writes the latency figure as a table (the paper's Figure 7a
+// series: Open MPI, SDR-MPI, performance decrease).
+func (nc *NetpipeComparison) RenderFig7a(w io.Writer) {
+	fmt.Fprintln(w, "Figure 7a — NetPipe latency, IB-20G model (one-way, usec)")
+	fmt.Fprintf(w, "%12s %14s %14s %12s\n", "bytes", "native", "SDR-MPI", "decrease(%)")
+	for i, p := range nc.Native {
+		fmt.Fprintf(w, "%12d %14.2f %14.2f %12.1f\n",
+			p.Bytes, p.LatencyUS, nc.SDR[i].LatencyUS, nc.LatencyDecreasePct(i))
+	}
+}
+
+// RenderFig7b writes the throughput figure.
+func (nc *NetpipeComparison) RenderFig7b(w io.Writer) {
+	fmt.Fprintln(w, "Figure 7b — NetPipe throughput, IB-20G model (Mbps)")
+	fmt.Fprintf(w, "%12s %14s %14s %12s\n", "bytes", "native", "SDR-MPI", "decrease(%)")
+	for i, p := range nc.Native {
+		fmt.Fprintf(w, "%12d %14.1f %14.1f %12.1f\n",
+			p.Bytes, p.ThroughputMbps, nc.SDR[i].ThroughputMbps, nc.ThroughputDecreasePct(i))
+	}
+}
+
+// worldRank is a small helper for apps needing rank as int.
+func worldRank(c *mpi.Comm) int { return int(c.Rank()) }

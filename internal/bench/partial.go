@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+)
+
+// PartialRow is one point of the partial-replication sweep: what fraction
+// of ranks are replicated, the physical processes consumed, and the
+// wall-clock overhead against the unreplicated run. The paper's closing
+// section points to partial replication (Elliott et al. [6]) as the route
+// past the 50 % efficiency ceiling of full dual replication; MR-MPI
+// already offered it. Here it falls out of the substitution machinery.
+type PartialRow struct {
+	ReplicatedRanks int
+	TotalRanks      int
+	PhysicalProcs   int
+	Elapsed         time.Duration
+	OverheadPct     float64
+}
+
+// RunPartialSweep measures the CG proxy with 0 %, 25 %, 50 %, 75 % and
+// 100 % of ranks replicated (experiment id: partial).
+func RunPartialSweep(s Scale) ([]PartialRow, error) {
+	n := s.Ranks
+	w := func(c *mpi.Comm) apps.Result {
+		return apps.CG(c, apps.CGParams{N: 1024 * s.Factor, Iters: 15 * s.Factor, Work: 3000})
+	}
+
+	run := func(unreplicated []int, proto cluster.Protocol) (time.Duration, error) {
+		rep := cluster.Run(cluster.Config{
+			Ranks: n, Protocol: proto, Timeout: 5 * time.Minute,
+			UnreplicatedRanks: unreplicated,
+		}, func(env *cluster.Env) (any, error) {
+			c := env.World
+			c.Barrier()
+			start := time.Now()
+			w(c)
+			c.Barrier()
+			return time.Since(start), nil
+		})
+		if err := rep.FirstError(); err != nil {
+			return 0, err
+		}
+		var worst time.Duration
+		for _, p := range rep.Procs {
+			if p.Phantom || p.Rep != 0 {
+				continue
+			}
+			if d := p.Result.(time.Duration); d > worst {
+				worst = d
+			}
+		}
+		return worst, nil
+	}
+
+	base, err := run(nil, cluster.Native)
+	if err != nil {
+		return nil, fmt.Errorf("partial baseline: %w", err)
+	}
+
+	var rows []PartialRow
+	for _, quarter := range []int{0, 1, 2, 3, 4} {
+		k := n * quarter / 4 // ranks replicated
+		var unrep []int
+		for rank := k; rank < n; rank++ {
+			unrep = append(unrep, rank)
+		}
+		var d time.Duration
+		if quarter == 0 {
+			d = base
+		} else {
+			d, err = run(unrep, cluster.SDR)
+			if err != nil {
+				return nil, fmt.Errorf("partial %d/4: %w", quarter, err)
+			}
+		}
+		rows = append(rows, PartialRow{
+			ReplicatedRanks: k,
+			TotalRanks:      n,
+			PhysicalProcs:   n + k,
+			Elapsed:         d,
+			OverheadPct:     (d.Seconds() - base.Seconds()) / base.Seconds() * 100,
+		})
+	}
+	return rows, nil
+}
+
+// RenderPartial prints the sweep.
+func RenderPartial(w io.Writer, rows []PartialRow) {
+	fmt.Fprintln(w, "Partial replication sweep (CG proxy; §5 outlook / MR-MPI feature)")
+	fmt.Fprintf(w, "%-12s %10s %12s %14s\n", "replicated", "procs", "time (s)", "overhead (%)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d/%-5d %10d %12.3f %14.2f\n",
+			r.ReplicatedRanks, r.TotalRanks, r.PhysicalProcs, r.Elapsed.Seconds(), r.OverheadPct)
+	}
+}

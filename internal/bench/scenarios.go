@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// RunFig3 executes the Figure 3 scenario — the repeated send(p0)/send(p1)
+// pattern with replica p¹₁ crashing mid-run — and writes a narrative of
+// the outcome. Returns an error if any survivor misbehaves.
+func RunFig3(w io.Writer, steps, failAt int) error {
+	app := fig3App(steps)
+	rep := cluster.Run(cluster.Config{
+		Ranks: 2, Protocol: cluster.SDR, Timeout: time.Minute,
+		Failures: []cluster.FailureEvent{{Rank: 1, Rep: 1, AtStep: failAt}},
+	}, app)
+	if err := rep.FirstError(); err != nil {
+		return err
+	}
+	want := fig3Want(steps)
+	fmt.Fprintf(w, "Figure 3 — crash of replica p1_1 at step %d of %d\n", failAt, steps)
+	for _, p := range rep.Procs {
+		if p.Crashed {
+			fmt.Fprintf(w, "  rank %d replica %d: CRASHED (injected fail-stop)\n", p.Rank, p.Rep)
+			continue
+		}
+		status := "OK"
+		if p.Result != want {
+			status = fmt.Sprintf("WRONG (%v, want %v)", p.Result, want)
+		}
+		fmt.Fprintf(w, "  rank %d replica %d: finished, result %v — %s\n", p.Rank, p.Rep, p.Result, status)
+		if p.Result != want {
+			return fmt.Errorf("fig3: survivor rank %d rep %d computed %v, want %v", p.Rank, p.Rep, p.Result, want)
+		}
+	}
+	fmt.Fprintf(w, "  substitute p0_1 emitted rank 1's messages after the crash; acks=%d app msgs=%d\n",
+		rep.Stats.AckMsgs(), rep.Stats.AppMsgs())
+	return nil
+}
+
+// RunFig4 executes the Figure 4 scenario — crash then recovery of p¹₁ —
+// and narrates it.
+func RunFig4(w io.Writer, steps, failAt, recoverAt int) error {
+	app := fig4App(steps)
+	rep := cluster.Run(cluster.Config{
+		Ranks: 2, Protocol: cluster.SDR, Timeout: time.Minute,
+		Failures:   []cluster.FailureEvent{{Rank: 1, Rep: 1, AtStep: failAt}},
+		Recoveries: []cluster.RecoveryEvent{{Rank: 1, Rep: 1, AtStep: recoverAt}},
+	}, app)
+	if err := rep.FirstError(); err != nil {
+		return err
+	}
+	want := fig3Want(steps)
+	fmt.Fprintf(w, "Figure 4 — crash of p1_1 at step %d, recovery at step %d of %d\n", failAt, recoverAt, steps)
+	finished := 0
+	for _, p := range rep.Procs {
+		if p.Crashed {
+			fmt.Fprintf(w, "  rank %d replica %d: crashed as scheduled\n", p.Rank, p.Rep)
+			continue
+		}
+		finished++
+		fmt.Fprintf(w, "  rank %d replica %d: finished with %v\n", p.Rank, p.Rep, p.Result)
+		if p.Result != want {
+			return fmt.Errorf("fig4: rank %d rep %d computed %v, want %v", p.Rank, p.Rep, p.Result, want)
+		}
+	}
+	if finished != 4 {
+		return fmt.Errorf("fig4: %d processes finished, want 4 (recovered replica included)", finished)
+	}
+	fmt.Fprintln(w, "  the forked replica resumed from the substitute's state and finished the run")
+	return nil
+}
+
+func fig3App(steps int) cluster.AppFunc {
+	return func(env *cluster.Env) (any, error) {
+		c := env.World
+		buf := make([]byte, 8)
+		sum := uint64(0)
+		for i := 0; i < steps; i++ {
+			env.Step(i, nil)
+			if c.Rank() == 1 {
+				binary.LittleEndian.PutUint64(buf, uint64(i))
+				c.Send(0, 0, buf)
+				c.Recv(0, 1, buf)
+				sum += binary.LittleEndian.Uint64(buf)
+			} else {
+				c.Recv(1, 0, buf)
+				v := binary.LittleEndian.Uint64(buf) * 2
+				binary.LittleEndian.PutUint64(buf, v)
+				c.Send(1, 1, buf)
+				sum += v
+			}
+		}
+		return sum, nil
+	}
+}
+
+func fig4App(steps int) cluster.AppFunc {
+	return func(env *cluster.Env) (any, error) {
+		c := env.World
+		var step int
+		var sum uint64
+		if b := env.Restored(); b != nil {
+			step = int(binary.LittleEndian.Uint64(b))
+			sum = binary.LittleEndian.Uint64(b[8:])
+		}
+		snap := func() []byte {
+			b := make([]byte, 16)
+			binary.LittleEndian.PutUint64(b, uint64(step))
+			binary.LittleEndian.PutUint64(b[8:], sum)
+			return b
+		}
+		buf := make([]byte, 8)
+		for ; step < steps; step++ {
+			env.Step(step, snap)
+			if c.Rank() == 1 {
+				binary.LittleEndian.PutUint64(buf, uint64(step))
+				c.Send(0, 0, buf)
+				c.Recv(0, 1, buf)
+				sum += binary.LittleEndian.Uint64(buf)
+			} else {
+				c.Recv(1, 0, buf)
+				v := binary.LittleEndian.Uint64(buf) * 2
+				binary.LittleEndian.PutUint64(buf, v)
+				c.Send(1, 1, buf)
+				sum += v
+			}
+		}
+		return sum, nil
+	}
+}
+
+func fig3Want(steps int) uint64 {
+	w := uint64(0)
+	for i := 0; i < steps; i++ {
+		w += uint64(i) * 2
+	}
+	return w
+}

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestNASWorkloadCatalog(t *testing.T) {
+	s := DefaultScale()
+	nas := NASWorkloads(s)
+	wantNames := []string{"BT", "CG", "FT", "MG", "SP"}
+	if len(nas) != len(wantNames) {
+		t.Fatalf("%d NAS workloads, want %d", len(nas), len(wantNames))
+	}
+	for i, w := range nas {
+		if w.Name != wantNames[i] {
+			t.Errorf("workload %d = %s, want %s", i, w.Name, wantNames[i])
+		}
+		if w.Ranks != s.Ranks {
+			t.Errorf("%s: ranks %d, want %d", w.Name, w.Ranks, s.Ranks)
+		}
+		if w.Run == nil {
+			t.Errorf("%s: nil runner", w.Name)
+		}
+	}
+	wild := WildcardWorkloads(s)
+	if len(wild) != 2 || wild[0].Name != "HPCCG" || wild[1].Name != "CM1" {
+		t.Fatalf("wildcard workloads: %+v", wild)
+	}
+}
+
+func TestWorkloadCatalogRunnable(t *testing.T) {
+	// Every catalogued workload must execute and self-verify at a small
+	// rank count (the full-size runs belong to sdrbench, not the suite).
+	s := Scale{Ranks: 2, Factor: 1}
+	all := append(NASWorkloads(s), WildcardWorkloads(s)...)
+	all = append(all, ExtendedNASWorkloads(s)...)
+	for _, w := range all {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			rep := cluster.Run(cluster.Config{Ranks: 2, Protocol: cluster.Native},
+				func(env *cluster.Env) (any, error) {
+					return w.Run(env.World), nil
+				})
+			if err := rep.FirstError(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRenderAblation(t *testing.T) {
+	rows := []AblationRow{
+		{Protocol: cluster.SDR, Elapsed: 1e9, AppMsgs: 100, AckMsgs: 100},
+		{Protocol: cluster.Mirror, Elapsed: 2e9, AppMsgs: 200, AckMsgs: 0},
+	}
+	var sb strings.Builder
+	RenderAblation(&sb, "test title", rows)
+	out := sb.String()
+	for _, want := range []string{"test title", "sdr", "mirror", "100", "200"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPartialSweepSmall(t *testing.T) {
+	rows, err := RunPartialSweep(Scale{Ranks: 4, Factor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("empty sweep")
+	}
+	// The sweep must include the unreplicated and fully replicated ends,
+	// with physical process counts growing with the protected fraction.
+	first, last := rows[0], rows[len(rows)-1]
+	if first.ReplicatedRanks != 0 {
+		t.Errorf("first row protects %d ranks, want 0", first.ReplicatedRanks)
+	}
+	if last.ReplicatedRanks != 4 {
+		t.Errorf("last row protects %d ranks, want 4", last.ReplicatedRanks)
+	}
+	if last.PhysicalProcs <= first.PhysicalProcs {
+		t.Errorf("physical procs did not grow: %d → %d", first.PhysicalProcs, last.PhysicalProcs)
+	}
+	var sb strings.Builder
+	RenderPartial(&sb, rows)
+	if !strings.Contains(sb.String(), "partial") && !strings.Contains(sb.String(), "Partial") {
+		t.Errorf("render:\n%s", sb.String())
+	}
+}
+
+func TestWorkloadChecksumStability(t *testing.T) {
+	// The same catalogued workload twice natively: bit-identical
+	// checksums (what every overhead comparison implicitly assumes).
+	w := ExtendedNASWorkloads(Scale{Ranks: 2, Factor: 1})[0] // LU
+	var sums []float64
+	for i := 0; i < 2; i++ {
+		rep := cluster.Run(cluster.Config{Ranks: 2, Protocol: cluster.Native},
+			func(env *cluster.Env) (any, error) {
+				return w.Run(env.World).Checksum, nil
+			})
+		if err := rep.FirstError(); err != nil {
+			t.Fatal(err)
+		}
+		sums = append(sums, rep.Procs[0].Result.(float64))
+	}
+	if sums[0] != sums[1] {
+		t.Errorf("checksum drift: %v vs %v", sums[0], sums[1])
+	}
+}

@@ -1,0 +1,167 @@
+// Package ckpt provides application-level checkpointing for replicated
+// runs. The paper combines replication with (infrequent) coordinated
+// checkpointing: replication makes the loss of *all* replicas of a rank
+// rare, and only that event forces a rollback (§1, §4.1). Its §4.1 also
+// plans file I/O handling for replicated execution following Böhm &
+// Engelmann's redundant-execution I/O work [1]: a write performed by every
+// replica must reach stable storage exactly once.
+//
+// This package implements that storage side: per-rank, per-step checkpoint
+// files written atomically by the designated writer replica only (the
+// lowest-index alive one), with an integrity hash verified on load, and a
+// Latest scan for restart.
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Store is a directory of checkpoint files.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) a checkpoint directory.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(rank, step int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("ckpt-r%04d-s%08d.bin", rank, step))
+}
+
+// Save persists one rank's state at a step. Only the writer replica calls
+// this with write=true; other replicas pass write=false and get exactly-
+// once semantics for free (they may instead Verify). The write is atomic
+// (temp file + rename) so a crash mid-write never corrupts the previous
+// checkpoint.
+func (s *Store) Save(rank, step int, data []byte, write bool) error {
+	if !write {
+		return nil
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	var footer [8]byte
+	binary.LittleEndian.PutUint64(footer[:], h.Sum64())
+
+	tmp, err := os.CreateTemp(s.dir, "ckpt-tmp-*")
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if _, err := tmp.Write(footer[:]); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := os.Rename(tmpName, s.path(rank, step)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	return nil
+}
+
+// Load reads and verifies one rank's checkpoint at a step.
+func (s *Store) Load(rank, step int) ([]byte, error) {
+	raw, err := os.ReadFile(s.path(rank, step))
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	if len(raw) < 8 {
+		return nil, fmt.Errorf("ckpt: truncated checkpoint rank %d step %d", rank, step)
+	}
+	data, footer := raw[:len(raw)-8], raw[len(raw)-8:]
+	h := fnv.New64a()
+	h.Write(data)
+	if h.Sum64() != binary.LittleEndian.Uint64(footer) {
+		return nil, fmt.Errorf("ckpt: corrupt checkpoint rank %d step %d", rank, step)
+	}
+	return data, nil
+}
+
+// Verify checks an existing checkpoint against data a non-writer replica
+// computed — the cross-replica output comparison of redundant-execution
+// I/O (a mismatch indicates divergence or corruption).
+func (s *Store) Verify(rank, step int, data []byte) error {
+	stored, err := s.Load(rank, step)
+	if err != nil {
+		return err
+	}
+	h1 := fnv.New64a()
+	h1.Write(stored)
+	h2 := fnv.New64a()
+	h2.Write(data)
+	if h1.Sum64() != h2.Sum64() {
+		return fmt.Errorf("ckpt: replica state diverges from stored checkpoint (rank %d step %d)", rank, step)
+	}
+	return nil
+}
+
+// Steps lists the checkpointed steps for a rank, ascending.
+func (s *Store) Steps(rank int) ([]int, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	prefix := fmt.Sprintf("ckpt-r%04d-s", rank)
+	var steps []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".bin") {
+			continue
+		}
+		num := strings.TrimSuffix(strings.TrimPrefix(name, prefix), ".bin")
+		v, err := strconv.Atoi(num)
+		if err != nil {
+			continue
+		}
+		steps = append(steps, v)
+	}
+	sort.Ints(steps)
+	return steps, nil
+}
+
+// LatestCommon returns the most recent step for which *every* rank in
+// 0..ranks-1 has a checkpoint — the consistent restart line of a
+// coordinated checkpoint — or -1 if none exists.
+func (s *Store) LatestCommon(ranks int) (int, error) {
+	common := map[int]int{}
+	for rank := 0; rank < ranks; rank++ {
+		steps, err := s.Steps(rank)
+		if err != nil {
+			return -1, err
+		}
+		for _, st := range steps {
+			common[st]++
+		}
+	}
+	best := -1
+	for st, n := range common {
+		if n == ranks && st > best {
+			best = st
+		}
+	}
+	return best, nil
+}

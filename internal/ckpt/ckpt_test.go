@@ -1,0 +1,206 @@
+package ckpt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := newTestStore(t)
+	data := []byte("state at step 5")
+	if err := s.Save(3, 5, data, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestNonWriterIsNoOp(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.Save(0, 1, []byte("x"), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(0, 1); err == nil {
+		t.Fatal("non-writer save must not create a file")
+	}
+}
+
+func TestLoadDetectsCorruption(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.Save(1, 2, []byte("precious state"), true); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload bit on disk.
+	path := filepath.Join(s.Dir(), "ckpt-r0001-s00000002.bin")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(1, 2); err == nil {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestVerifyCrossReplica(t *testing.T) {
+	s := newTestStore(t)
+	state := []byte("replica state")
+	if err := s.Save(0, 7, state, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(0, 7, state); err != nil {
+		t.Fatalf("identical state must verify: %v", err)
+	}
+	if err := s.Verify(0, 7, []byte("diverged!")); err == nil {
+		t.Fatal("divergent replica state must fail verification")
+	}
+}
+
+func TestStepsAndLatestCommon(t *testing.T) {
+	s := newTestStore(t)
+	// Rank 0 checkpointed steps 2, 5, 9; rank 1 only 2 and 5.
+	for _, st := range []int{2, 5, 9} {
+		if err := s.Save(0, st, []byte{byte(st)}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, st := range []int{2, 5} {
+		if err := s.Save(1, st, []byte{byte(st)}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	steps, err := s.Steps(0)
+	if err != nil || len(steps) != 3 || steps[2] != 9 {
+		t.Fatalf("steps %v err %v", steps, err)
+	}
+	latest, err := s.LatestCommon(2)
+	if err != nil || latest != 5 {
+		t.Fatalf("latest common %d err %v (want 5)", latest, err)
+	}
+	// A rank with no checkpoints drops the common line to none.
+	latest, err = s.LatestCommon(3)
+	if err != nil || latest != -1 {
+		t.Fatalf("latest with missing rank = %d", latest)
+	}
+}
+
+func TestOverwriteSameStep(t *testing.T) {
+	s := newTestStore(t)
+	s.Save(0, 1, []byte("old"), true)
+	s.Save(0, 1, []byte("new"), true)
+	got, err := s.Load(0, 1)
+	if err != nil || string(got) != "new" {
+		t.Fatalf("got %q err %v", got, err)
+	}
+}
+
+func TestSaveLoadProperty(t *testing.T) {
+	s := newTestStore(t)
+	step := 0
+	f := func(data []byte) bool {
+		step++
+		if err := s.Save(0, step, data, true); err != nil {
+			return false
+		}
+		got, err := s.Load(0, step)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewStoreOnFilePath(t *testing.T) {
+	// A path occupied by a regular file cannot become a store.
+	f := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStore(f); err == nil {
+		t.Fatal("NewStore on a regular file succeeded")
+	}
+}
+
+func TestSaveIntoRemovedDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(0, 1, []byte("data"), true); err == nil {
+		t.Fatal("Save into a removed directory succeeded")
+	}
+}
+
+func TestLoadMissingCheckpoint(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(3, 7); err == nil {
+		t.Fatal("Load of a missing checkpoint succeeded")
+	}
+}
+
+func TestLoadTruncatedCheckpoint(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(0, 0, []byte("payload"), true); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate below the 8-byte footer.
+	path := filepath.Join(s.Dir(), "ckpt-r0000-s00000000.bin")
+	if err := os.Truncate(path, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(0, 0); err == nil {
+		t.Fatal("Load of a truncated checkpoint succeeded")
+	}
+}
+
+func TestStepsIgnoresForeignFiles(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(1, 5, []byte("a"), true); err != nil {
+		t.Fatal(err)
+	}
+	for _, junk := range []string{"notes.txt", "ckpt-r0001-sBAD.bin", "ckpt-r0001-s00000009.tmp"} {
+		if err := os.WriteFile(filepath.Join(s.Dir(), junk), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	steps, err := s.Steps(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 1 || steps[0] != 5 {
+		t.Fatalf("steps = %v, want [5]", steps)
+	}
+}

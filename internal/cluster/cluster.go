@@ -1,0 +1,521 @@
+// Package cluster is the launcher: it spawns r·n physical processes as
+// goroutines, wires the transport, the failure-detection service and the
+// chosen protocol, builds each process's application world (the paper's
+// Figure 6 MPI_COMM_WORLD separation), and orchestrates crash injection
+// and recovery schedules. It is the simulation counterpart of mpirun on
+// the paper's 64-node Grid'5000 testbed.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Protocol selects the communication stack configuration for a run.
+type Protocol string
+
+// Available protocols.
+const (
+	// Native runs without replication (r is forced to 1): the baseline
+	// whose wall-clock time overheads are measured against.
+	Native Protocol = "native"
+	// SDR is the paper's protocol (parallel scheme, leaderless).
+	SDR Protocol = "sdr"
+	// Mirror is the MR-MPI-style baseline.
+	Mirror Protocol = "mirror"
+	// Leader is the rMPI/redMPI-style semi-active baseline.
+	Leader Protocol = "leader"
+)
+
+// FailureEvent schedules a fail-stop crash: the victim replica kills
+// itself when its application reaches Step(AtStep).
+type FailureEvent struct {
+	Rank, Rep int
+	AtStep    int
+}
+
+// RecoveryEvent schedules the §3.4 recovery of a previously crashed
+// replica, performed by its substitute when the substitute reaches
+// Step(AtStep). The application must pass a snapshot function to Step.
+type RecoveryEvent struct {
+	Rank, Rep int
+	AtStep    int
+}
+
+// Config describes one run.
+type Config struct {
+	Ranks       int
+	Replication int // ignored (forced to 1) for Native
+	Protocol    Protocol
+
+	Delay  *transport.DelayModel
+	UseTCP bool
+
+	// EagerLimit overrides the eager/rendezvous switch (0 = default).
+	EagerLimit int
+
+	// AckOnWait and SDC select the protocol ablations (see core.Options).
+	AckOnWait bool
+	SDC       bool
+	// Corrupt injects payload corruption on replica CorruptRep of rank
+	// CorruptRank for message sequence CorruptSeq (SDC experiments).
+	Corrupt     bool
+	CorruptRank int
+	CorruptRep  int
+	CorruptSeq  uint64
+
+	// UnreplicatedRanks lists logical ranks that run with a single
+	// replica under an otherwise replicated protocol (partial
+	// replication — the paper's §5 outlook). Their world-k (k > 0)
+	// processes are never spawned; the world-0 instance serves every
+	// world through the standard substitution machinery.
+	UnreplicatedRanks []int
+
+	// TraceSends attaches a send-determinism recorder to every replica.
+	TraceSends bool
+	KeepEvents int
+
+	Failures   []FailureEvent
+	Recoveries []RecoveryEvent
+
+	// CheckpointDir, when set, gives every process access to a shared
+	// checkpoint store (Env.Checkpoint / Env.LoadCheckpoint): the
+	// paper's combined replication + application-level checkpointing
+	// configuration (§1, §4.1). Writes follow redundant-execution I/O
+	// rules: only the designated writer replica touches the file.
+	CheckpointDir string
+
+	// Timeout is the watchdog deadline for the whole run (default 60s).
+	Timeout time.Duration
+}
+
+func (c Config) replication() int {
+	if c.Protocol == Native {
+		return 1
+	}
+	if c.Replication <= 0 {
+		return 2
+	}
+	return c.Replication
+}
+
+// Env is what the application function receives: its world communicator
+// plus identity and harness hooks.
+type Env struct {
+	World *mpi.Comm
+	Rank  int // logical rank
+	Rep   int // replica index (0 for native)
+
+	cl       *runState
+	proto    *core.Replicated // nil under Native
+	restored []byte
+	store    *ckpt.Store
+}
+
+// Checkpoint saves the application state for this process's rank at a
+// step. Under replication, only the writer replica (the lowest-index
+// replica this process believes alive) performs the file write; the
+// others are no-ops, giving exactly-once output as in redundant-execution
+// I/O. Requires Config.CheckpointDir.
+func (e *Env) Checkpoint(step int, data []byte) error {
+	if e.store == nil {
+		return fmt.Errorf("cluster: no CheckpointDir configured")
+	}
+	return e.store.Save(e.Rank, step, data, e.isWriter())
+}
+
+// LoadCheckpoint reads this rank's checkpoint at a step.
+func (e *Env) LoadCheckpoint(step int) ([]byte, error) {
+	if e.store == nil {
+		return nil, fmt.Errorf("cluster: no CheckpointDir configured")
+	}
+	return e.store.Load(e.Rank, step)
+}
+
+// LatestCheckpoint returns the newest step checkpointed by all ranks, or
+// -1 (the coordinated restart line).
+func (e *Env) LatestCheckpoint() (int, error) {
+	if e.store == nil {
+		return -1, fmt.Errorf("cluster: no CheckpointDir configured")
+	}
+	return e.store.LatestCommon(e.cl.cfg.Ranks)
+}
+
+// isWriter reports whether this replica is its rank's designated I/O
+// writer: the lowest-index replica it believes alive.
+func (e *Env) isWriter() bool {
+	if e.proto == nil {
+		return true
+	}
+	l := e.proto.Layout()
+	for rep := 0; rep < l.R; rep++ {
+		if e.proto.AliveView(l.Phys(rep, e.Rank)) {
+			return rep == e.Rep
+		}
+	}
+	return true
+}
+
+// Restored returns the application snapshot a recovered replica resumes
+// from, or nil for a normal start.
+func (e *Env) Restored() []byte { return e.restored }
+
+// Replicated exposes the protocol layer for inspection (nil under Native).
+func (e *Env) Replicated() *core.Replicated { return e.proto }
+
+// Step marks an application step boundary. The harness uses it to realize
+// scheduled crashes (the calling replica kills itself) and recoveries (the
+// substitute forks the replacement using snapshot, which must capture the
+// application state at this boundary and may be nil when no recovery is
+// scheduled here). Step must be called at quiescent points: all requests
+// completed.
+func (e *Env) Step(step int, snapshot func() []byte) {
+	if e.cl == nil {
+		return
+	}
+	e.cl.step(e, step, snapshot)
+}
+
+// ProcReport describes one physical process's outcome.
+type ProcReport struct {
+	Proc    transport.ProcID
+	Rank    int
+	Rep     int
+	Crashed bool // scheduled fail-stop realized
+	Phantom bool // never spawned (partial replication)
+	Err     error
+	Result  any
+	Elapsed time.Duration
+}
+
+// Report aggregates a run.
+type Report struct {
+	Config  Config
+	Elapsed time.Duration
+	Procs   []ProcReport
+	Stats   transport.StatsSnapshot
+	// Recorders maps physical proc → send recorder (TraceSends runs).
+	Recorders map[transport.ProcID]*trace.Recorder
+	// SDCDetected sums hash mismatches across replicas (SDC runs).
+	SDCDetected int
+	TimedOut    bool
+}
+
+// FirstError returns the first non-crash error, if any.
+func (r *Report) FirstError() error {
+	if r.TimedOut {
+		return fmt.Errorf("cluster: run timed out after %v", r.Elapsed)
+	}
+	for _, p := range r.Procs {
+		if p.Err != nil {
+			return fmt.Errorf("proc %d (rank %d rep %d): %w", p.Proc, p.Rank, p.Rep, p.Err)
+		}
+	}
+	return nil
+}
+
+// ResultOf returns the result of replica rep of rank.
+func (r *Report) ResultOf(rank, rep int) any {
+	for _, p := range r.Procs {
+		if p.Rank == rank && p.Rep == rep {
+			return p.Result
+		}
+	}
+	return nil
+}
+
+// AppFunc is the application: an SPMD body run by every replica of every
+// rank. Its result lands in the report.
+type AppFunc func(env *Env) (any, error)
+
+// runState is the shared coordination state of one run.
+type runState struct {
+	cfg    Config
+	layout core.Layout
+	nw     *transport.Network
+	det    *detect.Service
+	app    AppFunc
+
+	store *ckpt.Store
+
+	mu         sync.Mutex
+	recovered  map[int]bool // recovery event index → done
+	reports    []ProcReport
+	recorders  map[transport.ProcID]*trace.Recorder
+	wg         sync.WaitGroup
+	sdcTotal   int
+	cloneStart time.Time
+
+	// spawned counts launched processes; appDone counts those whose
+	// application body has returned (or unwound). Their difference
+	// drives the finalize drain (see drain).
+	spawned atomic.Int64
+	appDone atomic.Int64
+}
+
+// Run executes the application under the configured protocol and returns
+// the aggregated report.
+func Run(cfg Config, app AppFunc) *Report {
+	r := cfg.replication()
+	layout := core.Layout{N: cfg.Ranks, R: r}
+	nw := transport.NewNetwork(layout.Procs(), cfg.Delay)
+	defer nw.Close()
+	if cfg.UseTCP {
+		if tw, err := transport.NewTCPWire(nw); err == nil {
+			defer tw.Close()
+		}
+	}
+	det := detect.NewService(nw)
+
+	rs := &runState{
+		cfg:       cfg,
+		layout:    layout,
+		nw:        nw,
+		det:       det,
+		app:       app,
+		recovered: make(map[int]bool),
+		reports:   make([]ProcReport, layout.Procs()),
+		recorders: make(map[transport.ProcID]*trace.Recorder),
+	}
+	if cfg.CheckpointDir != "" {
+		store, err := ckpt.NewStore(cfg.CheckpointDir)
+		if err != nil {
+			return &Report{Config: cfg, Procs: []ProcReport{{Err: err}}}
+		}
+		rs.store = store
+	}
+
+	// Partial replication: phantom replicas are dead before the first
+	// event. Kill them before any process starts, so every protocol
+	// instance is constructed with (or notified of) the reduced world.
+	phantom := make(map[transport.ProcID]bool)
+	for _, rank := range cfg.UnreplicatedRanks {
+		for rep := 1; rep < r; rep++ {
+			phantom[layout.Phys(rep, rank)] = true
+		}
+	}
+	for p := range phantom {
+		nw.Kill(p)
+	}
+
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+	start := time.Now()
+	for i := 0; i < layout.Procs(); i++ {
+		id := transport.ProcID(i)
+		if phantom[id] {
+			rs.reports[i] = ProcReport{Proc: id, Rank: layout.RankOf(id), Rep: layout.RepOf(id), Phantom: true}
+			continue
+		}
+		rs.wg.Add(1)
+		rs.spawned.Add(1)
+		go rs.runProc(id, nil, nil)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		rs.wg.Wait()
+		close(done)
+	}()
+	timedOut := false
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		timedOut = true
+		for i := 0; i < layout.Procs(); i++ {
+			nw.Kill(transport.ProcID(i))
+		}
+		<-done
+	}
+	elapsed := time.Since(start)
+
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return &Report{
+		Config:      cfg,
+		Elapsed:     elapsed,
+		Procs:       append([]ProcReport(nil), rs.reports...),
+		Stats:       nw.Stats().Snapshot(),
+		Recorders:   rs.recorders,
+		SDCDetected: rs.sdcTotal,
+		TimedOut:    timedOut,
+	}
+}
+
+// runProc is one physical process's lifetime. For recovered replicas,
+// cloneState and restored carry the fork.
+func (rs *runState) runProc(id transport.ProcID, cloneState *core.CloneState, restored []byte) {
+	defer rs.wg.Done()
+	rank := rs.layout.RankOf(id)
+	rep := rs.layout.RepOf(id)
+	pr := ProcReport{Proc: id, Rank: rank, Rep: rep}
+	start := time.Now()
+
+	doneMarked := false
+	markDone := func() {
+		if !doneMarked {
+			doneMarked = true
+			rs.appDone.Add(1)
+		}
+	}
+
+	defer func() {
+		pr.Elapsed = time.Since(start)
+		if r := recover(); r != nil {
+			if _, ok := mpi.ErrCrashed(r); ok {
+				pr.Crashed = true
+			} else {
+				pr.Err = fmt.Errorf("panic: %v", r)
+			}
+		}
+		markDone()
+		rs.mu.Lock()
+		if cloneState != nil {
+			// A recovered replica reports alongside — not instead of —
+			// its crashed predecessor.
+			rs.reports = append(rs.reports, pr)
+		} else {
+			rs.reports[int(id)] = pr
+		}
+		rs.mu.Unlock()
+	}()
+
+	proc := mpi.NewProc(rs.nw, id)
+	if rs.cfg.EagerLimit > 0 {
+		proc.Engine().EagerLimit = rs.cfg.EagerLimit
+	}
+
+	env := &Env{Rank: rank, Rep: rep, cl: rs, restored: restored, store: rs.store}
+	var protocol mpi.Protocol
+	if rs.cfg.Protocol == Native {
+		protocol = mpi.NewNative(proc)
+	} else {
+		opts := core.Options{
+			AckOnWait: rs.cfg.AckOnWait,
+			SDC:       rs.cfg.SDC,
+		}
+		if rs.cfg.TraceSends {
+			rec := trace.NewRecorder(rs.cfg.KeepEvents)
+			rs.mu.Lock()
+			rs.recorders[id] = rec
+			rs.mu.Unlock()
+			opts.SendRecorder = rec.RecordSend
+		}
+		if rs.cfg.Corrupt && rank == rs.cfg.CorruptRank && rep == rs.cfg.CorruptRep {
+			opts.Corrupt = func(dstRank int, seq uint64, data []byte) {
+				if seq == rs.cfg.CorruptSeq && len(data) > 0 {
+					data[0] ^= 0xFF
+				}
+			}
+		}
+		rp := core.NewReplicated(proc, rs.layout, rs.mode(), rs.det, opts)
+		if cloneState != nil {
+			rp.Restore(cloneState)
+		}
+		env.proto = rp
+		protocol = rp
+	}
+	env.World = mpi.NewWorld(proc, protocol, rs.cfg.Ranks)
+
+	res, err := rs.app(env)
+	pr.Result = res
+	pr.Err = err
+	if env.proto != nil && env.proto.SDCDetected() > 0 {
+		rs.mu.Lock()
+		rs.sdcTotal += env.proto.SDCDetected()
+		rs.mu.Unlock()
+	}
+	markDone()
+	rs.drain(proc)
+}
+
+// drain keeps the engine responsive after the application body returns —
+// the role MPI_Finalize's implicit synchronization plays in real MPI. A
+// peer may still need this process's cooperation to finish: most notably,
+// a mirror-protocol rendezvous duplicate arriving after this process's
+// last receive needs its CTS/sink handshake, which only engine progress
+// provides. The drain ends once every launched process has finished (or
+// crashed), or when this process itself is killed.
+func (rs *runState) drain(proc *mpi.Proc) {
+	eng := proc.Engine()
+	ep := eng.Endpoint()
+	for rs.appDone.Load() < rs.spawned.Load() {
+		if ep.Crashed() {
+			return
+		}
+		eng.Progress()
+		ep.WaitActivity(200 * time.Microsecond)
+	}
+	// One final sweep for anything that raced the last counter update.
+	eng.Progress()
+}
+
+func (rs *runState) mode() core.Mode {
+	switch rs.cfg.Protocol {
+	case Mirror:
+		return core.ModeMirror
+	case Leader:
+		return core.ModeLeader
+	default:
+		return core.ModeParallel
+	}
+}
+
+// step realizes the failure/recovery schedule at an application step
+// boundary.
+func (rs *runState) step(e *Env, step int, snapshot func() []byte) {
+	// Crash injection: the victim kills itself (fail-stop). The network
+	// kill triggers the detector broadcast; the panic unwinds the app.
+	for _, f := range rs.cfg.Failures {
+		if f.Rank == e.Rank && f.Rep == e.Rep && f.AtStep == step {
+			self := rs.layout.Phys(e.Rep, e.Rank)
+			rs.nw.Kill(self)
+			mpi.Crash(self)
+		}
+	}
+	// Recovery: performed by the substitute of the dead replica.
+	for i, rec := range rs.cfg.Recoveries {
+		if rec.AtStep != step || e.proto == nil {
+			continue
+		}
+		dead := rs.layout.Phys(rec.Rep, rec.Rank)
+		if e.Rank != rec.Rank || e.Rep == rec.Rep {
+			continue // only a same-rank survivor can fork
+		}
+		if e.proto.AliveView(dead) {
+			continue // not dead (yet): nothing to recover
+		}
+		rs.mu.Lock()
+		already := rs.recovered[i]
+		if !already {
+			rs.recovered[i] = true
+		}
+		rs.mu.Unlock()
+		if already {
+			continue
+		}
+		if snapshot == nil {
+			panic("cluster: recovery scheduled at a step with no snapshot function")
+		}
+		// §3.4: fork, revive, notify — in this order, with no sends in
+		// between on the substitute.
+		cs := e.proto.ForkFor(dead)
+		appState := snapshot()
+		rs.nw.Revive(dead)
+		e.proto.BroadcastRecovered(dead)
+		rs.wg.Add(1)
+		rs.spawned.Add(1)
+		go rs.runProc(dead, cs, appState)
+	}
+}

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+func TestPartialReplicationBasic(t *testing.T) {
+	// Ranks 1 and 3 run single; 0 and 2 are dual-replicated. All logical
+	// ranks must compute identical results.
+	rep := Run(Config{
+		Ranks: 4, Protocol: SDR, Timeout: 30 * time.Second,
+		UnreplicatedRanks: []int{1, 3},
+	}, ringApp(5))
+	if err := rep.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	var want any
+	spawned := 0
+	phantoms := 0
+	for _, p := range rep.Procs {
+		if p.Phantom {
+			phantoms++
+			continue
+		}
+		spawned++
+		if want == nil {
+			want = p.Result
+		}
+		if p.Result != want {
+			t.Errorf("rank %d rep %d: %v want %v", p.Rank, p.Rep, p.Result, want)
+		}
+	}
+	if phantoms != 2 || spawned != 6 {
+		t.Errorf("phantoms=%d spawned=%d, want 2/6", phantoms, spawned)
+	}
+}
+
+func TestPartialReplicationCollectivesAndWildcards(t *testing.T) {
+	app := func(env *Env) (any, error) {
+		c := env.World
+		sum := c.AllreduceFloat64(float64(c.Rank())+1, mpi.OpSum)
+		if c.Rank() == 0 {
+			buf := make([]byte, 1)
+			total := 0
+			for i := 0; i < c.Size()-1; i++ {
+				c.Recv(mpi.AnySource, 3, buf)
+				total += int(buf[0])
+			}
+			if total != 1+2+3 {
+				return nil, errTest
+			}
+		} else {
+			c.Send(0, 3, []byte{byte(c.Rank())})
+		}
+		c.Barrier()
+		return sum, nil
+	}
+	rep := Run(Config{
+		Ranks: 4, Protocol: SDR, Timeout: 30 * time.Second,
+		UnreplicatedRanks: []int{0, 2},
+	}, app)
+	if err := rep.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rep.Procs {
+		if !p.Phantom && p.Result != 10.0 {
+			t.Errorf("rank %d rep %d: %v", p.Rank, p.Rep, p.Result)
+		}
+	}
+}
+
+func TestPartialReplicationMirror(t *testing.T) {
+	rep := Run(Config{
+		Ranks: 3, Protocol: Mirror, Timeout: 30 * time.Second,
+		UnreplicatedRanks: []int{1},
+	}, ringApp(4))
+	if err := rep.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	var want any
+	for _, p := range rep.Procs {
+		if p.Phantom {
+			continue
+		}
+		if want == nil {
+			want = p.Result
+		}
+		if p.Result != want {
+			t.Errorf("rank %d rep %d: %v want %v", p.Rank, p.Rep, p.Result, want)
+		}
+	}
+}
+
+func TestPartialReplicationSurvivesReplicatedRankFailure(t *testing.T) {
+	// A replicated rank loses one replica mid-run; the unreplicated
+	// ranks are unaffected and the run completes.
+	rep := Run(Config{
+		Ranks: 3, Protocol: SDR, Timeout: 30 * time.Second,
+		UnreplicatedRanks: []int{2},
+		Failures:          []FailureEvent{{Rank: 1, Rep: 1, AtStep: 2}},
+	}, ringStepApp(8))
+	if err := rep.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	var want any
+	for _, p := range rep.Procs {
+		if p.Phantom || p.Crashed {
+			continue
+		}
+		if want == nil {
+			want = p.Result
+		}
+		if p.Result != want {
+			t.Errorf("rank %d rep %d: %v want %v", p.Rank, p.Rep, p.Result, want)
+		}
+	}
+}
+
+func TestPartialReplicationUnreplicatedFailureIsFatal(t *testing.T) {
+	// Losing the only replica of an unreplicated rank is an application
+	// failure (checkpoint territory), not a hang.
+	rep := Run(Config{
+		Ranks: 2, Protocol: SDR, Timeout: 15 * time.Second,
+		UnreplicatedRanks: []int{1},
+		Failures:          []FailureEvent{{Rank: 1, Rep: 0, AtStep: 2}},
+	}, pingPongApp(6, 8))
+	if rep.TimedOut {
+		t.Fatal("hung instead of failing")
+	}
+	sawErr := false
+	for _, p := range rep.Procs {
+		if p.Err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Error("expected rank-loss error")
+	}
+}
+
+func TestPartialReplicationMessageEconomy(t *testing.T) {
+	// With half the ranks replicated, application traffic sits between
+	// the native (q) and fully replicated (2q) volumes.
+	app := ringApp(10)
+	native := Run(Config{Ranks: 4, Protocol: Native, Timeout: 30 * time.Second}, app)
+	full := Run(Config{Ranks: 4, Protocol: SDR, Timeout: 30 * time.Second}, app)
+	half := Run(Config{Ranks: 4, Protocol: SDR, Timeout: 30 * time.Second,
+		UnreplicatedRanks: []int{1, 3}}, app)
+	for _, r := range []*Report{native, full, half} {
+		if err := r.FirstError(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := native.Stats.AppMsgs()
+	qf := full.Stats.AppMsgs()
+	qh := half.Stats.AppMsgs()
+	if !(q < qh && qh < qf) {
+		t.Errorf("message economy violated: native=%d half=%d full=%d", q, qh, qf)
+	}
+}

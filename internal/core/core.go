@@ -1,0 +1,139 @@
+// Package core implements SDR-MPI — the send-deterministic replication
+// protocol of the paper — together with the comparison protocols
+// (MR-MPI-style mirror, rMPI/redMPI-style leader-based) and the recovery
+// procedure for replication degree two (§3.4).
+//
+// The protocol sits at the paper's vProtocol interception point: it
+// implements mpi.Protocol, routing each logical operation onto one or more
+// PML requests, and registers PML hooks (OnArrive / OnRecvComplete / OnAck
+// / OnCtl) for the events the Open MPI patch captures (pml_match,
+// pml_recv_complete).
+//
+// Protocol summary (Algorithm 1): replica k of rank i sends application
+// messages only to replica k of rank j (parallel protocol). Every receiver
+// replica acknowledges each received message, on the irecvComplete event,
+// to all *other* alive replicas of the source rank; a sender completes a
+// send request only after collecting those acks, and retains the payload
+// until then. When a replica fails, a deterministically elected substitute
+// re-sends the retained messages the dead replica's world had not yet
+// acknowledged and emits that world's subsequent messages on its behalf.
+// Send-determinism guarantees the substitute's message sequence is the one
+// the dead replica would have produced, with no leader-based agreement on
+// non-deterministic calls (ANY_SOURCE, Test, Waitany).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// Mode selects the replication message scheme.
+type Mode int
+
+const (
+	// ModeParallel is SDR-MPI: O(q·r) application messages plus
+	// receiver-side acks (§2.4, §3).
+	ModeParallel Mode = iota
+	// ModeMirror is the MR-MPI-style mirror protocol: every replica of
+	// the sender transmits to every replica of the receiver, O(q·r²)
+	// messages, no acks or retention.
+	ModeMirror
+	// ModeLeader is the rMPI/redMPI-style semi-active baseline: the
+	// parallel scheme, but ANY_SOURCE receptions are decided by a leader
+	// replica that imposes the outcome on the other replicas (§3.1,
+	// Figure 2 left).
+	ModeLeader
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeParallel:
+		return "sdr"
+	case ModeMirror:
+		return "mirror"
+	case ModeLeader:
+		return "leader"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Layout maps (replica, logical rank) pairs onto physical processes: the
+// application is launched with r·n processes and physical process
+// rep·n + rank is replica `rep` of rank `rank` (the paper's Figure 6
+// world separation).
+type Layout struct {
+	N int // logical ranks
+	R int // replication degree
+}
+
+// Phys returns the physical process implementing replica rep of rank.
+func (l Layout) Phys(rep, rank int) transport.ProcID {
+	return transport.ProcID(rep*l.N + rank)
+}
+
+// RankOf returns the logical rank of a physical process.
+func (l Layout) RankOf(p transport.ProcID) int { return int(p) % l.N }
+
+// RepOf returns the replica (world) index of a physical process.
+func (l Layout) RepOf(p transport.ProcID) int { return int(p) / l.N }
+
+// Procs returns the total number of physical processes.
+func (l Layout) Procs() int { return l.N * l.R }
+
+// Options tune the protocol; the zero value is the paper's configuration.
+type Options struct {
+	// AckOnWait moves ack emission from the irecvComplete event to
+	// application-level completion (MPI_Wait). The paper (§3.3) explains
+	// why this deadlocks the Irecv–Send–Wait exchange pattern; the
+	// ablation test demonstrates it.
+	AckOnWait bool
+	// SDC enables redMPI-style silent-data-corruption detection: each
+	// sender also ships a payload hash to the other replicas of the
+	// destination rank, and receivers compare.
+	SDC bool
+	// OnSDC is invoked on a detected hash mismatch (ctx, srcRank, seq).
+	OnSDC func(ctx uint32, srcRank int, seq uint64)
+	// Corrupt, if set, may mutate an outgoing payload before it is sent
+	// (and before its hash is computed on this replica, modelling memory
+	// corruption ahead of the NIC); the SDC tests use it to inject bit
+	// flips on one replica.
+	Corrupt func(dstRank int, seq uint64, data []byte)
+	// SendRecorder observes every logical application send (the
+	// send-determinism checker attaches here).
+	SendRecorder func(ctx uint32, dstRank, tag int, payload []byte)
+}
+
+// seqKey indexes per-(context, peer logical rank) sequence state.
+type seqKey struct {
+	ctx  uint32
+	rank int
+}
+
+// retKey indexes the retention buffer.
+type retKey struct {
+	ctx     uint32
+	dstRank int
+	seq     uint64
+}
+
+// sendEntry is one retained application message (Algorithm 1's sendReq
+// bookkeeping): the payload plus the set of replica processes whose acks
+// are still outstanding.
+type sendEntry struct {
+	ctx     uint32
+	tag     int
+	dstRank int
+	seq     uint64
+	data    []byte
+	meta    [4]int64
+	needed  map[transport.ProcID]bool
+}
+
+func (e *sendEntry) key() retKey { return retKey{e.ctx, e.dstRank, e.seq} }
+
+// Debug enables protocol event tracing to stdout (used only by debugging
+// sessions; never set in committed tests).
+var Debug = false

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/transport"
+)
+
+// onFailure implements lines 18–35 of Algorithm 1. It runs when the
+// failure detector's notification for process `dead` is processed (always
+// on the owning goroutine, inside library progress).
+func (p *Replicated) onFailure(dead transport.ProcID) {
+	if !p.alive[int(dead)] {
+		return // duplicate notification
+	}
+	p.alive[int(dead)] = false
+	deadRank := p.layout.RankOf(dead)
+	deadRep := p.layout.RepOf(dead)
+
+	// The dead process is no longer a direct destination (lines 31–32).
+	p.removeDest(deadRank, dead)
+	// Pending rendezvous handshakes with the dead process will never
+	// complete; cancel them so gated waits can finish.
+	p.eng.CancelSendsTo(dead)
+
+	if p.mode != ModeMirror {
+		// Stop expecting acks from the dead process (line 33).
+		for key, entry := range p.retain {
+			if entry.needed[dead] {
+				delete(entry.needed, dead)
+				if len(entry.needed) == 0 {
+					delete(p.retain, key)
+				}
+			}
+		}
+
+		sub := p.electSubstitute(deadRank)
+		if sub < 0 {
+			panic(fmt.Sprintf("core: all replicas of rank %d have failed; application must restart from a checkpoint", deadRank))
+		}
+		if deadRank == p.myRank {
+			// Lines 20–27: I am a replica of the failed process's rank.
+			if sub == p.myRep {
+				p.takeOver(deadRep)
+			}
+			for l := range p.substitute {
+				if p.substitute[l] == deadRep {
+					p.substitute[l] = sub
+				}
+			}
+		} else if p.physicalSrc[deadRank] == dead {
+			// Lines 29–30: redirect the nominal source. Matching is
+			// already logical (by rank), so no PML retargeting is
+			// required; this keeps the bookkeeping consistent for
+			// recovery.
+			p.physicalSrc[deadRank] = p.layout.Phys(sub, deadRank)
+		}
+	}
+
+	for _, f := range p.failureHooks {
+		f(dead)
+	}
+}
+
+// electSubstitute deterministically picks the replica that emits messages
+// on behalf of a failed one: the lowest-index alive replica of the rank
+// (line 19). Every process computes the same answer from the consistent
+// failure view.
+func (p *Replicated) electSubstitute(rank int) int {
+	for rep := 0; rep < p.layout.R; rep++ {
+		if p.alive[int(p.layout.Phys(rep, rank))] {
+			return rep
+		}
+	}
+	return -1
+}
+
+// takeOver makes this process the substitute for every world that the
+// dead replica was serving (lines 22–25): its alive members become direct
+// destinations, and every retained message they have not acknowledged is
+// re-sent to them.
+func (p *Replicated) takeOver(deadRep int) {
+	for l := range p.substitute {
+		if p.substitute[l] != deadRep {
+			continue
+		}
+		for j := 0; j < p.layout.N; j++ {
+			q := p.layout.Phys(l, j)
+			if q == p.proc.ID() || !p.alive[int(q)] {
+				continue
+			}
+			if !p.inDests(j, q) {
+				p.physicalDests[j] = append(p.physicalDests[j], q)
+			}
+			p.resendUnackedTo(j, q)
+		}
+	}
+}
+
+// resendUnackedTo re-sends, in sequence order, every retained message for
+// dstRank whose ack from q is outstanding (line 24–25), and converts q
+// from an expected acker into a direct destination for those entries: once
+// the payload has been handed to q directly, its ack is no longer the
+// deletion criterion.
+func (p *Replicated) resendUnackedTo(dstRank int, q transport.ProcID) {
+	var entries []*sendEntry
+	for _, e := range p.retain {
+		if e.dstRank == dstRank && e.needed[q] {
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].ctx != entries[j].ctx {
+			return entries[i].ctx < entries[j].ctx
+		}
+		return entries[i].seq < entries[j].seq
+	})
+	for _, e := range entries {
+		if Debug {
+			println("proc", int(p.proc.ID()), "RESEND to", int(q), "ctx", int(e.ctx), "tag", e.tag, "dstRank", e.dstRank, "seq", int(e.seq))
+		}
+		// Copy the payload: rendezvous entries alias the application
+		// buffer, which becomes writable the moment this entry converts
+		// (the owner's Wait unblocks), while the re-send's own
+		// rendezvous transfer may still be pending.
+		p.eng.Isend(q, e.ctx, e.tag, append([]byte(nil), e.data...), e.seq, e.meta)
+		delete(e.needed, q)
+		if len(e.needed) == 0 {
+			delete(p.retain, e.key())
+		}
+	}
+}
+
+// removeDest drops q from physicalDests[rank].
+func (p *Replicated) removeDest(rank int, q transport.ProcID) {
+	ds := p.physicalDests[rank]
+	for i, d := range ds {
+		if d == q {
+			p.physicalDests[rank] = append(ds[:i], ds[i+1:]...)
+			return
+		}
+	}
+}

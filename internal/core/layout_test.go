@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLayoutMapping(t *testing.T) {
+	l := Layout{N: 4, R: 3}
+	if l.Procs() != 12 {
+		t.Fatalf("procs = %d", l.Procs())
+	}
+	if l.Phys(0, 0) != 0 || l.Phys(1, 0) != 4 || l.Phys(2, 3) != 11 {
+		t.Fatal("phys mapping wrong")
+	}
+	for rep := 0; rep < l.R; rep++ {
+		for rank := 0; rank < l.N; rank++ {
+			p := l.Phys(rep, rank)
+			if l.RankOf(p) != rank || l.RepOf(p) != rep {
+				t.Fatalf("roundtrip failed for rep=%d rank=%d", rep, rank)
+			}
+		}
+	}
+}
+
+func TestLayoutRoundTripProperty(t *testing.T) {
+	f := func(n, r, rep, rank uint8) bool {
+		l := Layout{N: int(n%32) + 1, R: int(r%4) + 1}
+		rp := int(rep) % l.R
+		rk := int(rank) % l.N
+		p := l.Phys(rp, rk)
+		return l.RankOf(p) == rk && l.RepOf(p) == rp && int(p) < l.Procs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	cases := map[Mode]string{ModeParallel: "sdr", ModeMirror: "mirror", ModeLeader: "leader", Mode(9): "mode(9)"}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Errorf("%v != %s", m, want)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/mpi"
+	"repro/internal/transport"
+)
+
+// miniWorld wires a full replicated world (n ranks, r replicas) and runs
+// fn on every physical process, returning per-proc protocol layers for
+// inspection.
+func miniWorld(t *testing.T, n, r int, mode Mode, opts Options,
+	fn func(world *mpi.Comm, p *Replicated)) map[transport.ProcID]*Replicated {
+	t.Helper()
+	layout := Layout{N: n, R: r}
+	nw := transport.NewNetwork(layout.Procs(), nil)
+	det := detect.NewService(nw)
+	protos := make(map[transport.ProcID]*Replicated, layout.Procs())
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, layout.Procs())
+	for i := 0; i < layout.Procs(); i++ {
+		wg.Add(1)
+		go func(id transport.ProcID) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if _, ok := mpi.ErrCrashed(rec); !ok {
+						errs <- fmt.Errorf("proc %d: %v", id, rec)
+					}
+				}
+			}()
+			proc := mpi.NewProc(nw, id)
+			p := NewReplicated(proc, layout, mode, det, opts)
+			mu.Lock()
+			protos[id] = p
+			mu.Unlock()
+			world := mpi.NewWorld(proc, p, n)
+			fn(world, p)
+		}(transport.ProcID(i))
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		for i := 0; i < layout.Procs(); i++ {
+			nw.Kill(transport.ProcID(i))
+		}
+		<-done
+		t.Fatal("miniWorld deadlock")
+	}
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	nw.Close()
+	return protos
+}
+
+func TestSequencerStateDrainsAfterRun(t *testing.T) {
+	protos := miniWorld(t, 2, 2, ModeParallel, Options{}, func(c *mpi.Comm, p *Replicated) {
+		buf := make([]byte, 8)
+		for i := 0; i < 20; i++ {
+			if c.Rank() == 0 {
+				c.Send(1, 0, buf)
+				c.Recv(1, 1, buf)
+			} else {
+				c.Recv(0, 0, buf)
+				c.Send(0, 1, buf)
+			}
+		}
+		c.Barrier()
+		for i := 0; i < 50; i++ {
+			c.Proc().Engine().Progress()
+		}
+	})
+	for id, p := range protos {
+		if got := len(p.pending); got != 0 {
+			t.Errorf("proc %d: %d stashed messages after quiescence", id, got)
+		}
+		if got := len(p.earlyAcks); got != 0 {
+			t.Errorf("proc %d: %d dangling early-ack records", id, got)
+		}
+		if got := p.RetainedCount(); got != 0 {
+			t.Errorf("proc %d: %d retained entries", id, got)
+		}
+	}
+}
+
+func TestSequenceNumbersAdvanceIdenticallyAcrossReplicas(t *testing.T) {
+	protos := miniWorld(t, 3, 2, ModeParallel, Options{}, func(c *mpi.Comm, p *Replicated) {
+		c.AllreduceFloat64(1, mpi.OpSum)
+		if c.Rank() == 0 {
+			c.Send(2, 9, []byte{1})
+			c.Send(2, 9, []byte{2})
+		}
+		if c.Rank() == 2 {
+			c.Recv(0, 9, make([]byte, 1))
+			c.Recv(0, 9, make([]byte, 1))
+		}
+		c.Barrier()
+	})
+	layout := Layout{N: 3, R: 2}
+	for rank := 0; rank < 3; rank++ {
+		a := protos[layout.Phys(0, rank)]
+		b := protos[layout.Phys(1, rank)]
+		for k, v := range a.sendSeq {
+			if b.sendSeq[k] != v {
+				t.Errorf("rank %d: sendSeq[%v] differs: %d vs %d", rank, k, v, b.sendSeq[k])
+			}
+		}
+		for k, v := range a.recvNext {
+			if b.recvNext[k] != v {
+				t.Errorf("rank %d: recvNext[%v] differs: %d vs %d", rank, k, v, b.recvNext[k])
+			}
+		}
+	}
+}
+
+func TestSubstituteElectionDeterminism(t *testing.T) {
+	layout := Layout{N: 2, R: 3}
+	nw := transport.NewNetwork(layout.Procs(), nil)
+	defer nw.Close()
+	det := detect.NewService(nw)
+	proc := mpi.NewProc(nw, layout.Phys(0, 0))
+	p := NewReplicated(proc, layout, ModeParallel, det, Options{})
+
+	if got := p.electSubstitute(1); got != 0 {
+		t.Errorf("all alive: substitute %d, want 0", got)
+	}
+	p.alive[int(layout.Phys(0, 1))] = false
+	if got := p.electSubstitute(1); got != 1 {
+		t.Errorf("rep0 dead: substitute %d, want 1", got)
+	}
+	p.alive[int(layout.Phys(1, 1))] = false
+	if got := p.electSubstitute(1); got != 2 {
+		t.Errorf("rep0+1 dead: substitute %d, want 2", got)
+	}
+	p.alive[int(layout.Phys(2, 1))] = false
+	if got := p.electSubstitute(1); got != -1 {
+		t.Errorf("all dead: substitute %d, want -1", got)
+	}
+}
+
+func TestInitialFailuresApplyPartialTopology(t *testing.T) {
+	// A protocol constructed into a world with pre-dead replicas must
+	// start with the substituted topology (partial replication).
+	layout := Layout{N: 2, R: 2}
+	nw := transport.NewNetwork(layout.Procs(), nil)
+	defer nw.Close()
+	det := detect.NewService(nw)
+	nw.Kill(layout.Phys(1, 1)) // rank 1 unreplicated
+
+	// World-1 rank 0's view: physicalSrc[1] must point at the surviving
+	// replica, and its dests for rank 1 must be empty (it waits for the
+	// world-0 copy's ack instead).
+	p10 := NewReplicated(mpi.NewProc(nw, layout.Phys(1, 0)), layout, ModeParallel, det, Options{})
+	if p10.physicalSrc[1] != layout.Phys(0, 1) {
+		t.Errorf("physicalSrc[1] = %d", p10.physicalSrc[1])
+	}
+	if len(p10.physicalDests[1]) != 0 {
+		t.Errorf("dests[1] = %v, want empty", p10.physicalDests[1])
+	}
+
+	// The survivor of rank 1 must serve both worlds.
+	p01 := NewReplicated(mpi.NewProc(nw, layout.Phys(0, 1)), layout, ModeParallel, det, Options{})
+	if len(p01.physicalDests[0]) != 2 {
+		t.Errorf("survivor dests[0] = %v, want both replicas of rank 0", p01.physicalDests[0])
+	}
+	if p01.substitute[1] != 0 {
+		t.Errorf("substitute[1] = %d, want 0", p01.substitute[1])
+	}
+}
+
+func TestSDCHashPairingBothOrders(t *testing.T) {
+	// Hash-before-payload and payload-before-hash must both pair up.
+	opts := Options{SDC: true}
+	protos := miniWorld(t, 2, 2, ModeParallel, opts, func(c *mpi.Comm, p *Replicated) {
+		buf := make([]byte, 4)
+		for i := 0; i < 10; i++ {
+			if c.Rank() == 1 {
+				c.Send(0, 0, []byte{byte(i), 2, 3, 4})
+			} else {
+				c.Recv(1, 0, buf)
+			}
+		}
+		c.Barrier()
+		for i := 0; i < 50; i++ {
+			c.Proc().Engine().Progress()
+		}
+	})
+	for id, p := range protos {
+		if p.SDCDetected() != 0 {
+			t.Errorf("proc %d: false SDC positives: %d", id, p.SDCDetected())
+		}
+		if len(p.sdcRemote) != 0 || len(p.sdcLocal) != 0 {
+			t.Errorf("proc %d: dangling SDC state: remote=%d local=%d",
+				id, len(p.sdcRemote), len(p.sdcLocal))
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/detect"
+	"repro/internal/transport"
+)
+
+// Recovery of a failed replica, for replication degree two (§3.4 of the
+// paper). The substitute "forks" the replacement: in this in-process
+// simulation the fork is a clone of the protocol state plus an
+// application-provided snapshot, taken at a quiescent point (no pending
+// requests). The substitute then broadcasts an in-band notification;
+// because channels are FIFO, each peer knows that exactly the messages the
+// substitute had not acknowledged before the notification must be replayed
+// to the new replica, and that acknowledgements to the new replica resume
+// with the first message received after the notification.
+
+// CloneState is the protocol state a recovered replica inherits from its
+// substitute at the fork point.
+type CloneState struct {
+	Revived    transport.ProcID
+	SendSeq    map[seqKey]uint64
+	RecvNext   map[seqKey]uint64
+	Pending    map[seqKey][]*transport.Message
+	Unexpected []*transport.Message
+}
+
+// ForkFor snapshots this (substitute) process's protocol state for the
+// replica being recovered. It must be called at a quiescent point: every
+// send and receive request completed, which implies an empty retention
+// buffer. It must be followed by BroadcastRecovered before any further
+// application send.
+func (p *Replicated) ForkFor(revived transport.ProcID) *CloneState {
+	if p.layout.R != 2 {
+		panic("core: recovery requires replication degree 2 (paper §3.4)")
+	}
+	if p.layout.RankOf(revived) != p.myRank {
+		panic("core: only the substitute (same rank) can fork a replacement")
+	}
+	if len(p.retain) != 0 {
+		panic(fmt.Sprintf("core: fork at non-quiescent point: %d retained sends", len(p.retain)))
+	}
+	cs := &CloneState{
+		Revived:  revived,
+		SendSeq:  make(map[seqKey]uint64, len(p.sendSeq)),
+		RecvNext: make(map[seqKey]uint64, len(p.recvNext)),
+		Pending:  make(map[seqKey][]*transport.Message, len(p.pending)),
+	}
+	for k, v := range p.sendSeq {
+		cs.SendSeq[k] = v
+	}
+	for k, v := range p.recvNext {
+		cs.RecvNext[k] = v
+	}
+	for k, v := range p.pending {
+		cs.Pending[k] = append([]*transport.Message(nil), v...)
+	}
+	cs.Unexpected = p.eng.UnexpectedMessages()
+	return cs
+}
+
+// BroadcastRecovered announces the revived replica to every alive process
+// through in-band FIFO control messages. The network endpoint must already
+// be revived. The substitute's own bookkeeping is updated as if it had
+// received the notification.
+func (p *Replicated) BroadcastRecovered(revived transport.ProcID) {
+	for i := 0; i < p.layout.Procs(); i++ {
+		q := transport.ProcID(i)
+		if q == p.proc.ID() || q == revived || !p.alive[int(q)] {
+			continue
+		}
+		p.eng.Endpoint().Send(&transport.Message{
+			Dst:  q,
+			Kind: transport.KindCtl,
+			Tag:  detect.TagRecovered,
+			Meta: [4]int64{int64(revived)},
+		})
+	}
+	p.onRecovered(revived)
+}
+
+// Restore installs the forked state on the freshly constructed protocol
+// layer of the recovered replica.
+func (p *Replicated) Restore(cs *CloneState) {
+	if cs.Revived != p.proc.ID() {
+		panic("core: restoring a clone state forked for a different process")
+	}
+	p.sendSeq = make(map[seqKey]uint64, len(cs.SendSeq))
+	for k, v := range cs.SendSeq {
+		p.sendSeq[k] = v
+	}
+	p.recvNext = make(map[seqKey]uint64, len(cs.RecvNext))
+	for k, v := range cs.RecvNext {
+		p.recvNext[k] = v
+	}
+	p.pending = make(map[seqKey][]*transport.Message, len(cs.Pending))
+	for k, v := range cs.Pending {
+		p.pending[k] = append([]*transport.Message(nil), v...)
+	}
+	p.eng.SeedUnexpected(cs.Unexpected)
+	p.alive[int(p.proc.ID())] = true
+}
+
+// onRecovered processes the recovery notification for process q. FIFO
+// ordering w.r.t. the substitute's prior acknowledgements is what makes
+// the retained-entry replay exactly the set of messages the fork state
+// does not contain.
+func (p *Replicated) onRecovered(q transport.ProcID) {
+	if q == p.proc.ID() {
+		return
+	}
+	p.alive[int(q)] = true
+	qRank := p.layout.RankOf(q)
+	qRep := p.layout.RepOf(q)
+
+	if qRank == p.myRank {
+		// A replica of my own rank is back: it handles its own sends
+		// again; if I was substituting for its world, stop duplicating.
+		if p.substitute[qRep] != qRep && p.substitute[qRep] != p.myRep {
+			// Someone else was substituting; just record the handback.
+		}
+		p.substitute[qRep] = qRep
+		if qRep != p.myRep {
+			for j := 0; j < p.layout.N; j++ {
+				p.removeDest(j, p.layout.Phys(qRep, j))
+			}
+		}
+		return
+	}
+
+	if p.myRep == qRep {
+		// q is my own-world replica of rank qRank: restore it as my
+		// direct destination and nominal source, and replay every
+		// retained message for that rank — precisely those the
+		// substitute had not acknowledged before the notification.
+		p.physicalSrc[qRank] = q
+		if !p.inDests(qRank, q) {
+			p.physicalDests[qRank] = append(p.physicalDests[qRank], q)
+		}
+		p.replayRetained(qRank, q)
+	}
+	// Processes in other worlds resume acknowledging to q automatically
+	// now that alive[q] holds, and only for messages completed after
+	// this notification — the paper's FIFO argument.
+}
+
+// replayRetained re-sends every retained entry destined to dstRank to the
+// recovered process q, in sequence order, leaving the entries' expected
+// ack sets unchanged (they still await the substitute world's acks).
+func (p *Replicated) replayRetained(dstRank int, q transport.ProcID) {
+	var entries []*sendEntry
+	for _, e := range p.retain {
+		if e.dstRank == dstRank {
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].ctx != entries[j].ctx {
+			return entries[i].ctx < entries[j].ctx
+		}
+		return entries[i].seq < entries[j].seq
+	})
+	for _, e := range entries {
+		// Copied for the same aliasing reason as resendUnackedTo: the
+		// entry may complete (freeing the app buffer) while the replay's
+		// rendezvous transfer is still in flight.
+		p.eng.Isend(q, e.ctx, e.tag, append([]byte(nil), e.data...), e.seq, e.meta)
+	}
+}

@@ -1,0 +1,454 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/detect"
+	"repro/internal/mpi"
+	"repro/internal/transport"
+)
+
+// Replicated is the replication protocol layer for one physical process.
+// It implements mpi.Protocol. One instance exists per replica; together
+// the instances of all replicas realize SDR-MPI (or one of the baseline
+// modes).
+type Replicated struct {
+	proc   *mpi.Proc
+	eng    *mpi.Engine
+	layout Layout
+	mode   Mode
+	opts   Options
+
+	myRank int
+	myRep  int
+
+	// Algorithm 1 state.
+	physicalDests [][]transport.ProcID // rank → replicas I send application messages to
+	physicalSrc   []transport.ProcID   // rank → replica I nominally receive from
+	substitute    []int                // rep → rep emitting on its behalf (my rank's replica set)
+	alive         []bool               // local consistent failure view
+
+	// Sender state: per-(ctx, dstRank) next sequence number, and the
+	// retention buffer of unacknowledged messages. earlyAcks holds acks
+	// that arrived before this replica posted the corresponding send —
+	// replicas may diverge temporarily (§3.1), so the other world's
+	// receiver can complete (and acknowledge) a logical message before
+	// this world has emitted its own copy.
+	sendSeq   map[seqKey]uint64
+	retain    map[retKey]*sendEntry
+	earlyAcks map[retKey]map[transport.ProcID]bool
+
+	// Receiver state: per-(ctx, srcRank) next expected sequence, plus
+	// out-of-order arrivals held back for in-order delivery into the
+	// matching engine. The sequencer both deduplicates re-sent messages
+	// after a failure and preserves logical-rank FIFO across the
+	// replica-to-substitute switchover.
+	recvNext map[seqKey]uint64
+	pending  map[seqKey][]*transport.Message
+
+	// SDC state: per-(ctx, srcRank, seq) expected payload hashes from
+	// other-world senders not yet paired with a local reception, and
+	// hashes of local receptions not yet paired with a remote hash.
+	sdcRemote map[retKey][]int64
+	sdcLocal  map[retKey]uint64
+	sdcCount  int
+
+	// Leader-mode wildcard agreement state.
+	wc leaderState
+
+	// recovering marks the window between this process's resurrection
+	// and its state restoration (clone side of §3.4).
+	failureHooks []func(dead transport.ProcID)
+}
+
+// NewReplicated builds the protocol layer for physical process proc under
+// the given layout and mode, and registers the PML hooks. det provides the
+// consistent failure view at construction (processes may be born into a
+// world with prior failures only in recovery scenarios; normally all are
+// alive).
+func NewReplicated(proc *mpi.Proc, layout Layout, mode Mode, det *detect.Service, opts Options) *Replicated {
+	p := &Replicated{
+		proc:      proc,
+		eng:       proc.Engine(),
+		layout:    layout,
+		mode:      mode,
+		opts:      opts,
+		myRank:    layout.RankOf(proc.ID()),
+		myRep:     layout.RepOf(proc.ID()),
+		sendSeq:   make(map[seqKey]uint64),
+		retain:    make(map[retKey]*sendEntry),
+		earlyAcks: make(map[retKey]map[transport.ProcID]bool),
+
+		recvNext:  make(map[seqKey]uint64),
+		pending:   make(map[seqKey][]*transport.Message),
+		sdcRemote: make(map[retKey][]int64),
+		sdcLocal:  make(map[retKey]uint64),
+	}
+	p.physicalDests = make([][]transport.ProcID, layout.N)
+	p.physicalSrc = make([]transport.ProcID, layout.N)
+	for rank := 0; rank < layout.N; rank++ {
+		p.physicalDests[rank] = []transport.ProcID{layout.Phys(p.myRep, rank)}
+		p.physicalSrc[rank] = layout.Phys(p.myRep, rank)
+	}
+	p.substitute = make([]int, layout.R)
+	for rep := range p.substitute {
+		p.substitute[rep] = rep
+	}
+	p.alive = make([]bool, layout.Procs())
+	for i := range p.alive {
+		p.alive[i] = det == nil || det.Alive(transport.ProcID(i))
+	}
+	p.wc.init()
+
+	// Partial replication (§5's research direction, MR-MPI's feature):
+	// replicas that never existed are processes that failed before the
+	// first event. Applying the ordinary failure handling at construction
+	// sets up substitution — the surviving replica of a partially
+	// replicated rank permanently emits to, and collects acks for, every
+	// world — with no further special cases anywhere in the protocol.
+	for i := range p.alive {
+		if !p.alive[i] {
+			p.alive[i] = true // arm the duplicate-notification guard
+			p.onFailure(transport.ProcID(i))
+		}
+	}
+
+	p.eng.OnArrive = p.onArrive
+	p.eng.OnRecvComplete = p.onRecvComplete
+	p.eng.OnAck = p.onAck
+	p.eng.OnCtl = p.onCtl
+	if mode == ModeLeader {
+		p.eng.OnMatch = p.onMatchLeader
+	}
+	if opts.SDC {
+		p.eng.OnHash = p.onHash
+	}
+	return p
+}
+
+// Name implements mpi.Protocol.
+func (p *Replicated) Name() string { return p.mode.String() }
+
+// MyBaseRank implements mpi.Protocol.
+func (p *Replicated) MyBaseRank() mpi.Rank { return mpi.Rank(p.myRank) }
+
+// Layout returns the replica layout.
+func (p *Replicated) Layout() Layout { return p.layout }
+
+// Rep returns this process's replica (world) index.
+func (p *Replicated) Rep() int { return p.myRep }
+
+// RetainedCount reports the current retention-buffer depth (tests and the
+// harness use it to assert message-deletion safety).
+func (p *Replicated) RetainedCount() int { return len(p.retain) }
+
+// SDCDetected reports how many hash mismatches the SDC detector saw.
+func (p *Replicated) SDCDetected() int { return p.sdcCount }
+
+// OnFailureHook registers an extra observer of failure notifications (the
+// cluster harness uses it for recovery orchestration).
+func (p *Replicated) OnFailureHook(f func(dead transport.ProcID)) {
+	p.failureHooks = append(p.failureHooks, f)
+}
+
+// AliveView returns whether this process currently believes q is alive.
+func (p *Replicated) AliveView(q transport.ProcID) bool { return p.alive[int(q)] }
+
+// --- Send path (Algorithm 1, MPI_Isend) -----------------------------------
+
+// Isend implements mpi.Protocol. It transmits the payload to the
+// destinations in physicalDests[dstRank] and, in parallel modes, records a
+// retention entry expecting an ack from every other alive replica of the
+// destination rank (lines 4–9 of Algorithm 1).
+func (p *Replicated) Isend(c *mpi.Comm, ctx uint32, to mpi.Rank, tag int, data []byte) *mpi.Request {
+	dstRank := int(c.BaseRank(to))
+	key := seqKey{ctx, dstRank}
+	seq := p.sendSeq[key]
+	p.sendSeq[key] = seq + 1
+
+	if p.opts.Corrupt != nil {
+		p.opts.Corrupt(dstRank, seq, data)
+	}
+	if p.opts.SendRecorder != nil {
+		p.opts.SendRecorder(ctx, dstRank, tag, data)
+	}
+
+	var meta [4]int64
+	meta[mpi.MetaSrcRank] = int64(p.myRank)
+	meta[mpi.MetaDstRank] = int64(dstRank)
+	meta[mpi.MetaWorld] = int64(p.myRep)
+
+	if p.mode == ModeMirror {
+		return p.isendMirror(c, ctx, dstRank, tag, data, seq, meta)
+	}
+
+	entry := &sendEntry{ctx: ctx, tag: tag, dstRank: dstRank, seq: seq, meta: meta,
+		needed: make(map[transport.ProcID]bool)}
+	var preqs []*mpi.PReq
+	for rep := 0; rep < p.layout.R; rep++ {
+		q := p.layout.Phys(rep, dstRank)
+		switch {
+		case p.inDests(dstRank, q):
+			if p.alive[int(q)] {
+				pr := p.eng.Isend(q, ctx, tag, data, seq, meta)
+				pr.User = entry
+				preqs = append(preqs, pr)
+			}
+		case p.alive[int(q)]:
+			// Line 9: expect an ack instead of sending directly —
+			// unless it already arrived (the other world ran ahead).
+			if ea := p.earlyAcks[entry.key()]; ea != nil && ea[q] {
+				delete(ea, q)
+				if len(ea) == 0 {
+					delete(p.earlyAcks, entry.key())
+				}
+			} else {
+				entry.needed[q] = true
+			}
+			if p.opts.SDC {
+				p.sendHash(q, ctx, tag, seq, meta, data)
+			}
+		}
+	}
+
+	// Retain the payload until all acks arrive. Prefer the engine's
+	// eager copy (no second allocation); rendezvous payloads alias the
+	// application buffer, which MPI semantics freeze until Wait — and
+	// Wait is gated on the acks.
+	if len(entry.needed) > 0 {
+		switch {
+		case len(preqs) > 0 && preqs[0].Data() != nil:
+			entry.data = preqs[0].Data()
+		default:
+			entry.data = append([]byte(nil), data...)
+		}
+		p.retain[entry.key()] = entry
+	}
+	gate := func() bool { return len(entry.needed) == 0 }
+	return mpi.NewRequest(c, true, preqs, gate)
+}
+
+// isendMirror is the MR-MPI baseline: transmit to every alive replica of
+// the destination rank; no acks, no retention.
+func (p *Replicated) isendMirror(c *mpi.Comm, ctx uint32, dstRank, tag int, data []byte, seq uint64, meta [4]int64) *mpi.Request {
+	var preqs []*mpi.PReq
+	for rep := 0; rep < p.layout.R; rep++ {
+		q := p.layout.Phys(rep, dstRank)
+		if p.alive[int(q)] {
+			preqs = append(preqs, p.eng.Isend(q, ctx, tag, data, seq, meta))
+		}
+	}
+	return mpi.NewRequest(c, true, preqs, nil)
+}
+
+// inDests reports whether q is a direct application-message destination
+// for dstRank.
+func (p *Replicated) inDests(dstRank int, q transport.ProcID) bool {
+	for _, d := range p.physicalDests[dstRank] {
+		if d == q {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Receive path ----------------------------------------------------------
+
+// Irecv implements mpi.Protocol. Matching is logical: a receive from rank
+// i accepts a message from any replica of rank i — the sequencer has
+// already enforced per-rank ordering and uniqueness, so which replica
+// physically delivered it is irrelevant (and changes across a failure).
+func (p *Replicated) Irecv(c *mpi.Comm, ctx uint32, from mpi.Rank, tag int, buf []byte) *mpi.Request {
+	if from == mpi.AnySource {
+		if p.mode == ModeLeader {
+			return p.finishRecv(p.irecvLeaderWildcard(c, ctx, tag, buf))
+		}
+		pred := func(src transport.ProcID) bool {
+			return c.InComm(mpi.Rank(p.layout.RankOf(src)))
+		}
+		pr := p.eng.Irecv(mpi.AnyProc, pred, ctx, tag, buf)
+		return p.finishRecv(mpi.NewRequest(c, false, []*mpi.PReq{pr}, nil))
+	}
+	want := int(c.BaseRank(from))
+	pred := func(src transport.ProcID) bool {
+		return p.layout.RankOf(src) == want
+	}
+	pr := p.eng.Irecv(mpi.AnyProc, pred, ctx, tag, buf)
+	return p.finishRecv(mpi.NewRequest(c, false, []*mpi.PReq{pr}, nil))
+}
+
+// finishRecv installs the deferred-ack hook for the AckOnWait ablation.
+func (p *Replicated) finishRecv(r *mpi.Request) *mpi.Request {
+	if p.opts.AckOnWait && p.mode != ModeMirror {
+		r.OnFinish = p.AckForRequest()
+	}
+	return r
+}
+
+// onArrive is the sequencer: it admits application messages into the
+// matching engine in per-(ctx, source rank) sequence order, dropping
+// duplicates (possible after a substitute re-send races an in-flight
+// original). It always returns false because it performs the injection
+// itself.
+func (p *Replicated) onArrive(m *transport.Message) bool {
+	srcRank := int(m.Meta[mpi.MetaSrcRank])
+	key := seqKey{m.Ctx, srcRank}
+	next := p.recvNext[key]
+	if Debug {
+		println(mpi.DbgUS(), "proc", int(p.proc.ID()), "ARRIVE kind", int(m.Kind), "tag", m.Tag, "srcRank", srcRank, "seq", int(m.Seq), "from", int(m.Src))
+	}
+	switch {
+	case m.Seq < next:
+		p.discardDuplicate(m)
+		return false
+	case m.Seq > next:
+		p.stash(key, m)
+		return false
+	}
+	p.recvNext[key] = next + 1
+	p.eng.InjectMatch(m)
+	p.flush(key)
+	return false
+}
+
+// discardDuplicate drops a redundant copy of an already-admitted message.
+// Duplicate rendezvous RTSes still need their handshake completed, or the
+// redundant sender's request would never finish.
+func (p *Replicated) discardDuplicate(m *transport.Message) {
+	if m.Kind != transport.KindRTS {
+		return
+	}
+	// If the original handshake broke (sender died between RTS and
+	// payload), resume it with this copy; otherwise complete the
+	// redundant transfer into a sink.
+	if p.eng.RebindRTS(m) {
+		return
+	}
+	p.eng.SinkRTS(m)
+}
+
+// stash inserts an out-of-order arrival, keeping the slice seq-sorted and
+// duplicate-free.
+func (p *Replicated) stash(key seqKey, m *transport.Message) {
+	q := p.pending[key]
+	i := sort.Search(len(q), func(i int) bool { return q[i].Seq >= m.Seq })
+	if i < len(q) && q[i].Seq == m.Seq {
+		p.discardDuplicate(m)
+		return // duplicate of a stashed message
+	}
+	q = append(q, nil)
+	copy(q[i+1:], q[i:])
+	q[i] = m
+	p.pending[key] = q
+}
+
+// flush releases consecutive stashed messages that have become in-order.
+func (p *Replicated) flush(key seqKey) {
+	q := p.pending[key]
+	for len(q) > 0 && q[0].Seq == p.recvNext[key] {
+		m := q[0]
+		q = q[1:]
+		p.recvNext[key] = m.Seq + 1
+		p.eng.InjectMatch(m)
+	}
+	if len(q) == 0 {
+		delete(p.pending, key)
+	} else {
+		p.pending[key] = q
+	}
+}
+
+// onRecvComplete implements lines 15–17 of Algorithm 1: on the
+// irecvComplete event, acknowledge the message to every other alive
+// replica of the source rank. In mirror mode there are no acks. With the
+// AckOnWait ablation the ack is deferred to application-level completion
+// (attached in Irecv's Request via OnFinish — see sendAcksFor).
+func (p *Replicated) onRecvComplete(pr *mpi.PReq) {
+	if p.mode == ModeMirror {
+		return
+	}
+	ps := pr.PStatus()
+	if p.opts.SDC {
+		p.recordLocalHash(ps, pr)
+	}
+	if p.opts.AckOnWait {
+		// Ablation: do nothing now; the cluster harness arranges the
+		// ack at Wait time through the request's OnFinish hook.
+		return
+	}
+	p.sendAcksFor(ps)
+}
+
+// sendAcksFor emits the acknowledgement for one completed reception.
+func (p *Replicated) sendAcksFor(ps mpi.PStatus) {
+	srcRank := int(ps.Meta[mpi.MetaSrcRank])
+	senderWorld := int(ps.Meta[mpi.MetaWorld])
+	for rep := 0; rep < p.layout.R; rep++ {
+		if rep == senderWorld {
+			continue
+		}
+		q := p.layout.Phys(rep, srcRank)
+		if !p.alive[int(q)] {
+			continue
+		}
+		p.eng.Endpoint().Send(&transport.Message{
+			Dst:  q,
+			Kind: transport.KindAck,
+			Ctx:  ps.Ctx,
+			Seq:  ps.Seq,
+			Meta: [4]int64{int64(srcRank), int64(p.myRank), int64(p.myRep), 0},
+		})
+	}
+}
+
+// AckForRequest returns a closure emitting the acks for an application
+// request's receptions; the harness installs it as Request.OnFinish in the
+// AckOnWait ablation.
+func (p *Replicated) AckForRequest() func(*mpi.Request) {
+	return func(r *mpi.Request) {
+		for _, ps := range r.PStatuses() {
+			p.sendAcksFor(ps)
+		}
+	}
+}
+
+// onAck marks one expected acknowledgement as received and releases the
+// retention entry once all have arrived (completing the gated send
+// request).
+func (p *Replicated) onAck(m *transport.Message) {
+	// Meta: [srcRank (mine), ackerRank, ackerWorld].
+	key := retKey{m.Ctx, int(m.Meta[1]), m.Seq}
+	entry, ok := p.retain[key]
+	if !ok {
+		// Distinguish an *early* ack (our replica has not yet posted
+		// the acknowledged send: seq at or beyond our counter) from a
+		// *late* one (entry already completed or converted after a
+		// failure). Early acks are remembered and consumed by Isend.
+		if m.Seq >= p.sendSeq[seqKey{m.Ctx, int(m.Meta[1])}] {
+			ea := p.earlyAcks[key]
+			if ea == nil {
+				ea = make(map[transport.ProcID]bool)
+				p.earlyAcks[key] = ea
+			}
+			ea[m.Src] = true
+		}
+		return
+	}
+	delete(entry.needed, m.Src)
+	if len(entry.needed) == 0 {
+		delete(p.retain, key)
+	}
+}
+
+// --- Control messages ------------------------------------------------------
+
+func (p *Replicated) onCtl(m *transport.Message) {
+	switch m.Tag {
+	case detect.TagFailure:
+		p.onFailure(transport.ProcID(m.Meta[0]))
+	case detect.TagRecovered:
+		p.onRecovered(transport.ProcID(m.Meta[0]))
+	case detect.TagDecision:
+		p.onDecision(m)
+	}
+}

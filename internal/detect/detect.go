@@ -1,0 +1,96 @@
+// Package detect implements the external failure-detection service the
+// paper assumes ("We assume that failures are detected by an external
+// service provided in the system", §3.2; rMPI makes the same assumption).
+//
+// The service observes fail-stop crashes through the transport's monitor
+// hook and broadcasts a consistent notification to every live process as
+// an out-of-band control message. Notifications for one failure reach all
+// processes exactly once, and all processes converge on the same alive
+// view — the consistency property leader-based protocols also rely on.
+package detect
+
+import (
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// Control-message tags carried in transport.KindCtl messages.
+const (
+	// TagFailure announces a crash; Meta[0] is the failed process.
+	TagFailure = 1
+	// TagRecovered announces a recovered replica; Meta[0] is the revived
+	// process. It is broadcast in-band by the substitute (paper §3.4),
+	// not by this service, but the tag is defined here so every layer
+	// shares one control vocabulary.
+	TagRecovered = 2
+	// TagDecision is a leader baseline's wildcard-outcome decision.
+	TagDecision = 3
+)
+
+// Service is the failure detector. One instance watches a network.
+type Service struct {
+	nw *transport.Network
+
+	mu    sync.Mutex
+	alive []bool
+}
+
+// NewService builds the detector and attaches it to the network's monitor
+// hook. From then on every Kill triggers a broadcast of TagFailure to all
+// live processes.
+func NewService(nw *transport.Network) *Service {
+	s := &Service{nw: nw, alive: make([]bool, nw.Size())}
+	for i := range s.alive {
+		s.alive[i] = true
+	}
+	nw.Monitor(func(p transport.ProcID, alive bool) {
+		s.mu.Lock()
+		s.alive[int(p)] = alive
+		s.mu.Unlock()
+		if !alive {
+			s.broadcastFailure(p)
+		}
+		// Revivals are announced in-band by the substitute (FIFO with
+		// its application traffic), so the detector stays silent.
+	})
+	return s
+}
+
+// broadcastFailure injects the failure notification into every live
+// process's inbound queue.
+func (s *Service) broadcastFailure(dead transport.ProcID) {
+	n := s.nw.Size()
+	for i := 0; i < n; i++ {
+		p := transport.ProcID(i)
+		if p == dead || !s.Alive(p) {
+			continue
+		}
+		s.nw.Inject(p, &transport.Message{
+			Src:  transport.NoProc,
+			Kind: transport.KindCtl,
+			Tag:  TagFailure,
+			Meta: [4]int64{int64(dead)},
+		})
+	}
+}
+
+// Alive reports the detector's current view of process p.
+func (s *Service) Alive(p transport.ProcID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.alive[int(p)]
+}
+
+// AliveCount returns the number of live processes.
+func (s *Service) AliveCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, a := range s.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}

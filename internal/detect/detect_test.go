@@ -1,0 +1,89 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+func TestDetectorBroadcastsFailure(t *testing.T) {
+	nw := transport.NewNetwork(4, nil)
+	defer nw.Close()
+	s := NewService(nw)
+
+	nw.Kill(2)
+	if s.Alive(2) {
+		t.Fatal("detector should mark 2 dead")
+	}
+	if s.AliveCount() != 3 {
+		t.Fatalf("alive count %d", s.AliveCount())
+	}
+	// Every live process received exactly one failure notification.
+	for _, p := range []transport.ProcID{0, 1, 3} {
+		msgs := nw.Endpoint(p).Drain()
+		if len(msgs) != 1 {
+			t.Fatalf("proc %d got %d notifications", p, len(msgs))
+		}
+		m := msgs[0]
+		if m.Kind != transport.KindCtl || m.Tag != TagFailure || m.Meta[0] != 2 {
+			t.Fatalf("bad notification: %+v", m)
+		}
+	}
+	// The dead process receives nothing.
+	if msgs := nw.Endpoint(2).Drain(); len(msgs) != 0 {
+		t.Fatalf("dead proc received %d messages", len(msgs))
+	}
+}
+
+func TestDetectorSilentOnRevive(t *testing.T) {
+	nw := transport.NewNetwork(2, nil)
+	defer nw.Close()
+	s := NewService(nw)
+	nw.Kill(1)
+	nw.Endpoint(0).Drain() // failure notification
+	nw.Revive(1)
+	if !s.Alive(1) {
+		t.Fatal("detector should track revival")
+	}
+	// §3.4: recovery notifications are in-band, from the substitute.
+	if msgs := nw.Endpoint(0).Drain(); len(msgs) != 0 {
+		t.Fatalf("detector must not broadcast revivals, got %d messages", len(msgs))
+	}
+}
+
+func TestDetectorMultipleFailures(t *testing.T) {
+	nw := transport.NewNetwork(5, nil)
+	defer nw.Close()
+	s := NewService(nw)
+	nw.Kill(0)
+	nw.Kill(4)
+	if s.AliveCount() != 3 {
+		t.Fatalf("alive count %d", s.AliveCount())
+	}
+	// Proc 2 saw both notifications in order.
+	msgs := nw.Endpoint(2).Drain()
+	if len(msgs) != 2 || msgs[0].Meta[0] != 0 || msgs[1].Meta[0] != 4 {
+		t.Fatalf("notifications: %+v", msgs)
+	}
+}
+
+func TestDetectorNotificationWakesWaiter(t *testing.T) {
+	nw := transport.NewNetwork(2, nil)
+	defer nw.Close()
+	NewService(nw)
+	woke := make(chan bool, 1)
+	go func() {
+		woke <- nw.Endpoint(0).WaitActivity(0)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	nw.Kill(1)
+	select {
+	case ok := <-woke:
+		if !ok {
+			t.Fatal("waiter reported its own crash")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("failure notification did not wake blocked process")
+	}
+}

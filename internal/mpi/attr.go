@@ -1,0 +1,83 @@
+package mpi
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Communicator attribute caching (MPI_Comm_set_attr and friends) and
+// communicator naming (MPI_Comm_set_name). Attributes let layered
+// libraries stash per-communicator state; keyvals are process-global and
+// carry an optional copy policy applied on Dup.
+
+// attrKeyval describes one registered attribute key.
+type attrKeyval struct {
+	// copyFn decides what a Dup'd communicator inherits: return (v, true)
+	// to copy value v, or (_, false) to drop the attribute. A nil copyFn
+	// drops the attribute on Dup (MPI_COMM_NULL_COPY_FN).
+	copyFn func(val any) (any, bool)
+}
+
+var (
+	attrNextKey   atomic.Int64
+	attrKeyvalsMu sync.Mutex
+	attrKeyvals   = make(map[int]*attrKeyval)
+)
+
+// KeyvalCreate registers a new attribute key (MPI_Comm_create_keyval).
+// copyFn controls inheritance on Dup; nil means the attribute is not
+// inherited.
+func KeyvalCreate(copyFn func(val any) (any, bool)) int {
+	key := int(attrNextKey.Add(1))
+	attrKeyvalsMu.Lock()
+	attrKeyvals[key] = &attrKeyval{copyFn: copyFn}
+	attrKeyvalsMu.Unlock()
+	return key
+}
+
+// KeyvalDupFn is a copy function that shares the value with the duplicate
+// (MPI_COMM_DUP_FN).
+func KeyvalDupFn(val any) (any, bool) { return val, true }
+
+// SetAttr caches a value under key on this communicator
+// (MPI_Comm_set_attr). Attribute caching is local to the process, as in
+// MPI.
+func (c *Comm) SetAttr(key int, val any) {
+	if c.attrs == nil {
+		c.attrs = make(map[int]any)
+	}
+	c.attrs[key] = val
+}
+
+// Attr retrieves a cached value (MPI_Comm_get_attr).
+func (c *Comm) Attr(key int) (any, bool) {
+	v, ok := c.attrs[key]
+	return v, ok
+}
+
+// DeleteAttr removes a cached value (MPI_Comm_delete_attr).
+func (c *Comm) DeleteAttr(key int) {
+	delete(c.attrs, key)
+}
+
+// copyAttrsTo applies each keyval's copy policy when child is Dup'd from c.
+func (c *Comm) copyAttrsTo(child *Comm) {
+	for key, val := range c.attrs {
+		attrKeyvalsMu.Lock()
+		kv := attrKeyvals[key]
+		attrKeyvalsMu.Unlock()
+		if kv == nil || kv.copyFn == nil {
+			continue
+		}
+		if nv, keep := kv.copyFn(val); keep {
+			child.SetAttr(key, nv)
+		}
+	}
+}
+
+// SetName labels the communicator for debugging (MPI_Comm_set_name).
+func (c *Comm) SetName(name string) { c.name = name }
+
+// Name returns the communicator's label (MPI_Comm_get_name); unnamed
+// communicators return "".
+func (c *Comm) Name() string { return c.name }

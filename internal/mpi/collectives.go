@@ -1,0 +1,395 @@
+package mpi
+
+// Collective operations, all implemented on top of the point-to-point
+// layer (the paper's §2.2 assumption). Because every send and receive here
+// goes through the protocol, a replication protocol that handles
+// point-to-point traffic automatically supports every collective with no
+// additional code — the core simplicity claim of SDR-MPI.
+
+// Barrier blocks until every rank in the communicator has entered it
+// (MPI_Barrier). Dissemination algorithm: ceil(log2 p) rounds.
+func (c *Comm) Barrier() {
+	seq := c.nextCollSeq()
+	size := c.Size()
+	if size == 1 {
+		return
+	}
+	rank := int(c.rank)
+	var token [1]byte
+	for round, dist := 0, 1; dist < size; round, dist = round+1, dist*2 {
+		to := Rank((rank + dist) % size)
+		from := Rank((rank - dist + size) % size)
+		rr := c.irecvColl(from, collTag(seq, round), token[:])
+		c.sendColl(to, collTag(seq, round), nil)
+		rr.Wait()
+	}
+}
+
+// Bcast broadcasts root's data to every rank (MPI_Bcast); on non-roots
+// data is the receive buffer. Binomial tree.
+func (c *Comm) Bcast(root Rank, data []byte) {
+	seq := c.nextCollSeq()
+	size := c.Size()
+	if size == 1 {
+		return
+	}
+	rank := int(c.rank)
+	vrank := (rank - int(root) + size) % size
+	tag := collTag(seq, 0)
+
+	mask := 1
+	for mask < size {
+		if vrank&mask != 0 {
+			src := Rank((vrank - mask + int(root)) % size)
+			c.recvColl(src, tag, data)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vrank+mask < size {
+			dst := Rank((vrank + mask + int(root)) % size)
+			c.sendColl(dst, tag, data)
+		}
+		mask >>= 1
+	}
+}
+
+// Reduce folds every rank's data with op and returns the result on root
+// (nil elsewhere). Binomial tree; op must be commutative (all predefined
+// ops are). MPI_Reduce.
+func (c *Comm) Reduce(root Rank, data []byte, dt Datatype, op Op) []byte {
+	seq := c.nextCollSeq()
+	size := c.Size()
+	acc := append([]byte(nil), data...)
+	if size == 1 {
+		return acc
+	}
+	rank := int(c.rank)
+	vrank := (rank - int(root) + size) % size
+	tag := collTag(seq, 0)
+	tmp := make([]byte, len(data))
+
+	for mask := 1; mask < size; mask <<= 1 {
+		if vrank&mask != 0 {
+			dst := Rank((vrank - mask + int(root)) % size)
+			c.sendColl(dst, tag, acc)
+			acc = nil
+			break
+		}
+		peer := vrank | mask
+		if peer < size {
+			src := Rank((peer + int(root)) % size)
+			c.recvColl(src, tag, tmp)
+			op.Apply(dt, acc, tmp)
+		}
+	}
+	if rank == int(root) {
+		return acc
+	}
+	return nil
+}
+
+// Allreduce folds every rank's data with op and returns the result on all
+// ranks (MPI_Allreduce). Power-of-two communicators use recursive
+// doubling; other sizes fold the surplus ranks into the nearest power of
+// two first (the standard MPICH approach).
+func (c *Comm) Allreduce(data []byte, dt Datatype, op Op) []byte {
+	seq := c.nextCollSeq()
+	size := c.Size()
+	acc := append([]byte(nil), data...)
+	if size == 1 {
+		return acc
+	}
+	rank := int(c.rank)
+	tmp := make([]byte, len(data))
+
+	pow2 := 1
+	for pow2*2 <= size {
+		pow2 *= 2
+	}
+	rem := size - pow2
+
+	// Phase 1: ranks [pow2, size) fold their contribution into their
+	// partner in [0, rem).
+	round := 0
+	if rank >= pow2 {
+		c.sendColl(Rank(rank-pow2), collTag(seq, round), acc)
+	} else if rank < rem {
+		c.recvColl(Rank(rank+pow2), collTag(seq, round), tmp)
+		op.Apply(dt, acc, tmp)
+	}
+	round++
+
+	// Phase 2: recursive doubling among [0, pow2).
+	if rank < pow2 {
+		for dist := 1; dist < pow2; dist, round = dist*2, round+1 {
+			peer := Rank(rank ^ dist)
+			rr := c.irecvColl(peer, collTag(seq, round), tmp)
+			c.sendColl(peer, collTag(seq, round), acc)
+			rr.Wait()
+			op.Apply(dt, acc, tmp)
+		}
+	} else {
+		round += log2ceil(pow2)
+	}
+
+	// Phase 3: partners return the result to the surplus ranks.
+	if rank < rem {
+		c.sendColl(Rank(rank+pow2), collTag(seq, round), acc)
+	} else if rank >= pow2 {
+		c.recvColl(Rank(rank-pow2), collTag(seq, round), acc)
+	}
+	return acc
+}
+
+func log2ceil(n int) int {
+	k := 0
+	for p := 1; p < n; p *= 2 {
+		k++
+	}
+	return k
+}
+
+// Gather collects equal-size blocks onto root: the returned buffer on root
+// holds rank i's data at offset i*len(data) (MPI_Gather). Linear.
+func (c *Comm) Gather(root Rank, data []byte) []byte {
+	counts := make([]int, c.Size())
+	for i := range counts {
+		counts[i] = len(data)
+	}
+	return c.Gatherv(root, data, counts)
+}
+
+// Gatherv collects variable-size blocks onto root; counts[i] is rank i's
+// contribution size, significant on every rank (MPI_Gatherv with implied
+// displacements).
+func (c *Comm) Gatherv(root Rank, data []byte, counts []int) []byte {
+	seq := c.nextCollSeq()
+	tag := collTag(seq, 0)
+	if c.rank != root {
+		c.sendColl(root, tag, data)
+		return nil
+	}
+	total := 0
+	offs := make([]int, c.Size()+1)
+	for i, n := range counts {
+		offs[i] = total
+		total += n
+	}
+	offs[c.Size()] = total
+	out := make([]byte, total)
+	reqs := make([]*Request, 0, c.Size()-1)
+	for r := 0; r < c.Size(); r++ {
+		if Rank(r) == root {
+			copy(out[offs[r]:offs[r+1]], data)
+			continue
+		}
+		reqs = append(reqs, c.irecvColl(Rank(r), tag, out[offs[r]:offs[r+1]]))
+	}
+	Waitall(reqs...)
+	return out
+}
+
+// Scatter distributes equal-size blocks from root's buffer: rank i gets
+// all[i*blockLen : (i+1)*blockLen] (MPI_Scatter). Linear.
+func (c *Comm) Scatter(root Rank, all []byte, blockLen int) []byte {
+	counts := make([]int, c.Size())
+	for i := range counts {
+		counts[i] = blockLen
+	}
+	return c.Scatterv(root, all, counts)
+}
+
+// Scatterv distributes variable-size blocks from root (MPI_Scatterv with
+// implied displacements); counts is significant on every rank.
+func (c *Comm) Scatterv(root Rank, all []byte, counts []int) []byte {
+	seq := c.nextCollSeq()
+	tag := collTag(seq, 0)
+	mine := make([]byte, counts[c.rank])
+	if c.rank != root {
+		c.recvColl(root, tag, mine)
+		return mine
+	}
+	off := 0
+	for r := 0; r < c.Size(); r++ {
+		block := all[off : off+counts[r]]
+		if Rank(r) == root {
+			copy(mine, block)
+		} else {
+			c.sendColl(Rank(r), tag, block)
+		}
+		off += counts[r]
+	}
+	return mine
+}
+
+// Allgather collects equal-size blocks from every rank onto every rank
+// (MPI_Allgather). Ring algorithm: p-1 steps, each forwarding the block
+// received in the previous step.
+func (c *Comm) Allgather(data []byte) []byte {
+	seq := c.nextCollSeq()
+	size := c.Size()
+	bl := len(data)
+	out := make([]byte, size*bl)
+	rank := int(c.rank)
+	copy(out[rank*bl:], data)
+	if size == 1 {
+		return out
+	}
+	right := Rank((rank + 1) % size)
+	left := Rank((rank - 1 + size) % size)
+	for step := 0; step < size-1; step++ {
+		sendBlock := (rank - step + size) % size
+		recvBlock := (rank - step - 1 + size) % size
+		tag := collTag(seq, step)
+		rr := c.irecvColl(left, tag, out[recvBlock*bl:(recvBlock+1)*bl])
+		c.sendColl(right, tag, out[sendBlock*bl:(sendBlock+1)*bl])
+		rr.Wait()
+	}
+	return out
+}
+
+// Allgatherv collects variable-size blocks from every rank onto every rank
+// (MPI_Allgatherv); counts is significant on every rank. Ring.
+func (c *Comm) Allgatherv(data []byte, counts []int) []byte {
+	seq := c.nextCollSeq()
+	size := c.Size()
+	offs := make([]int, size+1)
+	for i, n := range counts {
+		offs[i+1] = offs[i] + n
+	}
+	out := make([]byte, offs[size])
+	rank := int(c.rank)
+	copy(out[offs[rank]:offs[rank+1]], data)
+	if size == 1 {
+		return out
+	}
+	right := Rank((rank + 1) % size)
+	left := Rank((rank - 1 + size) % size)
+	for step := 0; step < size-1; step++ {
+		sendBlock := (rank - step + size) % size
+		recvBlock := (rank - step - 1 + size) % size
+		tag := collTag(seq, step)
+		rr := c.irecvColl(left, tag, out[offs[recvBlock]:offs[recvBlock+1]])
+		c.sendColl(right, tag, out[offs[sendBlock]:offs[sendBlock+1]])
+		rr.Wait()
+	}
+	return out
+}
+
+// Alltoall performs the complete exchange: rank i's block j goes to rank
+// j's block i (MPI_Alltoall). Pairwise-exchange algorithm, p-1 rounds.
+// data holds p blocks of blockLen bytes.
+func (c *Comm) Alltoall(data []byte, blockLen int) []byte {
+	seq := c.nextCollSeq()
+	size := c.Size()
+	out := make([]byte, size*blockLen)
+	rank := int(c.rank)
+	copy(out[rank*blockLen:], data[rank*blockLen:(rank+1)*blockLen])
+	for step := 1; step < size; step++ {
+		sendTo := Rank((rank + step) % size)
+		recvFrom := Rank((rank - step + size) % size)
+		tag := collTag(seq, step)
+		rr := c.irecvColl(recvFrom, tag, out[int(recvFrom)*blockLen:(int(recvFrom)+1)*blockLen])
+		c.sendColl(sendTo, tag, data[int(sendTo)*blockLen:(int(sendTo)+1)*blockLen])
+		rr.Wait()
+	}
+	return out
+}
+
+// Alltoallv is the variable-size complete exchange; sendCounts[j] bytes go
+// to rank j, recvCounts[j] bytes come from rank j (MPI_Alltoallv with
+// implied displacements).
+func (c *Comm) Alltoallv(data []byte, sendCounts, recvCounts []int) []byte {
+	seq := c.nextCollSeq()
+	size := c.Size()
+	soffs := make([]int, size+1)
+	roffs := make([]int, size+1)
+	for i := 0; i < size; i++ {
+		soffs[i+1] = soffs[i] + sendCounts[i]
+		roffs[i+1] = roffs[i] + recvCounts[i]
+	}
+	out := make([]byte, roffs[size])
+	rank := int(c.rank)
+	copy(out[roffs[rank]:roffs[rank+1]], data[soffs[rank]:soffs[rank+1]])
+	for step := 1; step < size; step++ {
+		sendTo := (rank + step) % size
+		recvFrom := (rank - step + size) % size
+		tag := collTag(seq, step)
+		rr := c.irecvColl(Rank(recvFrom), tag, out[roffs[recvFrom]:roffs[recvFrom+1]])
+		c.sendColl(Rank(sendTo), tag, data[soffs[sendTo]:soffs[sendTo+1]])
+		rr.Wait()
+	}
+	return out
+}
+
+// Scan computes the inclusive prefix reduction: rank r gets the fold of
+// ranks 0..r (MPI_Scan). Linear chain.
+func (c *Comm) Scan(data []byte, dt Datatype, op Op) []byte {
+	seq := c.nextCollSeq()
+	tag := collTag(seq, 0)
+	acc := append([]byte(nil), data...)
+	rank := int(c.rank)
+	if rank > 0 {
+		left := make([]byte, len(data))
+		c.recvColl(Rank(rank-1), tag, left)
+		op.Apply(dt, acc, left)
+	}
+	if rank < c.Size()-1 {
+		c.sendColl(Rank(rank+1), tag, acc)
+	}
+	return acc
+}
+
+// Exscan computes the exclusive prefix reduction: rank r gets the fold of
+// ranks 0..r-1; rank 0 gets nil (MPI_Exscan).
+func (c *Comm) Exscan(data []byte, dt Datatype, op Op) []byte {
+	seq := c.nextCollSeq()
+	tag := collTag(seq, 0)
+	rank := int(c.rank)
+	var result []byte
+	incl := append([]byte(nil), data...)
+	if rank > 0 {
+		result = make([]byte, len(data))
+		c.recvColl(Rank(rank-1), tag, result)
+		op.Apply(dt, incl, result)
+	}
+	if rank < c.Size()-1 {
+		c.sendColl(Rank(rank+1), tag, incl)
+	}
+	return result
+}
+
+// ReduceScatterBlock reduces the full vector and scatters equal blocks:
+// rank i receives block i of the reduction (MPI_Reduce_scatter_block).
+// data holds p blocks of blockLen bytes.
+func (c *Comm) ReduceScatterBlock(data []byte, blockLen int, dt Datatype, op Op) []byte {
+	full := c.Reduce(0, data, dt, op)
+	return c.Scatter(0, full, blockLen)
+}
+
+// --- Typed conveniences ----------------------------------------------------
+
+// AllreduceFloat64s is Allreduce on a float64 vector.
+func (c *Comm) AllreduceFloat64s(xs []float64, op Op) []float64 {
+	return BytesFloat64(c.Allreduce(Float64Bytes(xs), Float64, op))
+}
+
+// AllreduceFloat64 is Allreduce on a single float64.
+func (c *Comm) AllreduceFloat64(x float64, op Op) float64 {
+	return c.AllreduceFloat64s([]float64{x}, op)[0]
+}
+
+// AllreduceInt64 is Allreduce on a single int64.
+func (c *Comm) AllreduceInt64(x int64, op Op) int64 {
+	return BytesInt64(c.Allreduce(Int64Bytes([]int64{x}), Int64T, op))[0]
+}
+
+// BcastFloat64s broadcasts a float64 vector from root in place.
+func (c *Comm) BcastFloat64s(root Rank, xs []float64) {
+	b := Float64Bytes(xs)
+	c.Bcast(root, b)
+	copy(xs, BytesFloat64(b))
+}

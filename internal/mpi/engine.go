@@ -1,0 +1,465 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// DebugEngine enables engine event tracing (debugging only).
+var DebugEngine = false
+
+// dbgStart anchors debug timestamps.
+var dbgStart = time.Now()
+
+// dbgUS returns microseconds since package init, for debug traces.
+func dbgUS() int { return int(time.Since(dbgStart).Microseconds()) }
+
+// DefaultEagerLimit is the payload size, in bytes, at or below which a send
+// uses the eager wire protocol (the payload travels with the envelope and
+// the sender completes immediately after buffering). Larger messages use
+// the rendezvous protocol (RTS → match → CTS → Data).
+const DefaultEagerLimit = 64 << 10
+
+// PReq is a PML-level request: one posted receive or one in-flight send on
+// a specific physical channel. Protocols compose one or more PReqs (plus
+// their own gating, e.g. replication acks) into an application Request.
+type PReq struct {
+	send      bool
+	ctx       uint32
+	tag       int
+	dst       transport.ProcID // send side
+	srcWant   transport.ProcID // recv side: specific proc or AnyProc
+	srcPred   func(transport.ProcID) bool
+	buf       []byte // recv buffer
+	data      []byte // send payload (eager: the engine's copy)
+	seq       uint64
+	meta      [4]int64
+	xid       uint64
+	done      bool
+	cancelled bool
+	truncated bool
+	sink      bool // duplicate-RTS sink: completion is not an event
+	status    PStatus
+
+	// User is protocol-private attachment (e.g. the retention entry a
+	// send belongs to).
+	User any
+}
+
+// Done reports request completion at the PML level.
+func (r *PReq) Done() bool { return r.done }
+
+// Cancelled reports whether the request was cancelled.
+func (r *PReq) Cancelled() bool { return r.cancelled }
+
+// Truncated reports whether a matched message overflowed the receive
+// buffer (MPI_ERR_TRUNCATE).
+func (r *PReq) Truncated() bool { return r.truncated }
+
+// PStatus returns the PML-level completion status.
+func (r *PReq) PStatus() PStatus { return r.status }
+
+// Data returns the engine-owned payload copy of an eager send, which a
+// replication protocol retains for possible re-sends.
+func (r *PReq) Data() []byte { return r.data }
+
+// Dst returns the physical destination of a send request.
+func (r *PReq) Dst() transport.ProcID { return r.dst }
+
+// Buf returns the receive buffer (protocols use it for SDC hashing).
+func (r *PReq) Buf() []byte { return r.buf }
+
+// matches reports whether incoming message m can be delivered to this
+// posted receive.
+func (r *PReq) matches(m *transport.Message) bool {
+	if r.send || r.done || r.cancelled {
+		return false
+	}
+	if r.ctx != m.Ctx {
+		return false
+	}
+	if r.tag != AnyTag && r.tag != m.Tag {
+		return false
+	}
+	if r.srcWant == AnyProc {
+		return r.srcPred == nil || r.srcPred(m.Src)
+	}
+	return r.srcWant == m.Src
+}
+
+// Engine is the PML: the per-process matching and progress engine. It is
+// owned by the process goroutine and is not safe for concurrent use; all
+// progress happens inside library calls, matching the paper's no-async-
+// progress assumption.
+type Engine struct {
+	ep         *transport.Endpoint
+	nw         *transport.Network
+	EagerLimit int
+
+	posted     []*PReq
+	unexpected []*transport.Message
+	unexpHW    int // high-water mark of the unexpected queue
+	rdvRecv    map[uint64]*PReq
+	rdvSend    map[uint64]*PReq
+	nextXID    uint64
+
+	// Protocol hooks (the vProtocol interception points). OnArrive sees
+	// every application message (eager or RTS) before matching and may
+	// swallow it (return false) to reorder or deduplicate; swallowed
+	// messages re-enter matching through InjectMatch. OnRecvComplete is
+	// the paper's irecvComplete event; OnMatch is the match event.
+	OnArrive       func(*transport.Message) bool
+	OnMatch        func(*PReq, *transport.Message)
+	OnRecvComplete func(*PReq)
+	OnAck          func(*transport.Message)
+	OnHash         func(*transport.Message)
+	OnCtl          func(*transport.Message)
+}
+
+// NewEngine creates the PML engine for the process attached to ep.
+func NewEngine(nw *transport.Network, ep *transport.Endpoint) *Engine {
+	return &Engine{
+		ep:         ep,
+		nw:         nw,
+		EagerLimit: DefaultEagerLimit,
+		rdvRecv:    make(map[uint64]*PReq),
+		rdvSend:    make(map[uint64]*PReq),
+	}
+}
+
+// Proc returns the physical process ID this engine belongs to.
+func (e *Engine) Proc() transport.ProcID { return e.ep.ID() }
+
+// Network returns the underlying network.
+func (e *Engine) Network() *transport.Network { return e.nw }
+
+// Endpoint returns the transport endpoint (protocols use it to emit acks
+// and control messages).
+func (e *Engine) Endpoint() *transport.Endpoint { return e.ep }
+
+// checkCrash unwinds the goroutine if this process has been killed.
+func (e *Engine) checkCrash() {
+	if e.ep.Crashed() {
+		Crash(e.ep.ID())
+	}
+}
+
+// Isend starts a PML-level send of data to physical process dst. For
+// payloads at or below EagerLimit it copies the payload (so the caller's
+// buffer is immediately reusable) and completes at once; larger payloads
+// use rendezvous and complete when the data has been shipped after a CTS.
+func (e *Engine) Isend(dst transport.ProcID, ctx uint32, tag int, data []byte, seq uint64, meta [4]int64) *PReq {
+	e.checkCrash()
+	r := &PReq{send: true, ctx: ctx, tag: tag, dst: dst, seq: seq, meta: meta}
+	if len(data) <= e.EagerLimit {
+		cp := append([]byte(nil), data...)
+		r.data = cp
+		e.ep.Send(&transport.Message{
+			Dst: dst, Kind: transport.KindEager,
+			Ctx: ctx, Tag: tag, Seq: seq, Meta: meta, Data: cp,
+		})
+		r.done = true
+		return r
+	}
+	e.nextXID++
+	r.xid = uint64(e.ep.ID()+1)<<40 | e.nextXID
+	r.data = data
+	meta[MetaLen] = int64(len(data))
+	r.meta = meta
+	e.rdvSend[r.xid] = r
+	e.ep.Send(&transport.Message{
+		Dst: dst, Kind: transport.KindRTS,
+		Ctx: ctx, Tag: tag, Seq: seq, XID: r.xid, Meta: meta,
+	})
+	return r
+}
+
+// Irecv posts a PML-level receive. src is a specific physical process or
+// AnyProc; with AnyProc, pred (if non-nil) filters acceptable sources —
+// protocols use it to restrict wildcard receives to the replicas they
+// currently receive from.
+func (e *Engine) Irecv(src transport.ProcID, pred func(transport.ProcID) bool, ctx uint32, tag int, buf []byte) *PReq {
+	e.checkCrash()
+	r := &PReq{ctx: ctx, tag: tag, srcWant: src, srcPred: pred, buf: buf}
+	// Try the unexpected queue first (in arrival order), then post.
+	for i, m := range e.unexpected {
+		if r.matches(m) {
+			e.unexpected = append(e.unexpected[:i], e.unexpected[i+1:]...)
+			e.deliver(r, m)
+			return r
+		}
+	}
+	e.posted = append(e.posted, r)
+	return r
+}
+
+// Cancel marks a request cancelled. Posted receives are withdrawn from
+// matching; pending rendezvous sends are dropped (a late CTS is ignored).
+func (e *Engine) Cancel(r *PReq) {
+	if r == nil || r.done {
+		return
+	}
+	r.cancelled = true
+	r.done = true
+	if r.send {
+		delete(e.rdvSend, r.xid)
+		return
+	}
+	for i, p := range e.posted {
+		if p == r {
+			e.posted = append(e.posted[:i], e.posted[i+1:]...)
+			break
+		}
+	}
+}
+
+// CancelSendsTo cancels every pending rendezvous send addressed to dst —
+// its CTS will never come once dst has failed. Eager sends complete
+// immediately and need no cancellation.
+func (e *Engine) CancelSendsTo(dst transport.ProcID) {
+	for xid, r := range e.rdvSend {
+		if r.dst == dst {
+			delete(e.rdvSend, xid)
+			r.cancelled = true
+			r.done = true
+		}
+	}
+}
+
+// RebindRTS re-attaches a duplicate RTS to a matched-but-incomplete
+// rendezvous receive of the same logical message (same context, sequence
+// and source rank). This happens when the original sender crashed between
+// its RTS and the payload transfer: the substitute's re-send must resume
+// the broken handshake rather than be discarded. Returns false if no
+// incomplete receive matches.
+func (e *Engine) RebindRTS(m *transport.Message) bool {
+	for xid, r := range e.rdvRecv {
+		if r.sink || r.done {
+			continue
+		}
+		if r.status.Ctx == m.Ctx && r.status.Seq == m.Seq &&
+			r.status.Meta[MetaSrcRank] == m.Meta[MetaSrcRank] {
+			delete(e.rdvRecv, xid)
+			r.status.SrcPhys = m.Src
+			r.status.Meta = m.Meta
+			e.rdvRecv[m.XID] = r
+			e.ep.Send(&transport.Message{Dst: m.Src, Kind: transport.KindCTS, Ctx: m.Ctx, XID: m.XID})
+			return true
+		}
+	}
+	return false
+}
+
+// SinkRTS completes a duplicate rendezvous handshake into a throwaway
+// buffer. Replication protocols call it when the sequencer discards a
+// duplicate RTS (mirror mode's redundant copies, or a substitute's re-send
+// racing the in-flight original): the duplicate sender still needs a CTS
+// to complete its request, and the redundant payload transfer is exactly
+// the bandwidth cost the mirror protocol pays.
+func (e *Engine) SinkRTS(m *transport.Message) {
+	r := &PReq{ctx: m.Ctx, tag: m.Tag, buf: make([]byte, int(m.Meta[MetaLen]))}
+	r.status = PStatus{SrcPhys: m.Src, Ctx: m.Ctx, Tag: m.Tag, Count: int(m.Meta[MetaLen]), Seq: m.Seq, Meta: m.Meta}
+	r.sink = true
+	e.rdvRecv[m.XID] = r
+	e.ep.Send(&transport.Message{Dst: m.Src, Kind: transport.KindCTS, Ctx: m.Ctx, XID: m.XID})
+}
+
+// UnexpectedMessages snapshots the unexpected queue (the recovery fork
+// clones it into the replacement replica).
+func (e *Engine) UnexpectedMessages() []*transport.Message {
+	return append([]*transport.Message(nil), e.unexpected...)
+}
+
+// SeedUnexpected pre-loads the unexpected queue of a freshly built engine
+// (the recovered replica's inherited, admitted-but-unconsumed messages).
+func (e *Engine) SeedUnexpected(ms []*transport.Message) {
+	e.unexpected = append(e.unexpected, ms...)
+}
+
+// RetargetRecvs redirects every posted receive that names physical source
+// old to name new instead (Algorithm 1, lines 34-35), then re-runs
+// matching against the unexpected queue, since messages from the new
+// source may already have arrived.
+func (e *Engine) RetargetRecvs(old, new transport.ProcID) {
+	changed := false
+	for _, r := range e.posted {
+		if !r.send && r.srcWant == old {
+			r.srcWant = new
+			changed = true
+		}
+	}
+	if changed {
+		e.rematch()
+	}
+}
+
+// rematch retries delivery of unexpected messages against posted receives.
+func (e *Engine) rematch() {
+	i := 0
+	for i < len(e.unexpected) {
+		m := e.unexpected[i]
+		if req := e.findPosted(m); req != nil {
+			e.unexpected = append(e.unexpected[:i], e.unexpected[i+1:]...)
+			e.deliver(req, m)
+			continue
+		}
+		i++
+	}
+}
+
+func (e *Engine) findPosted(m *transport.Message) *PReq {
+	for i, r := range e.posted {
+		if r.matches(m) {
+			e.posted = append(e.posted[:i], e.posted[i+1:]...)
+			return r
+		}
+	}
+	return nil
+}
+
+// InjectMatch feeds an application message into the matching engine,
+// bypassing the OnArrive hook. Replication protocols use it to release
+// messages held back for sequencing.
+func (e *Engine) InjectMatch(m *transport.Message) {
+	if req := e.findPosted(m); req != nil {
+		e.deliver(req, m)
+		return
+	}
+	e.unexpected = append(e.unexpected, m)
+	if len(e.unexpected) > e.unexpHW {
+		e.unexpHW = len(e.unexpected)
+	}
+}
+
+// deliver completes the match of message m with posted receive req: eager
+// payloads complete immediately (match + irecvComplete); an RTS triggers
+// the CTS reply and completion is deferred to the Data arrival.
+func (e *Engine) deliver(req *PReq, m *transport.Message) {
+	if DebugEngine {
+		println(dbgUS(), "proc", int(e.ep.ID()), "DELIVER kind", int(m.Kind), "seq", int(m.Seq), "tag", m.Tag)
+	}
+	req.status = PStatus{SrcPhys: m.Src, Ctx: m.Ctx, Tag: m.Tag, Count: m.Len(), Seq: m.Seq, Meta: m.Meta}
+	if m.Kind == transport.KindRTS {
+		req.status.Count = int(m.Meta[MetaLen])
+		if e.OnMatch != nil {
+			e.OnMatch(req, m)
+		}
+		e.rdvRecv[m.XID] = req
+		e.ep.Send(&transport.Message{Dst: m.Src, Kind: transport.KindCTS, Ctx: m.Ctx, XID: m.XID})
+		return
+	}
+	if e.OnMatch != nil {
+		e.OnMatch(req, m)
+	}
+	if m.Len() > len(req.buf) {
+		req.truncated = true
+	}
+	copy(req.buf, m.Data)
+	req.done = true
+	if e.OnRecvComplete != nil {
+		e.OnRecvComplete(req)
+	}
+}
+
+// handle dispatches one inbound transport message.
+func (e *Engine) handle(m *transport.Message) {
+	switch m.Kind {
+	case transport.KindAck:
+		if e.OnAck != nil {
+			e.OnAck(m)
+		}
+	case transport.KindHash:
+		if e.OnHash != nil {
+			e.OnHash(m)
+		}
+	case transport.KindCtl:
+		if e.OnCtl != nil {
+			e.OnCtl(m)
+		}
+	case transport.KindCTS:
+		if DebugEngine {
+			_, ok := e.rdvSend[m.XID]
+			println(dbgUS(), "proc", int(e.ep.ID()), "CTS known", ok, "from", int(m.Src))
+		}
+		if r, ok := e.rdvSend[m.XID]; ok {
+			delete(e.rdvSend, m.XID)
+			// Ship a copy: completing the request frees the caller's
+			// buffer for reuse (MPI_Wait semantics), so the bytes on
+			// the wire must be owned by the transport, exactly as a
+			// NIC's send completion implies the buffer has been read.
+			e.ep.Send(&transport.Message{
+				Dst: m.Src, Kind: transport.KindData,
+				Ctx: r.ctx, Tag: r.tag, Seq: r.seq, XID: m.XID, Meta: r.meta,
+				Data: append([]byte(nil), r.data...),
+			})
+			r.done = true
+		}
+	case transport.KindData:
+		if DebugEngine {
+			_, ok := e.rdvRecv[m.XID]
+			println(dbgUS(), "proc", int(e.ep.ID()), "DATA seq", int(m.Seq), "known", ok)
+		}
+		if r, ok := e.rdvRecv[m.XID]; ok {
+			delete(e.rdvRecv, m.XID)
+			if m.Len() > len(r.buf) {
+				r.truncated = true
+			}
+			copy(r.buf, m.Data)
+			r.status.Count = m.Len()
+			r.done = true
+			if e.OnRecvComplete != nil && !r.sink {
+				e.OnRecvComplete(r)
+			}
+		}
+	case transport.KindEager, transport.KindRTS:
+		if e.OnArrive != nil && !e.OnArrive(m) {
+			return
+		}
+		e.InjectMatch(m)
+	default:
+		panic(fmt.Sprintf("mpi: unknown message kind %v", m.Kind))
+	}
+}
+
+// Progress drains and processes all deliverable inbound messages. It
+// returns true if any message was processed. It also realizes this
+// process's own crash, if one has been injected.
+func (e *Engine) Progress() bool {
+	e.checkCrash()
+	msgs := e.ep.Drain()
+	for _, m := range msgs {
+		e.handle(m)
+	}
+	return len(msgs) > 0
+}
+
+// WaitUntil pumps progress until cond holds. It unwinds with the crash
+// sentinel if this process is killed while waiting.
+func (e *Engine) WaitUntil(cond func() bool) {
+	for {
+		e.Progress()
+		if cond() {
+			return
+		}
+		if !e.ep.WaitActivity(0) {
+			Crash(e.ep.ID())
+		}
+	}
+}
+
+// UnexpectedLen reports the current depth of the unexpected-message queue
+// (used by the leader-baseline experiments: delayed receive posting grows
+// this queue, §3.1).
+func (e *Engine) UnexpectedLen() int { return len(e.unexpected) }
+
+// PostedLen reports the number of posted, unmatched receives.
+func (e *Engine) PostedLen() int { return len(e.posted) }
+
+// UnexpectedHighWater reports the deepest the unexpected queue has been —
+// the §3.1 cost of posting receives late (leader-based wildcards).
+func (e *Engine) UnexpectedHighWater() int { return e.unexpHW }
+
+// DbgUS exposes the debug timestamp to sibling packages' traces.
+func DbgUS() int { return dbgUS() }

@@ -1,0 +1,187 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// twoEngines wires two engines on a fresh network.
+func twoEngines() (*Engine, *Engine, *transport.Network) {
+	nw := transport.NewNetwork(2, nil)
+	a := NewEngine(nw, nw.Endpoint(0))
+	b := NewEngine(nw, nw.Endpoint(1))
+	return a, b, nw
+}
+
+func TestCancelPostedRecv(t *testing.T) {
+	a, _, nw := twoEngines()
+	defer nw.Close()
+	r := a.Irecv(1, nil, 2, 5, make([]byte, 4))
+	if a.PostedLen() != 1 {
+		t.Fatal("not posted")
+	}
+	a.Cancel(r)
+	if !r.Cancelled() || !r.Done() {
+		t.Fatal("cancel flags wrong")
+	}
+	if a.PostedLen() != 0 {
+		t.Fatal("still posted after cancel")
+	}
+	// Cancel is idempotent and safe on nil.
+	a.Cancel(r)
+	a.Cancel(nil)
+}
+
+func TestCancelPendingRendezvousSend(t *testing.T) {
+	a, _, nw := twoEngines()
+	defer nw.Close()
+	a.EagerLimit = 4
+	r := a.Isend(1, 2, 5, make([]byte, 100), 0, [4]int64{})
+	if r.Done() {
+		t.Fatal("rendezvous send should be pending before CTS")
+	}
+	a.Cancel(r)
+	if !r.Done() || !r.Cancelled() {
+		t.Fatal("cancel did not complete the request")
+	}
+}
+
+func TestCancelSendsTo(t *testing.T) {
+	a, _, nw := twoEngines()
+	defer nw.Close()
+	a.EagerLimit = 4
+	r1 := a.Isend(1, 2, 5, make([]byte, 100), 0, [4]int64{})
+	r2 := a.Isend(1, 2, 6, make([]byte, 100), 1, [4]int64{})
+	a.CancelSendsTo(1)
+	if !r1.Done() || !r2.Done() {
+		t.Fatal("pending rendezvous to dead dest not cancelled")
+	}
+}
+
+func TestSinkRTSCompletesSender(t *testing.T) {
+	a, b, nw := twoEngines()
+	defer nw.Close()
+	a.EagerLimit = 4
+	r := a.Isend(1, 2, 5, []byte("0123456789"), 0, [4]int64{})
+	// b drains the RTS and sinks it (as a protocol would for a
+	// duplicate), then a receives the CTS and ships the data.
+	for _, m := range nw.Endpoint(1).Drain() {
+		if m.Kind == transport.KindRTS {
+			b.SinkRTS(m)
+		}
+	}
+	a.Progress()
+	if !r.Done() {
+		t.Fatal("sender not completed by sink handshake")
+	}
+	// The sunk data must not fire irecvComplete at b.
+	fired := false
+	b.OnRecvComplete = func(*PReq) { fired = true }
+	b.Progress()
+	if fired {
+		t.Fatal("sink completion must not be an application event")
+	}
+}
+
+func TestRebindRTSResumesBrokenHandshake(t *testing.T) {
+	a, b, nw := twoEngines()
+	defer nw.Close()
+	a.EagerLimit = 4
+	b.EagerLimit = 4
+
+	// b posts a receive; a's RTS matches it; but a "dies" before the
+	// CTS reaches it (we simply drop the CTS by never progressing a).
+	buf := make([]byte, 16)
+	req := b.Irecv(AnyProc, nil, 2, 5, buf)
+	var meta [4]int64
+	meta[MetaSrcRank] = 9
+	a.Isend(1, 2, 5, []byte("payload-on-wire!"), 3, meta)
+	b.Progress() // match + CTS (to a, which will never answer)
+	if req.Done() {
+		t.Fatal("should await data")
+	}
+	nw.Endpoint(0).Drain() // discard a's CTS: the handshake is now broken
+
+	// A substitute re-sends the same logical message (same ctx/seq/src
+	// rank) from proc 0 with a fresh xid.
+	pr2 := a.Isend(1, 2, 5, []byte("payload-on-wire!"), 3, meta)
+	_ = pr2
+	for _, m := range nw.Endpoint(1).Drain() {
+		if m.Kind == transport.KindRTS {
+			if !b.RebindRTS(m) {
+				t.Fatal("rebind failed to find the broken receive")
+			}
+		}
+	}
+	a.Progress() // answer the new CTS with data
+	b.Progress() // complete
+	if !req.Done() {
+		t.Fatal("rebound handshake did not complete the receive")
+	}
+	if string(buf) != "payload-on-wire!" {
+		t.Fatalf("payload: %q", buf)
+	}
+}
+
+func TestRebindRTSRejectsUnrelated(t *testing.T) {
+	_, b, nw := twoEngines()
+	defer nw.Close()
+	m := &transport.Message{Kind: transport.KindRTS, Ctx: 2, Seq: 7, XID: 42}
+	if b.RebindRTS(m) {
+		t.Fatal("rebind with no pending receive should fail")
+	}
+}
+
+func TestRetargetRecvs(t *testing.T) {
+	a, _, nw := twoEngines()
+	defer nw.Close()
+	buf := make([]byte, 4)
+	r := a.Irecv(1, nil, 2, 5, buf)
+	a.RetargetRecvs(1, 0)
+	// A message from proc 0 must now match.
+	nw.Endpoint(0).Send(&transport.Message{Dst: 0, Kind: transport.KindEager, Ctx: 2, Tag: 5, Data: []byte{9}})
+	a.Progress()
+	if !r.Done() {
+		t.Fatal("retargeted receive did not match")
+	}
+	if r.PStatus().SrcPhys != 0 {
+		t.Fatalf("src %d", r.PStatus().SrcPhys)
+	}
+}
+
+func TestUnexpectedHighWater(t *testing.T) {
+	a, _, nw := twoEngines()
+	defer nw.Close()
+	for i := 0; i < 5; i++ {
+		nw.Endpoint(1).Send(&transport.Message{Dst: 0, Kind: transport.KindEager, Ctx: 2, Tag: i, Data: []byte{1}})
+	}
+	a.Progress()
+	if a.UnexpectedHighWater() != 5 {
+		t.Fatalf("high water %d", a.UnexpectedHighWater())
+	}
+	for i := 0; i < 5; i++ {
+		a.Irecv(1, nil, 2, i, make([]byte, 1))
+	}
+	if a.UnexpectedLen() != 0 {
+		t.Fatal("queue should drain")
+	}
+	if a.UnexpectedHighWater() != 5 {
+		t.Fatal("high water should persist")
+	}
+}
+
+func TestSeedUnexpected(t *testing.T) {
+	a, _, nw := twoEngines()
+	defer nw.Close()
+	m := &transport.Message{Src: 1, Dst: 0, Kind: transport.KindEager, Ctx: 2, Tag: 7, Data: []byte{42}}
+	a.SeedUnexpected([]*transport.Message{m})
+	buf := make([]byte, 1)
+	r := a.Irecv(1, nil, 2, 7, buf)
+	if !r.Done() || buf[0] != 42 {
+		t.Fatal("seeded message not delivered")
+	}
+	if got := a.UnexpectedMessages(); len(got) != 0 {
+		t.Fatalf("unexpected queue should be empty, has %d", len(got))
+	}
+}

@@ -1,0 +1,230 @@
+package mpi
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func ranks(xs ...int) []Rank {
+	out := make([]Rank, len(xs))
+	for i, x := range xs {
+		out[i] = Rank(x)
+	}
+	return out
+}
+
+func TestGroupBasics(t *testing.T) {
+	g := WorldGroup(5)
+	if g.Size() != 5 || g.Base(3) != 3 || g.PosOf(4) != 4 {
+		t.Fatalf("world group wrong: %+v", g)
+	}
+	if g.PosOf(9) != -1 {
+		t.Error("PosOf missing rank should be -1")
+	}
+	if !g.Contains(0) || g.Contains(5) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestGroupInclExcl(t *testing.T) {
+	g := WorldGroup(6)
+	in := g.Incl(ranks(4, 0, 2))
+	if !reflect.DeepEqual(in.Ranks(), ranks(4, 0, 2)) {
+		t.Errorf("incl: %v", in.Ranks())
+	}
+	ex := g.Excl(ranks(0, 5))
+	if !reflect.DeepEqual(ex.Ranks(), ranks(1, 2, 3, 4)) {
+		t.Errorf("excl: %v", ex.Ranks())
+	}
+}
+
+func TestGroupRangeIncl(t *testing.T) {
+	g := WorldGroup(10)
+	fwd := g.RangeIncl(2, 8, 3)
+	if !reflect.DeepEqual(fwd.Ranks(), ranks(2, 5, 8)) {
+		t.Errorf("range fwd: %v", fwd.Ranks())
+	}
+	rev := g.RangeIncl(8, 2, -3)
+	if !reflect.DeepEqual(rev.Ranks(), ranks(8, 5, 2)) {
+		t.Errorf("range rev: %v", rev.Ranks())
+	}
+	if g.RangeIncl(0, 5, 0).Size() != 0 {
+		t.Error("zero stride should be empty")
+	}
+}
+
+func TestGroupSetOps(t *testing.T) {
+	a := NewGroup(ranks(0, 1, 2, 3))
+	b := NewGroup(ranks(2, 3, 4, 5))
+	if got := a.Union(b).Ranks(); !reflect.DeepEqual(got, ranks(0, 1, 2, 3, 4, 5)) {
+		t.Errorf("union: %v", got)
+	}
+	if got := a.Intersection(b).Ranks(); !reflect.DeepEqual(got, ranks(2, 3)) {
+		t.Errorf("intersection: %v", got)
+	}
+	if got := a.Difference(b).Ranks(); !reflect.DeepEqual(got, ranks(0, 1)) {
+		t.Errorf("difference: %v", got)
+	}
+}
+
+func TestGroupTranslateRanks(t *testing.T) {
+	a := NewGroup(ranks(3, 1, 4))
+	b := NewGroup(ranks(4, 3, 9))
+	got := a.TranslateRanks(ranks(0, 1, 2), b)
+	if !reflect.DeepEqual(got, ranks(1, -1, 0)) {
+		t.Errorf("translate: %v", got)
+	}
+}
+
+func TestGroupCompare(t *testing.T) {
+	a := NewGroup(ranks(0, 1, 2))
+	if a.Compare(NewGroup(ranks(0, 1, 2))) != GroupIdent {
+		t.Error("ident")
+	}
+	if a.Compare(NewGroup(ranks(2, 0, 1))) != GroupSimilar {
+		t.Error("similar")
+	}
+	if a.Compare(NewGroup(ranks(0, 1, 3))) != GroupUnequal {
+		t.Error("unequal members")
+	}
+	if a.Compare(NewGroup(ranks(0, 1))) != GroupUnequal {
+		t.Error("unequal size")
+	}
+}
+
+func TestGroupSetIdentitiesProperty(t *testing.T) {
+	// For arbitrary subsets A, B of a world: |A∪B| = |A|+|B|-|A∩B|, and
+	// difference/intersection partition A.
+	f := func(maskA, maskB uint8) bool {
+		w := WorldGroup(8)
+		var pa, pb []Rank
+		for i := 0; i < 8; i++ {
+			if maskA&(1<<i) != 0 {
+				pa = append(pa, Rank(i))
+			}
+			if maskB&(1<<i) != 0 {
+				pb = append(pb, Rank(i))
+			}
+		}
+		a, b := w.Incl(pa), w.Incl(pb)
+		union := a.Union(b)
+		inter := a.Intersection(b)
+		diff := a.Difference(b)
+		if union.Size() != a.Size()+b.Size()-inter.Size() {
+			return false
+		}
+		if diff.Size()+inter.Size() != a.Size() {
+			return false
+		}
+		// Every member of the union is in a or b.
+		for _, r := range union.Ranks() {
+			if !a.Contains(r) && !b.Contains(r) {
+				return false
+			}
+		}
+		// Difference and intersection are disjoint.
+		for _, r := range diff.Ranks() {
+			if inter.Contains(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpsProperty(t *testing.T) {
+	// Sum and Max are commutative over random float64 vectors.
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a, b = a[:n], b[:n]
+		x1 := Float64Bytes(a)
+		OpSum.Apply(Float64, x1, Float64Bytes(b))
+		x2 := Float64Bytes(b)
+		OpSum.Apply(Float64, x2, Float64Bytes(a))
+		g1, g2 := BytesFloat64(x1), BytesFloat64(x2)
+		for i := range g1 {
+			if g1[i] != g2[i] && !(g1[i] != g1[i] && g2[i] != g2[i]) { // allow NaN==NaN
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64BytesRoundTripProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		got := BytesFloat64(Float64Bytes(xs))
+		if len(got) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			if got[i] != xs[i] && !(got[i] != got[i] && xs[i] != xs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64BytesRoundTripProperty(t *testing.T) {
+	f := func(xs []int64) bool {
+		got := BytesInt64(Int64Bytes(xs))
+		return reflect.DeepEqual(got, xs) || (len(xs) == 0 && len(got) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogicalBitwiseOps(t *testing.T) {
+	a := Int64Bytes([]int64{0, 1, 0b1100})
+	OpLand.Apply(Int64T, a, Int64Bytes([]int64{1, 1, 1}))
+	if got := BytesInt64(a); got[0] != 0 || got[1] != 1 {
+		t.Errorf("land: %v", got)
+	}
+	b := Int64Bytes([]int64{0, 0, 0})
+	OpLor.Apply(Int64T, b, Int64Bytes([]int64{0, 2, 0}))
+	if got := BytesInt64(b); got[0] != 0 || got[1] != 1 {
+		t.Errorf("lor: %v", got)
+	}
+	c := Int64Bytes([]int64{0b1100})
+	OpBand.Apply(Int64T, c, Int64Bytes([]int64{0b1010}))
+	if got := BytesInt64(c); got[0] != 0b1000 {
+		t.Errorf("band: %v", got)
+	}
+	d := Int64Bytes([]int64{0b1100})
+	OpBxor.Apply(Int64T, d, Int64Bytes([]int64{0b1010}))
+	if got := BytesInt64(d); got[0] != 0b0110 {
+		t.Errorf("bxor: %v", got)
+	}
+}
+
+func TestInt32Float32Ops(t *testing.T) {
+	i32 := []byte{5, 0, 0, 0}
+	OpSum.Apply(Int32T, i32, []byte{7, 0, 0, 0})
+	if i32[0] != 12 {
+		t.Errorf("int32 sum: %v", i32)
+	}
+	f32a := make([]byte, 4)
+	f32b := make([]byte, 4)
+	// 1.5f and 2.25f
+	copy(f32a, []byte{0x00, 0x00, 0xc0, 0x3f})
+	copy(f32b, []byte{0x00, 0x00, 0x10, 0x40})
+	OpSum.Apply(Float32, f32a, f32b)
+	if !reflect.DeepEqual(f32a, []byte{0x00, 0x00, 0x70, 0x40}) { // 3.75f
+		t.Errorf("float32 sum: %v", f32a)
+	}
+}

@@ -1,0 +1,195 @@
+package mpi
+
+// Inter-communicators (MPI_Intercomm_create / MPI_Intercomm_merge): a
+// communication context connecting two disjoint groups, where
+// point-to-point operations address ranks of the *remote* group. The
+// implementation rides on an internal union communicator whose context is
+// private to the inter-communicator — all traffic on it is inter-group by
+// construction, which is what makes wildcard receives safe without a
+// protocol-level group filter.
+
+// InterComm is an inter-communicator between a local and a remote group.
+type InterComm struct {
+	union     *Comm // internal: local group then remote group, or vice versa
+	local     *Comm // intracomm over the local group (MPI_Comm_group side)
+	localOff  int   // offset of my group inside the union ordering
+	remoteOff int   // offset of the remote group inside the union ordering
+	remoteN   int
+	first     bool // my group is the union's first block (the "A side")
+}
+
+// IntercommCreate connects two disjoint subgroups of this communicator
+// (MPI_Intercomm_create, with the parent communicator playing the peer-
+// communicator role). Collective over the parent; processes in groupA get
+// an inter-communicator whose remote group is groupB and vice versa;
+// processes in neither get nil.
+func (c *Comm) IntercommCreate(groupA, groupB *Group) *InterComm {
+	for _, b := range groupA.ranks {
+		if groupB.Contains(b) {
+			c.raise(ErrComm, "IntercommCreate: groups overlap at base rank %d", b)
+			return nil
+		}
+	}
+	// Derive contexts on every member (deterministic, like CommCreate),
+	// then bail out for non-members.
+	c.Barrier()
+	unionP2P, unionColl := c.childCtx()
+	localP2P, localColl := c.childCtx()
+
+	myBase := c.BaseRank(c.rank)
+	inA, inB := groupA.Contains(myBase), groupB.Contains(myBase)
+	if !inA && !inB {
+		return nil
+	}
+	unionGroup := NewGroup(append(append([]Rank(nil), groupA.ranks...), groupB.ranks...))
+	union := newComm(c.proc, c.protocol, unionGroup, myBase, unionP2P, unionColl)
+
+	localGroup := groupA
+	if inB {
+		localGroup = groupB
+	}
+	local := newComm(c.proc, c.protocol, NewGroup(localGroup.ranks), myBase, localP2P, localColl)
+
+	ic := &InterComm{union: union, local: local, remoteN: groupB.Size(), first: inA}
+	if inA {
+		ic.localOff, ic.remoteOff = 0, groupA.Size()
+	} else {
+		ic.localOff, ic.remoteOff = groupA.Size(), 0
+		ic.remoteN = groupA.Size()
+	}
+	return ic
+}
+
+// LocalComm returns the intra-communicator over the local group
+// (the MPI_Comm_group / local collectives side).
+func (ic *InterComm) LocalComm() *Comm { return ic.local }
+
+// LocalRank returns this process's rank within its own group
+// (MPI_Comm_rank on an inter-communicator).
+func (ic *InterComm) LocalRank() Rank { return ic.local.Rank() }
+
+// LocalSize returns the local group size.
+func (ic *InterComm) LocalSize() int { return ic.local.Size() }
+
+// RemoteSize returns the remote group size (MPI_Comm_remote_size).
+func (ic *InterComm) RemoteSize() int { return ic.remoteN }
+
+// toUnion translates a remote rank to the union communicator's rank.
+func (ic *InterComm) toUnion(remote Rank) Rank {
+	if remote == ProcNull || remote == AnySource {
+		return remote
+	}
+	if remote < 0 || int(remote) >= ic.remoteN {
+		ic.union.raise(ErrRank, "intercomm: remote rank %d outside group of %d", remote, ic.remoteN)
+		return ProcNull
+	}
+	return Rank(ic.remoteOff) + remote
+}
+
+// fromUnion translates a union source rank back to a remote rank.
+func (ic *InterComm) fromUnion(u Rank) Rank {
+	if u < 0 {
+		return u
+	}
+	return u - Rank(ic.remoteOff)
+}
+
+// Isend starts a non-blocking send to remote rank `to`.
+func (ic *InterComm) Isend(to Rank, tag int, data []byte) *Request {
+	return ic.union.Isend(ic.toUnion(to), tag, data)
+}
+
+// Send is the blocking send to remote rank `to`.
+func (ic *InterComm) Send(to Rank, tag int, data []byte) {
+	ic.Isend(to, tag, data).Wait()
+}
+
+// Irecv posts a non-blocking receive from remote rank `from` (or
+// AnySource, meaning any remote rank — all traffic on the
+// inter-communicator's context is inter-group).
+func (ic *InterComm) Irecv(from Rank, tag int, buf []byte) *Request {
+	r := ic.union.Irecv(ic.toUnion(from), tag, buf)
+	prev := r.OnFinish
+	r.OnFinish = func(req *Request) {
+		if prev != nil {
+			prev(req)
+		}
+		req.status.Source = ic.fromUnion(req.status.Source)
+	}
+	return r
+}
+
+// Recv is the blocking receive from remote rank `from`.
+func (ic *InterComm) Recv(from Rank, tag int, buf []byte) Status {
+	return ic.Irecv(from, tag, buf).Wait()
+}
+
+// interTag reserves a tag band for the inter-communicator's own
+// collectives, clear of application tags.
+const interTag = 1 << 24
+
+// Barrier synchronizes both groups (MPI_Barrier on an inter-communicator:
+// no process returns until every process in the other group has entered).
+func (ic *InterComm) Barrier() {
+	// Local barrier, leaders exchange, local barrier: the second local
+	// barrier cannot complete before the leader exchange, which cannot
+	// happen before every remote process reached its first barrier.
+	ic.local.Barrier()
+	if ic.LocalRank() == 0 {
+		ic.union.Sendrecv(Rank(ic.remoteOff), interTag, nil, Rank(ic.remoteOff), interTag, nil)
+	}
+	ic.local.Barrier()
+}
+
+// Bcast broadcasts from one root process to every process of the *other*
+// group (MPI_Bcast on an inter-communicator). All processes pass the same
+// (rootInA, rootRank); data is read on the root and written on the
+// receiving group. The root's own group peers do not participate.
+func (ic *InterComm) Bcast(rootInA bool, rootRank Rank, data []byte) {
+	iAmRootSide := ic.first == rootInA
+	if iAmRootSide {
+		if ic.LocalRank() == rootRank {
+			// Hand the payload to the remote group's rank 0; it fans out
+			// internally — one inter-group message total.
+			ic.union.Send(Rank(ic.remoteOff), interTag+1, data)
+		}
+		return
+	}
+	if ic.LocalRank() == 0 {
+		ic.union.Recv(Rank(ic.remoteOff)+rootRank, interTag+1, data)
+	}
+	ic.local.Bcast(0, data)
+}
+
+// Merge builds an intra-communicator over both groups
+// (MPI_Intercomm_merge). Every process of a group must pass the same high
+// flag; the group passing high=false orders first. If both groups pass
+// the same flag, the union's construction order (A then B) is kept, which
+// is one of the orderings MPI permits for that case.
+func (ic *InterComm) Merge(high bool) *Comm {
+	// Exchange the two sides' flags over the union communicator. The
+	// union always orders group A first (construction order), so the A
+	// block's size is my own size on the A side and localOff on the B
+	// side.
+	mine := []byte{0}
+	if high {
+		mine[0] = 1
+	}
+	all := ic.union.Allgather(mine)
+	firstBlockSize := ic.localOff
+	if ic.first {
+		firstBlockSize = ic.LocalSize()
+	}
+	highA := all[0] != 0
+	highB := all[firstBlockSize] != 0
+
+	ic.union.Barrier()
+	p2p, coll := ic.union.childCtx()
+	ranks := ic.union.group.ranks
+	if highA && !highB {
+		// B orders first.
+		reordered := append(append([]Rank(nil), ranks[firstBlockSize:]...), ranks[:firstBlockSize]...)
+		ranks = reordered
+	}
+	return newComm(ic.union.proc, ic.union.protocol, NewGroup(ranks), ic.union.BaseRank(ic.union.rank), p2p, coll)
+}

@@ -1,0 +1,220 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+// splitGroups returns the even/odd base-rank groups of an n-rank world.
+func splitGroups(n int) (*Group, *Group) {
+	var a, b []Rank
+	for r := 0; r < n; r++ {
+		if r%2 == 0 {
+			a = append(a, Rank(r))
+		} else {
+			b = append(b, Rank(r))
+		}
+	}
+	return NewGroup(a), NewGroup(b)
+}
+
+func TestIntercommCreateBasics(t *testing.T) {
+	runNative(t, 5, func(c *Comm) {
+		ga, gb := splitGroups(5) // A = {0,2,4}, B = {1,3}
+		ic := c.IntercommCreate(ga, gb)
+		if ic == nil {
+			t.Fatalf("rank %d: nil intercomm", c.Rank())
+		}
+		even := int(c.Rank())%2 == 0
+		if even {
+			if ic.LocalSize() != 3 || ic.RemoteSize() != 2 {
+				t.Errorf("A side sizes: %d/%d", ic.LocalSize(), ic.RemoteSize())
+			}
+			if want := Rank(int(c.Rank()) / 2); ic.LocalRank() != want {
+				t.Errorf("A side local rank %d, want %d", ic.LocalRank(), want)
+			}
+		} else {
+			if ic.LocalSize() != 2 || ic.RemoteSize() != 3 {
+				t.Errorf("B side sizes: %d/%d", ic.LocalSize(), ic.RemoteSize())
+			}
+		}
+	})
+}
+
+func TestIntercommPointToPoint(t *testing.T) {
+	runNative(t, 4, func(c *Comm) {
+		ga, gb := splitGroups(4) // A = {0,2}, B = {1,3}
+		ic := c.IntercommCreate(ga, gb)
+		// Pairwise: A-local-rank i exchanges with B-local-rank i.
+		peer := ic.LocalRank()
+		buf := make([]byte, 1)
+		if int(c.Rank())%2 == 0 {
+			ic.Send(peer, 7, []byte{byte(10 + ic.LocalRank())})
+			st := ic.Recv(peer, 8, buf)
+			if buf[0] != byte(20+peer) || st.Source != peer {
+				t.Errorf("A %d: got %d from %d", ic.LocalRank(), buf[0], st.Source)
+			}
+		} else {
+			st := ic.Recv(AnySource, 7, buf)
+			if st.Source != peer {
+				t.Errorf("B %d: wildcard source %d, want %d", ic.LocalRank(), st.Source, peer)
+			}
+			if buf[0] != byte(10+peer) {
+				t.Errorf("B %d: payload %d", ic.LocalRank(), buf[0])
+			}
+			ic.Send(peer, 8, []byte{byte(20 + ic.LocalRank())})
+		}
+	})
+}
+
+func TestIntercommWildcardSeesOnlyRemote(t *testing.T) {
+	// Local-group traffic must never match an inter-communicator
+	// wildcard: locals talk on their own intracomm while a wildcard
+	// receive is pending on the intercomm.
+	runNative(t, 4, func(c *Comm) {
+		ga, gb := splitGroups(4)
+		ic := c.IntercommCreate(ga, gb)
+		local := ic.LocalComm()
+		if int(c.Rank())%2 == 0 { // A side
+			r := ic.Irecv(AnySource, 1, make([]byte, 1))
+			// Local chatter that must not be captured by r.
+			if local.Rank() == 0 {
+				local.Send(1, 1, []byte{99})
+			} else {
+				buf := make([]byte, 1)
+				local.Recv(0, 1, buf)
+				if buf[0] != 99 {
+					t.Errorf("local payload %d", buf[0])
+				}
+			}
+			st := r.Wait()
+			if st.Source < 0 || int(st.Source) >= ic.RemoteSize() {
+				t.Errorf("wildcard source %d outside remote group", st.Source)
+			}
+		} else { // B side: one message per A process
+			ic.Send(ic.LocalRank(), 1, []byte{1})
+		}
+	})
+}
+
+func TestIntercommBarrier(t *testing.T) {
+	runNative(t, 6, func(c *Comm) {
+		ga, gb := splitGroups(6)
+		ic := c.IntercommCreate(ga, gb)
+		for i := 0; i < 3; i++ {
+			ic.Barrier()
+		}
+	})
+}
+
+func TestIntercommBcast(t *testing.T) {
+	runNative(t, 5, func(c *Comm) {
+		ga, gb := splitGroups(5)
+		ic := c.IntercommCreate(ga, gb)
+		buf := make([]byte, 3)
+		rootInA := true
+		rootRank := Rank(1) // A's local rank 1 = world rank 2
+		even := int(c.Rank())%2 == 0
+		if even && ic.LocalRank() == rootRank {
+			copy(buf, []byte{7, 8, 9})
+		}
+		ic.Bcast(rootInA, rootRank, buf)
+		if !even {
+			if buf[0] != 7 || buf[1] != 8 || buf[2] != 9 {
+				t.Errorf("B %d: bcast = %v", ic.LocalRank(), buf)
+			}
+		} else if ic.LocalRank() != rootRank {
+			// Non-root A processes do not receive.
+			if buf[0] != 0 {
+				t.Errorf("A non-root %d unexpectedly wrote %v", ic.LocalRank(), buf)
+			}
+		}
+	})
+}
+
+func TestIntercommMerge(t *testing.T) {
+	runNative(t, 4, func(c *Comm) {
+		ga, gb := splitGroups(4) // A = {0,2}, B = {1,3}
+		ic := c.IntercommCreate(ga, gb)
+		even := int(c.Rank())%2 == 0
+
+		// B passes high: A orders first → merged ranks {0,2,1,3}.
+		merged := ic.Merge(!even)
+		if merged.Size() != 4 {
+			t.Fatalf("merged size %d", merged.Size())
+		}
+		wantOrder := []Rank{0, 2, 1, 3}
+		if got := merged.BaseRank(merged.Rank()); got != c.BaseRank(c.Rank()) {
+			t.Errorf("merged base rank %d, world base %d", got, c.BaseRank(c.Rank()))
+		}
+		for i, want := range wantOrder {
+			if merged.BaseRank(Rank(i)) != want {
+				t.Errorf("merged order[%d] = %d, want %d", i, merged.BaseRank(Rank(i)), want)
+			}
+		}
+		// The merged communicator must be fully functional.
+		sum := merged.AllreduceInt64(int64(c.Rank()), OpSum)
+		if sum != 0+1+2+3 {
+			t.Errorf("merged allreduce = %d", sum)
+		}
+	})
+}
+
+func TestIntercommMergeHighFirstSwaps(t *testing.T) {
+	runNative(t, 4, func(c *Comm) {
+		ga, gb := splitGroups(4)
+		ic := c.IntercommCreate(ga, gb)
+		even := int(c.Rank())%2 == 0
+		// A passes high, B low → B orders first: {1,3,0,2}.
+		merged := ic.Merge(even)
+		wantOrder := []Rank{1, 3, 0, 2}
+		for i, want := range wantOrder {
+			if merged.BaseRank(Rank(i)) != want {
+				t.Errorf("merged order[%d] = %d, want %d", i, merged.BaseRank(Rank(i)), want)
+			}
+		}
+	})
+}
+
+func TestIntercommNonMember(t *testing.T) {
+	runNative(t, 5, func(c *Comm) {
+		// Rank 4 belongs to neither group.
+		ga := NewGroup([]Rank{0, 2})
+		gb := NewGroup([]Rank{1, 3})
+		ic := c.IntercommCreate(ga, gb)
+		if c.Rank() == 4 {
+			if ic != nil {
+				t.Error("non-member got an intercomm")
+			}
+			return
+		}
+		if ic == nil {
+			t.Fatalf("rank %d: nil intercomm", c.Rank())
+		}
+		ic.Barrier()
+	})
+}
+
+func TestIntercommOverlapRejected(t *testing.T) {
+	runNative(t, 3, func(c *Comm) {
+		c.SetErrhandler(ErrorsReturn)
+		ic := c.IntercommCreate(NewGroup([]Rank{0, 1}), NewGroup([]Rank{1, 2}))
+		if ic != nil {
+			t.Error("overlapping groups accepted")
+		}
+		if e := c.LastError(); e == nil || e.Class != ErrComm {
+			t.Errorf("error = %v", e)
+		}
+	})
+}
+
+func TestIntercommUnderSDRProtocolName(t *testing.T) {
+	// Smoke-check that the intercomm path goes through the protocol
+	// (covered in depth by the cluster feature tests).
+	runNative(t, 2, func(c *Comm) {
+		ic := c.IntercommCreate(NewGroup([]Rank{0}), NewGroup([]Rank{1}))
+		if got := fmt.Sprint(ic.LocalComm().Protocol().Name()); got != "native" {
+			t.Errorf("protocol = %s", got)
+		}
+	})
+}

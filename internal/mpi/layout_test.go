@@ -1,0 +1,400 @@
+package mpi
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// fillPattern writes a deterministic non-repeating byte pattern.
+func fillPattern(b []byte, seed byte) {
+	for i := range b {
+		b[i] = byte(i)*7 + seed
+	}
+}
+
+func TestContiguousRoundtrip(t *testing.T) {
+	src := make([]byte, 64)
+	fillPattern(src, 1)
+	l := Contiguous{Count: 16, Elem: Int32T}
+	if got, want := l.PackedSize(), 64; got != want {
+		t.Fatalf("PackedSize = %d, want %d", got, want)
+	}
+	if got, want := l.Extent(), 64; got != want {
+		t.Fatalf("Extent = %d, want %d", got, want)
+	}
+	wire := l.Pack(src)
+	if !bytes.Equal(wire, src) {
+		t.Fatal("contiguous pack is not the identity")
+	}
+	dst := make([]byte, 64)
+	l.Unpack(wire, dst)
+	if !bytes.Equal(dst, src) {
+		t.Fatal("contiguous unpack did not restore the buffer")
+	}
+}
+
+func TestHindexedRoundtrip(t *testing.T) {
+	src := make([]byte, 100)
+	fillPattern(src, 3)
+	l := Hindexed{Blocks: []HBlock{{Disp: 5, Len: 10}, {Disp: 40, Len: 3}, {Disp: 90, Len: 10}}}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := l.PackedSize(), 23; got != want {
+		t.Fatalf("PackedSize = %d, want %d", got, want)
+	}
+	if got, want := l.Extent(), 100; got != want {
+		t.Fatalf("Extent = %d, want %d", got, want)
+	}
+	wire := l.Pack(src)
+	dst := make([]byte, 100)
+	l.Unpack(wire, dst)
+	for _, b := range l.Blocks {
+		if !bytes.Equal(dst[b.Disp:b.Disp+b.Len], src[b.Disp:b.Disp+b.Len]) {
+			t.Fatalf("block at %d not restored", b.Disp)
+		}
+	}
+	// Gaps must remain zero.
+	if dst[0] != 0 || dst[20] != 0 || dst[89] != 0 {
+		t.Fatal("unpack wrote outside the layout's blocks")
+	}
+}
+
+func TestHindexedValidate(t *testing.T) {
+	bad := Hindexed{Blocks: []HBlock{{Disp: -1, Len: 4}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative displacement accepted")
+	} else if ErrClass(err) != ErrType {
+		t.Fatalf("error class = %s, want MPI_ERR_TYPE", ClassName(ErrClass(err)))
+	}
+}
+
+func TestStructRoundtrip(t *testing.T) {
+	// A "particle": 3 float64 coordinates at offset 0, an int32 id at
+	// offset 24, padding, then a 4-element int32 neighbour list at 32.
+	l := Struct{Fields: []StructField{
+		{Disp: 0, Layout: Contiguous{Count: 3, Elem: Float64}},
+		{Disp: 24, Layout: Contiguous{Count: 1, Elem: Int32T}},
+		{Disp: 32, Layout: Contiguous{Count: 4, Elem: Int32T}},
+	}}
+	if got, want := l.PackedSize(), 24+4+16; got != want {
+		t.Fatalf("PackedSize = %d, want %d", got, want)
+	}
+	if got, want := l.Extent(), 48; got != want {
+		t.Fatalf("Extent = %d, want %d", got, want)
+	}
+	src := make([]byte, 48)
+	fillPattern(src, 9)
+	wire := l.Pack(src)
+	dst := make([]byte, 48)
+	l.Unpack(wire, dst)
+	for _, f := range l.Fields {
+		n := f.Layout.PackedSize()
+		if !bytes.Equal(dst[f.Disp:f.Disp+n], src[f.Disp:f.Disp+n]) {
+			t.Fatalf("field at %d not restored", f.Disp)
+		}
+	}
+	// The padding bytes 28..31 must stay zero.
+	for i := 28; i < 32; i++ {
+		if dst[i] != 0 {
+			t.Fatal("unpack wrote into struct padding")
+		}
+	}
+}
+
+func TestStructNestedVector(t *testing.T) {
+	// A struct containing a strided vector: column 1 of a 4x4 int32 matrix
+	// at displacement 8.
+	vec := Vector{Count: 4, BlockLen: 1, Stride: 4, Elem: Int32T}
+	l := Struct{Fields: []StructField{
+		{Disp: 8, Layout: vec},
+	}}
+	src := make([]byte, 8+vec.Extent())
+	fillPattern(src, 2)
+	wire := l.Pack(src)
+	if got, want := len(wire), 16; got != want {
+		t.Fatalf("packed %d bytes, want %d", got, want)
+	}
+	dst := make([]byte, len(src))
+	l.Unpack(wire, dst)
+	for i := 0; i < 4; i++ {
+		off := 8 + i*16
+		if !bytes.Equal(dst[off:off+4], src[off:off+4]) {
+			t.Fatalf("vector block %d not restored", i)
+		}
+	}
+}
+
+func TestSubarray2DFace(t *testing.T) {
+	// An 8x6 float64 grid; select the rightmost 2 columns (a halo face).
+	l := Subarray{
+		Sizes:    []int{8, 6},
+		Subsizes: []int{8, 2},
+		Starts:   []int{0, 4},
+		Elem:     Float64,
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := l.PackedSize(), 8*2*8; got != want {
+		t.Fatalf("PackedSize = %d, want %d", got, want)
+	}
+	if got, want := l.Extent(), 8*6*8; got != want {
+		t.Fatalf("Extent = %d, want %d", got, want)
+	}
+	src := make([]byte, l.Extent())
+	fillPattern(src, 5)
+	wire := l.Pack(src)
+	dst := make([]byte, len(src))
+	l.Unpack(wire, dst)
+	for row := 0; row < 8; row++ {
+		for col := 0; col < 6; col++ {
+			off := (row*6 + col) * 8
+			inRegion := col >= 4
+			for k := 0; k < 8; k++ {
+				if inRegion && dst[off+k] != src[off+k] {
+					t.Fatalf("region byte (%d,%d)+%d not restored", row, col, k)
+				}
+				if !inRegion && dst[off+k] != 0 {
+					t.Fatalf("unpack wrote outside region at (%d,%d)", row, col)
+				}
+			}
+		}
+	}
+}
+
+func TestSubarray3D(t *testing.T) {
+	// 4x5x6 byte array, interior 2x3x2 region at (1,1,2).
+	l := Subarray{
+		Sizes:    []int{4, 5, 6},
+		Subsizes: []int{2, 3, 2},
+		Starts:   []int{1, 1, 2},
+		Elem:     Byte,
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	src := make([]byte, 4*5*6)
+	fillPattern(src, 11)
+	wire := l.Pack(src)
+	if got, want := len(wire), 2*3*2; got != want {
+		t.Fatalf("packed %d bytes, want %d", got, want)
+	}
+	dst := make([]byte, len(src))
+	l.Unpack(wire, dst)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5; j++ {
+			for k := 0; k < 6; k++ {
+				off := (i*5+j)*6 + k
+				in := i >= 1 && i < 3 && j >= 1 && j < 4 && k >= 2 && k < 4
+				switch {
+				case in && dst[off] != src[off]:
+					t.Fatalf("(%d,%d,%d) not restored", i, j, k)
+				case !in && dst[off] != 0:
+					t.Fatalf("leak outside region at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestSubarrayValidate(t *testing.T) {
+	cases := []Subarray{
+		{Sizes: []int{4}, Subsizes: []int{5}, Starts: []int{0}, Elem: Byte},
+		{Sizes: []int{4}, Subsizes: []int{2}, Starts: []int{3}, Elem: Byte},
+		{Sizes: []int{4, 4}, Subsizes: []int{2}, Starts: []int{0}, Elem: Byte},
+		{Sizes: []int{0}, Subsizes: []int{0}, Starts: []int{0}, Elem: Byte},
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid subarray accepted: %+v", i, s)
+		}
+	}
+}
+
+// TestSubarrayQuick property: pack followed by unpack into a zeroed buffer
+// restores exactly the selected region and nothing else, for random
+// regions of random 3D arrays.
+func TestSubarrayQuick(t *testing.T) {
+	prop := func(a, b, c, seed uint8) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		sizes := []int{int(a%5) + 1, int(b%5) + 1, int(c%5) + 1}
+		sub := make([]int, 3)
+		starts := make([]int, 3)
+		for d := 0; d < 3; d++ {
+			sub[d] = rng.Intn(sizes[d]) + 1
+			starts[d] = rng.Intn(sizes[d] - sub[d] + 1)
+		}
+		l := Subarray{Sizes: sizes, Subsizes: sub, Starts: starts, Elem: Byte}
+		if err := l.Validate(); err != nil {
+			return false
+		}
+		src := make([]byte, sizes[0]*sizes[1]*sizes[2])
+		for i := range src {
+			src[i] = byte(rng.Intn(255)) + 1 // never zero
+		}
+		dst := make([]byte, len(src))
+		l.Unpack(l.Pack(src), dst)
+		for i := 0; i < sizes[0]; i++ {
+			for j := 0; j < sizes[1]; j++ {
+				for k := 0; k < sizes[2]; k++ {
+					off := (i*sizes[1]+j)*sizes[2] + k
+					in := i >= starts[0] && i < starts[0]+sub[0] &&
+						j >= starts[1] && j < starts[1]+sub[1] &&
+						k >= starts[2] && k < starts[2]+sub[2]
+					if in && dst[off] != src[off] {
+						return false
+					}
+					if !in && dst[off] != 0 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHindexedQuick property: packed size equals the sum of block lengths
+// and roundtrip restores every block, for random non-overlapping blocks.
+func TestHindexedQuick(t *testing.T) {
+	prop := func(nBlocks, seed uint8) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := int(nBlocks%6) + 1
+		blocks := make([]HBlock, n)
+		off := 0
+		for i := range blocks {
+			off += rng.Intn(5) // gap
+			l := rng.Intn(7) + 1
+			blocks[i] = HBlock{Disp: off, Len: l}
+			off += l
+		}
+		h := Hindexed{Blocks: blocks}
+		want := 0
+		for _, b := range blocks {
+			want += b.Len
+		}
+		if h.PackedSize() != want {
+			return false
+		}
+		src := make([]byte, h.Extent())
+		for i := range src {
+			src[i] = byte(rng.Intn(255)) + 1
+		}
+		dst := make([]byte, len(src))
+		h.Unpack(h.Pack(src), dst)
+		for _, b := range blocks {
+			if !bytes.Equal(dst[b.Disp:b.Disp+b.Len], src[b.Disp:b.Disp+b.Len]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexedExtent(t *testing.T) {
+	x := Indexed{Blocks: []IndexedBlock{{Disp: 2, Len: 3}, {Disp: 10, Len: 1}}, Elem: Int32T}
+	if got, want := x.Extent(), 44; got != want {
+		t.Fatalf("Extent = %d, want %d", got, want)
+	}
+}
+
+func TestPackBufferRoundtrip(t *testing.T) {
+	colA := Vector{Count: 3, BlockLen: 1, Stride: 4, Elem: Int32T}
+	raw := []byte{0xde, 0xad, 0xbe, 0xef}
+	src := make([]byte, colA.Extent())
+	fillPattern(src, 17)
+
+	var pb PackBuffer
+	pb.PackLayout(colA, src)
+	pb.PackBytes(raw)
+	if got, want := pb.Len(), colA.PackedSize()+4; got != want {
+		t.Fatalf("packed length %d, want %d", got, want)
+	}
+
+	ub := NewUnpackBuffer(pb.Bytes())
+	dst := make([]byte, len(src))
+	ub.UnpackLayout(colA, dst)
+	gotRaw := make([]byte, 4)
+	ub.UnpackBytes(gotRaw)
+	if ub.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", ub.Remaining())
+	}
+	if !bytes.Equal(gotRaw, raw) {
+		t.Fatal("raw bytes corrupted")
+	}
+	for i := 0; i < 3; i++ {
+		off := i * 16
+		if !bytes.Equal(dst[off:off+4], src[off:off+4]) {
+			t.Fatalf("vector block %d corrupted", i)
+		}
+	}
+}
+
+func TestSendRecvLayout(t *testing.T) {
+	// Rank 0 sends the rightmost column of a 6x8 byte grid to rank 1,
+	// which scatters it into the leftmost column of its own grid — a halo
+	// exchange through derived datatypes.
+	runNative(t, 2, func(c *Comm) {
+		const rows, cols = 6, 8
+		right := Subarray{Sizes: []int{rows, cols}, Subsizes: []int{rows, 1}, Starts: []int{0, cols - 1}, Elem: Byte}
+		left := Subarray{Sizes: []int{rows, cols}, Subsizes: []int{rows, 1}, Starts: []int{0, 0}, Elem: Byte}
+		grid := make([]byte, rows*cols)
+		switch c.Rank() {
+		case 0:
+			fillPattern(grid, 21)
+			c.SendLayout(1, 7, right, grid)
+		case 1:
+			st := c.RecvLayout(0, 7, left, grid)
+			if st.Count != right.PackedSize() {
+				t.Errorf("received %d bytes, want %d", st.Count, right.PackedSize())
+			}
+			for r := 0; r < rows; r++ {
+				want := byte((r*cols+cols-1))*7 + 21
+				if grid[r*cols] != want {
+					t.Errorf("row %d: halo byte = %d, want %d", r, grid[r*cols], want)
+				}
+			}
+		}
+	})
+}
+
+func TestIsendIrecvLayout(t *testing.T) {
+	runNative(t, 2, func(c *Comm) {
+		v := Vector{Count: 4, BlockLen: 2, Stride: 8, Elem: Float64}
+		buf := make([]byte, v.Extent())
+		switch c.Rank() {
+		case 0:
+			fillPattern(buf, 31)
+			r := c.IsendLayout(1, 3, v, buf)
+			// The wire copy is taken eagerly: clobbering buf now is legal.
+			for i := range buf {
+				buf[i] = 0xFF
+			}
+			r.Wait()
+		case 1:
+			r := c.IrecvLayout(0, 3, v, buf)
+			st := r.Wait()
+			if st.Source != 0 || st.Count != v.PackedSize() {
+				t.Errorf("status = %+v", st)
+			}
+			for blk := 0; blk < 4; blk++ {
+				off := blk * 8 * 8
+				for k := 0; k < 16; k++ {
+					want := byte(off+k)*7 + 31
+					if buf[off+k] != want {
+						t.Errorf("block %d byte %d = %d, want %d", blk, k, buf[off+k], want)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,219 @@
+package mpi
+
+// Additional non-blocking collectives (MPI_Igather, MPI_Iscatter,
+// MPI_Ialltoall, MPI_Iscan, MPI_Ireduce), on the same resumable nbcMachine
+// as nbc.go: rounds of plain point-to-point operations, progressed
+// whenever the application enters the library. Replication protocols cover
+// them exactly as they cover the blocking collectives.
+
+// Igather starts a non-blocking gather to root (linear scheme: each
+// non-root sends one block; the root posts size-1 receives). The returned
+// buffer (non-nil only on the root) holds all blocks, in rank order, once
+// the request completes.
+func (c *Comm) Igather(root Rank, data []byte) (*Request, []byte) {
+	seq := c.nextCollSeq()
+	size := c.Size()
+	tag := collTag(seq, 0)
+	if c.rank != root {
+		m := &nbcMachine{}
+		started := false
+		m.step = func() bool {
+			if started {
+				return true
+			}
+			started = true
+			m.pending = append(m.pending, c.isendColl(root, tag, data))
+			return false
+		}
+		return c.nbcRequest(m), nil
+	}
+	bl := len(data)
+	out := make([]byte, size*bl)
+	copy(out[int(c.rank)*bl:], data)
+	m := &nbcMachine{}
+	started := false
+	m.step = func() bool {
+		if started {
+			return true
+		}
+		started = true
+		for r := 0; r < size; r++ {
+			if Rank(r) == root {
+				continue
+			}
+			m.pending = append(m.pending, c.irecvColl(Rank(r), tag, out[r*bl:(r+1)*bl]))
+		}
+		return size == 1
+	}
+	return c.nbcRequest(m), out
+}
+
+// Iscatter starts a non-blocking scatter from root: block r of the root's
+// data goes to rank r. recvBuf receives this process's block once the
+// request completes. data is only read on the root.
+func (c *Comm) Iscatter(root Rank, data []byte, recvBuf []byte) *Request {
+	seq := c.nextCollSeq()
+	size := c.Size()
+	tag := collTag(seq, 0)
+	m := &nbcMachine{}
+	started := false
+	if c.rank == root {
+		bl := len(recvBuf)
+		m.step = func() bool {
+			if started {
+				return true
+			}
+			started = true
+			copy(recvBuf, data[int(c.rank)*bl:(int(c.rank)+1)*bl])
+			for r := 0; r < size; r++ {
+				if Rank(r) == root {
+					continue
+				}
+				m.pending = append(m.pending, c.isendColl(Rank(r), tag, data[r*bl:(r+1)*bl]))
+			}
+			return size == 1
+		}
+		return c.nbcRequest(m)
+	}
+	m.step = func() bool {
+		if started {
+			return true
+		}
+		started = true
+		m.pending = append(m.pending, c.irecvColl(root, tag, recvBuf))
+		return false
+	}
+	return c.nbcRequest(m)
+}
+
+// Ialltoall starts a non-blocking all-to-all personalised exchange
+// (pairwise, all posted in one round — the latency-optimal schedule for
+// moderate sizes). Block r of data goes to rank r; the returned buffer
+// holds one block from every rank once the request completes.
+func (c *Comm) Ialltoall(data []byte) (*Request, []byte) {
+	seq := c.nextCollSeq()
+	size := c.Size()
+	bl := len(data) / size
+	out := make([]byte, len(data))
+	rank := int(c.rank)
+	copy(out[rank*bl:(rank+1)*bl], data[rank*bl:(rank+1)*bl])
+	tag := collTag(seq, 0)
+	m := &nbcMachine{}
+	started := false
+	m.step = func() bool {
+		if started {
+			return true
+		}
+		started = true
+		for d := 1; d < size; d++ {
+			dst := (rank + d) % size
+			src := (rank - d + size) % size
+			m.pending = append(m.pending,
+				c.irecvColl(Rank(src), tag, out[src*bl:(src+1)*bl]),
+				c.isendColl(Rank(dst), tag, data[dst*bl:(dst+1)*bl]))
+		}
+		return size == 1
+	}
+	return c.nbcRequest(m), out
+}
+
+// Iscan starts a non-blocking inclusive prefix reduction (linear chain:
+// receive from rank-1, fold, forward to rank+1 — the schedule that keeps
+// exactly one message per edge). The returned buffer holds the prefix
+// result over ranks 0..me once the request completes.
+func (c *Comm) Iscan(data []byte, dt Datatype, op Op) (*Request, []byte) {
+	seq := c.nextCollSeq()
+	size := c.Size()
+	rank := int(c.rank)
+	acc := append([]byte(nil), data...)
+	tag := collTag(seq, 0)
+	m := &nbcMachine{}
+	if size == 1 {
+		m.step = func() bool { return true }
+		return c.nbcRequest(m), acc
+	}
+	tmp := make([]byte, len(data))
+	phase := 0
+	m.step = func() bool {
+		switch phase {
+		case 0: // receive the prefix over 0..rank-1
+			phase = 1
+			if rank > 0 {
+				m.pending = append(m.pending, c.irecvColl(Rank(rank-1), tag, tmp))
+				return false
+			}
+			return m.step()
+		case 1: // fold and forward
+			phase = 2
+			if rank > 0 {
+				// acc = prefix ⊕ mine; op must fold in prefix order, and
+				// all predefined ops are commutative, so Apply(acc, tmp)
+				// is the correct fold.
+				op.Apply(dt, acc, tmp)
+			}
+			if rank < size-1 {
+				m.pending = append(m.pending, c.isendColl(Rank(rank+1), tag, acc))
+				return false
+			}
+			return true
+		default:
+			return true
+		}
+	}
+	return c.nbcRequest(m), acc
+}
+
+// Ireduce starts a non-blocking reduction to root (binomial tree over
+// root-relative virtual ranks). The returned buffer (meaningful on the
+// root once complete) holds the reduction.
+func (c *Comm) Ireduce(root Rank, data []byte, dt Datatype, op Op) (*Request, []byte) {
+	seq := c.nextCollSeq()
+	size := c.Size()
+	rank := int(c.rank)
+	vrank := (rank - int(root) + size) % size
+	acc := append([]byte(nil), data...)
+	m := &nbcMachine{}
+	if size == 1 {
+		m.step = func() bool { return true }
+		return c.nbcRequest(m), acc
+	}
+	tmp := make([]byte, len(data))
+	mask := 1
+	needApply := false
+	m.step = func() bool {
+		if needApply {
+			op.Apply(dt, acc, tmp)
+			needApply = false
+		}
+		for mask < size {
+			if vrank&mask != 0 {
+				// Send the partial up the tree and finish.
+				dst := Rank(((vrank - mask) + int(root)) % size)
+				m.pending = append(m.pending, c.isendColl(dst, collTag(seq, bitLen(mask)), acc))
+				mask = size // terminal
+				return false
+			}
+			if vrank+mask < size {
+				src := Rank(((vrank + mask) + int(root)) % size)
+				m.pending = append(m.pending, c.irecvColl(src, collTag(seq, bitLen(mask)), tmp))
+				needApply = true
+				mask <<= 1
+				return false
+			}
+			mask <<= 1
+		}
+		return true
+	}
+	return c.nbcRequest(m), acc
+}
+
+// bitLen returns the position of the highest set bit plus one (log2 round
+// up helper for round numbering).
+func bitLen(x int) int {
+	n := 0
+	for x > 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,187 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestIgather(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8} {
+		n := n
+		runNative(t, n, func(c *Comm) {
+			root := Rank(n - 1)
+			mine := []byte{byte(c.Rank()), byte(c.Rank() * 2)}
+			req, out := c.Igather(root, mine)
+			req.Wait()
+			if c.Rank() != root {
+				if out != nil {
+					t.Errorf("non-root got a buffer")
+				}
+				return
+			}
+			for r := 0; r < n; r++ {
+				if out[2*r] != byte(r) || out[2*r+1] != byte(2*r) {
+					t.Errorf("block %d = %v", r, out[2*r:2*r+2])
+				}
+			}
+		})
+	}
+}
+
+func TestIscatter(t *testing.T) {
+	for _, n := range []int{1, 3, 6} {
+		n := n
+		runNative(t, n, func(c *Comm) {
+			const root = Rank(0)
+			var data []byte
+			if c.Rank() == root {
+				data = make([]byte, 2*n)
+				for r := 0; r < n; r++ {
+					data[2*r] = byte(r + 1)
+					data[2*r+1] = byte(r + 101)
+				}
+			}
+			recv := make([]byte, 2)
+			c.Iscatter(root, data, recv).Wait()
+			if recv[0] != byte(c.Rank()+1) || recv[1] != byte(int(c.Rank())+101) {
+				t.Errorf("rank %d got %v", c.Rank(), recv)
+			}
+		})
+	}
+}
+
+func TestIalltoall(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7} {
+		n := n
+		runNative(t, n, func(c *Comm) {
+			me := int(c.Rank())
+			data := make([]byte, n)
+			for r := 0; r < n; r++ {
+				data[r] = byte(me*16 + r) // block destined for rank r
+			}
+			req, out := c.Ialltoall(data)
+			req.Wait()
+			for r := 0; r < n; r++ {
+				if want := byte(r*16 + me); out[r] != want {
+					t.Errorf("rank %d block from %d = %d, want %d", me, r, out[r], want)
+				}
+			}
+		})
+	}
+}
+
+func TestIalltoallMatchesBlocking(t *testing.T) {
+	const n = 5
+	runNative(t, n, func(c *Comm) {
+		me := int(c.Rank())
+		data := make([]byte, 4*n)
+		fillPattern(data, byte(me))
+		req, nbOut := c.Ialltoall(data)
+		req.Wait()
+		blocking := c.Alltoall(data, 4)
+		if !bytes.Equal(nbOut, blocking) {
+			t.Errorf("rank %d: Ialltoall %v != Alltoall %v", me, nbOut, blocking)
+		}
+	})
+}
+
+func TestIscan(t *testing.T) {
+	for _, n := range []int{1, 2, 6} {
+		n := n
+		runNative(t, n, func(c *Comm) {
+			mine := Int64Bytes([]int64{int64(c.Rank()) + 1})
+			req, out := c.Iscan(mine, Int64T, OpSum)
+			req.Wait()
+			got := Int64Value(out)
+			want := int64(0)
+			for r := 0; r <= int(c.Rank()); r++ {
+				want += int64(r) + 1
+			}
+			if got != want {
+				t.Errorf("rank %d: prefix = %d, want %d", c.Rank(), got, want)
+			}
+		})
+	}
+}
+
+func TestIscanMatchesBlocking(t *testing.T) {
+	const n = 4
+	runNative(t, n, func(c *Comm) {
+		mine := Float64Bytes([]float64{float64(c.Rank()+1) * 1.5, -float64(c.Rank())})
+		req, nb := c.Iscan(mine, Float64, OpSum)
+		req.Wait()
+		blocking := c.Scan(mine, Float64, OpSum)
+		if !bytes.Equal(nb, blocking) {
+			t.Errorf("rank %d: Iscan %v != Scan %v", c.Rank(),
+				BytesFloat64(nb), BytesFloat64(blocking))
+		}
+	})
+}
+
+func TestIreduce(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 6} {
+		n := n
+		for root := 0; root < n; root += max(1, n-1) {
+			n, root := n, root
+			runNative(t, n, func(c *Comm) {
+				mine := Int64Bytes([]int64{int64(c.Rank()), 10 * int64(c.Rank())})
+				req, out := c.Ireduce(Rank(root), mine, Int64T, OpSum)
+				req.Wait()
+				if c.Rank() != Rank(root) {
+					return
+				}
+				vals := BytesInt64(out)
+				wantSum := int64(n*(n-1)) / 2
+				if vals[0] != wantSum || vals[1] != 10*wantSum {
+					t.Errorf("root %d: reduce = %v, want [%d %d]", root, vals, wantSum, 10*wantSum)
+				}
+			})
+		}
+	}
+}
+
+func TestIreduceMatchesBlocking(t *testing.T) {
+	const n = 5
+	runNative(t, n, func(c *Comm) {
+		mine := Float64Bytes([]float64{float64(c.Rank()) * 0.25})
+		req, nb := c.Ireduce(0, mine, Float64, OpMax)
+		req.Wait()
+		blocking := c.Reduce(0, mine, Float64, OpMax)
+		if c.Rank() == 0 && !bytes.Equal(nb, blocking) {
+			t.Errorf("Ireduce %v != Reduce %v", BytesFloat64(nb), BytesFloat64(blocking))
+		}
+	})
+}
+
+func TestNBCOverlap(t *testing.T) {
+	// Two outstanding non-blocking collectives plus point-to-point traffic
+	// must progress without interference: the tag-isolation property.
+	const n = 4
+	runNative(t, n, func(c *Comm) {
+		me := int(c.Rank())
+		g1, out1 := c.Ialltoall(bytes.Repeat([]byte{byte(me)}, n))
+		bcast := make([]byte, 3)
+		if me == 0 {
+			copy(bcast, []byte{5, 6, 7})
+		}
+		g2 := c.Ibcast(0, bcast)
+		// P2P ring while the collectives are in flight.
+		right := Rank((me + 1) % n)
+		left := Rank((me - 1 + n) % n)
+		p := make([]byte, 1)
+		st := c.Sendrecv(right, 77, []byte{byte(me)}, left, 77, p)
+		if st.Count != 1 || p[0] != byte((me-1+n)%n) {
+			t.Errorf("p2p ring: %+v %v", st, p)
+		}
+		g2.Wait()
+		g1.Wait()
+		if !bytes.Equal(bcast, []byte{5, 6, 7}) {
+			t.Errorf("bcast = %v", bcast)
+		}
+		for r := 0; r < n; r++ {
+			if out1[r] != byte(r) {
+				t.Errorf("alltoall block %d = %d", r, out1[r])
+			}
+		}
+	})
+}

@@ -1,0 +1,171 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestIbarrier(t *testing.T) {
+	forSizes(t, func(t *testing.T, n int) {
+		runNative(t, n, func(c *Comm) {
+			r := c.Ibarrier()
+			r.Wait()
+			// And again, twice outstanding work in sequence.
+			c.Ibarrier().Wait()
+		})
+	})
+}
+
+func TestIbcast(t *testing.T) {
+	forSizes(t, func(t *testing.T, n int) {
+		runNative(t, n, func(c *Comm) {
+			data := make([]byte, 16)
+			if c.Rank() == 0 {
+				for i := range data {
+					data[i] = byte(i * 3)
+				}
+			}
+			c.Ibcast(0, data).Wait()
+			for i := range data {
+				if data[i] != byte(i*3) {
+					t.Errorf("byte %d = %d", i, data[i])
+					return
+				}
+			}
+		})
+	})
+}
+
+func TestIallreduce(t *testing.T) {
+	forSizes(t, func(t *testing.T, n int) {
+		runNative(t, n, func(c *Comm) {
+			r, out := c.Iallreduce(Float64Bytes([]float64{float64(c.Rank()) + 1}), Float64, OpSum)
+			r.Wait()
+			got := BytesFloat64(out)[0]
+			if want := float64(n*(n+1)) / 2; got != want {
+				t.Errorf("got %v want %v", got, want)
+			}
+		})
+	})
+}
+
+func TestIallgather(t *testing.T) {
+	forSizes(t, func(t *testing.T, n int) {
+		runNative(t, n, func(c *Comm) {
+			r, out := c.Iallgather([]byte{byte(c.Rank() + 1)})
+			r.Wait()
+			for i := 0; i < n; i++ {
+				if out[i] != byte(i+1) {
+					t.Errorf("block %d = %d", i, out[i])
+				}
+			}
+		})
+	})
+}
+
+func TestNBCOverlapsComputeAndP2P(t *testing.T) {
+	// The point of non-blocking collectives: post, do unrelated work
+	// (including point-to-point traffic), then complete.
+	runNative(t, 4, func(c *Comm) {
+		r, out := c.Iallreduce(Float64Bytes([]float64{1}), Float64, OpSum)
+		// Unrelated p2p while the collective is outstanding.
+		other := (c.Rank() + 1) % 4
+		prev := (c.Rank() + 3) % 4
+		rr := c.Irecv(prev, 77, make([]byte, 4))
+		c.Send(other, 77, []byte{1, 2, 3, 4})
+		rr.Wait()
+		r.Wait()
+		if got := BytesFloat64(out)[0]; got != 4 {
+			t.Errorf("allreduce %v", got)
+		}
+	})
+}
+
+func TestTwoOutstandingNBCs(t *testing.T) {
+	runNative(t, 4, func(c *Comm) {
+		r1, o1 := c.Iallreduce(Float64Bytes([]float64{1}), Float64, OpSum)
+		r2, o2 := c.Iallgather([]byte{byte(c.Rank())})
+		// Complete in reverse posting order.
+		r2.Wait()
+		r1.Wait()
+		if BytesFloat64(o1)[0] != 4 {
+			t.Errorf("allreduce %v", BytesFloat64(o1))
+		}
+		if !bytes.Equal(o2, []byte{0, 1, 2, 3}) {
+			t.Errorf("allgather %v", o2)
+		}
+	})
+}
+
+func TestNBCTestPolling(t *testing.T) {
+	runNative(t, 2, func(c *Comm) {
+		r := c.Ibarrier()
+		for {
+			if _, ok := r.Test(); ok {
+				break
+			}
+		}
+	})
+}
+
+func TestProbeBlocking(t *testing.T) {
+	runNative(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			st := c.Probe(1, 5)
+			if st.Source != 1 || st.Tag != 5 || st.Count != 3 {
+				t.Errorf("probe status %+v", st)
+			}
+			// The message is still there: receive it.
+			buf := make([]byte, 3)
+			c.Recv(1, 5, buf)
+			if string(buf) != "abc" {
+				t.Errorf("payload %q", buf)
+			}
+		} else {
+			c.Send(0, 5, []byte("abc"))
+		}
+	})
+}
+
+func TestIprobeNonBlocking(t *testing.T) {
+	runNative(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			if _, ok := c.Iprobe(1, 9); ok {
+				t.Error("nothing sent yet, Iprobe should fail")
+			}
+			c.Send(1, 1, []byte{1}) // release peer
+			for {
+				if st, ok := c.Iprobe(AnySource, AnyTag); ok {
+					if st.Tag != 9 || st.Source != 1 {
+						t.Errorf("iprobe %+v", st)
+					}
+					break
+				}
+			}
+			c.Recv(1, 9, make([]byte, 4))
+		} else {
+			c.Recv(0, 1, make([]byte, 1))
+			c.Send(0, 9, []byte("done"))
+		}
+	})
+}
+
+func TestProbeRendezvousEnvelope(t *testing.T) {
+	// Probing a rendezvous message must report the full payload length
+	// from the RTS envelope.
+	runNative(t, 2, func(c *Comm) {
+		n := DefaultEagerLimit * 2
+		if c.Rank() == 0 {
+			r := c.Isend(1, 3, make([]byte, n))
+			c.Send(1, 4, nil) // eager marker so the peer knows RTS is queued
+			r.Wait()
+		} else {
+			c.Recv(0, 4, nil)
+			st := c.Probe(0, 3)
+			if st.Count != n {
+				t.Errorf("probe count %d want %d", st.Count, n)
+			}
+			c.Recv(0, 3, make([]byte, n))
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package mpi
+
+// Neighborhood collectives (MPI-3's MPI_Neighbor_allgather and
+// MPI_Neighbor_alltoall) over cartesian and graph topologies. Like every
+// other collective here, they decompose into point-to-point operations, so
+// replication protocols cover them unchanged.
+//
+// Ordering follows the MPI standard: on a cartesian topology the
+// neighbour list is (down, up) per dimension in dimension order, with
+// ProcNull entries for off-grid neighbours of non-periodic dimensions
+// (their blocks are left untouched / their sends suppressed); on a graph
+// topology it is the MPI_Graph_neighbors order.
+
+// irecvCollNullOK posts a collective-context receive, treating ProcNull
+// as an immediately-complete no-op (collective-context operations bypass
+// Comm.Irecv's ProcNull handling, so it is replicated here).
+func (c *Comm) irecvCollNullOK(nb Rank, tag int, buf []byte) *Request {
+	if nb == ProcNull {
+		return c.nullRequest(false)
+	}
+	return c.irecvColl(nb, tag, buf)
+}
+
+// isendCollNullOK is the send-side counterpart of irecvCollNullOK.
+func (c *Comm) isendCollNullOK(nb Rank, tag int, data []byte) *Request {
+	if nb == ProcNull {
+		return c.nullRequest(true)
+	}
+	return c.isendColl(nb, tag, data)
+}
+
+// cartExchange runs one paired exchange per dimension. Tags encode the
+// travel direction (round 2d = downward, 2d+1 = upward), which keeps the
+// pairing unambiguous even when both neighbours in a dimension are the
+// same process (a periodic dimension of size ≤ 2): the receiver's down
+// slot always gets the down neighbour's up-travelling block.
+func (t *CartComm) cartExchange(recvInto, sendBlock func(i int) []byte) {
+	seq := t.nextCollSeq()
+	nb := t.NeighborRanks()
+	var reqs []*Request
+	for d := 0; d < t.Ndims(); d++ {
+		down, up := nb[2*d], nb[2*d+1]
+		tagDown := collTag(seq, 2*d) // travels toward the down neighbour
+		tagUp := collTag(seq, 2*d+1) // travels toward the up neighbour
+		reqs = append(reqs,
+			t.irecvCollNullOK(down, tagUp, recvInto(2*d)),   // down nb's up-travelling block
+			t.irecvCollNullOK(up, tagDown, recvInto(2*d+1)), // up nb's down-travelling block
+			t.isendCollNullOK(down, tagDown, sendBlock(2*d)),
+			t.isendCollNullOK(up, tagUp, sendBlock(2*d+1)))
+	}
+	Waitall(reqs...)
+}
+
+// NeighborAllgather gathers one block from each topology neighbour
+// (MPI_Neighbor_allgather on a cartesian communicator). The result holds
+// 2*ndims blocks in (down, up) per-dimension order; blocks of ProcNull
+// neighbours are zero.
+func (t *CartComm) NeighborAllgather(data []byte) []byte {
+	bl := len(data)
+	out := make([]byte, 2*t.Ndims()*bl)
+	t.cartExchange(
+		func(i int) []byte { return out[i*bl : (i+1)*bl] },
+		func(i int) []byte { return data })
+	return out
+}
+
+// NeighborAlltoall sends block i of data to neighbour i and receives one
+// block from each (MPI_Neighbor_alltoall on a cartesian communicator).
+// data must hold 2*ndims blocks; the result has the same shape.
+func (t *CartComm) NeighborAlltoall(data []byte, blockLen int) []byte {
+	n := 2 * t.Ndims()
+	if len(data) != n*blockLen {
+		t.raise(ErrCount, "NeighborAlltoall: %d bytes for %d neighbours of %d each",
+			len(data), n, blockLen)
+		return nil
+	}
+	out := make([]byte, len(data))
+	t.cartExchange(
+		func(i int) []byte { return out[i*blockLen : (i+1)*blockLen] },
+		func(i int) []byte { return data[i*blockLen : (i+1)*blockLen] })
+	return out
+}
+
+// exchange runs the neighbour exchange with ProcNull-tolerant endpoints.
+func (c *Comm) exchange(seq uint64, neighbors []Rank, recvInto, sendBlock func(i int) []byte) {
+	tag := collTag(seq, 0)
+	var reqs []*Request
+	for i, nb := range neighbors {
+		reqs = append(reqs,
+			c.irecvCollNullOK(nb, tag, recvInto(i)),
+			c.isendCollNullOK(nb, tag, sendBlock(i)))
+	}
+	Waitall(reqs...)
+}
+
+// NeighborAllgather gathers one block from each graph neighbour
+// (MPI_Neighbor_allgather on a graph communicator). Blocks arrive in
+// MPI_Graph_neighbors order. The graph must be symmetric (every edge
+// paired with its reverse), as MPI requires for neighborhood collectives.
+func (g *GraphComm) NeighborAllgather(data []byte) []byte {
+	neighbors := g.Neighbors(g.Rank())
+	bl := len(data)
+	out := make([]byte, len(neighbors)*bl)
+	seq := g.nextCollSeq()
+	g.exchange(seq, neighbors,
+		func(i int) []byte { return out[i*bl : (i+1)*bl] },
+		func(i int) []byte { return data })
+	return out
+}
+
+// NeighborAlltoall sends block i to graph neighbour i and receives one
+// block from each (MPI_Neighbor_alltoall on a graph communicator).
+func (g *GraphComm) NeighborAlltoall(data []byte, blockLen int) []byte {
+	neighbors := g.Neighbors(g.Rank())
+	if len(data) != len(neighbors)*blockLen {
+		g.raise(ErrCount, "NeighborAlltoall: %d bytes for %d neighbours of %d each",
+			len(data), len(neighbors), blockLen)
+		return nil
+	}
+	out := make([]byte, len(data))
+	seq := g.nextCollSeq()
+	g.exchange(seq, neighbors,
+		func(i int) []byte { return out[i*blockLen : (i+1)*blockLen] },
+		func(i int) []byte { return data[i*blockLen : (i+1)*blockLen] })
+	return out
+}

@@ -1,0 +1,143 @@
+package mpi
+
+import "testing"
+
+func TestCartNeighborAllgather(t *testing.T) {
+	// 3x2 grid, dim 0 non-periodic, dim 1 periodic. Every rank publishes
+	// its own rank id; each must receive its neighbours' ids in
+	// (down, up)-per-dimension order, zeros for off-grid.
+	runNative(t, 6, func(c *Comm) {
+		cart := c.CartCreate([]int{3, 2}, []bool{false, true})
+		mine := []byte{byte(cart.Rank() + 1)} // +1 so rank 0 ≠ "missing"
+		got := cart.NeighborAllgather(mine)
+		if len(got) != 4 {
+			t.Fatalf("expected 4 blocks, got %d", len(got))
+		}
+		want := make([]byte, 4)
+		for i, nb := range cart.NeighborRanks() {
+			if nb != ProcNull {
+				want[i] = byte(nb + 1)
+			}
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("rank %d block %d = %d, want %d (neighbours %v)",
+					cart.Rank(), i, got[i], want[i], cart.NeighborRanks())
+			}
+		}
+	})
+}
+
+func TestCartNeighborAlltoall(t *testing.T) {
+	// Each rank sends a distinct block per direction; the receiver must
+	// see the sender's block for the *opposite* direction.
+	runNative(t, 6, func(c *Comm) {
+		cart := c.CartCreate([]int{3, 2}, []bool{true, true})
+		nb := cart.NeighborRanks()
+		// Block for neighbour i: [my rank, direction i].
+		data := make([]byte, 2*len(nb))
+		for i := range nb {
+			data[2*i] = byte(cart.Rank())
+			data[2*i+1] = byte(i)
+		}
+		got := cart.NeighborAlltoall(data, 2)
+		// Direction pairs swap: my "down" block (index 2d) arrives at the
+		// down neighbour's "up" slot (index 2d+1) and vice versa.
+		for d := 0; d < cart.Ndims(); d++ {
+			down, up := nb[2*d], nb[2*d+1]
+			if got[2*(2*d)] != byte(down) || got[2*(2*d)+1] != byte(2*d+1) {
+				t.Errorf("rank %d dim %d down slot = %v, want [%d %d]",
+					cart.Rank(), d, got[2*(2*d):2*(2*d)+2], down, 2*d+1)
+			}
+			if got[2*(2*d+1)] != byte(up) || got[2*(2*d+1)+1] != byte(2*d) {
+				t.Errorf("rank %d dim %d up slot = %v, want [%d %d]",
+					cart.Rank(), d, got[2*(2*d+1):2*(2*d+1)+2], up, 2*d)
+			}
+		}
+	})
+}
+
+func TestCartNeighborAlltoallEdges(t *testing.T) {
+	// Non-periodic 1D chain: edge ranks have a ProcNull side whose block
+	// must stay zero.
+	runNative(t, 4, func(c *Comm) {
+		cart := c.CartCreate([]int{4}, []bool{false})
+		data := []byte{byte(cart.Rank()*2 + 1), byte(cart.Rank()*2 + 2)}
+		got := cart.NeighborAlltoall(data, 1)
+		coords := cart.Coords()
+		if coords[0] == 0 && got[0] != 0 {
+			t.Errorf("left edge received %d from ProcNull", got[0])
+		}
+		if coords[0] == 3 && got[1] != 0 {
+			t.Errorf("right edge received %d from ProcNull", got[1])
+		}
+		if coords[0] > 0 {
+			// My down neighbour sent its up block (index 1): rank-1's
+			// data[1] = (rank-1)*2+2.
+			if want := byte((int(cart.Rank())-1)*2 + 2); got[0] != want {
+				t.Errorf("rank %d down block = %d, want %d", cart.Rank(), got[0], want)
+			}
+		}
+	})
+}
+
+func TestCartNeighborAlltoallBadCount(t *testing.T) {
+	runNative(t, 2, func(c *Comm) {
+		cart := c.CartCreate([]int{2}, []bool{true})
+		cart.SetErrhandler(ErrorsReturn)
+		if out := cart.NeighborAlltoall(make([]byte, 3), 2); out != nil {
+			t.Error("bad count accepted")
+		}
+		if e := cart.LastError(); e == nil || e.Class != ErrCount {
+			t.Errorf("error = %v", e)
+		}
+	})
+}
+
+func TestCartNeighborSameNeighborBothSides(t *testing.T) {
+	// A periodic dimension of size 2: down and up are the same rank, so
+	// two same-tag messages flow on one channel and must not swap
+	// (non-overtaking).
+	runNative(t, 2, func(c *Comm) {
+		cart := c.CartCreate([]int{2}, []bool{true})
+		data := []byte{10 + byte(cart.Rank()), 20 + byte(cart.Rank())}
+		got := cart.NeighborAlltoall(data, 1)
+		other := byte(1 - cart.Rank())
+		// My down slot receives the peer's up block, and vice versa.
+		if got[0] != 20+other || got[1] != 10+other {
+			t.Errorf("rank %d got %v, want [%d %d]", cart.Rank(), got, 20+other, 10+other)
+		}
+	})
+}
+
+func TestGraphNeighborCollectives(t *testing.T) {
+	// Symmetric 4-node graph: 0-1, 0-3, 2-3.
+	runNative(t, 4, func(c *Comm) {
+		index := []int{2, 3, 4, 6}
+		edges := []Rank{1, 3, 0, 3, 0, 2}
+		g := c.GraphCreate(index, edges)
+		mine := []byte{byte(g.Rank() + 40)}
+		got := g.NeighborAllgather(mine)
+		nbs := g.Neighbors(g.Rank())
+		if len(got) != len(nbs) {
+			t.Fatalf("rank %d: %d blocks for %d neighbours", g.Rank(), len(got), len(nbs))
+		}
+		for i, nb := range nbs {
+			if got[i] != byte(nb+40) {
+				t.Errorf("rank %d block %d = %d, want %d", g.Rank(), i, got[i], nb+40)
+			}
+		}
+
+		// Alltoall: send each neighbour the edge label (me*10 + them).
+		data := make([]byte, len(nbs))
+		for i, nb := range nbs {
+			data[i] = byte(int(g.Rank())*10 + int(nb))
+		}
+		got2 := g.NeighborAlltoall(data, 1)
+		for i, nb := range nbs {
+			if want := byte(int(nb)*10 + int(g.Rank())); got2[i] != want {
+				t.Errorf("rank %d from %d: %d, want %d", g.Rank(), nb, got2[i], want)
+			}
+		}
+	})
+}

@@ -1,0 +1,66 @@
+package mpi
+
+import "repro/internal/transport"
+
+// Probe and Iprobe inspect pending messages without receiving them
+// (MPI_Probe / MPI_Iprobe). Under send-determinism these are exactly the
+// kind of non-deterministic calls whose outcomes may diverge between
+// replicas without becoming externally visible.
+
+// Iprobe progresses the library once and reports whether a message
+// matching (from, tag) is available, returning its envelope if so.
+func (c *Comm) Iprobe(from Rank, tag int) (Status, bool) {
+	eng := c.proc.Engine()
+	eng.Progress()
+	m := eng.peekUnexpected(func(m *transport.Message) bool {
+		if m.Ctx != c.ctxP2P {
+			return false
+		}
+		if tag != AnyTag && m.Tag != tag {
+			return false
+		}
+		srcRank := Rank(m.Meta[MetaSrcRank])
+		if !c.InComm(srcRank) {
+			return false
+		}
+		return from == AnySource || c.rankOf(srcRank) == from
+	})
+	if m == nil {
+		return Status{}, false
+	}
+	count := m.Len()
+	if m.Kind == transport.KindRTS {
+		count = int(m.Meta[MetaLen])
+	}
+	return Status{
+		Source: c.rankOf(Rank(m.Meta[MetaSrcRank])),
+		Tag:    m.Tag,
+		Count:  count,
+	}, true
+}
+
+// Probe blocks until a matching message is available and returns its
+// envelope (the message itself remains pending).
+func (c *Comm) Probe(from Rank, tag int) Status {
+	eng := c.proc.Engine()
+	var st Status
+	eng.WaitUntil(func() bool {
+		s, ok := c.Iprobe(from, tag)
+		if ok {
+			st = s
+		}
+		return ok
+	})
+	return st
+}
+
+// peekUnexpected returns the first unexpected message satisfying pred,
+// without removing it.
+func (e *Engine) peekUnexpected(pred func(*transport.Message) bool) *transport.Message {
+	for _, m := range e.unexpected {
+		if pred(m) {
+			return m
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package mpi
+
+import "repro/internal/transport"
+
+// Proc is a physical process's handle on the MPI stack: its engine plus
+// identity. One Proc exists per process goroutine.
+type Proc struct {
+	eng   *Engine
+	bsend *bsendPool // attached buffer for buffered-mode sends
+}
+
+// NewProc attaches a process to the network and builds its PML engine.
+func NewProc(nw *transport.Network, id transport.ProcID) *Proc {
+	return &Proc{eng: NewEngine(nw, nw.Endpoint(id))}
+}
+
+// Engine returns the PML engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// ID returns the physical process ID.
+func (p *Proc) ID() transport.ProcID { return p.eng.Proc() }
+
+// Network returns the transport network.
+func (p *Proc) Network() *transport.Network { return p.eng.Network() }
+
+// Protocol is the vProtocol interception interface: the point in the stack
+// where SDR-MPI (and the baseline protocols) sit. The OMPI layer (Comm)
+// routes every point-to-point operation — and therefore, transitively,
+// every collective, communicator and group operation — through it.
+type Protocol interface {
+	// Name identifies the protocol ("native", "sdr", "mirror", ...).
+	Name() string
+	// MyBaseRank returns this process's logical rank in the base world.
+	MyBaseRank() Rank
+	// Isend starts a logical send to comm rank `to` on context ctx.
+	Isend(c *Comm, ctx uint32, to Rank, tag int, data []byte) *Request
+	// Irecv posts a logical receive from comm rank `from` (or AnySource).
+	Irecv(c *Comm, ctx uint32, from Rank, tag int, buf []byte) *Request
+}
+
+// Native is the pass-through protocol: no replication, physical process i
+// is logical rank i. It is both the baseline for every experiment and the
+// reference semantics for the replication protocols.
+type Native struct {
+	proc *Proc
+}
+
+// NewNative builds the native protocol for proc.
+func NewNative(proc *Proc) *Native { return &Native{proc: proc} }
+
+// Name implements Protocol.
+func (n *Native) Name() string { return "native" }
+
+// MyBaseRank implements Protocol: physical ID is the logical rank.
+func (n *Native) MyBaseRank() Rank { return Rank(n.proc.ID()) }
+
+// Isend implements Protocol.
+func (n *Native) Isend(c *Comm, ctx uint32, to Rank, tag int, data []byte) *Request {
+	base := c.BaseRank(to)
+	var meta [4]int64
+	meta[MetaSrcRank] = int64(c.BaseRank(c.rank))
+	meta[MetaDstRank] = int64(base)
+	preq := n.proc.eng.Isend(transport.ProcID(base), ctx, tag, data, 0, meta)
+	return NewRequest(c, true, []*PReq{preq}, nil)
+}
+
+// Irecv implements Protocol.
+func (n *Native) Irecv(c *Comm, ctx uint32, from Rank, tag int, buf []byte) *Request {
+	var preq *PReq
+	if from == AnySource {
+		preq = n.proc.eng.Irecv(AnyProc, func(p transport.ProcID) bool {
+			return c.InComm(Rank(p))
+		}, ctx, tag, buf)
+	} else {
+		preq = n.proc.eng.Irecv(transport.ProcID(c.BaseRank(from)), nil, ctx, tag, buf)
+	}
+	return NewRequest(c, false, []*PReq{preq}, nil)
+}

@@ -1,0 +1,187 @@
+package mpi
+
+import "fmt"
+
+// Request is an application-level request, the object MPI_Isend/MPI_Irecv
+// return. A protocol composes it from one or more PML requests plus an
+// optional completion gate (SDR-MPI gates send completion on replication
+// acks — §3.2: "we wait until all acks have been collected before
+// completing a send request").
+type Request struct {
+	eng  *Engine
+	comm *Comm
+	send bool
+
+	preqs []*PReq
+	gate  func() bool
+
+	// OnWaitEnter is invoked when the application first waits on the
+	// request (used by the ack-on-wait ablation).
+	OnWaitEnter func()
+	// OnFinish is invoked once, when the request completes at the
+	// application level (the paper's "completed at the application
+	// level", as opposed to the PML-level irecvComplete event).
+	OnFinish func(*Request)
+
+	finished bool
+	status   Status
+}
+
+// Attach adds a late-bound PML request (the leader-based baseline posts a
+// follower's wildcard receive only after the leader's decision arrives).
+func (r *Request) Attach(p *PReq) { r.preqs = append(r.preqs, p) }
+
+// PStatuses returns the PML statuses of all completed, non-cancelled
+// receive requests underneath this request.
+func (r *Request) PStatuses() []PStatus {
+	var out []PStatus
+	for _, p := range r.preqs {
+		if !p.send && p.done && !p.cancelled {
+			out = append(out, p.status)
+		}
+	}
+	return out
+}
+
+// NewRequest assembles an application request; protocols call this.
+func NewRequest(c *Comm, send bool, preqs []*PReq, gate func() bool) *Request {
+	return &Request{eng: c.proc.Engine(), comm: c, send: send, preqs: preqs, gate: gate}
+}
+
+// ready reports whether every underlying PML request is complete and the
+// protocol gate (if any) is satisfied.
+func (r *Request) ready() bool {
+	for _, p := range r.preqs {
+		if !p.done {
+			return false
+		}
+	}
+	return r.gate == nil || r.gate()
+}
+
+// finish computes the application status after completion. OnFinish runs
+// last, with the status already in place, so hooks may post-process it
+// (the inter-communicator's source translation relies on this).
+func (r *Request) finish() Status {
+	if r.finished {
+		return r.status
+	}
+	r.finished = true
+	if !r.send {
+		for _, p := range r.preqs {
+			if p.cancelled {
+				continue
+			}
+			if p.truncated {
+				panic(fmt.Sprintf("mpi: truncation on receive (tag %d, %d bytes into %d buffer)",
+					p.tag, p.status.Count, len(p.buf)))
+			}
+			ps := p.status
+			r.status = Status{
+				Source: r.comm.rankOf(Rank(ps.Meta[MetaSrcRank])),
+				Tag:    ps.Tag,
+				Count:  ps.Count,
+			}
+			break
+		}
+	}
+	if r.OnFinish != nil {
+		r.OnFinish(r)
+	}
+	return r.status
+}
+
+// Wait blocks (pumping library progress) until the request completes and
+// returns its status. This is MPI_Wait.
+func (r *Request) Wait() Status {
+	if r.OnWaitEnter != nil {
+		r.OnWaitEnter()
+		r.OnWaitEnter = nil
+	}
+	r.eng.WaitUntil(r.ready)
+	return r.finish()
+}
+
+// Test progresses the library once and reports whether the request has
+// completed. This is MPI_Test — one of the non-deterministic completion
+// calls send-determinism makes harmless.
+func (r *Request) Test() (Status, bool) {
+	r.eng.Progress()
+	if !r.ready() {
+		return Status{}, false
+	}
+	return r.finish(), true
+}
+
+// Done reports completion without progressing the library.
+func (r *Request) Done() bool { return r.ready() }
+
+// Waitall waits for all requests (MPI_Waitall).
+func Waitall(reqs ...*Request) []Status {
+	out := make([]Status, len(reqs))
+	for i, r := range reqs {
+		if r == nil {
+			continue
+		}
+		out[i] = r.Wait()
+	}
+	return out
+}
+
+// Waitany waits until at least one request completes and returns its index
+// and status (MPI_Waitany). The relative progress of requests is
+// non-deterministic; under send-determinism the choice cannot leak into
+// the message flow.
+func Waitany(reqs ...*Request) (int, Status) {
+	var eng *Engine
+	for _, r := range reqs {
+		if r != nil {
+			eng = r.eng
+			break
+		}
+	}
+	if eng == nil {
+		return -1, Status{}
+	}
+	idx := -1
+	eng.WaitUntil(func() bool {
+		for i, r := range reqs {
+			if r != nil && r.ready() {
+				idx = i
+				return true
+			}
+		}
+		return false
+	})
+	return idx, reqs[idx].finish()
+}
+
+// Testall progresses once and reports whether all requests completed.
+func Testall(reqs ...*Request) bool {
+	if len(reqs) == 0 {
+		return true
+	}
+	reqs[0].eng.Progress()
+	for _, r := range reqs {
+		if r != nil && !r.ready() {
+			return false
+		}
+	}
+	return true
+}
+
+// Testany progresses once and returns the index of a completed request, or
+// -1 if none.
+func Testany(reqs ...*Request) (int, Status, bool) {
+	if len(reqs) == 0 {
+		return -1, Status{}, false
+	}
+	reqs[0].eng.Progress()
+	for i, r := range reqs {
+		if r != nil && r.ready() {
+			st := r.finish()
+			return i, st, true
+		}
+	}
+	return -1, Status{}, false
+}

@@ -1,0 +1,168 @@
+package mpi
+
+// Send modes beyond the standard mode: synchronous (MPI_Ssend), buffered
+// (MPI_Bsend) and ready (MPI_Rsend), plus the Waitsome/Testsome completion
+// functions. All modes route through the communicator's protocol, so the
+// replication layer covers them unchanged.
+
+// Issend starts a synchronous-mode send (MPI_Issend): the request
+// completes only after the matching receive has been posted. The library
+// realises this by forcing the rendezvous wire protocol regardless of
+// payload size — the sender's completion then requires the receiver's CTS,
+// which is only emitted on match. This is exactly how MPI implementations
+// map synchronous mode onto their rendezvous path.
+func (c *Comm) Issend(to Rank, tag int, data []byte) *Request {
+	if to == ProcNull || c.checkSendArgs(to, tag) != nil {
+		return c.nullRequest(true)
+	}
+	eng := c.proc.Engine()
+	saved := eng.EagerLimit
+	eng.EagerLimit = -1 // no payload qualifies as eager
+	defer func() { eng.EagerLimit = saved }()
+	return c.protocol.Isend(c, c.ctxP2P, to, tag, data)
+}
+
+// Ssend is the blocking synchronous send (MPI_Ssend).
+func (c *Comm) Ssend(to Rank, tag int, data []byte) {
+	c.Issend(to, tag, data).Wait()
+}
+
+// Rsend is the ready-mode send (MPI_Rsend): the caller asserts the
+// matching receive is already posted. The assertion enables no shortcut in
+// this library (eager delivery is already one-sided), so ready mode is the
+// standard mode — the behaviour MPI permits and most implementations use.
+func (c *Comm) Rsend(to Rank, tag int, data []byte) {
+	c.Send(to, tag, data)
+}
+
+// bsendPool is the per-process attached buffer for buffered-mode sends.
+type bsendPool struct {
+	capacity int
+	used     int
+	pending  []*Request
+	sizes    []int
+}
+
+// BufferAttach provides buffer space for buffered-mode sends
+// (MPI_Buffer_attach). Only one buffer may be attached at a time.
+func (p *Proc) BufferAttach(nbytes int) {
+	if p.bsend != nil {
+		panic(&Error{Class: ErrBuffer, Msg: "BufferAttach: a buffer is already attached"})
+	}
+	p.bsend = &bsendPool{capacity: nbytes}
+}
+
+// BufferDetach waits for all outstanding buffered sends to drain and
+// releases the buffer (MPI_Buffer_detach). It returns the buffer size that
+// was attached.
+func (p *Proc) BufferDetach() int {
+	if p.bsend == nil {
+		return 0
+	}
+	for _, r := range p.bsend.pending {
+		r.Wait()
+	}
+	n := p.bsend.capacity
+	p.bsend = nil
+	return n
+}
+
+// reclaim frees accounting for completed buffered sends.
+func (b *bsendPool) reclaim() {
+	i := 0
+	for i < len(b.pending) {
+		if b.pending[i].Done() {
+			b.used -= b.sizes[i]
+			b.pending = append(b.pending[:i], b.pending[i+1:]...)
+			b.sizes = append(b.sizes[:i], b.sizes[i+1:]...)
+			continue
+		}
+		i++
+	}
+}
+
+// Ibsend starts a buffered-mode send (MPI_Ibsend): the payload is copied
+// into the attached buffer and the returned request completes immediately
+// — the hidden transfer drains in the background (completed by library
+// progress; BufferDetach waits for all of it). Raises ErrBuffer if the
+// attached buffer cannot hold the payload.
+func (c *Comm) Ibsend(to Rank, tag int, data []byte) *Request {
+	if to == ProcNull || c.checkSendArgs(to, tag) != nil {
+		return c.nullRequest(true)
+	}
+	b := c.proc.bsend
+	if b == nil {
+		c.raise(ErrBuffer, "Ibsend: no buffer attached")
+		return c.nullRequest(true)
+	}
+	b.reclaim()
+	if b.used+len(data) > b.capacity {
+		c.raise(ErrBuffer, "Ibsend: %d bytes do not fit (attached %d, used %d)",
+			len(data), b.capacity, b.used)
+		return c.nullRequest(true)
+	}
+	cp := append([]byte(nil), data...)
+	hidden := c.protocol.Isend(c, c.ctxP2P, to, tag, cp)
+	b.pending = append(b.pending, hidden)
+	b.sizes = append(b.sizes, len(cp))
+	b.used += len(cp)
+	// The visible request is complete at once: buffered-mode semantics.
+	return c.nullRequest(true)
+}
+
+// Bsend is the blocking buffered send (MPI_Bsend); with the copy taken, it
+// returns immediately.
+func (c *Comm) Bsend(to Rank, tag int, data []byte) {
+	c.Ibsend(to, tag, data).Wait()
+}
+
+// Waitsome blocks until at least one request completes and returns the
+// indices and statuses of every request that has completed
+// (MPI_Waitsome). Completed requests are nil-ed out of the caller's slice,
+// the analogue of MPI setting them to MPI_REQUEST_NULL. If every entry is
+// nil it returns empty slices immediately, as MPI returns MPI_UNDEFINED.
+func Waitsome(reqs []*Request) (idxs []int, sts []Status) {
+	var eng *Engine
+	for _, r := range reqs {
+		if r != nil {
+			eng = r.eng
+			break
+		}
+	}
+	if eng == nil {
+		return nil, nil
+	}
+	eng.WaitUntil(func() bool {
+		for _, r := range reqs {
+			if r != nil && r.ready() {
+				return true
+			}
+		}
+		return false
+	})
+	return collectSome(reqs)
+}
+
+// Testsome progresses the library once and returns the indices and
+// statuses of all currently-complete requests, nil-ing them out
+// (MPI_Testsome). It does not block.
+func Testsome(reqs []*Request) (idxs []int, sts []Status) {
+	for _, r := range reqs {
+		if r != nil {
+			r.eng.Progress()
+			break
+		}
+	}
+	return collectSome(reqs)
+}
+
+func collectSome(reqs []*Request) (idxs []int, sts []Status) {
+	for i, r := range reqs {
+		if r != nil && r.ready() {
+			idxs = append(idxs, i)
+			sts = append(sts, r.finish())
+			reqs[i] = nil
+		}
+	}
+	return idxs, sts
+}

@@ -1,0 +1,229 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestIssendCompletesOnlyOnMatch(t *testing.T) {
+	// Synchronous-mode semantics: the send cannot complete before the
+	// matching receive is posted. Rank 0 verifies the request tests
+	// incomplete, then releases rank 1, which posts the receive.
+	runNative(t, 2, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			data := []byte{1, 2, 3, 4}
+			r := c.Issend(1, 5, data)
+			for i := 0; i < 50; i++ {
+				if _, done := r.Test(); done {
+					t.Error("Issend completed before the receive was posted")
+					break
+				}
+			}
+			c.Send(1, 6, nil) // now let the receiver post
+			r.Wait()
+		case 1:
+			c.Recv(0, 6, nil) // wait for rank 0's green light
+			buf := make([]byte, 4)
+			st := c.Recv(0, 5, buf)
+			if st.Count != 4 || !bytes.Equal(buf, []byte{1, 2, 3, 4}) {
+				t.Errorf("payload = %v (%+v)", buf, st)
+			}
+		}
+	})
+}
+
+func TestSsendLargePayload(t *testing.T) {
+	// Synchronous mode must work above the eager limit too (it is always
+	// rendezvous).
+	runNative(t, 2, func(c *Comm) {
+		n := DefaultEagerLimit + 1024
+		switch c.Rank() {
+		case 0:
+			data := make([]byte, n)
+			fillPattern(data, 77)
+			c.Ssend(1, 1, data)
+		case 1:
+			buf := make([]byte, n)
+			st := c.Recv(0, 1, buf)
+			if st.Count != n {
+				t.Errorf("count = %d, want %d", st.Count, n)
+			}
+			want := make([]byte, n)
+			fillPattern(want, 77)
+			if !bytes.Equal(buf, want) {
+				t.Error("payload corrupted")
+			}
+		}
+	})
+}
+
+func TestSsendProcNull(t *testing.T) {
+	runNative(t, 1, func(c *Comm) {
+		c.Ssend(ProcNull, 1, []byte{1}) // must complete immediately
+	})
+}
+
+func TestBsendBuffered(t *testing.T) {
+	// Buffered mode: the caller's buffer is free for reuse the moment
+	// Bsend returns, even for payloads above the eager limit.
+	runNative(t, 2, func(c *Comm) {
+		n := DefaultEagerLimit + 512
+		switch c.Rank() {
+		case 0:
+			c.Proc().BufferAttach(2 * n)
+			data := make([]byte, n)
+			fillPattern(data, 42)
+			c.Bsend(1, 3, data)
+			for i := range data {
+				data[i] = 0xEE // clobber: the library must have copied
+			}
+			if got := c.Proc().BufferDetach(); got != 2*n {
+				t.Errorf("BufferDetach = %d, want %d", got, 2*n)
+			}
+		case 1:
+			buf := make([]byte, n)
+			c.Recv(0, 3, buf)
+			want := make([]byte, n)
+			fillPattern(want, 42)
+			if !bytes.Equal(buf, want) {
+				t.Error("buffered payload corrupted")
+			}
+		}
+	})
+}
+
+func TestBsendReclaim(t *testing.T) {
+	// Sequential buffered sends must reuse buffer space freed by
+	// completed transfers: 5 sends of n bytes through an n-byte buffer.
+	runNative(t, 2, func(c *Comm) {
+		const n, iters = 1024, 5
+		switch c.Rank() {
+		case 0:
+			c.Proc().BufferAttach(n)
+			data := make([]byte, n)
+			for i := 0; i < iters; i++ {
+				data[0] = byte(i)
+				c.Bsend(1, 1, data)
+				// Eager sends complete instantly, so the next reclaim
+				// frees this slot.
+			}
+			c.Proc().BufferDetach()
+		case 1:
+			buf := make([]byte, n)
+			for i := 0; i < iters; i++ {
+				c.Recv(0, 1, buf)
+				if buf[0] != byte(i) {
+					t.Errorf("iter %d: got %d", i, buf[0])
+				}
+			}
+		}
+	})
+}
+
+func TestBsendErrors(t *testing.T) {
+	runNative(t, 1, func(c *Comm) {
+		c.SetErrhandler(ErrorsReturn)
+		c.Bsend(0, 1, []byte{1}) // no buffer attached
+		if e := c.LastError(); e == nil || e.Class != ErrBuffer {
+			t.Errorf("no-buffer Bsend: error = %v", e)
+		}
+		c.Proc().BufferAttach(4)
+		defer c.Proc().BufferDetach()
+		c.Bsend(0, 1, make([]byte, 64)) // does not fit
+		if e := c.LastError(); e == nil || e.Class != ErrBuffer {
+			t.Errorf("overflow Bsend: error = %v", e)
+		}
+	})
+}
+
+func TestDoubleBufferAttachPanics(t *testing.T) {
+	runNative(t, 1, func(c *Comm) {
+		c.Proc().BufferAttach(16)
+		defer c.Proc().BufferDetach()
+		defer func() {
+			if recover() == nil {
+				t.Error("second BufferAttach did not panic")
+			}
+		}()
+		c.Proc().BufferAttach(16)
+	})
+}
+
+func TestRsend(t *testing.T) {
+	runNative(t, 2, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Recv(1, 2, nil) // receiver signals its receive is posted
+			c.Rsend(1, 1, []byte{7})
+		case 1:
+			buf := make([]byte, 1)
+			r := c.Irecv(0, 1, buf)
+			c.Send(0, 2, nil)
+			r.Wait()
+			if buf[0] != 7 {
+				t.Errorf("got %d", buf[0])
+			}
+		}
+	})
+}
+
+func TestWaitsome(t *testing.T) {
+	runNative(t, 3, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			bufs := [2][]byte{make([]byte, 1), make([]byte, 1)}
+			reqs := []*Request{
+				c.Irecv(1, 1, bufs[0]),
+				c.Irecv(2, 1, bufs[1]),
+			}
+			seen := map[int]bool{}
+			for len(seen) < 2 {
+				idxs, sts := Waitsome(reqs)
+				if len(idxs) == 0 {
+					t.Fatal("Waitsome returned empty on live requests")
+				}
+				for k, i := range idxs {
+					if seen[i] {
+						t.Errorf("index %d returned twice", i)
+					}
+					seen[i] = true
+					if reqs[i] != nil {
+						t.Errorf("request %d not nil-ed", i)
+					}
+					if want := Rank(i + 1); sts[k].Source != want {
+						t.Errorf("status source %d, want %d", sts[k].Source, want)
+					}
+				}
+			}
+			// All nil now: immediate empty return.
+			if idxs, _ := Waitsome(reqs); idxs != nil {
+				t.Errorf("all-nil Waitsome returned %v", idxs)
+			}
+		default:
+			c.Send(0, 1, []byte{byte(c.Rank())})
+		}
+	})
+}
+
+func TestTestsome(t *testing.T) {
+	runNative(t, 2, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			buf := make([]byte, 1)
+			reqs := []*Request{c.Irecv(1, 1, buf)}
+			// Eventually the send arrives and Testsome reports index 0.
+			for {
+				idxs, sts := Testsome(reqs)
+				if len(idxs) == 1 {
+					if idxs[0] != 0 || sts[0].Count != 1 {
+						t.Errorf("idxs=%v sts=%v", idxs, sts)
+					}
+					break
+				}
+			}
+		case 1:
+			c.Send(0, 1, []byte{1})
+		}
+	})
+}

@@ -1,0 +1,296 @@
+package mpi
+
+import "sort"
+
+// Process topologies: cartesian grids (MPI_Cart_create and friends) and
+// arbitrary neighbour graphs (MPI_Graph_create). Topologies are views over
+// a communicator — they add coordinate arithmetic and neighbour queries;
+// all communication still routes through the underlying Comm, so the
+// replication protocols cover topology traffic with no extra work.
+
+// DimsCreate factors nnodes into ndims balanced dimensions, largest first
+// (MPI_Dims_create with all dimensions free). Fixed dimensions can be
+// supplied as non-zero entries in fixed; zero entries are computed.
+func DimsCreate(nnodes, ndims int, fixed []int) []int {
+	dims := make([]int, ndims)
+	rem := nnodes
+	free := 0
+	for d := 0; d < ndims; d++ {
+		if fixed != nil && fixed[d] > 0 {
+			dims[d] = fixed[d]
+			if rem%fixed[d] != 0 {
+				panic(&Error{Class: ErrTopology, Msg: "DimsCreate: fixed dimensions do not divide node count"})
+			}
+			rem /= fixed[d]
+		} else {
+			free++
+		}
+	}
+	if free == 0 {
+		if rem != 1 {
+			panic(&Error{Class: ErrTopology, Msg: "DimsCreate: fixed dimensions do not cover node count"})
+		}
+		return dims
+	}
+	// Split rem into `free` factors, as balanced as possible: repeatedly
+	// peel the largest prime factor onto the currently smallest dimension.
+	factors := primeFactors(rem)
+	parts := make([]int, free)
+	for i := range parts {
+		parts[i] = 1
+	}
+	// factors come smallest-first; assign from the largest down.
+	for i := len(factors) - 1; i >= 0; i-- {
+		minIdx := 0
+		for j := range parts {
+			if parts[j] < parts[minIdx] {
+				minIdx = j
+			}
+		}
+		parts[minIdx] *= factors[i]
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(parts)))
+	pi := 0
+	for d := 0; d < ndims; d++ {
+		if dims[d] == 0 {
+			dims[d] = parts[pi]
+			pi++
+		}
+	}
+	return dims
+}
+
+// primeFactors returns n's prime factorization, smallest first.
+func primeFactors(n int) []int {
+	var out []int
+	for f := 2; f*f <= n; f++ {
+		for n%f == 0 {
+			out = append(out, f)
+			n /= f
+		}
+	}
+	if n > 1 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// CartComm is a communicator with cartesian topology information
+// (MPI_Cart_create). Ranks are laid out row-major: the last dimension
+// varies fastest, as MPI specifies.
+type CartComm struct {
+	*Comm
+	dims    []int
+	periods []bool
+}
+
+// CartCreate builds a cartesian topology over this communicator
+// (MPI_Cart_create). The product of dims must not exceed the communicator
+// size; ranks beyond the product get nil, as MPI returns MPI_COMM_NULL.
+// Collective over the communicator. The reorder flag of MPI is not
+// meaningful here (all placements are equivalent in the simulator), so
+// ranks keep their order.
+func (c *Comm) CartCreate(dims []int, periods []bool) *CartComm {
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			c.raise(ErrTopology, "CartCreate: non-positive dimension %d", d)
+			return nil
+		}
+		n *= d
+	}
+	if n > c.Size() {
+		c.raise(ErrTopology, "CartCreate: grid of %d exceeds communicator size %d", n, c.Size())
+		return nil
+	}
+	if len(periods) != len(dims) {
+		c.raise(ErrTopology, "CartCreate: %d periods for %d dims", len(periods), len(dims))
+		return nil
+	}
+	color := 0
+	if int(c.Rank()) >= n {
+		color = Undefined
+	}
+	sub := c.Split(color, int(c.Rank()))
+	if sub == nil {
+		return nil
+	}
+	return &CartComm{
+		Comm:    sub,
+		dims:    append([]int(nil), dims...),
+		periods: append([]bool(nil), periods...),
+	}
+}
+
+// Ndims returns the number of grid dimensions (MPI_Cartdim_get).
+func (t *CartComm) Ndims() int { return len(t.dims) }
+
+// Dims returns (a copy of) the grid dimensions (MPI_Cart_get).
+func (t *CartComm) Dims() []int { return append([]int(nil), t.dims...) }
+
+// Periods returns (a copy of) the per-dimension periodicity.
+func (t *CartComm) Periods() []bool { return append([]bool(nil), t.periods...) }
+
+// CartRank translates coordinates to a rank (MPI_Cart_rank). Coordinates
+// outside a periodic dimension wrap; outside a non-periodic dimension they
+// yield ProcNull.
+func (t *CartComm) CartRank(coords []int) Rank {
+	if len(coords) != len(t.dims) {
+		t.raise(ErrTopology, "CartRank: %d coords for %d dims", len(coords), len(t.dims))
+		return ProcNull
+	}
+	rank := 0
+	for d, c := range coords {
+		size := t.dims[d]
+		if c < 0 || c >= size {
+			if !t.periods[d] {
+				return ProcNull
+			}
+			c = ((c % size) + size) % size
+		}
+		rank = rank*size + c
+	}
+	return Rank(rank)
+}
+
+// CartCoords translates a rank to coordinates (MPI_Cart_coords).
+func (t *CartComm) CartCoords(r Rank) []int {
+	if r < 0 || int(r) >= t.Size() {
+		t.raise(ErrRank, "CartCoords: rank %d outside topology of size %d", r, t.Size())
+		return nil
+	}
+	coords := make([]int, len(t.dims))
+	rem := int(r)
+	for d := len(t.dims) - 1; d >= 0; d-- {
+		coords[d] = rem % t.dims[d]
+		rem /= t.dims[d]
+	}
+	return coords
+}
+
+// Coords returns this process's own coordinates.
+func (t *CartComm) Coords() []int { return t.CartCoords(t.Rank()) }
+
+// CartShift returns the source and destination ranks for a shift of disp
+// along dimension dim (MPI_Cart_shift): src is the rank that would send to
+// this process, dst the rank this process would send to. Off-grid
+// neighbours on non-periodic dimensions are ProcNull, so the result can be
+// passed directly to Sendrecv.
+func (t *CartComm) CartShift(dim, disp int) (src, dst Rank) {
+	if dim < 0 || dim >= len(t.dims) {
+		t.raise(ErrTopology, "CartShift: dimension %d outside %d-dim topology", dim, len(t.dims))
+		return ProcNull, ProcNull
+	}
+	coords := t.Coords()
+	up := append([]int(nil), coords...)
+	down := append([]int(nil), coords...)
+	up[dim] += disp
+	down[dim] -= disp
+	return t.CartRank(down), t.CartRank(up)
+}
+
+// CartSub slices the grid into sub-grids keeping the dimensions where
+// remain[d] is true (MPI_Cart_sub). Collective; every process gets the
+// sub-topology containing it.
+func (t *CartComm) CartSub(remain []bool) *CartComm {
+	if len(remain) != len(t.dims) {
+		t.raise(ErrTopology, "CartSub: %d remain flags for %d dims", len(remain), len(t.dims))
+		return nil
+	}
+	coords := t.Coords()
+	// Color = the dropped coordinates; key = position within the kept ones.
+	color, key := 0, 0
+	var subDims []int
+	var subPeriods []bool
+	for d := range t.dims {
+		if remain[d] {
+			key = key*t.dims[d] + coords[d]
+			subDims = append(subDims, t.dims[d])
+			subPeriods = append(subPeriods, t.periods[d])
+		} else {
+			color = color*t.dims[d] + coords[d]
+		}
+	}
+	sub := t.Split(color, key)
+	return &CartComm{Comm: sub, dims: subDims, periods: subPeriods}
+}
+
+// NeighborRanks returns the 2*ndims shift-by-one neighbours in dimension
+// order (down then up per dimension), ProcNull where off-grid — the
+// neighbour list MPI_Neighbor_alltoall would use on a cartesian topology.
+func (t *CartComm) NeighborRanks() []Rank {
+	out := make([]Rank, 0, 2*len(t.dims))
+	for d := range t.dims {
+		src, dst := t.CartShift(d, 1)
+		out = append(out, src, dst)
+	}
+	return out
+}
+
+// GraphComm is a communicator with an arbitrary neighbour-graph topology
+// (MPI_Graph_create).
+type GraphComm struct {
+	*Comm
+	index []int // cumulative neighbour counts, as in MPI_Graph_create
+	edges []Rank
+}
+
+// GraphCreate attaches a graph topology to the communicator. index[i] is
+// the cumulative neighbour count through node i; edges lists neighbours
+// node by node — the exact MPI_Graph_create encoding. Collective; the
+// graph must cover exactly the communicator's size.
+func (c *Comm) GraphCreate(index []int, edges []Rank) *GraphComm {
+	if len(index) != c.Size() {
+		c.raise(ErrTopology, "GraphCreate: graph of %d nodes on communicator of size %d", len(index), c.Size())
+		return nil
+	}
+	prev := 0
+	for i, x := range index {
+		if x < prev {
+			c.raise(ErrTopology, "GraphCreate: index not monotonic at node %d", i)
+			return nil
+		}
+		prev = x
+	}
+	if prev != len(edges) {
+		c.raise(ErrTopology, "GraphCreate: index covers %d edges, %d given", prev, len(edges))
+		return nil
+	}
+	for _, e := range edges {
+		if e < 0 || int(e) >= c.Size() {
+			c.raise(ErrTopology, "GraphCreate: edge to rank %d outside communicator", e)
+			return nil
+		}
+	}
+	// Fresh contexts so topology traffic cannot cross with the parent's.
+	sub := c.Dup()
+	return &GraphComm{
+		Comm:  sub,
+		index: append([]int(nil), index...),
+		edges: append([]Rank(nil), edges...),
+	}
+}
+
+// NeighborCount returns rank r's neighbour count (MPI_Graph_neighbors_count).
+func (g *GraphComm) NeighborCount(r Rank) int {
+	lo, hi := g.neighborRange(r)
+	return hi - lo
+}
+
+// Neighbors returns rank r's neighbour list (MPI_Graph_neighbors).
+func (g *GraphComm) Neighbors(r Rank) []Rank {
+	lo, hi := g.neighborRange(r)
+	return append([]Rank(nil), g.edges[lo:hi]...)
+}
+
+func (g *GraphComm) neighborRange(r Rank) (int, int) {
+	if r < 0 || int(r) >= len(g.index) {
+		g.raise(ErrRank, "graph neighbours of rank %d outside topology", r)
+		return 0, 0
+	}
+	lo := 0
+	if r > 0 {
+		lo = g.index[r-1]
+	}
+	return lo, g.index[r]
+}

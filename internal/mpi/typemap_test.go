@@ -1,0 +1,128 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorPackUnpack(t *testing.T) {
+	// A 4x4 byte matrix; pack column 1 (stride 4).
+	src := []byte{
+		0, 1, 2, 3,
+		4, 5, 6, 7,
+		8, 9, 10, 11,
+		12, 13, 14, 15,
+	}
+	v := Vector{Count: 4, BlockLen: 1, Stride: 4, Elem: Byte}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	col := v.Pack(src[1:])
+	if !bytes.Equal(col, []byte{1, 5, 9, 13}) {
+		t.Fatalf("packed column: %v", col)
+	}
+	if v.PackedSize() != 4 {
+		t.Fatalf("packed size %d", v.PackedSize())
+	}
+	if v.Extent() != 13 {
+		t.Fatalf("extent %d", v.Extent())
+	}
+	dst := make([]byte, 16)
+	v.Unpack(col, dst[1:])
+	want := make([]byte, 16)
+	want[1], want[5], want[9], want[13] = 1, 5, 9, 13
+	if !bytes.Equal(dst, want) {
+		t.Fatalf("unpacked: %v", dst)
+	}
+}
+
+func TestVectorFloat64Rows(t *testing.T) {
+	// Two rows of 3 float64 out of a 3x5 matrix (stride 5).
+	m := make([]float64, 15)
+	for i := range m {
+		m[i] = float64(i)
+	}
+	v := Vector{Count: 2, BlockLen: 3, Stride: 5, Elem: Float64}
+	packed := v.Pack(Float64Bytes(m))
+	got := BytesFloat64(packed)
+	want := []float64{0, 1, 2, 5, 6, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("packed %v", got)
+		}
+	}
+}
+
+func TestVectorValidate(t *testing.T) {
+	bad := Vector{Count: 2, BlockLen: 4, Stride: 2, Elem: Byte}
+	if err := bad.Validate(); err == nil {
+		t.Error("overlapping blocks should be rejected")
+	}
+	if err := (Vector{Count: 1, BlockLen: 0, Stride: 1, Elem: Byte}).Validate(); err == nil {
+		t.Error("zero blocklen should be rejected")
+	}
+}
+
+func TestVectorRoundTripProperty(t *testing.T) {
+	f := func(count, blockLen, gap uint8, seed byte) bool {
+		c := int(count%5) + 1
+		bl := int(blockLen%4) + 1
+		stride := bl + int(gap%4)
+		v := Vector{Count: c, BlockLen: bl, Stride: stride, Elem: Byte}
+		src := make([]byte, v.Extent()+8)
+		for i := range src {
+			src[i] = seed + byte(i)
+		}
+		wire := v.Pack(src)
+		if len(wire) != v.PackedSize() {
+			return false
+		}
+		dst := make([]byte, len(src))
+		v.Unpack(wire, dst)
+		// Every packed position must round-trip; gaps stay zero.
+		wire2 := v.Pack(dst)
+		return bytes.Equal(wire, wire2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexedPackUnpack(t *testing.T) {
+	src := []byte{10, 11, 12, 13, 14, 15, 16, 17}
+	x := Indexed{Blocks: []IndexedBlock{{Disp: 6, Len: 2}, {Disp: 1, Len: 3}}, Elem: Byte}
+	wire := x.Pack(src)
+	if !bytes.Equal(wire, []byte{16, 17, 11, 12, 13}) {
+		t.Fatalf("packed %v", wire)
+	}
+	if x.PackedSize() != 5 {
+		t.Fatalf("size %d", x.PackedSize())
+	}
+	dst := make([]byte, 8)
+	x.Unpack(wire, dst)
+	want := []byte{0, 11, 12, 13, 0, 0, 16, 17}
+	if !bytes.Equal(dst, want) {
+		t.Fatalf("unpacked %v", dst)
+	}
+}
+
+func TestSendRecvVector(t *testing.T) {
+	runNative(t, 2, func(c *Comm) {
+		// Exchange the border column of a 4x4 matrix.
+		v := Vector{Count: 4, BlockLen: 1, Stride: 4, Elem: Byte}
+		if c.Rank() == 0 {
+			src := make([]byte, 16)
+			for i := range src {
+				src[i] = byte(i)
+			}
+			c.SendVector(1, 0, v, src[3:]) // last column: 3,7,11,15
+		} else {
+			dst := make([]byte, 16)
+			c.RecvVector(0, 0, v, dst[0:])
+			if dst[0] != 3 || dst[4] != 7 || dst[8] != 11 || dst[12] != 15 {
+				t.Errorf("column exchange wrong: %v", dst)
+			}
+		}
+	})
+}

@@ -1,0 +1,309 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"strings"
+)
+
+// One-sided communication (MPI-2 RMA) with active-target fence
+// synchronization: MPI_Win_create, MPI_Put, MPI_Get, MPI_Accumulate,
+// MPI_Win_fence. With no asynchronous progress (this library's — and the
+// paper's — model), passive-target RMA is not implementable, so only the
+// fence epoch is offered; within it, operations are queued at the origin
+// and executed during the closing fence through ordinary point-to-point
+// exchanges — the way MPI implementations emulate RMA over send/recv on
+// networks without hardware RDMA. Riding on point-to-point means the
+// replication protocols cover one-sided traffic unchanged.
+//
+// Epoch semantics: operations issued between two fences are concurrent.
+// Gets read the window state as of the epoch's opening fence; puts and
+// accumulates take effect at the closing fence, applied in origin-rank
+// order (a deterministic order — required here, since replicas must apply
+// identical sequences). Overlapping puts from different origins are
+// therefore resolved deterministically rather than being erroneous as in
+// strict MPI.
+
+// Win is a window of locally exposed memory.
+type Win struct {
+	comm  *Comm // private duplicate: window traffic cannot cross app traffic
+	local []byte
+
+	pending [][]winOp // per-target queued operations
+	getBufs []*winGet // queued gets awaiting their reply
+}
+
+// winOp is one queued origin-side operation, wire-encodable.
+type winOp struct {
+	kind byte // 'p' put, 'g' get request, 'a' accumulate
+	off  int
+	n    int    // get length
+	data []byte // put/accumulate payload
+	op   string // accumulate op name
+	id   int    // origin-side index for get replies
+}
+
+// winGet tracks a pending Get's destination buffer.
+type winGet struct {
+	buf []byte
+}
+
+// accOps maps wire names to reduction ops for Accumulate.
+var accOps = map[string]Op{
+	"sum":  OpSum,
+	"prod": OpProd,
+	"max":  OpMax,
+	"min":  OpMin,
+	"band": OpBand,
+	"bor":  OpBor,
+	"bxor": OpBxor,
+}
+
+// accTypes maps wire names back to the predefined datatypes.
+var accTypes = map[string]Datatype{
+	"byte":    Byte,
+	"int32":   Int32T,
+	"int64":   Int64T,
+	"float32": Float32,
+	"float64": Float64,
+}
+
+// WinCreate exposes local as this process's window (MPI_Win_create).
+// Collective over the communicator. The window is in an open epoch
+// immediately; close it (and execute queued operations) with Fence.
+func (c *Comm) WinCreate(local []byte) *Win {
+	return &Win{
+		comm:    c.Dup(),
+		local:   local,
+		pending: make([][]winOp, c.Size()),
+	}
+}
+
+// Local returns the locally exposed window memory.
+func (w *Win) Local() []byte { return w.local }
+
+// Put queues a transfer of data into target's window at byte offset off
+// (MPI_Put). data is captured by copy, so the caller may reuse it
+// immediately — the origin-completion MPI_Win_fence would otherwise
+// guarantee.
+func (w *Win) Put(target Rank, off int, data []byte) {
+	if !w.checkTarget(target, off, len(data)) {
+		return
+	}
+	w.pending[target] = append(w.pending[target], winOp{
+		kind: 'p', off: off, data: append([]byte(nil), data...),
+	})
+}
+
+// Get queues a read of len(buf) bytes from target's window at byte offset
+// off into buf (MPI_Get). buf is filled during the closing Fence with the
+// window contents as of the opening fence.
+func (w *Win) Get(target Rank, off int, buf []byte) {
+	if !w.checkTarget(target, off, len(buf)) {
+		return
+	}
+	w.getBufs = append(w.getBufs, &winGet{buf: buf})
+	w.pending[target] = append(w.pending[target], winOp{
+		kind: 'g', off: off, n: len(buf), id: len(w.getBufs) - 1,
+	})
+}
+
+// Accumulate queues a reduction of data into target's window at byte
+// offset off (MPI_Accumulate): target[off:] = op(target[off:], data),
+// elementwise over dt.
+func (w *Win) Accumulate(target Rank, off int, data []byte, dt Datatype, op Op) {
+	if !w.checkTarget(target, off, len(data)) {
+		return
+	}
+	if _, ok := accOps[op.Name]; !ok {
+		w.comm.raise(ErrOther, "Accumulate: op %q is not a predefined operation", op.Name)
+		return
+	}
+	if _, ok := accTypes[dt.Name]; !ok {
+		w.comm.raise(ErrType, "Accumulate: datatype %q is not predefined", dt.Name)
+		return
+	}
+	cp := append([]byte(nil), data...)
+	// Operation and element type travel by name: "op/type".
+	w.pending[target] = append(w.pending[target], winOp{
+		kind: 'a', off: off, data: cp, op: op.Name + "/" + dt.Name,
+	})
+}
+
+// checkTarget validates a target rank and window range.
+func (w *Win) checkTarget(target Rank, off, n int) bool {
+	if target < 0 || int(target) >= w.comm.Size() {
+		w.comm.raise(ErrRank, "window operation on rank %d outside communicator of size %d", target, w.comm.Size())
+		return false
+	}
+	// The target's window size is not known at the origin; range errors
+	// surface at the target during the fence (ErrCount there). Negative
+	// offsets are always wrong.
+	if off < 0 || n < 0 {
+		w.comm.raise(ErrCount, "window operation with negative offset/length")
+		return false
+	}
+	return true
+}
+
+// encodeOps serializes a target's operation list.
+func encodeOps(ops []winOp) []byte {
+	var out []byte
+	var tmp [8]byte
+	for _, o := range ops {
+		out = append(out, o.kind)
+		binary.LittleEndian.PutUint64(tmp[:], uint64(o.off))
+		out = append(out, tmp[:]...)
+		switch o.kind {
+		case 'p':
+			binary.LittleEndian.PutUint64(tmp[:], uint64(len(o.data)))
+			out = append(out, tmp[:]...)
+			out = append(out, o.data...)
+		case 'g':
+			binary.LittleEndian.PutUint64(tmp[:], uint64(o.n))
+			out = append(out, tmp[:]...)
+			binary.LittleEndian.PutUint64(tmp[:], uint64(o.id))
+			out = append(out, tmp[:]...)
+		case 'a':
+			out = append(out, byte(len(o.op)))
+			out = append(out, o.op...)
+			binary.LittleEndian.PutUint64(tmp[:], uint64(len(o.data)))
+			out = append(out, tmp[:]...)
+			out = append(out, o.data...)
+		}
+	}
+	return out
+}
+
+// decodeOps parses a serialized operation list.
+func decodeOps(b []byte) []winOp {
+	var ops []winOp
+	for len(b) > 0 {
+		o := winOp{kind: b[0]}
+		o.off = int(binary.LittleEndian.Uint64(b[1:]))
+		b = b[9:]
+		switch o.kind {
+		case 'p':
+			n := int(binary.LittleEndian.Uint64(b))
+			o.data = b[8 : 8+n]
+			b = b[8+n:]
+		case 'g':
+			o.n = int(binary.LittleEndian.Uint64(b))
+			o.id = int(binary.LittleEndian.Uint64(b[8:]))
+			b = b[16:]
+		case 'a':
+			ln := int(b[0])
+			o.op = string(b[1 : 1+ln])
+			b = b[1+ln:]
+			n := int(binary.LittleEndian.Uint64(b))
+			o.data = b[8 : 8+n]
+			b = b[8+n:]
+		}
+		ops = append(ops, o)
+	}
+	return ops
+}
+
+// Fence closes the current epoch and opens the next (MPI_Win_fence):
+// queued operations execute, get buffers fill, and every process
+// synchronizes. Collective over the window's communicator.
+func (w *Win) Fence() {
+	c := w.comm
+	size := c.Size()
+
+	// 1. Exchange operation lists (everyone → everyone).
+	sendCounts := make([]int, size)
+	var sendBlob []byte
+	for t := 0; t < size; t++ {
+		enc := encodeOps(w.pending[t])
+		sendCounts[t] = len(enc)
+		sendBlob = append(sendBlob, enc...)
+		w.pending[t] = nil
+	}
+	recvCounts := make([]int, size)
+	counts := make([]int64, size)
+	for t, n := range sendCounts {
+		counts[t] = int64(n)
+	}
+	gotCounts := BytesInt64(c.Alltoall(Int64Bytes(counts), 8))
+	for t, n := range gotCounts {
+		recvCounts[t] = int(n)
+	}
+	inBlob := c.Alltoallv(sendBlob, sendCounts, recvCounts)
+
+	// 2. Decode per-origin lists (in origin-rank order — the
+	// deterministic application order).
+	perOrigin := make([][]winOp, size)
+	pos := 0
+	for origin := 0; origin < size; origin++ {
+		perOrigin[origin] = decodeOps(inBlob[pos : pos+recvCounts[origin]])
+		pos += recvCounts[origin]
+	}
+
+	// 3. Serve gets from the epoch-opening window state, then apply puts
+	// and accumulates in origin order.
+	snapshot := append([]byte(nil), w.local...)
+	replies := make([][]byte, size) // get replies per origin
+	for origin := 0; origin < size; origin++ {
+		for _, o := range perOrigin[origin] {
+			switch o.kind {
+			case 'g':
+				if o.off+o.n > len(snapshot) {
+					c.raise(ErrCount, "Get of [%d,%d) beyond window of %d", o.off, o.off+o.n, len(snapshot))
+					continue
+				}
+				var hdr [8]byte
+				binary.LittleEndian.PutUint64(hdr[:], uint64(o.id))
+				replies[origin] = append(replies[origin], hdr[:]...)
+				replies[origin] = append(replies[origin], snapshot[o.off:o.off+o.n]...)
+			}
+		}
+	}
+	for origin := 0; origin < size; origin++ {
+		for _, o := range perOrigin[origin] {
+			switch o.kind {
+			case 'p':
+				if o.off+len(o.data) > len(w.local) {
+					c.raise(ErrCount, "Put of [%d,%d) beyond window of %d", o.off, o.off+len(o.data), len(w.local))
+					continue
+				}
+				copy(w.local[o.off:], o.data)
+			case 'a':
+				opName, typeName, _ := strings.Cut(o.op, "/")
+				if o.off+len(o.data) > len(w.local) {
+					c.raise(ErrCount, "Accumulate of [%d,%d) beyond window of %d", o.off, o.off+len(o.data), len(w.local))
+					continue
+				}
+				accOps[opName].Apply(accTypes[typeName], w.local[o.off:o.off+len(o.data)], o.data)
+			}
+		}
+	}
+
+	// 4. Return get replies.
+	replyCounts := make([]int, size)
+	var replyBlob []byte
+	for t := 0; t < size; t++ {
+		replyCounts[t] = len(replies[t])
+		replyBlob = append(replyBlob, replies[t]...)
+	}
+	wantCounts := make([]int64, size)
+	for t, n := range replyCounts {
+		wantCounts[t] = int64(n)
+	}
+	backCounts := BytesInt64(c.Alltoall(Int64Bytes(wantCounts), 8))
+	recvReplyCounts := make([]int, size)
+	for t, n := range backCounts {
+		recvReplyCounts[t] = int(n)
+	}
+	myReplies := c.Alltoallv(replyBlob, replyCounts, recvReplyCounts)
+
+	// 5. Scatter replies into the queued get buffers.
+	pos = 0
+	for pos < len(myReplies) {
+		id := int(binary.LittleEndian.Uint64(myReplies[pos:]))
+		pos += 8
+		g := w.getBufs[id]
+		copy(g.buf, myReplies[pos:pos+len(g.buf)])
+		pos += len(g.buf)
+	}
+	w.getBufs = nil
+}

@@ -1,0 +1,245 @@
+package mpi
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWinPut(t *testing.T) {
+	runNative(t, 3, func(c *Comm) {
+		local := make([]byte, 16)
+		w := c.WinCreate(local)
+		// Every rank puts its id into slot [rank*4, rank*4+4) of rank 0's
+		// window.
+		if c.Rank() != 0 {
+			w.Put(0, int(c.Rank())*4, bytes.Repeat([]byte{byte(c.Rank())}, 4))
+		}
+		w.Fence()
+		if c.Rank() == 0 {
+			want := []byte{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 0, 0, 0, 0}
+			if !bytes.Equal(local, want) {
+				t.Errorf("window = %v, want %v", local, want)
+			}
+		}
+	})
+}
+
+func TestWinGet(t *testing.T) {
+	runNative(t, 3, func(c *Comm) {
+		local := bytes.Repeat([]byte{byte(c.Rank() + 1)}, 8)
+		w := c.WinCreate(local)
+		// Each rank reads the next rank's window.
+		next := (c.Rank() + 1) % Rank(c.Size())
+		buf := make([]byte, 8)
+		w.Get(next, 0, buf)
+		w.Fence()
+		if want := byte(next + 1); buf[0] != want || buf[7] != want {
+			t.Errorf("rank %d read %v from %d", c.Rank(), buf, next)
+		}
+	})
+}
+
+func TestWinGetSeesEpochOpeningState(t *testing.T) {
+	// A Get and a Put targeting the same location in one epoch: the Get
+	// must return the pre-epoch contents.
+	runNative(t, 2, func(c *Comm) {
+		local := []byte{byte(10 + c.Rank())}
+		w := c.WinCreate(local)
+		buf := make([]byte, 1)
+		if c.Rank() == 0 {
+			w.Get(1, 0, buf)
+			w.Put(1, 0, []byte{99})
+		}
+		w.Fence()
+		if c.Rank() == 0 && buf[0] != 11 {
+			t.Errorf("get saw %d, want the pre-put 11", buf[0])
+		}
+		if c.Rank() == 1 && local[0] != 99 {
+			t.Errorf("window = %d, want the put 99", local[0])
+		}
+	})
+}
+
+func TestWinAccumulate(t *testing.T) {
+	runNative(t, 4, func(c *Comm) {
+		local := Int64Bytes([]int64{100})
+		w := c.WinCreate(local)
+		// Everyone (rank 0 included) accumulates its rank+1 into rank 0.
+		w.Accumulate(0, 0, Int64Bytes([]int64{int64(c.Rank()) + 1}), Int64T, OpSum)
+		w.Fence()
+		if c.Rank() == 0 {
+			if got := Int64Value(local); got != 100+1+2+3+4 {
+				t.Errorf("accumulated %d, want 110", got)
+			}
+		}
+	})
+}
+
+func TestWinAccumulateDeterministicOrder(t *testing.T) {
+	// Non-commutative outcome check via max: all orders agree for max,
+	// so instead use several epochs to verify ordering across fences.
+	runNative(t, 2, func(c *Comm) {
+		local := Int64Bytes([]int64{1})
+		w := c.WinCreate(local)
+		for i := 0; i < 3; i++ {
+			if c.Rank() == 1 {
+				w.Accumulate(0, 0, Int64Bytes([]int64{2}), Int64T, OpProd)
+			}
+			w.Fence()
+		}
+		if c.Rank() == 0 {
+			if got := Int64Value(local); got != 8 {
+				t.Errorf("after 3 epochs: %d, want 8", got)
+			}
+		}
+	})
+}
+
+func TestWinMultipleEpochs(t *testing.T) {
+	// A shift register across epochs: each epoch, rank r puts its value
+	// into rank r+1's window; values propagate one hop per fence.
+	const n = 4
+	runNative(t, n, func(c *Comm) {
+		local := []byte{0}
+		if c.Rank() == 0 {
+			local[0] = 42
+		}
+		w := c.WinCreate(local)
+		for epoch := 0; epoch < n-1; epoch++ {
+			if int(c.Rank()) == epoch {
+				w.Put((c.Rank()+1)%n, 0, local)
+			}
+			w.Fence()
+		}
+		if c.Rank() == n-1 && local[0] != 42 {
+			t.Errorf("value did not propagate: %d", local[0])
+		}
+	})
+}
+
+func TestWinMixedOpsOneEpoch(t *testing.T) {
+	runNative(t, 3, func(c *Comm) {
+		local := make([]byte, 24)
+		w := c.WinCreate(local)
+		got := make([]byte, 4)
+		switch c.Rank() {
+		case 1:
+			w.Put(0, 0, []byte{1, 2, 3, 4})
+			w.Get(0, 20, got)
+			w.Accumulate(0, 8, Int64Bytes([]int64{5}), Int64T, OpSum)
+		case 2:
+			w.Put(0, 4, []byte{9, 9, 9, 9})
+			w.Accumulate(0, 8, Int64Bytes([]int64{7}), Int64T, OpSum)
+		}
+		w.Fence()
+		if c.Rank() == 0 {
+			if !bytes.Equal(local[:8], []byte{1, 2, 3, 4, 9, 9, 9, 9}) {
+				t.Errorf("puts: %v", local[:8])
+			}
+			if acc := Int64Value(local[8:16]); acc != 12 {
+				t.Errorf("accumulate: %d, want 12", acc)
+			}
+		}
+	})
+}
+
+func TestWinErrors(t *testing.T) {
+	runNative(t, 2, func(c *Comm) {
+		local := make([]byte, 8)
+		w := c.WinCreate(local)
+		w.comm.SetErrhandler(ErrorsReturn)
+		w.Put(5, 0, []byte{1})
+		if e := w.comm.LastError(); e == nil || e.Class != ErrRank {
+			t.Errorf("bad target: %v", e)
+		}
+		w.Put(0, -1, []byte{1})
+		if e := w.comm.LastError(); e == nil || e.Class != ErrCount {
+			t.Errorf("negative offset: %v", e)
+		}
+		w.Accumulate(0, 0, []byte{1}, Byte, Op{Name: "custom"})
+		if e := w.comm.LastError(); e == nil || e.Class != ErrOther {
+			t.Errorf("custom op: %v", e)
+		}
+		// Out-of-range put surfaces at the target during the fence.
+		if c.Rank() == 1 {
+			w.Put(0, 4, []byte{1, 2, 3, 4, 5, 6})
+		}
+		w.Fence()
+		if c.Rank() == 0 {
+			if e := w.comm.LastError(); e == nil || e.Class != ErrCount {
+				t.Errorf("overflowing put: %v", e)
+			}
+		}
+	})
+}
+
+func TestWinQuickModel(t *testing.T) {
+	// Property: a random batch of puts into rank 0's window, applied in
+	// origin-rank order, matches a sequential model of the same batch.
+	prop := func(nRaw uint8, seed int64) bool {
+		n := int(nRaw%4) + 2
+		rng := rand.New(rand.NewSource(seed))
+		const winLen = 32
+		// Pre-generate each rank's puts (offset, payload).
+		type put struct {
+			off  int
+			data []byte
+		}
+		puts := make([][]put, n)
+		for r := 1; r < n; r++ {
+			for k := 0; k < rng.Intn(4); k++ {
+				l := rng.Intn(6) + 1
+				off := rng.Intn(winLen - l)
+				data := make([]byte, l)
+				rng.Read(data)
+				puts[r] = append(puts[r], put{off, data})
+			}
+		}
+		// Sequential model.
+		model := make([]byte, winLen)
+		for r := 1; r < n; r++ {
+			for _, p := range puts[r] {
+				copy(model[p.off:], p.data)
+			}
+		}
+		ok := true
+		runNative(t, n, func(c *Comm) {
+			local := make([]byte, winLen)
+			w := c.WinCreate(local)
+			for _, p := range puts[c.Rank()] {
+				w.Put(0, p.off, p.data)
+			}
+			w.Fence()
+			if c.Rank() == 0 && !bytes.Equal(local, model) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWinWindowIsolation(t *testing.T) {
+	// Two windows on the same communicator must not cross traffic.
+	runNative(t, 2, func(c *Comm) {
+		a := make([]byte, 4)
+		b := make([]byte, 4)
+		wa := c.WinCreate(a)
+		wb := c.WinCreate(b)
+		if c.Rank() == 1 {
+			wa.Put(0, 0, []byte{1, 1, 1, 1})
+			wb.Put(0, 0, []byte{2, 2, 2, 2})
+		}
+		wa.Fence()
+		wb.Fence()
+		if c.Rank() == 0 {
+			if a[0] != 1 || b[0] != 2 {
+				t.Errorf("a=%v b=%v", a, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,153 @@
+// Package trace records per-process communication events and verifies the
+// send-determinism property (Definition 1 of the paper): for every process
+// p, the subsequence of send events S|p is identical in every correct
+// execution. The replicas of a rank are, by construction, independent
+// executions of the same rank, so comparing their recorded send sequences
+// is a direct runtime check of the property SDR-MPI relies on.
+package trace
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+)
+
+// SendEvent is one recorded logical send.
+type SendEvent struct {
+	Ctx     uint32
+	DstRank int
+	Tag     int
+	Len     int
+	Hash    uint64 // FNV-1a of the payload
+}
+
+// HashPayload computes the payload hash used throughout (also by the
+// redMPI-style SDC detector).
+func HashPayload(data []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}
+
+// Recorder accumulates one process's send sequence as a rolling hash chain
+// plus (optionally) the explicit event list. The chain alone suffices to
+// compare executions; the event list makes divergences diagnosable.
+type Recorder struct {
+	mu       sync.Mutex
+	chain    uint64
+	count    int
+	keepAll  bool
+	events   []SendEvent
+	maxKeep  int
+	overflow bool
+}
+
+// NewRecorder creates a recorder. If keepEvents > 0, up to that many
+// events are kept verbatim for diagnostics.
+func NewRecorder(keepEvents int) *Recorder {
+	return &Recorder{chain: 14695981039346656037, keepAll: keepEvents > 0, maxKeep: keepEvents}
+}
+
+// RecordSend folds one send event into the chain.
+func (r *Recorder) RecordSend(ctx uint32, dstRank, tag int, payload []byte) {
+	ph := HashPayload(payload)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.count++
+	for _, v := range []uint64{uint64(ctx), uint64(int64(dstRank)), uint64(int64(tag)), uint64(len(payload)), ph} {
+		r.chain ^= v
+		r.chain *= 1099511628211
+	}
+	if r.keepAll {
+		if len(r.events) < r.maxKeep {
+			r.events = append(r.events, SendEvent{Ctx: ctx, DstRank: dstRank, Tag: tag, Len: len(payload), Hash: ph})
+		} else {
+			r.overflow = true
+		}
+	}
+}
+
+// Chain returns the rolling hash of the send sequence so far.
+func (r *Recorder) Chain() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.chain
+}
+
+// Count returns the number of sends recorded.
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Events returns the retained event prefix.
+func (r *Recorder) Events() []SendEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SendEvent(nil), r.events...)
+}
+
+// CheckSendDeterminism compares the send sequences of several executions
+// of the same logical rank (replicas, or repeated runs) and returns a
+// descriptive error on the first divergence. A nil error means the
+// recorded prefixes and chains are identical.
+func CheckSendDeterminism(rs ...*Recorder) error {
+	if len(rs) < 2 {
+		return nil
+	}
+	ref := rs[0]
+	for i, r := range rs[1:] {
+		if r.Count() != ref.Count() {
+			return fmt.Errorf("trace: execution %d sent %d messages, execution 0 sent %d",
+				i+1, r.Count(), ref.Count())
+		}
+		if r.Chain() != ref.Chain() {
+			// Find the first diverging event if we kept them.
+			a, b := ref.Events(), r.Events()
+			n := min(len(a), len(b))
+			for k := 0; k < n; k++ {
+				if a[k] != b[k] {
+					return fmt.Errorf("trace: send sequences diverge at event %d: %+v vs %+v", k, a[k], b[k])
+				}
+			}
+			return fmt.Errorf("trace: send chains differ (0x%x vs 0x%x) beyond retained prefix",
+				ref.Chain(), r.Chain())
+		}
+	}
+	return nil
+}
+
+// LClock is a Lamport logical clock; the recovery tests use it to check
+// that the notification broadcast is ordered w.r.t. replayed messages.
+type LClock struct {
+	mu sync.Mutex
+	t  uint64
+}
+
+// Tick advances the clock for a local event and returns the new time.
+func (c *LClock) Tick() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t++
+	return c.t
+}
+
+// Merge folds a received timestamp (Lamport receive rule) and returns the
+// new local time.
+func (c *LClock) Merge(remote uint64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if remote > c.t {
+		c.t = remote
+	}
+	c.t++
+	return c.t
+}
+
+// Now reads the clock without advancing it.
+func (c *LClock) Now() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}

@@ -1,0 +1,76 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// wireHeaderLen is the fixed envelope size on the wire: kind(1) pad(3)
+// src(4) dst(4) ctx(4) tag(8) seq(8) xid(8) tseq(8) meta(32) len(4).
+const wireHeaderLen = 1 + 3 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 32 + 4
+
+// maxWirePayload bounds a single message payload on the wire (64 MiB),
+// protecting the decoder against corrupt length fields.
+const maxWirePayload = 64 << 20
+
+// encodeMessage writes m to w in the fixed wire format.
+func encodeMessage(w *bufio.Writer, m *Message) error {
+	var hdr [wireHeaderLen]byte
+	hdr[0] = byte(m.Kind)
+	le := binary.LittleEndian
+	le.PutUint32(hdr[4:], uint32(int32(m.Src)))
+	le.PutUint32(hdr[8:], uint32(int32(m.Dst)))
+	le.PutUint32(hdr[12:], m.Ctx)
+	le.PutUint64(hdr[16:], uint64(int64(m.Tag)))
+	le.PutUint64(hdr[24:], m.Seq)
+	le.PutUint64(hdr[32:], m.XID)
+	le.PutUint64(hdr[40:], m.tseq)
+	for i, v := range m.Meta {
+		le.PutUint64(hdr[48+8*i:], uint64(v))
+	}
+	le.PutUint32(hdr[80:], uint32(len(m.Data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(m.Data) > 0 {
+		if _, err := w.Write(m.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeMessage reads one message in the fixed wire format.
+func decodeMessage(r *bufio.Reader) (*Message, error) {
+	var hdr [wireHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	le := binary.LittleEndian
+	m := &Message{
+		Kind: Kind(hdr[0]),
+		Src:  ProcID(int32(le.Uint32(hdr[4:]))),
+		Dst:  ProcID(int32(le.Uint32(hdr[8:]))),
+		Ctx:  le.Uint32(hdr[12:]),
+		Tag:  int(int64(le.Uint64(hdr[16:]))),
+		Seq:  le.Uint64(hdr[24:]),
+		XID:  le.Uint64(hdr[32:]),
+		tseq: le.Uint64(hdr[40:]),
+	}
+	for i := range m.Meta {
+		m.Meta[i] = int64(le.Uint64(hdr[48+8*i:]))
+	}
+	n := le.Uint32(hdr[80:])
+	if n > maxWirePayload {
+		return nil, fmt.Errorf("transport: wire payload %d exceeds limit", n)
+	}
+	if n > 0 {
+		m.Data = make([]byte, n)
+		if _, err := io.ReadFull(r, m.Data); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,66 @@
+package transport
+
+import (
+	"runtime"
+	"time"
+)
+
+// DelayModel describes a simulated network: a fixed per-message latency plus
+// a bandwidth term, with an optional extra per-message CPU overhead on the
+// send side. A nil *DelayModel means "no simulated delay" (pure in-process
+// speed), which is what the application benchmarks use; the NetPipe figures
+// use a model calibrated to the paper's InfiniBand-20G testbed.
+type DelayModel struct {
+	// Latency is the one-way wire latency added to every message.
+	Latency time.Duration
+	// BytesPerSec is the link bandwidth. Zero means infinite bandwidth.
+	BytesPerSec float64
+	// SendOverhead is CPU time consumed on the sender per message
+	// (software stack cost). It serializes consecutive sends.
+	SendOverhead time.Duration
+}
+
+// IB20G returns a delay model shaped like the paper's testbed: Mellanox
+// ConnectX InfiniBand 20 Gbit/s adapters where a one-byte native ping-pong
+// half-round-trip is about 1.67 us. We attribute ~0.8 us to per-message
+// software overhead and the rest to wire latency, and use the ~1.6 GB/s
+// effective unidirectional bandwidth NetPipe reports on that hardware.
+func IB20G() *DelayModel {
+	return &DelayModel{
+		Latency:      850 * time.Nanosecond,
+		BytesPerSec:  1.6e9,
+		SendOverhead: 820 * time.Nanosecond,
+	}
+}
+
+// transferTime returns the serialization time of n payload bytes.
+func (d *DelayModel) transferTime(n int) time.Duration {
+	if d == nil || d.BytesPerSec <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / d.BytesPerSec * float64(time.Second))
+}
+
+// spinUntil waits until the deadline with sub-millisecond precision.
+// time.Sleep alone oversleeps by tens of microseconds, which would swamp
+// the microsecond-scale latencies the NetPipe experiment measures; a pure
+// busy-wait, on the other hand, starves the other simulated processes when
+// cores are scarce (wire delays must let *other* endpoints run — that is
+// what a network does). So the final stretch spins on Gosched, yielding
+// the processor to runnable peers on every iteration.
+func spinUntil(deadline time.Time) {
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return
+		}
+		if remaining > 2*time.Millisecond {
+			time.Sleep(remaining - time.Millisecond)
+			continue
+		}
+		for time.Now().Before(deadline) {
+			runtime.Gosched()
+		}
+		return
+	}
+}

@@ -1,0 +1,404 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats aggregates transport-level traffic counters. All fields are updated
+// atomically; Snapshot returns a consistent-enough copy for reporting.
+type Stats struct {
+	Msgs  [8]atomic.Uint64 // indexed by Kind
+	Bytes [8]atomic.Uint64
+}
+
+// StatsSnapshot is a plain-value copy of Stats.
+type StatsSnapshot struct {
+	Msgs  [8]uint64
+	Bytes [8]uint64
+}
+
+// Snapshot copies the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	var out StatsSnapshot
+	for i := range s.Msgs {
+		out.Msgs[i] = s.Msgs[i].Load()
+		out.Bytes[i] = s.Bytes[i].Load()
+	}
+	return out
+}
+
+// AppMsgs returns the number of application-payload-bearing messages
+// (eager + rendezvous data). This is the quantity the paper's O(q*r) vs
+// O(q*r^2) comparison counts.
+func (s StatsSnapshot) AppMsgs() uint64 {
+	return s.Msgs[KindEager] + s.Msgs[KindData]
+}
+
+// AckMsgs returns the number of protocol acknowledgements.
+func (s StatsSnapshot) AckMsgs() uint64 { return s.Msgs[KindAck] }
+
+// TotalMsgs returns all messages of every kind.
+func (s StatsSnapshot) TotalMsgs() uint64 {
+	var t uint64
+	for _, v := range s.Msgs {
+		t += v
+	}
+	return t
+}
+
+// Wire is the mechanism that moves an already-enveloped message to the
+// destination endpoint's inbound queue. The in-process wire appends
+// directly; the TCP wire serializes through loopback sockets.
+type Wire interface {
+	// Deliver moves m toward its destination. It must preserve per
+	// ordered-pair FIFO ordering and must not block indefinitely.
+	Deliver(m *Message) error
+	// Close releases wire resources.
+	Close() error
+}
+
+// Network connects a fixed set of physical processes with reliable FIFO
+// links. It provides fail-stop fault injection (Kill) and process
+// resurrection for the recovery protocol (Revive).
+type Network struct {
+	n     int
+	delay *DelayModel
+	wire  Wire
+	eps   []*Endpoint
+	stats Stats
+
+	// Monitors to notify on kill/revive (the failure detection service).
+	mu       sync.Mutex
+	monitors []func(p ProcID, alive bool)
+}
+
+// NewNetwork creates a network of n endpoints with the given delay model
+// (nil for none) using the in-process wire.
+func NewNetwork(n int, delay *DelayModel) *Network {
+	nw := &Network{n: n, delay: delay}
+	nw.wire = inprocWire{nw}
+	nw.eps = make([]*Endpoint, n)
+	for i := range nw.eps {
+		nw.eps[i] = newEndpoint(ProcID(i), nw)
+	}
+	return nw
+}
+
+// SetWire replaces the delivery mechanism (used to install the TCP wire).
+// Must be called before any traffic flows.
+func (nw *Network) SetWire(w Wire) { nw.wire = w }
+
+// Size returns the number of endpoints.
+func (nw *Network) Size() int { return nw.n }
+
+// Endpoint returns the endpoint for process p.
+func (nw *Network) Endpoint(p ProcID) *Endpoint {
+	return nw.eps[int(p)]
+}
+
+// Stats exposes the global traffic counters.
+func (nw *Network) Stats() *Stats { return &nw.stats }
+
+// Delay returns the configured delay model (nil if none).
+func (nw *Network) Delay() *DelayModel { return nw.delay }
+
+// Monitor registers a callback invoked on every Kill and Revive. The
+// failure-detection service uses this as its (assumed-perfect) sensor.
+func (nw *Network) Monitor(f func(p ProcID, alive bool)) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.monitors = append(nw.monitors, f)
+}
+
+func (nw *Network) notify(p ProcID, alive bool) {
+	nw.mu.Lock()
+	ms := make([]func(ProcID, bool), len(nw.monitors))
+	copy(ms, nw.monitors)
+	nw.mu.Unlock()
+	for _, f := range ms {
+		f(p, alive)
+	}
+}
+
+// Kill marks process p as crashed (fail-stop). Messages already delivered
+// to other processes' queues remain deliverable — they model traffic that
+// was on the wire when the crash happened. Messages sent to p after the
+// kill are dropped. The process goroutine itself observes the kill at its
+// next library entry via Endpoint.Crashed.
+func (nw *Network) Kill(p ProcID) {
+	ep := nw.eps[int(p)]
+	ep.mu.Lock()
+	ep.dead = true
+	ep.cond.Broadcast()
+	ep.mu.Unlock()
+	nw.notify(p, false)
+}
+
+// Revive resurrects process p with a fresh, empty endpoint state. The
+// recovery protocol (paper §3.4) uses this to model the substitute forking
+// a replacement replica.
+func (nw *Network) Revive(p ProcID) {
+	ep := nw.eps[int(p)]
+	ep.mu.Lock()
+	ep.dead = false
+	ep.queue = nil
+	ep.cond.Broadcast()
+	ep.mu.Unlock()
+	nw.notify(p, true)
+}
+
+// Inject delivers an out-of-band message directly to dst's inbound queue,
+// bypassing any endpoint (and the delay model). System services — the
+// failure detector the paper assumes — use this to notify processes.
+func (nw *Network) Inject(dst ProcID, m *Message) {
+	if dst < 0 || int(dst) >= nw.n {
+		return
+	}
+	m.Dst = dst
+	nw.stats.Msgs[m.Kind].Add(1)
+	nw.stats.Bytes[m.Kind].Add(uint64(len(m.Data)))
+	nw.eps[int(dst)].inject(m)
+}
+
+// Alive reports whether process p is currently alive.
+func (nw *Network) Alive(p ProcID) bool {
+	ep := nw.eps[int(p)]
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return !ep.dead
+}
+
+// Close shuts down the wire.
+func (nw *Network) Close() error {
+	if nw.wire != nil {
+		return nw.wire.Close()
+	}
+	return nil
+}
+
+// inprocWire delivers messages by appending them directly to the
+// destination endpoint queue under its lock.
+type inprocWire struct{ nw *Network }
+
+func (w inprocWire) Deliver(m *Message) error {
+	dst := w.nw.eps[int(m.Dst)]
+	dst.inject(m)
+	return nil
+}
+
+func (w inprocWire) Close() error { return nil }
+
+// queued is an inbound message annotated with its simulated arrival time.
+type queued struct {
+	m         *Message
+	deliverAt time.Time
+}
+
+// Endpoint is one process's attachment point to the network. All methods
+// are safe for concurrent use; the owning process goroutine receives, any
+// goroutine may send to it.
+type Endpoint struct {
+	id ProcID
+	nw *Network
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []queued
+	dead  bool
+
+	// sender-side link serialization state: for each destination, when
+	// the previous transfer finishes occupying the link.
+	sendMu   sync.Mutex
+	linkFree map[ProcID]time.Time
+	tseq     map[ProcID]uint64
+	lastOut  time.Time // end of this process's previous send overhead
+}
+
+func newEndpoint(id ProcID, nw *Network) *Endpoint {
+	ep := &Endpoint{
+		id:       id,
+		nw:       nw,
+		linkFree: make(map[ProcID]time.Time),
+		tseq:     make(map[ProcID]uint64),
+	}
+	ep.cond = sync.NewCond(&ep.mu)
+	return ep
+}
+
+// ID returns the endpoint's process ID.
+func (ep *Endpoint) ID() ProcID { return ep.id }
+
+// Crashed reports whether this process has been killed. The owning
+// goroutine checks this at library entries to realize its own crash.
+func (ep *Endpoint) Crashed() bool {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.dead
+}
+
+// Send transmits m to m.Dst. Sends to dead destinations are silently
+// dropped (fail-stop model: the bytes fall off the wire). Send applies the
+// network delay model: the sender pays the per-message software overhead,
+// and the message is stamped with its simulated arrival time.
+func (ep *Endpoint) Send(m *Message) error {
+	if m.Dst < 0 || int(m.Dst) >= ep.nw.n {
+		return fmt.Errorf("transport: send to invalid proc %d", m.Dst)
+	}
+	m.Src = ep.id
+
+	st := &ep.nw.stats
+	st.Msgs[m.Kind].Add(1)
+	st.Bytes[m.Kind].Add(uint64(len(m.Data)))
+
+	ep.sendMu.Lock()
+	m.tseq = ep.tseq[m.Dst]
+	ep.tseq[m.Dst] = m.tseq + 1
+
+	var deliverAt time.Time
+	if d := ep.nw.delay; d != nil {
+		now := time.Now()
+		// Consecutive sends from one process serialize on its CPU.
+		start := now
+		if ep.lastOut.After(start) {
+			start = ep.lastOut
+		}
+		ready := start.Add(d.SendOverhead)
+		ep.lastOut = ready
+		// The link to this destination serializes payload transfer.
+		free := ep.linkFree[m.Dst]
+		if ready.After(free) {
+			free = ready
+		}
+		free = free.Add(d.transferTime(len(m.Data)))
+		ep.linkFree[m.Dst] = free
+		deliverAt = free.Add(d.Latency)
+		ep.sendMu.Unlock()
+		// The sender's CPU is busy until the overhead is paid.
+		spinUntil(ready)
+	} else {
+		ep.sendMu.Unlock()
+	}
+
+	qm := *m // shallow copy so later envelope reuse by sender is safe
+	q := &qm
+	q.Data = m.Data
+	if !deliverAt.IsZero() {
+		return ep.nw.deliverDelayed(q, deliverAt)
+	}
+	return ep.nw.wire.Deliver(q)
+}
+
+func (nw *Network) deliverDelayed(m *Message, at time.Time) error {
+	dst := nw.eps[int(m.Dst)]
+	dst.injectAt(m, at)
+	return nil
+}
+
+// inject appends m to the inbound queue (immediate arrival).
+func (ep *Endpoint) inject(m *Message) { ep.injectAt(m, time.Time{}) }
+
+func (ep *Endpoint) injectAt(m *Message, at time.Time) {
+	ep.mu.Lock()
+	if ep.dead {
+		ep.mu.Unlock()
+		return
+	}
+	ep.queue = append(ep.queue, queued{m: m, deliverAt: at})
+	ep.cond.Broadcast()
+	ep.mu.Unlock()
+}
+
+// Drain removes and returns all inbound messages whose simulated arrival
+// time has passed, preserving per-source FIFO order. It never blocks.
+func (ep *Endpoint) Drain() []*Message {
+	now := time.Time{}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if len(ep.queue) == 0 {
+		return nil
+	}
+	var out []*Message
+	var keep []queued
+	for _, q := range ep.queue {
+		if q.deliverAt.IsZero() {
+			out = append(out, q.m)
+			continue
+		}
+		if now.IsZero() {
+			now = time.Now()
+		}
+		if !q.deliverAt.After(now) {
+			out = append(out, q.m)
+		} else {
+			keep = append(keep, q)
+		}
+	}
+	ep.queue = keep
+	return out
+}
+
+// WaitActivity blocks until at least one message is deliverable, the
+// process is killed, or the timeout elapses. It returns false if the
+// process was killed. A zero timeout means wait indefinitely.
+func (ep *Endpoint) WaitActivity(timeout time.Duration) bool {
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	ep.mu.Lock()
+	for {
+		if ep.dead {
+			ep.mu.Unlock()
+			return false
+		}
+		if len(ep.queue) > 0 {
+			// If some message is ready now, return. Otherwise wait
+			// (outside the lock) until the earliest arrival.
+			earliest := time.Time{}
+			ready := false
+			for _, q := range ep.queue {
+				if q.deliverAt.IsZero() {
+					ready = true
+					break
+				}
+				if earliest.IsZero() || q.deliverAt.Before(earliest) {
+					earliest = q.deliverAt
+				}
+			}
+			if ready || !time.Now().Before(earliest) {
+				ep.mu.Unlock()
+				return true
+			}
+			if !deadline.IsZero() && earliest.After(deadline) {
+				earliest = deadline
+			}
+			ep.mu.Unlock()
+			spinUntil(earliest)
+			ep.mu.Lock()
+			continue
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			ep.mu.Unlock()
+			return true
+		}
+		// No queued messages: block on the condition variable. Use a
+		// timed wakeup so delayed arrivals and deadlines are honored.
+		waitWithTimeout(ep.cond, &ep.mu, deadline)
+	}
+}
+
+// waitWithTimeout waits on cond if no deadline is set; with a deadline it
+// degrades to a short polling sleep (timed condition waits are only used on
+// watchdog paths, where 100 us granularity is ample).
+func waitWithTimeout(cond *sync.Cond, mu *sync.Mutex, deadline time.Time) {
+	if deadline.IsZero() {
+		cond.Wait()
+		return
+	}
+	mu.Unlock()
+	time.Sleep(100 * time.Microsecond)
+	mu.Lock()
+}

@@ -1,0 +1,158 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPWire routes messages between endpoints through real TCP loopback
+// connections, one connection per ordered pair of processes (established
+// lazily). TCP preserves the per-pair FIFO property the upper layers
+// require, while exercising a realistic serialize/kernel/deserialize path.
+//
+// The simulated DelayModel is bypassed when a TCPWire is installed: the
+// wire's own latency applies instead.
+type TCPWire struct {
+	nw *Network
+	ln net.Listener
+
+	mu        sync.Mutex
+	conns     map[ProcID]map[ProcID]*tcpConn // conns[src][dst]
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+	w  *bufio.Writer
+}
+
+// NewTCPWire creates a TCP wire bound to a loopback listener and installs
+// it on the network.
+func NewTCPWire(nw *Network) (*TCPWire, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	tw := &TCPWire{
+		nw:    nw,
+		ln:    ln,
+		conns: make(map[ProcID]map[ProcID]*tcpConn),
+		done:  make(chan struct{}),
+	}
+	tw.wg.Add(1)
+	go tw.acceptLoop()
+	nw.SetWire(tw)
+	return tw, nil
+}
+
+// Addr returns the listener address.
+func (tw *TCPWire) Addr() string { return tw.ln.Addr().String() }
+
+func (tw *TCPWire) acceptLoop() {
+	defer tw.wg.Done()
+	for {
+		c, err := tw.ln.Accept()
+		if err != nil {
+			select {
+			case <-tw.done:
+				return
+			default:
+				return
+			}
+		}
+		tw.wg.Add(1)
+		go tw.readLoop(c)
+	}
+}
+
+// readLoop decodes messages from one inbound connection and injects them
+// into the destination endpoint.
+func (tw *TCPWire) readLoop(c net.Conn) {
+	defer tw.wg.Done()
+	defer c.Close()
+	r := bufio.NewReaderSize(c, 256<<10)
+	// The dialer first sends an 8-byte (src,dst) preamble; we only use it
+	// to keep the handshake explicit.
+	var pre [8]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return
+	}
+	for {
+		m, err := decodeMessage(r)
+		if err != nil {
+			return
+		}
+		if m.Dst < 0 || int(m.Dst) >= tw.nw.n {
+			return
+		}
+		tw.nw.eps[int(m.Dst)].inject(m)
+	}
+}
+
+// Deliver implements Wire by writing the message on the (src,dst) TCP
+// connection, dialing it on first use.
+func (tw *TCPWire) Deliver(m *Message) error {
+	tc, err := tw.conn(m.Src, m.Dst)
+	if err != nil {
+		return err
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if err := encodeMessage(tc.w, m); err != nil {
+		return err
+	}
+	return tc.w.Flush()
+}
+
+func (tw *TCPWire) conn(src, dst ProcID) (*tcpConn, error) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	byDst := tw.conns[src]
+	if byDst == nil {
+		byDst = make(map[ProcID]*tcpConn)
+		tw.conns[src] = byDst
+	}
+	if tc, ok := byDst[dst]; ok {
+		return tc, nil
+	}
+	c, err := net.Dial("tcp", tw.ln.Addr().String())
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial tcp wire: %w", err)
+	}
+	w := bufio.NewWriterSize(c, 256<<10)
+	var pre [8]byte
+	binary.LittleEndian.PutUint32(pre[:], uint32(int32(src)))
+	binary.LittleEndian.PutUint32(pre[4:], uint32(int32(dst)))
+	if _, err := w.Write(pre[:]); err != nil {
+		c.Close()
+		return nil, err
+	}
+	tc := &tcpConn{c: c, w: w}
+	byDst[dst] = tc
+	return tc, nil
+}
+
+// Close shuts the wire down, closing the listener and all connections.
+// Idempotent: the network's Close and a caller's deferred Close may race.
+func (tw *TCPWire) Close() error {
+	tw.closeOnce.Do(func() {
+		close(tw.done)
+		tw.ln.Close()
+		tw.mu.Lock()
+		for _, byDst := range tw.conns {
+			for _, tc := range byDst {
+				tc.c.Close()
+			}
+		}
+		tw.mu.Unlock()
+		tw.wg.Wait()
+	})
+	return nil
+}
