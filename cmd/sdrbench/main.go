@@ -10,6 +10,7 @@
 //	sdrbench -exp ablation-leader # wildcard cost: leader vs leaderless
 //	sdrbench -exp ablation-degree # overhead vs replication degree (r=1,2,3)
 //	sdrbench -exp ablation-eager  # ack cost on the eager vs rendezvous path
+//	sdrbench -exp ablation-coalesce # discrete vs coalesced ack traffic
 //	sdrbench -exp table1-ext      # extended NAS set (LU, IS, EP)
 //	sdrbench -exp determinism     # send-determinism verdicts (§2.1 taxonomy)
 //	sdrbench -exp partial         # partial replication sweep (§5 outlook)
@@ -96,6 +97,12 @@ func main() {
 				return err
 			}
 			bench.RenderEager(os.Stdout, 16<<10, 400**scale, rows)
+		case "ablation-coalesce":
+			rows, err := bench.RunCoalesceAblation(s)
+			if err != nil {
+				return err
+			}
+			bench.RenderCoalesce(os.Stdout, rows)
 		case "ablation-degree":
 			rows, err := bench.RunDegreeSweep(s)
 			if err != nil {
@@ -145,7 +152,7 @@ func main() {
 	if *exp == "all" {
 		ids = []string{"fig2", "fig3", "fig4", "fig7a", "fig7b", "table1", "table1-ext", "table2",
 			"ablation-mirror", "ablation-leader", "ablation-degree", "ablation-eager",
-			"determinism", "partial", "sdc"}
+			"ablation-coalesce", "determinism", "partial", "sdc"}
 	}
 	for _, id := range ids {
 		if err := run(id); err != nil {

@@ -3,5 +3,39 @@
 // SDR-MPI replication protocol, an MPI-like messaging substrate to host it,
 // the comparison protocols (mirror, leader-based), the paper's workloads,
 // and a benchmark harness regenerating every table and figure of the
-// evaluation. See README.md, DESIGN.md and EXPERIMENTS.md.
+// evaluation.
+//
+// # Layer stack
+//
+// The stack mirrors the paper's Figure 5 (Open MPI's BTL → PML →
+// vProtocol → OMPI decomposition); each layer only assumes the one below:
+//
+//	internal/transport  byte-transfer layer: reliable FIFO ordered-pair
+//	                    channels with per-source sharded inbound queues,
+//	                    pooled zero-copy buffers/envelopes, a TCP loopback
+//	                    wire, delay models and fail-stop injection
+//	internal/mpi        PML matching/progress engine and the MPI surface:
+//	                    requests, communicators, collectives, datatypes
+//	internal/core       the vProtocol interception point: SDR-MPI with
+//	                    coalesced acknowledgements, the mirror and leader
+//	                    baselines, failure handling, recovery, SDC
+//	internal/cluster    the launcher: spawns r·n goroutine processes and
+//	                    orchestrates crash/recovery schedules
+//	internal/bench      the evaluation: NetPipe, NAS/wildcard tables,
+//	                    ablations (mirror, leader, degree, eager, coalesce)
+//
+// # Fast path
+//
+// Two default-on mechanisms keep the small-message path hardware-bound
+// rather than allocation- and ack-bound: transport buffer/envelope
+// pooling with explicit ownership hand-off (transport.SetPooling toggles
+// it for measurement; see internal/transport/pool.go for the ownership
+// rules), and receiver-side ack coalescing in the replication protocol
+// (core.Options.NoAckCoalesce restores one discrete ack per message and
+// replica; see internal/core/acks.go for the flush triggers).
+//
+// Entry points: cmd/sdrbench regenerates the paper's artifacts by
+// experiment id, cmd/netpipe runs the ping-pong sweep, cmd/faultdemo
+// narrates crash + substitution, and examples/ holds small applications.
+// See README.md for the full tour.
 package repro

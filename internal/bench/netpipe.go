@@ -20,6 +20,17 @@ type NetpipePoint struct {
 	Bytes          int
 	LatencyUS      float64 // one-way latency, microseconds (half RTT)
 	ThroughputMbps float64
+	AppMsgs        uint64 // application messages on the wire for the run
+	AckMsgs        uint64 // replication acks on the wire (0 for native)
+}
+
+// AckRatio is ack messages per application message — the protocol-traffic
+// overhead the ack-coalescing fast path minimizes (0 for native).
+func (p NetpipePoint) AckRatio() float64 {
+	if p.AppMsgs == 0 {
+		return 0
+	}
+	return float64(p.AckMsgs) / float64(p.AppMsgs)
 }
 
 // NetpipeSizes returns the sweep the paper plots: 1 B … 8 MiB.
@@ -126,6 +137,8 @@ func Netpipe(proto cluster.Protocol, sizes []int) ([]NetpipePoint, error) {
 			Bytes:          size,
 			LatencyUS:      oneWay * 1e6,
 			ThroughputMbps: float64(size) * 8 / oneWay / 1e6,
+			AppMsgs:        rep.Stats.AppMsgs(),
+			AckMsgs:        rep.Stats.AckMsgs(),
 		})
 	}
 	return points, nil
@@ -164,13 +177,15 @@ func (nc *NetpipeComparison) ThroughputDecreasePct(i int) float64 {
 }
 
 // RenderFig7a writes the latency figure as a table (the paper's Figure 7a
-// series: Open MPI, SDR-MPI, performance decrease).
+// series: Open MPI, SDR-MPI, performance decrease), plus the SDR run's
+// ack-per-application-message ratio the coalescing fast path targets.
 func (nc *NetpipeComparison) RenderFig7a(w io.Writer) {
 	fmt.Fprintln(w, "Figure 7a — NetPipe latency, IB-20G model (one-way, usec)")
-	fmt.Fprintf(w, "%12s %14s %14s %12s\n", "bytes", "native", "SDR-MPI", "decrease(%)")
+	fmt.Fprintf(w, "%12s %14s %14s %12s %10s\n", "bytes", "native", "SDR-MPI", "decrease(%)", "acks/app")
 	for i, p := range nc.Native {
-		fmt.Fprintf(w, "%12d %14.2f %14.2f %12.1f\n",
-			p.Bytes, p.LatencyUS, nc.SDR[i].LatencyUS, nc.LatencyDecreasePct(i))
+		fmt.Fprintf(w, "%12d %14.2f %14.2f %12.1f %10.3f\n",
+			p.Bytes, p.LatencyUS, nc.SDR[i].LatencyUS, nc.LatencyDecreasePct(i),
+			nc.SDR[i].AckRatio())
 	}
 }
 

@@ -66,6 +66,10 @@ type Config struct {
 	// AckOnWait and SDC select the protocol ablations (see core.Options).
 	AckOnWait bool
 	SDC       bool
+
+	// NoAckCoalesce disables acknowledgement coalescing (see
+	// core.Options.NoAckCoalesce); the default is coalescing on.
+	NoAckCoalesce bool
 	// Corrupt injects payload corruption on replica CorruptRep of rank
 	// CorruptRank for message sequence CorruptSeq (SDC experiments).
 	Corrupt     bool
@@ -402,8 +406,9 @@ func (rs *runState) runProc(id transport.ProcID, cloneState *core.CloneState, re
 		protocol = mpi.NewNative(proc)
 	} else {
 		opts := core.Options{
-			AckOnWait: rs.cfg.AckOnWait,
-			SDC:       rs.cfg.SDC,
+			AckOnWait:     rs.cfg.AckOnWait,
+			SDC:           rs.cfg.SDC,
+			NoAckCoalesce: rs.cfg.NoAckCoalesce,
 		}
 		if rs.cfg.TraceSends {
 			rec := trace.NewRecorder(rs.cfg.KeepEvents)

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// Ack-coalescing regression tests: protocol semantics must be unchanged
+// with coalescing on (the default — every other test in this package
+// already runs with it), and the ack message count must actually drop on
+// windowed exchanges.
+
+// windowedPingPong exchanges `iters` rounds of `window` messages in each
+// direction between two ranks, verifying payloads.
+func windowedPingPong(window, iters, size int) AppFunc {
+	return func(env *Env) (any, error) {
+		c := env.World
+		other := mpi.Rank(1 - int(c.Rank()))
+		out := make([][]byte, window)
+		in := make([][]byte, window)
+		for i := range out {
+			out[i] = bytes.Repeat([]byte{byte(i + 1)}, size)
+			in[i] = make([]byte, size)
+		}
+		for it := 0; it < iters; it++ {
+			reqs := make([]*mpi.Request, 0, 2*window)
+			if c.Rank() == 0 {
+				for w := 0; w < window; w++ {
+					reqs = append(reqs, c.Isend(other, w, out[w]))
+				}
+				for w := 0; w < window; w++ {
+					reqs = append(reqs, c.Irecv(other, w, in[w]))
+				}
+			} else {
+				for w := 0; w < window; w++ {
+					reqs = append(reqs, c.Irecv(other, w, in[w]))
+				}
+				for w := 0; w < window; w++ {
+					reqs = append(reqs, c.Isend(other, w, out[w]))
+				}
+			}
+			mpi.Waitall(reqs...)
+			for w := 0; w < window; w++ {
+				if !bytes.Equal(in[w], out[w]) {
+					return nil, errMismatch(w)
+				}
+			}
+		}
+		c.Barrier()
+		return "ok", nil
+	}
+}
+
+type errMismatch int
+
+func (e errMismatch) Error() string { return "payload mismatch in window slot" }
+
+func TestCoalescingReducesAckMessages(t *testing.T) {
+	// The headline property: on a windowed ping-pong under SDR, coalesced
+	// acks ride in batches, so strictly fewer KindAck messages cross the
+	// wire than application messages — the discrete protocol pays exactly
+	// one ack per app message ((r-1) = 1 acker per reception).
+	app := windowedPingPong(8, 25, 64)
+
+	co := Run(Config{Ranks: 2, Protocol: SDR, Timeout: 30 * time.Second}, app)
+	if err := co.FirstError(); err != nil {
+		t.Fatalf("coalesced run: %v", err)
+	}
+	if co.Stats.AckMsgs() == 0 {
+		t.Fatal("coalesced run sent no acks at all")
+	}
+	if co.Stats.AckMsgs() >= co.Stats.AppMsgs() {
+		t.Errorf("coalescing did not reduce ack traffic: AckMsgs=%d >= AppMsgs=%d",
+			co.Stats.AckMsgs(), co.Stats.AppMsgs())
+	}
+
+	disc := Run(Config{Ranks: 2, Protocol: SDR, NoAckCoalesce: true, Timeout: 30 * time.Second}, app)
+	if err := disc.FirstError(); err != nil {
+		t.Fatalf("discrete run: %v", err)
+	}
+	if disc.Stats.AckMsgs() < disc.Stats.AppMsgs()/2 {
+		t.Errorf("discrete baseline should pay ~one ack per app message, got acks=%d app=%d",
+			disc.Stats.AckMsgs(), disc.Stats.AppMsgs())
+	}
+	if co.Stats.AckMsgs() >= disc.Stats.AckMsgs() {
+		t.Errorf("coalescing (%d ack msgs) not below discrete baseline (%d)",
+			co.Stats.AckMsgs(), disc.Stats.AckMsgs())
+	}
+	t.Logf("ack messages: discrete=%d coalesced=%d app=%d",
+		disc.Stats.AckMsgs(), co.Stats.AckMsgs(), co.Stats.AppMsgs())
+}
+
+func TestCoalescingPreservesResultsAndRetention(t *testing.T) {
+	// Same workload with and without coalescing: identical results,
+	// empty retention at quiescence (message-deletion safety holds even
+	// though acks are batched).
+	for _, disable := range []bool{false, true} {
+		rep := Run(Config{Ranks: 4, Protocol: SDR, NoAckCoalesce: disable,
+			Timeout: 30 * time.Second}, ringApp(25))
+		if err := rep.FirstError(); err != nil {
+			t.Fatalf("NoAckCoalesce=%v: %v", disable, err)
+		}
+		for _, p := range rep.Procs {
+			if p.Result == nil {
+				t.Errorf("NoAckCoalesce=%v: proc %d returned nil", disable, p.Proc)
+			}
+		}
+	}
+}
+
+func TestCoalescingUnderFailure(t *testing.T) {
+	// A replica crash mid-stream with coalescing on: the substitution
+	// machinery must still converge (batched acks to the dead process are
+	// dropped exactly like discrete acks falling off the wire).
+	app := func(env *Env) (any, error) {
+		c := env.World
+		buf := make([]byte, 32)
+		sum := 0
+		for i := 0; i < 12; i++ {
+			env.Step(i, nil)
+			if c.Rank() == 0 {
+				buf[0] = byte(i)
+				c.Send(1, 0, buf)
+				c.Recv(1, 1, buf)
+				sum += int(buf[0])
+			} else {
+				c.Recv(0, 0, buf)
+				buf[0] *= 3
+				c.Send(0, 1, buf)
+				sum += int(buf[0])
+			}
+		}
+		c.Barrier()
+		return sum, nil
+	}
+	rep := Run(Config{
+		Ranks: 2, Protocol: SDR, Timeout: 30 * time.Second,
+		Failures: []FailureEvent{{Rank: 1, Rep: 0, AtStep: 6}},
+	}, app)
+	if err := rep.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 0; i < 12; i++ {
+		want += 3 * i
+	}
+	finished := 0
+	for _, p := range rep.Procs {
+		if p.Crashed {
+			continue
+		}
+		finished++
+		if p.Result != want {
+			t.Errorf("rank %d rep %d: result %v, want %d", p.Rank, p.Rep, p.Result, want)
+		}
+	}
+	if finished != 3 {
+		t.Errorf("finished = %d, want 3 survivors", finished)
+	}
+}

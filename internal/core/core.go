@@ -24,6 +24,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/transport"
 )
@@ -104,7 +105,31 @@ type Options struct {
 	// SendRecorder observes every logical application send (the
 	// send-determinism checker attaches here).
 	SendRecorder func(ctx uint32, dstRank, tag int, payload []byte)
+
+	// NoAckCoalesce disables receiver-side acknowledgement coalescing,
+	// restoring one discrete KindAck message per (message, replica) — the
+	// configuration a naive reading of Algorithm 1 produces. Coalescing
+	// (the default) batches the acks a process owes each destination and
+	// ships them as one KindAck message, flushed on the next outbound
+	// message to that destination, when the batch fills, or by engine
+	// progress after a short age (see AckFlushDelay). Protocol semantics
+	// are unchanged: acks are only ever delayed, never dropped, and a
+	// process force-flushes before blocking so ack-gated sends cannot
+	// deadlock.
+	NoAckCoalesce bool
+	// AckBatchMax caps the records carried by one coalesced ack message
+	// (0 = DefaultAckBatchMax).
+	AckBatchMax int
+	// AckFlushDelay is the age at which engine progress flushes pending
+	// acks even without a forcing event (0 = DefaultAckFlushDelay).
+	AckFlushDelay time.Duration
 }
+
+// Coalescing defaults (see Options.NoAckCoalesce).
+const (
+	DefaultAckBatchMax   = 64
+	DefaultAckFlushDelay = 200 * time.Microsecond
+)
 
 // seqKey indexes per-(context, peer logical rank) sequence state.
 type seqKey struct {
@@ -121,13 +146,17 @@ type retKey struct {
 
 // sendEntry is one retained application message (Algorithm 1's sendReq
 // bookkeeping): the payload plus the set of replica processes whose acks
-// are still outstanding.
+// are still outstanding. For eager-sized sends the payload is a pooled
+// copy (pooled=true), recycled when the entry is released; rendezvous
+// entries alias the application buffer, which MPI semantics freeze until
+// the ack-gated Wait completes.
 type sendEntry struct {
 	ctx     uint32
 	tag     int
 	dstRank int
 	seq     uint64
 	data    []byte
+	pooled  bool
 	meta    [4]int64
 	needed  map[transport.ProcID]bool
 }

@@ -25,12 +25,15 @@ func (p *Replicated) onFailure(dead transport.ProcID) {
 	p.eng.CancelSendsTo(dead)
 
 	if p.mode != ModeMirror {
+		// Acks batched for the dead process would have fallen off the
+		// wire; drop them.
+		p.dropAcksFor(dead)
 		// Stop expecting acks from the dead process (line 33).
 		for key, entry := range p.retain {
 			if entry.needed[dead] {
 				delete(entry.needed, dead)
 				if len(entry.needed) == 0 {
-					delete(p.retain, key)
+					p.dropRetain(key, entry)
 				}
 			}
 		}
@@ -127,7 +130,7 @@ func (p *Replicated) resendUnackedTo(dstRank int, q transport.ProcID) {
 		p.eng.Isend(q, e.ctx, e.tag, append([]byte(nil), e.data...), e.seq, e.meta)
 		delete(e.needed, q)
 		if len(e.needed) == 0 {
-			delete(p.retain, e.key())
+			p.dropRetain(e.key(), e)
 		}
 	}
 }

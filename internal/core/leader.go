@@ -64,7 +64,7 @@ func (p *Replicated) irecvLeaderWildcard(c *mpi.Comm, ctx uint32, tag int, buf [
 			// hook already fired before User was set, so emit here.
 			p.sendDecision(idx, int(pr.PStatus().Meta[mpi.MetaSrcRank]))
 		}
-		return mpi.NewRequest(c, false, []*mpi.PReq{pr}, nil)
+		return mpi.NewRequest1(c, false, pr, nil)
 	}
 
 	// Follower: delay posting until the leader's decision arrives.

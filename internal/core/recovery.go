@@ -56,7 +56,14 @@ func (p *Replicated) ForkFor(revived transport.ProcID) *CloneState {
 		cs.RecvNext[k] = v
 	}
 	for k, v := range p.pending {
-		cs.Pending[k] = append([]*transport.Message(nil), v...)
+		// Deep-copy: the substitute keeps consuming (and recycling) its
+		// own stashed messages, while the clones travel to the
+		// replacement process — they must not share pooled storage.
+		ms := make([]*transport.Message, len(v))
+		for i, m := range v {
+			ms[i] = m.Clone()
+		}
+		cs.Pending[k] = ms
 	}
 	cs.Unexpected = p.eng.UnexpectedMessages()
 	return cs
@@ -67,6 +74,12 @@ func (p *Replicated) ForkFor(revived transport.ProcID) *CloneState {
 // be revived. The substitute's own bookkeeping is updated as if it had
 // received the notification.
 func (p *Replicated) BroadcastRecovered(revived transport.ProcID) {
+	// Flush coalesced acks first: every acknowledgement this process
+	// emitted logically before the fork must precede the notification on
+	// its FIFO channels (the paper's §3.4 ordering argument).
+	if p.coalesce {
+		p.flushAcks(true)
+	}
 	for i := 0; i < p.layout.Procs(); i++ {
 		q := transport.ProcID(i)
 		if q == p.proc.ID() || q == revived || !p.alive[int(q)] {

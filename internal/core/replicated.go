@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/detect"
 	"repro/internal/mpi"
@@ -52,6 +53,13 @@ type Replicated struct {
 	sdcRemote map[retKey][]int64
 	sdcLocal  map[retKey]uint64
 	sdcCount  int
+
+	// Ack-coalescing state (see acks.go): per-destination batches of
+	// acknowledgements not yet on the wire.
+	coalesce bool
+	ackPend  map[transport.ProcID]*ackQueue
+	ackMax   int
+	ackDelay time.Duration
 
 	// Leader-mode wildcard agreement state.
 	wc leaderState
@@ -111,6 +119,10 @@ func NewReplicated(proc *mpi.Proc, layout Layout, mode Mode, det *detect.Service
 			p.alive[i] = true // arm the duplicate-notification guard
 			p.onFailure(transport.ProcID(i))
 		}
+	}
+
+	if mode != ModeMirror && !opts.NoAckCoalesce {
+		p.initCoalescing()
 	}
 
 	p.eng.OnArrive = p.onArrive
@@ -190,6 +202,9 @@ func (p *Replicated) Isend(c *mpi.Comm, ctx uint32, to mpi.Rank, tag int, data [
 		switch {
 		case p.inDests(dstRank, q):
 			if p.alive[int(q)] {
+				// Piggyback trigger: acks owed to q ride just ahead of
+				// this message on the same FIFO channel.
+				p.flushPendingTo(q)
 				pr := p.eng.Isend(q, ctx, tag, data, seq, meta)
 				pr.User = entry
 				preqs = append(preqs, pr)
@@ -211,16 +226,17 @@ func (p *Replicated) Isend(c *mpi.Comm, ctx uint32, to mpi.Rank, tag int, data [
 		}
 	}
 
-	// Retain the payload until all acks arrive. Prefer the engine's
-	// eager copy (no second allocation); rendezvous payloads alias the
-	// application buffer, which MPI semantics freeze until Wait — and
-	// Wait is gated on the acks.
+	// Retain the payload until all acks arrive. Eager-sized payloads are
+	// copied into a pooled buffer, recycled when the entry is released;
+	// rendezvous payloads alias the application buffer, which MPI
+	// semantics freeze until Wait — and Wait is gated on the acks.
 	if len(entry.needed) > 0 {
-		switch {
-		case len(preqs) > 0 && preqs[0].Data() != nil:
-			entry.data = preqs[0].Data()
-		default:
-			entry.data = append([]byte(nil), data...)
+		if len(data) <= p.eng.EagerLimit {
+			entry.data = transport.GetBuf(len(data))
+			copy(entry.data, data)
+			entry.pooled = true
+		} else {
+			entry.data = data
 		}
 		p.retain[entry.key()] = entry
 	}
@@ -267,14 +283,14 @@ func (p *Replicated) Irecv(c *mpi.Comm, ctx uint32, from mpi.Rank, tag int, buf 
 			return c.InComm(mpi.Rank(p.layout.RankOf(src)))
 		}
 		pr := p.eng.Irecv(mpi.AnyProc, pred, ctx, tag, buf)
-		return p.finishRecv(mpi.NewRequest(c, false, []*mpi.PReq{pr}, nil))
+		return p.finishRecv(mpi.NewRequest1(c, false, pr, nil))
 	}
 	want := int(c.BaseRank(from))
 	pred := func(src transport.ProcID) bool {
 		return p.layout.RankOf(src) == want
 	}
 	pr := p.eng.Irecv(mpi.AnyProc, pred, ctx, tag, buf)
-	return p.finishRecv(mpi.NewRequest(c, false, []*mpi.PReq{pr}, nil))
+	return p.finishRecv(mpi.NewRequest1(c, false, pr, nil))
 }
 
 // finishRecv installs the deferred-ack hook for the AckOnWait ablation.
@@ -311,20 +327,21 @@ func (p *Replicated) onArrive(m *transport.Message) bool {
 	return false
 }
 
-// discardDuplicate drops a redundant copy of an already-admitted message.
-// Duplicate rendezvous RTSes still need their handshake completed, or the
-// redundant sender's request would never finish.
+// discardDuplicate drops a redundant copy of an already-admitted message,
+// recycling its storage (this protocol owns messages it swallows in
+// onArrive). Duplicate rendezvous RTSes still need their handshake
+// completed, or the redundant sender's request would never finish.
 func (p *Replicated) discardDuplicate(m *transport.Message) {
-	if m.Kind != transport.KindRTS {
-		return
+	if m.Kind == transport.KindRTS {
+		// If the original handshake broke (sender died between RTS and
+		// payload), resume it with this copy; otherwise complete the
+		// redundant transfer into a sink. Either way the envelope is
+		// consumed within the call.
+		if !p.eng.RebindRTS(m) {
+			p.eng.SinkRTS(m)
+		}
 	}
-	// If the original handshake broke (sender died between RTS and
-	// payload), resume it with this copy; otherwise complete the
-	// redundant transfer into a sink.
-	if p.eng.RebindRTS(m) {
-		return
-	}
-	p.eng.SinkRTS(m)
+	transport.FreeMessage(m)
 }
 
 // stash inserts an out-of-order arrival, keeping the slice seq-sorted and
@@ -379,28 +396,6 @@ func (p *Replicated) onRecvComplete(pr *mpi.PReq) {
 	p.sendAcksFor(ps)
 }
 
-// sendAcksFor emits the acknowledgement for one completed reception.
-func (p *Replicated) sendAcksFor(ps mpi.PStatus) {
-	srcRank := int(ps.Meta[mpi.MetaSrcRank])
-	senderWorld := int(ps.Meta[mpi.MetaWorld])
-	for rep := 0; rep < p.layout.R; rep++ {
-		if rep == senderWorld {
-			continue
-		}
-		q := p.layout.Phys(rep, srcRank)
-		if !p.alive[int(q)] {
-			continue
-		}
-		p.eng.Endpoint().Send(&transport.Message{
-			Dst:  q,
-			Kind: transport.KindAck,
-			Ctx:  ps.Ctx,
-			Seq:  ps.Seq,
-			Meta: [4]int64{int64(srcRank), int64(p.myRank), int64(p.myRep), 0},
-		})
-	}
-}
-
 // AckForRequest returns a closure emitting the acks for an application
 // request's receptions; the harness installs it as Request.OnFinish in the
 // AckOnWait ablation.
@@ -409,34 +404,6 @@ func (p *Replicated) AckForRequest() func(*mpi.Request) {
 		for _, ps := range r.PStatuses() {
 			p.sendAcksFor(ps)
 		}
-	}
-}
-
-// onAck marks one expected acknowledgement as received and releases the
-// retention entry once all have arrived (completing the gated send
-// request).
-func (p *Replicated) onAck(m *transport.Message) {
-	// Meta: [srcRank (mine), ackerRank, ackerWorld].
-	key := retKey{m.Ctx, int(m.Meta[1]), m.Seq}
-	entry, ok := p.retain[key]
-	if !ok {
-		// Distinguish an *early* ack (our replica has not yet posted
-		// the acknowledged send: seq at or beyond our counter) from a
-		// *late* one (entry already completed or converted after a
-		// failure). Early acks are remembered and consumed by Isend.
-		if m.Seq >= p.sendSeq[seqKey{m.Ctx, int(m.Meta[1])}] {
-			ea := p.earlyAcks[key]
-			if ea == nil {
-				ea = make(map[transport.ProcID]bool)
-				p.earlyAcks[key] = ea
-			}
-			ea[m.Src] = true
-		}
-		return
-	}
-	delete(entry.needed, m.Src)
-	if len(entry.needed) == 0 {
-		delete(p.retain, key)
 	}
 }
 

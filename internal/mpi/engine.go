@@ -61,10 +61,6 @@ func (r *PReq) Truncated() bool { return r.truncated }
 // PStatus returns the PML-level completion status.
 func (r *PReq) PStatus() PStatus { return r.status }
 
-// Data returns the engine-owned payload copy of an eager send, which a
-// replication protocol retains for possible re-sends.
-func (r *PReq) Data() []byte { return r.data }
-
 // Dst returns the physical destination of a send request.
 func (r *PReq) Dst() transport.ProcID { return r.dst }
 
@@ -110,12 +106,25 @@ type Engine struct {
 	// swallow it (return false) to reorder or deduplicate; swallowed
 	// messages re-enter matching through InjectMatch. OnRecvComplete is
 	// the paper's irecvComplete event; OnMatch is the match event.
+	//
+	// Ownership: a protocol that swallows a message in OnArrive owns it —
+	// it either re-injects it later (InjectMatch) or releases it with
+	// transport.FreeMessage. Messages passed to OnAck/OnHash/OnCtl are
+	// only valid for the duration of the call; the engine releases them
+	// when the hook returns.
 	OnArrive       func(*transport.Message) bool
 	OnMatch        func(*PReq, *transport.Message)
 	OnRecvComplete func(*PReq)
 	OnAck          func(*transport.Message)
 	OnHash         func(*transport.Message)
 	OnCtl          func(*transport.Message)
+
+	// OnFlush lets a protocol piggyback deferred work on engine progress
+	// (SDR-MPI flushes coalesced acks here). Progress invokes it with
+	// force=false after handling inbound traffic; WaitUntil invokes it
+	// with force=true immediately before blocking, which is what keeps
+	// deferred acks from deadlocking a peer's ack-gated send.
+	OnFlush func(force bool)
 }
 
 // NewEngine creates the PML engine for the process attached to ep.
@@ -147,19 +156,24 @@ func (e *Engine) checkCrash() {
 }
 
 // Isend starts a PML-level send of data to physical process dst. For
-// payloads at or below EagerLimit it copies the payload (so the caller's
-// buffer is immediately reusable) and completes at once; larger payloads
-// use rendezvous and complete when the data has been shipped after a CTS.
+// payloads at or below EagerLimit it copies the payload into a pooled
+// buffer (so the caller's buffer is immediately reusable) and completes at
+// once — ownership of the copy transfers to the transport and ultimately
+// to the receiving engine, which recycles it after delivery. Larger
+// payloads use rendezvous and complete when the data has been shipped
+// after a CTS.
 func (e *Engine) Isend(dst transport.ProcID, ctx uint32, tag int, data []byte, seq uint64, meta [4]int64) *PReq {
 	e.checkCrash()
 	r := &PReq{send: true, ctx: ctx, tag: tag, dst: dst, seq: seq, meta: meta}
 	if len(data) <= e.EagerLimit {
-		cp := append([]byte(nil), data...)
-		r.data = cp
-		e.ep.Send(&transport.Message{
-			Dst: dst, Kind: transport.KindEager,
-			Ctx: ctx, Tag: tag, Seq: seq, Meta: meta, Data: cp,
-		})
+		cp := transport.GetBuf(len(data))
+		copy(cp, data)
+		var m transport.Message
+		m.Dst = dst
+		m.Kind = transport.KindEager
+		m.Ctx, m.Tag, m.Seq, m.Meta = ctx, tag, seq, meta
+		m.SetPooledData(cp)
+		e.ep.Send(&m)
 		r.done = true
 		return r
 	}
@@ -267,9 +281,16 @@ func (e *Engine) SinkRTS(m *transport.Message) {
 }
 
 // UnexpectedMessages snapshots the unexpected queue (the recovery fork
-// clones it into the replacement replica).
+// clones it into the replacement replica). The snapshot deep-copies every
+// message: the originals stay queued here and will be consumed (and their
+// pooled storage recycled) by this engine, while the clones are consumed
+// by the replacement process.
 func (e *Engine) UnexpectedMessages() []*transport.Message {
-	return append([]*transport.Message(nil), e.unexpected...)
+	out := make([]*transport.Message, len(e.unexpected))
+	for i, m := range e.unexpected {
+		out[i] = m.Clone()
+	}
+	return out
 }
 
 // SeedUnexpected pre-loads the unexpected queue of a freshly built engine
@@ -335,7 +356,10 @@ func (e *Engine) InjectMatch(m *transport.Message) {
 
 // deliver completes the match of message m with posted receive req: eager
 // payloads complete immediately (match + irecvComplete); an RTS triggers
-// the CTS reply and completion is deferred to the Data arrival.
+// the CTS reply and completion is deferred to the Data arrival. deliver is
+// the terminal consumption point for m: once the payload is copied into
+// the receive buffer (or the CTS is on its way), the message's pooled
+// storage is recycled.
 func (e *Engine) deliver(req *PReq, m *transport.Message) {
 	if DebugEngine {
 		println(dbgUS(), "proc", int(e.ep.ID()), "DELIVER kind", int(m.Kind), "seq", int(m.Seq), "tag", m.Tag)
@@ -348,6 +372,7 @@ func (e *Engine) deliver(req *PReq, m *transport.Message) {
 		}
 		e.rdvRecv[m.XID] = req
 		e.ep.Send(&transport.Message{Dst: m.Src, Kind: transport.KindCTS, Ctx: m.Ctx, XID: m.XID})
+		transport.FreeMessage(m)
 		return
 	}
 	if e.OnMatch != nil {
@@ -358,26 +383,33 @@ func (e *Engine) deliver(req *PReq, m *transport.Message) {
 	}
 	copy(req.buf, m.Data)
 	req.done = true
+	transport.FreeMessage(m)
 	if e.OnRecvComplete != nil {
 		e.OnRecvComplete(req)
 	}
 }
 
-// handle dispatches one inbound transport message.
+// handle dispatches one inbound transport message. For control-plane
+// kinds (ack/hash/ctl/CTS) the hooks consume the message by value, so its
+// storage is recycled as soon as they return; application messages
+// (eager/RTS/Data) live until deliver or an owning protocol releases them.
 func (e *Engine) handle(m *transport.Message) {
 	switch m.Kind {
 	case transport.KindAck:
 		if e.OnAck != nil {
 			e.OnAck(m)
 		}
+		transport.FreeMessage(m)
 	case transport.KindHash:
 		if e.OnHash != nil {
 			e.OnHash(m)
 		}
+		transport.FreeMessage(m)
 	case transport.KindCtl:
 		if e.OnCtl != nil {
 			e.OnCtl(m)
 		}
+		transport.FreeMessage(m)
 	case transport.KindCTS:
 		if DebugEngine {
 			_, ok := e.rdvSend[m.XID]
@@ -389,13 +421,18 @@ func (e *Engine) handle(m *transport.Message) {
 			// buffer for reuse (MPI_Wait semantics), so the bytes on
 			// the wire must be owned by the transport, exactly as a
 			// NIC's send completion implies the buffer has been read.
-			e.ep.Send(&transport.Message{
-				Dst: m.Src, Kind: transport.KindData,
-				Ctx: r.ctx, Tag: r.tag, Seq: r.seq, XID: m.XID, Meta: r.meta,
-				Data: append([]byte(nil), r.data...),
-			})
+			// The copy is pooled; the receiving engine recycles it.
+			cp := transport.GetBuf(len(r.data))
+			copy(cp, r.data)
+			var dm transport.Message
+			dm.Dst = m.Src
+			dm.Kind = transport.KindData
+			dm.Ctx, dm.Tag, dm.Seq, dm.XID, dm.Meta = r.ctx, r.tag, r.seq, m.XID, r.meta
+			dm.SetPooledData(cp)
+			e.ep.Send(&dm)
 			r.done = true
 		}
+		transport.FreeMessage(m)
 	case transport.KindData:
 		if DebugEngine {
 			_, ok := e.rdvRecv[m.XID]
@@ -413,6 +450,7 @@ func (e *Engine) handle(m *transport.Message) {
 				e.OnRecvComplete(r)
 			}
 		}
+		transport.FreeMessage(m)
 	case transport.KindEager, transport.KindRTS:
 		if e.OnArrive != nil && !e.OnArrive(m) {
 			return
@@ -432,15 +470,27 @@ func (e *Engine) Progress() bool {
 	for _, m := range msgs {
 		e.handle(m)
 	}
+	if e.OnFlush != nil {
+		e.OnFlush(false)
+	}
 	return len(msgs) > 0
 }
 
 // WaitUntil pumps progress until cond holds. It unwinds with the crash
-// sentinel if this process is killed while waiting.
+// sentinel if this process is killed while waiting. Every iteration —
+// including the one that satisfies cond — force-flushes protocol-deferred
+// work (coalesced acks): a process never sleeps on, and never returns to
+// the application holding, acknowledgements it still owes. This is the
+// liveness half of coalescing; batching happens within one progress
+// round, where bursts actually arrive together.
 func (e *Engine) WaitUntil(cond func() bool) {
 	for {
 		e.Progress()
-		if cond() {
+		done := cond()
+		if e.OnFlush != nil {
+			e.OnFlush(true)
+		}
+		if done {
 			return
 		}
 		if !e.ep.WaitActivity(0) {

@@ -1,0 +1,66 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// BenchmarkNetpipeSmallMsg measures the NetPipe small-message hot path —
+// an eager ping-pong between two in-process ranks with no delay model —
+// with the transport buffer/envelope pools on and off. The pooled/...
+// vs unpooled/... allocs/op ratio is the quantity the zero-copy fast
+// path is judged by: with pooling, the per-message envelope copy, the
+// eager payload copy and the drain batch all come from recycled storage.
+//
+// Run with:
+//
+//	go test ./internal/mpi -bench NetpipeSmallMsg -benchmem
+func BenchmarkNetpipeSmallMsg(b *testing.B) {
+	for _, mode := range []string{"pooled", "unpooled"} {
+		for _, size := range []int{64, 1024, 16 << 10} {
+			b.Run(fmt.Sprintf("%s/%dB", mode, size), func(b *testing.B) {
+				benchPingPong(b, size, mode == "pooled")
+			})
+		}
+	}
+}
+
+func benchPingPong(b *testing.B, size int, pooled bool) {
+	old := transport.PoolingEnabled()
+	transport.SetPooling(pooled)
+	defer transport.SetPooling(old)
+
+	nw := transport.NewNetwork(2, nil)
+	defer nw.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		proc := NewProc(nw, 1)
+		world := NewWorld(proc, NewNative(proc), 2)
+		buf := make([]byte, size)
+		for i := 0; i < b.N; i++ {
+			world.Recv(0, 0, buf)
+			world.Send(0, 1, buf)
+		}
+	}()
+
+	proc := NewProc(nw, 0)
+	world := NewWorld(proc, NewNative(proc), 2)
+	buf := make([]byte, size)
+	rbuf := make([]byte, size)
+	// One warm-up round trip so both engines exist before timing.
+	world.Send(1, 0, buf)
+	world.Recv(1, 1, rbuf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N-1; i++ {
+		world.Send(1, 0, buf)
+		world.Recv(1, 1, rbuf)
+	}
+	b.StopTimer()
+	wg.Wait()
+}

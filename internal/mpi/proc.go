@@ -61,7 +61,7 @@ func (n *Native) Isend(c *Comm, ctx uint32, to Rank, tag int, data []byte) *Requ
 	meta[MetaSrcRank] = int64(c.BaseRank(c.rank))
 	meta[MetaDstRank] = int64(base)
 	preq := n.proc.eng.Isend(transport.ProcID(base), ctx, tag, data, 0, meta)
-	return NewRequest(c, true, []*PReq{preq}, nil)
+	return NewRequest1(c, true, preq, nil)
 }
 
 // Irecv implements Protocol.
@@ -74,5 +74,5 @@ func (n *Native) Irecv(c *Comm, ctx uint32, from Rank, tag int, buf []byte) *Req
 	} else {
 		preq = n.proc.eng.Irecv(transport.ProcID(c.BaseRank(from)), nil, ctx, tag, buf)
 	}
-	return NewRequest(c, false, []*PReq{preq}, nil)
+	return NewRequest1(c, false, preq, nil)
 }

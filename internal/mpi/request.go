@@ -13,7 +13,10 @@ type Request struct {
 	send bool
 
 	preqs []*PReq
-	gate  func() bool
+	// inline backs preqs for the common one- and two-channel requests so
+	// composing a request costs no slice allocation on the hot path.
+	inline [2]*PReq
+	gate   func() bool
 
 	// OnWaitEnter is invoked when the application first waits on the
 	// request (used by the ack-on-wait ablation).
@@ -43,9 +46,26 @@ func (r *Request) PStatuses() []PStatus {
 	return out
 }
 
-// NewRequest assembles an application request; protocols call this.
+// NewRequest assembles an application request; protocols call this. Small
+// PML request sets are copied into inline storage, so the caller's slice
+// does not escape.
 func NewRequest(c *Comm, send bool, preqs []*PReq, gate func() bool) *Request {
-	return &Request{eng: c.proc.Engine(), comm: c, send: send, preqs: preqs, gate: gate}
+	r := &Request{eng: c.proc.Engine(), comm: c, send: send, gate: gate}
+	if len(preqs) <= len(r.inline) {
+		r.preqs = append(r.inline[:0], preqs...)
+	} else {
+		r.preqs = preqs
+	}
+	return r
+}
+
+// NewRequest1 assembles a single-channel request without any slice
+// traffic — the common case for every point-to-point operation.
+func NewRequest1(c *Comm, send bool, pr *PReq, gate func() bool) *Request {
+	r := &Request{eng: c.proc.Engine(), comm: c, send: send, gate: gate}
+	r.inline[0] = pr
+	r.preqs = r.inline[:1]
+	return r
 }
 
 // ready reports whether every underlying PML request is complete and the
@@ -92,13 +112,28 @@ func (r *Request) finish() Status {
 }
 
 // Wait blocks (pumping library progress) until the request completes and
-// returns its status. This is MPI_Wait.
+// returns its status. This is MPI_Wait. The progress loop is inlined
+// (rather than passed to WaitUntil as a method-value closure) so the hot
+// path allocates nothing.
 func (r *Request) Wait() Status {
 	if r.OnWaitEnter != nil {
 		r.OnWaitEnter()
 		r.OnWaitEnter = nil
 	}
-	r.eng.WaitUntil(r.ready)
+	e := r.eng
+	for {
+		e.Progress()
+		done := r.ready()
+		if e.OnFlush != nil {
+			e.OnFlush(true)
+		}
+		if done {
+			break
+		}
+		if !e.ep.WaitActivity(0) {
+			Crash(e.ep.ID())
+		}
+	}
 	return r.finish()
 }
 

@@ -1,0 +1,68 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Coalesced-acknowledgement payload format.
+//
+// The replication protocol acknowledges every received application message
+// to the other replicas of the source rank. Sent one at a time, that is
+// one KindAck message per (message, replica) — the traffic that turns the
+// paper's O(q·r) story allocation- and ack-bound. Coalescing batches the
+// acknowledgements a process owes one destination and ships them as a
+// single KindAck message whose payload is the fixed 12-byte records
+// encoded here. The acker's rank and world still travel in the envelope
+// Meta (they are constant per sender), so a record only needs the fields
+// that vary: context and sequence number.
+
+// AckRec is one coalesced acknowledgement record: the (context, sequence)
+// pair identifying the acknowledged send at its retainer.
+type AckRec struct {
+	Ctx uint32
+	Seq uint64
+}
+
+// ackRecLen is the encoded size of one AckRec: ctx(4) seq(8).
+const ackRecLen = 4 + 8
+
+// maxAckRecs bounds a batch, protecting the decoder against corrupt
+// counts; it is far above any sane coalescing window.
+const maxAckRecs = 1 << 16
+
+// EncodeAckRecs appends the wire encoding of acks to buf (normally a
+// pooled buffer sized with AckBatchBytes) and returns the extended slice.
+func EncodeAckRecs(buf []byte, acks []AckRec) []byte {
+	for _, a := range acks {
+		var rec [ackRecLen]byte
+		binary.LittleEndian.PutUint32(rec[0:], a.Ctx)
+		binary.LittleEndian.PutUint64(rec[4:], a.Seq)
+		buf = append(buf, rec[:]...)
+	}
+	return buf
+}
+
+// AckBatchBytes returns the encoded size of an n-record batch.
+func AckBatchBytes(n int) int { return n * ackRecLen }
+
+// DecodeAckRecs parses a coalesced-ack payload. It errors (never panics)
+// on truncated or oversized input. The result aliases nothing: records
+// are decoded by value, so the payload buffer may be released immediately
+// after.
+func DecodeAckRecs(data []byte) ([]AckRec, error) {
+	if len(data)%ackRecLen != 0 {
+		return nil, fmt.Errorf("transport: ack batch length %d not a record multiple", len(data))
+	}
+	n := len(data) / ackRecLen
+	if n > maxAckRecs {
+		return nil, fmt.Errorf("transport: ack batch of %d records exceeds limit", n)
+	}
+	out := make([]AckRec, n)
+	for i := range out {
+		rec := data[i*ackRecLen:]
+		out[i].Ctx = binary.LittleEndian.Uint32(rec[0:])
+		out[i].Seq = binary.LittleEndian.Uint64(rec[4:])
+	}
+	return out, nil
+}

@@ -42,23 +42,44 @@ func encodeMessage(w *bufio.Writer, m *Message) error {
 	return nil
 }
 
-// decodeMessage reads one message in the fixed wire format.
+// decodeMessage reads one message in the fixed wire format, allocating a
+// plain (unpooled) Message. Tests and one-shot decoders use it; the TCP
+// read loop uses decodeMessagePooled.
 func decodeMessage(r *bufio.Reader) (*Message, error) {
+	return decodeMessageInto(r, new(Message), false)
+}
+
+// decodeMessagePooled reads one message into pooled storage: the envelope
+// comes from the message pool and the payload from the buffer pools. The
+// final consumer releases both with FreeMessage. On error nothing pooled
+// is retained.
+func decodeMessagePooled(r *bufio.Reader) (*Message, error) {
+	m := GetMessage()
+	out, err := decodeMessageInto(r, m, true)
+	if err != nil {
+		FreeMessage(m)
+		return nil, err
+	}
+	return out, nil
+}
+
+// decodeMessageInto reads one message in the fixed wire format into m,
+// preserving m's pool-ownership flags. With pooledData it draws the
+// payload from the buffer pools.
+func decodeMessageInto(r *bufio.Reader, m *Message, pooledData bool) (*Message, error) {
 	var hdr [wireHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
 	le := binary.LittleEndian
-	m := &Message{
-		Kind: Kind(hdr[0]),
-		Src:  ProcID(int32(le.Uint32(hdr[4:]))),
-		Dst:  ProcID(int32(le.Uint32(hdr[8:]))),
-		Ctx:  le.Uint32(hdr[12:]),
-		Tag:  int(int64(le.Uint64(hdr[16:]))),
-		Seq:  le.Uint64(hdr[24:]),
-		XID:  le.Uint64(hdr[32:]),
-		tseq: le.Uint64(hdr[40:]),
-	}
+	m.Kind = Kind(hdr[0])
+	m.Src = ProcID(int32(le.Uint32(hdr[4:])))
+	m.Dst = ProcID(int32(le.Uint32(hdr[8:])))
+	m.Ctx = le.Uint32(hdr[12:])
+	m.Tag = int(int64(le.Uint64(hdr[16:])))
+	m.Seq = le.Uint64(hdr[24:])
+	m.XID = le.Uint64(hdr[32:])
+	m.tseq = le.Uint64(hdr[40:])
 	for i := range m.Meta {
 		m.Meta[i] = int64(le.Uint64(hdr[48+8*i:]))
 	}
@@ -67,7 +88,11 @@ func decodeMessage(r *bufio.Reader) (*Message, error) {
 		return nil, fmt.Errorf("transport: wire payload %d exceeds limit", n)
 	}
 	if n > 0 {
-		m.Data = make([]byte, n)
+		if pooledData {
+			m.SetPooledData(GetBuf(int(n)))
+		} else {
+			m.Data = make([]byte, n)
+		}
 		if _, err := io.ReadFull(r, m.Data); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,112 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// encodeToBytes serializes m in the wire format (test helper).
+func encodeToBytes(t interface{ Fatal(...any) }, m *Message) []byte {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := encodeMessage(w, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzCodecRoundTrip feeds arbitrary byte streams to the wire decoder.
+// Invariants:
+//
+//   - the decoder never panics, whatever the input: truncated headers,
+//     truncated payloads and corrupt length fields must all surface as
+//     errors (or, for a valid prefix, a successful partial decode);
+//   - any successfully decoded message re-encodes and re-decodes to an
+//     identical message (round-trip stability), for both the plain and
+//     the pooled decoder.
+//
+// The seed corpus covers every message kind, empty and non-empty
+// payloads, negative tags, extreme meta values and a truncation of each.
+func FuzzCodecRoundTrip(f *testing.F) {
+	seeds := []*Message{
+		{Kind: KindEager, Src: 0, Dst: 1, Ctx: 1, Tag: 0, Seq: 0, Data: []byte("hi")},
+		{Kind: KindRTS, Src: 3, Dst: 2, Ctx: 9, Tag: -5, Seq: 42, XID: 1 << 41, Meta: [4]int64{1, 2, 3, 1 << 62}},
+		{Kind: KindCTS, Src: 1, Dst: 3, XID: 77},
+		{Kind: KindData, Src: 2, Dst: 0, Seq: 7, XID: 77, Data: bytes.Repeat([]byte{0xAB}, 300)},
+		{Kind: KindAck, Src: 1, Dst: 0, Ctx: 4, Seq: 12, Meta: [4]int64{-1, 1, 1, 1}},
+		{Kind: KindHash, Src: 0, Dst: 1, Meta: [4]int64{0, 1, 0, -9e18}},
+		{Kind: KindCtl, Src: -1, Dst: 1, Tag: 2, Meta: [4]int64{3}},
+		{Kind: Kind(200), Src: 1, Dst: 1, Tag: 1 << 40},
+	}
+	for _, m := range seeds {
+		enc := encodeToBytes(f, m)
+		f.Add(enc)
+		if len(enc) > 3 {
+			f.Add(enc[:len(enc)-3]) // truncated variant
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeMessage(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			// Must fail identically on the pooled path, and never panic.
+			if pm, perr := decodeMessagePooled(bufio.NewReader(bytes.NewReader(data))); perr == nil {
+				t.Fatalf("plain decode failed (%v) but pooled decode succeeded: %+v", err, pm)
+			}
+			return
+		}
+		// Round-trip: encode the decoded message and decode again.
+		enc := encodeToBytes(t, m)
+		m2, err := decodeMessage(bufio.NewReader(bytes.NewReader(enc)))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded message failed: %v", err)
+		}
+		if !messagesEqual(m, m2) {
+			t.Fatalf("round-trip mismatch:\n in: %+v\nout: %+v", m, m2)
+		}
+		// The pooled decoder must agree field-for-field.
+		pm, err := decodeMessagePooled(bufio.NewReader(bytes.NewReader(enc)))
+		if err != nil {
+			t.Fatalf("pooled decode of valid bytes failed: %v", err)
+		}
+		if !messagesEqual(m, pm) {
+			t.Fatalf("pooled decode mismatch:\n in: %+v\nout: %+v", m, pm)
+		}
+		FreeMessage(pm)
+	})
+}
+
+// messagesEqual compares wire-visible fields (ignoring pool flags).
+func messagesEqual(a, b *Message) bool {
+	if a.Kind != b.Kind || a.Src != b.Src || a.Dst != b.Dst ||
+		a.Ctx != b.Ctx || a.Tag != b.Tag || a.Seq != b.Seq ||
+		a.XID != b.XID || a.tseq != b.tseq || a.Meta != b.Meta {
+		return false
+	}
+	return bytes.Equal(a.Data, b.Data)
+}
+
+// FuzzAckBatchDecode hardens the coalesced-ack payload decoder: arbitrary
+// bytes must never panic, and valid encodings must round-trip.
+func FuzzAckBatchDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeAckRecs(nil, []AckRec{{Ctx: 1, Seq: 2}}))
+	f.Add(EncodeAckRecs(nil, []AckRec{{Ctx: 1, Seq: 2}, {Ctx: 3, Seq: 1 << 60}}))
+	f.Add([]byte{1, 2, 3, 4, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := DecodeAckRecs(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeAckRecs(nil, recs)
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("ack batch round-trip mismatch: %x vs %x", enc, data)
+		}
+	})
+}

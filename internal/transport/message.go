@@ -98,6 +98,11 @@ type Message struct {
 	// tseq is the transport-level per-link sequence number, assigned by
 	// the network for FIFO verification.
 	tseq uint64
+
+	// pflags records pool ownership (see pool.go): whether the envelope
+	// and/or the payload were handed out by a pool and must be returned
+	// by FreeMessage. Never serialized; zero for plain literals.
+	pflags uint8
 }
 
 // TransportSeq returns the per-ordered-pair FIFO sequence number assigned

@@ -37,7 +37,10 @@ func (s StatsSnapshot) AppMsgs() uint64 {
 	return s.Msgs[KindEager] + s.Msgs[KindData]
 }
 
-// AckMsgs returns the number of protocol acknowledgements.
+// AckMsgs returns the number of protocol acknowledgements. With ack
+// coalescing one KindAck message may carry many acknowledgement records;
+// this counts messages on the wire, which is exactly what coalescing is
+// meant to reduce.
 func (s StatsSnapshot) AckMsgs() uint64 { return s.Msgs[KindAck] }
 
 // TotalMsgs returns all messages of every kind.
@@ -52,6 +55,10 @@ func (s StatsSnapshot) TotalMsgs() uint64 {
 // Wire is the mechanism that moves an already-enveloped message to the
 // destination endpoint's inbound queue. The in-process wire appends
 // directly; the TCP wire serializes through loopback sockets.
+//
+// Ownership: Deliver takes ownership of m (envelope and payload). A wire
+// either forwards it to the destination queue or releases it with
+// FreeMessage (after serializing it, or when delivery is impossible).
 type Wire interface {
 	// Deliver moves m toward its destination. It must preserve per
 	// ordered-pair FIFO ordering and must not block indefinitely.
@@ -130,11 +137,21 @@ func (nw *Network) notify(p ProcID, alive bool) {
 // next library entry via Endpoint.Crashed.
 func (nw *Network) Kill(p ProcID) {
 	ep := nw.eps[int(p)]
-	ep.mu.Lock()
-	ep.dead = true
-	ep.cond.Broadcast()
-	ep.mu.Unlock()
+	ep.dead.Store(true)
+	ep.lockBarrier()
+	ep.wake()
 	nw.notify(p, false)
+}
+
+// lockBarrier acquires and releases every shard lock. After it returns,
+// every injector either completed its append before the barrier or will
+// observe the dead flag under its shard lock (see injectAt).
+func (ep *Endpoint) lockBarrier() {
+	for i := range ep.shards {
+		ep.shards[i].mu.Lock()
+		//lint:ignore SA2001 the empty critical section is the barrier
+		ep.shards[i].mu.Unlock()
+	}
 }
 
 // Revive resurrects process p with a fresh, empty endpoint state. The
@@ -142,11 +159,12 @@ func (nw *Network) Kill(p ProcID) {
 // a replacement replica.
 func (nw *Network) Revive(p ProcID) {
 	ep := nw.eps[int(p)]
-	ep.mu.Lock()
-	ep.dead = false
-	ep.queue = nil
-	ep.cond.Broadcast()
-	ep.mu.Unlock()
+	// Clear first, then flip alive: injections observe the dead flag, so
+	// everything cleared here predates the kill and nothing injected after
+	// the flip is lost.
+	ep.clearQueues()
+	ep.dead.Store(false)
+	ep.wake()
 	nw.notify(p, true)
 }
 
@@ -165,10 +183,7 @@ func (nw *Network) Inject(dst ProcID, m *Message) {
 
 // Alive reports whether process p is currently alive.
 func (nw *Network) Alive(p ProcID) bool {
-	ep := nw.eps[int(p)]
-	ep.mu.Lock()
-	defer ep.mu.Unlock()
-	return !ep.dead
+	return !nw.eps[int(p)].dead.Load()
 }
 
 // Close shuts down the wire.
@@ -180,7 +195,7 @@ func (nw *Network) Close() error {
 }
 
 // inprocWire delivers messages by appending them directly to the
-// destination endpoint queue under its lock.
+// destination endpoint queue under its (sharded) lock.
 type inprocWire struct{ nw *Network }
 
 func (w inprocWire) Deliver(m *Message) error {
@@ -197,6 +212,21 @@ type queued struct {
 	deliverAt time.Time
 }
 
+// queueShards is the number of independent inbound queues per endpoint.
+// Senders hash by source process, so with many ranks concurrent deliveries
+// no longer serialize on one lock; per-ordered-pair FIFO is preserved
+// because one source always lands in the same shard. Must be a power of
+// two.
+const queueShards = 8
+
+// qshard is one slice of an endpoint's inbound queue, with its own lock.
+// The pad keeps hot shard headers on distinct cache lines.
+type qshard struct {
+	mu sync.Mutex
+	q  []queued
+	_  [32]byte
+}
+
 // Endpoint is one process's attachment point to the network. All methods
 // are safe for concurrent use; the owning process goroutine receives, any
 // goroutine may send to it.
@@ -204,10 +234,21 @@ type Endpoint struct {
 	id ProcID
 	nw *Network
 
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue []queued
-	dead  bool
+	// Inbound path: per-source shards plus atomic coordination state, so
+	// delivery does not serialize every sender on one endpoint lock.
+	shards   [queueShards]qshard
+	dead     atomic.Bool
+	nq       atomic.Int64 // queued messages across all shards
+	sleepers atomic.Int32 // receivers blocked in WaitActivity
+
+	// mu/cond only coordinate blocking receivers with (rare) wakeups; the
+	// delivery hot path never takes mu when nobody sleeps.
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	// drainBuf backs the slice returned by Drain; owned by the receiving
+	// goroutine and reused across calls.
+	drainBuf []*Message
 
 	// sender-side link serialization state: for each destination, when
 	// the previous transfer finishes occupying the link.
@@ -233,18 +274,33 @@ func (ep *Endpoint) ID() ProcID { return ep.id }
 
 // Crashed reports whether this process has been killed. The owning
 // goroutine checks this at library entries to realize its own crash.
-func (ep *Endpoint) Crashed() bool {
-	ep.mu.Lock()
-	defer ep.mu.Unlock()
-	return ep.dead
+func (ep *Endpoint) Crashed() bool { return ep.dead.Load() }
+
+// shardOf maps a source process to its inbound shard. Src may be NoProc
+// (-1) for service-injected messages.
+func shardOf(src ProcID) int {
+	return int(uint(int(src)+1) & (queueShards - 1))
 }
 
 // Send transmits m to m.Dst. Sends to dead destinations are silently
 // dropped (fail-stop model: the bytes fall off the wire). Send applies the
 // network delay model: the sender pays the per-message software overhead,
 // and the message is stamped with its simulated arrival time.
+//
+// The caller's envelope is copied into a pooled Message before it enters
+// the network, so the caller may immediately reuse m. Ownership of the
+// payload transfers with the send: if m.Data was attached with
+// SetPooledData, the transport (and ultimately the final consumer) releases
+// it, and the caller must not touch the buffer after Send returns.
 func (ep *Endpoint) Send(m *Message) error {
 	if m.Dst < 0 || int(m.Dst) >= ep.nw.n {
+		// The send fails before ownership transfers; release a pooled
+		// payload so erroneous sends do not leak it.
+		if m.pflags&flagPooledData != 0 {
+			FreeBuf(m.Data)
+			m.Data = nil
+			m.pflags &^= flagPooledData
+		}
 		return fmt.Errorf("transport: send to invalid proc %d", m.Dst)
 	}
 	m.Src = ep.id
@@ -282,9 +338,14 @@ func (ep *Endpoint) Send(m *Message) error {
 		ep.sendMu.Unlock()
 	}
 
-	qm := *m // shallow copy so later envelope reuse by sender is safe
-	q := &qm
-	q.Data = m.Data
+	// Copy the envelope into a pooled message so the caller can reuse m;
+	// payload-pool ownership travels with the copy.
+	q := GetMessage()
+	env := q.pflags
+	*q = *m
+	q.pflags = (m.pflags & flagPooledData) | env
+	m.pflags &^= flagPooledData // ownership moved to q
+
 	if !deliverAt.IsZero() {
 		return ep.nw.deliverDelayed(q, deliverAt)
 	}
@@ -301,42 +362,105 @@ func (nw *Network) deliverDelayed(m *Message, at time.Time) error {
 func (ep *Endpoint) inject(m *Message) { ep.injectAt(m, time.Time{}) }
 
 func (ep *Endpoint) injectAt(m *Message, at time.Time) {
-	ep.mu.Lock()
-	if ep.dead {
-		ep.mu.Unlock()
+	sh := &ep.shards[shardOf(m.Src)]
+	sh.mu.Lock()
+	// The dead check happens under the shard lock, and Kill passes a
+	// lock barrier over every shard after setting the flag: an append
+	// that raced the flag therefore completed before the barrier and
+	// models in-flight traffic, while anything after the barrier
+	// observes the flag and is dropped — exactly the fail-stop
+	// semantics a single-lock queue had.
+	if ep.dead.Load() {
+		sh.mu.Unlock()
+		FreeMessage(m) // fail-stop: the bytes fall off the wire
 		return
 	}
-	ep.queue = append(ep.queue, queued{m: m, deliverAt: at})
+	sh.q = append(sh.q, queued{m: m, deliverAt: at})
+	sh.mu.Unlock()
+	ep.nq.Add(1)
+	if ep.sleepers.Load() > 0 {
+		ep.wake()
+	}
+}
+
+// wake broadcasts to blocked receivers. Taking mu orders the broadcast
+// against a receiver that is between registering as a sleeper and calling
+// cond.Wait (it holds mu for that whole window), so wakeups cannot be
+// lost.
+func (ep *Endpoint) wake() {
+	ep.mu.Lock()
 	ep.cond.Broadcast()
 	ep.mu.Unlock()
 }
 
+// clearQueues removes (and releases) everything queued, for Revive.
+func (ep *Endpoint) clearQueues() {
+	removed := 0
+	for i := range ep.shards {
+		sh := &ep.shards[i]
+		sh.mu.Lock()
+		for j := range sh.q {
+			FreeMessage(sh.q[j].m)
+			sh.q[j] = queued{}
+		}
+		removed += len(sh.q)
+		sh.q = sh.q[:0]
+		sh.mu.Unlock()
+	}
+	ep.nq.Add(int64(-removed))
+}
+
 // Drain removes and returns all inbound messages whose simulated arrival
 // time has passed, preserving per-source FIFO order. It never blocks.
+//
+// The returned slice is backed by a per-endpoint buffer owned by the
+// receiving goroutine: it is valid until the next Drain call. Ownership of
+// the returned messages transfers to the caller, which releases each with
+// FreeMessage once consumed.
 func (ep *Endpoint) Drain() []*Message {
-	now := time.Time{}
-	ep.mu.Lock()
-	defer ep.mu.Unlock()
-	if len(ep.queue) == 0 {
+	if ep.nq.Load() == 0 {
 		return nil
 	}
 	var out []*Message
-	var keep []queued
-	for _, q := range ep.queue {
-		if q.deliverAt.IsZero() {
-			out = append(out, q.m)
+	if pooling.Load() {
+		// Reuse the drain buffer (part of the pooled fast path; the
+		// unpooled baseline allocates per call, as the seed did).
+		out = ep.drainBuf[:0]
+	}
+	var now time.Time
+	removed := 0
+	for i := range ep.shards {
+		sh := &ep.shards[i]
+		sh.mu.Lock()
+		if len(sh.q) == 0 {
+			sh.mu.Unlock()
 			continue
 		}
-		if now.IsZero() {
-			now = time.Now()
-		}
-		if !q.deliverAt.After(now) {
+		keep := sh.q[:0]
+		for _, q := range sh.q {
+			if !q.deliverAt.IsZero() {
+				if now.IsZero() {
+					now = time.Now()
+				}
+				if q.deliverAt.After(now) {
+					keep = append(keep, q)
+					continue
+				}
+			}
 			out = append(out, q.m)
-		} else {
-			keep = append(keep, q)
+			removed++
 		}
+		for j := len(keep); j < len(sh.q); j++ {
+			sh.q[j] = queued{} // unpin handed-off messages
+		}
+		sh.q = keep
+		sh.mu.Unlock()
 	}
-	ep.queue = keep
+	ep.nq.Add(int64(-removed))
+	ep.drainBuf = out
+	if len(out) == 0 {
+		return nil
+	}
 	return out
 }
 
@@ -348,46 +472,76 @@ func (ep *Endpoint) WaitActivity(timeout time.Duration) bool {
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
 	}
-	ep.mu.Lock()
 	for {
-		if ep.dead {
-			ep.mu.Unlock()
+		if ep.dead.Load() {
 			return false
 		}
-		if len(ep.queue) > 0 {
-			// If some message is ready now, return. Otherwise wait
-			// (outside the lock) until the earliest arrival.
-			earliest := time.Time{}
-			ready := false
-			for _, q := range ep.queue {
-				if q.deliverAt.IsZero() {
-					ready = true
-					break
-				}
-				if earliest.IsZero() || q.deliverAt.Before(earliest) {
-					earliest = q.deliverAt
-				}
-			}
-			if ready || !time.Now().Before(earliest) {
-				ep.mu.Unlock()
+		if ep.nq.Load() > 0 {
+			ready, earliest := ep.scanArrivals()
+			if ready {
 				return true
 			}
+			if earliest.IsZero() {
+				// Counter raced ahead of a visible message; retry.
+				continue
+			}
+			// Only delayed arrivals are queued: sleep (off the locks)
+			// until the earliest, bounded by the deadline.
 			if !deadline.IsZero() && earliest.After(deadline) {
 				earliest = deadline
 			}
-			ep.mu.Unlock()
 			spinUntil(earliest)
-			ep.mu.Lock()
+			if !deadline.IsZero() && !time.Now().Before(deadline) {
+				return true
+			}
 			continue
 		}
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
-			ep.mu.Unlock()
 			return true
 		}
-		// No queued messages: block on the condition variable. Use a
-		// timed wakeup so delayed arrivals and deadlines are honored.
+		// Nothing queued: block. Register as a sleeper before re-checking
+		// the counter so a concurrent injector either sees the sleeper and
+		// broadcasts (under mu, ordered with our Wait) or published its
+		// message before our re-check observes it.
+		ep.mu.Lock()
+		ep.sleepers.Add(1)
+		if ep.nq.Load() > 0 || ep.dead.Load() {
+			ep.sleepers.Add(-1)
+			ep.mu.Unlock()
+			continue
+		}
 		waitWithTimeout(ep.cond, &ep.mu, deadline)
+		ep.sleepers.Add(-1)
+		ep.mu.Unlock()
 	}
+}
+
+// scanArrivals reports whether any queued message is deliverable now and,
+// if not, the earliest future arrival time among the delayed ones.
+func (ep *Endpoint) scanArrivals() (ready bool, earliest time.Time) {
+	var now time.Time
+	for i := range ep.shards {
+		sh := &ep.shards[i]
+		sh.mu.Lock()
+		for _, q := range sh.q {
+			if q.deliverAt.IsZero() {
+				sh.mu.Unlock()
+				return true, time.Time{}
+			}
+			if now.IsZero() {
+				now = time.Now()
+			}
+			if !q.deliverAt.After(now) {
+				sh.mu.Unlock()
+				return true, time.Time{}
+			}
+			if earliest.IsZero() || q.deliverAt.Before(earliest) {
+				earliest = q.deliverAt
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return false, earliest
 }
 
 // waitWithTimeout waits on cond if no deadline is set; with a deadline it

@@ -1,0 +1,179 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Message and payload pooling.
+//
+// Every message crossing the wire used to cost at least two heap
+// allocations: the envelope copy taken by Endpoint.Send (so senders can
+// reuse their Message struct) and, on the eager path, the payload copy
+// taken by the PML so the application buffer is immediately reusable. On
+// the small-message path those allocations — not the protocol — dominate;
+// this file recycles both through sync.Pools.
+//
+// Ownership protocol (the part that makes recycling safe):
+//
+//   - Endpoint.Send copies the caller's envelope into a pooled Message and
+//     hands it to the wire. From that point the message is owned by exactly
+//     one party at a time: the wire, then the destination queue, then the
+//     consumer that Drains it.
+//   - A payload attached with SetPooledData travels with the message; it is
+//     released together with the envelope.
+//   - The final consumer — the PML engine after copying an eager or
+//     rendezvous payload into the receive buffer, a protocol discarding a
+//     duplicate, the transport dropping traffic to a dead process — calls
+//     FreeMessage exactly once. Holding any reference after FreeMessage is
+//     a use-after-free.
+//   - FreeMessage is a no-op on messages that did not come from the pools
+//     (tests and services build bare Message literals; they are garbage
+//     collected as before). When in doubt, not freeing is always safe: the
+//     object falls back to the garbage collector.
+//
+// Pooling can be disabled globally with SetPooling(false) (the benchmarks
+// use this to measure the unpooled baseline). The flags are recorded per
+// object, so toggling at runtime never mis-frees: only objects actually
+// handed out by a pool are ever returned to one.
+
+// pooling gates allocation through the pools. It defaults to on.
+var pooling atomic.Bool
+
+func init() { pooling.Store(true) }
+
+// SetPooling enables or disables buffer/envelope pooling globally. It
+// exists for benchmarking the unpooled baseline; production code leaves it
+// on.
+func SetPooling(on bool) { pooling.Store(on) }
+
+// PoolingEnabled reports whether pooling is active.
+func PoolingEnabled() bool { return pooling.Load() }
+
+// Message flag bits (Message.pflags).
+const (
+	flagPooledEnv  uint8 = 1 << iota // envelope came from msgPool
+	flagPooledData                   // Data came from a buffer pool
+)
+
+// msgPool recycles Message envelopes.
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// bufClasses are the payload size classes, chosen to cover the eager path
+// (default eager limit 64 KiB) with low internal fragmentation and to stop
+// where buffers are large enough that the allocation cost is noise next to
+// the memcpy.
+var bufClasses = [...]int{64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10}
+
+// bufPools holds one sync.Pool per size class. Entries store the
+// unsafe.Pointer to the buffer's first byte: pointer-shaped values fit in
+// an interface without boxing, so neither Get nor Put allocates (a
+// *[]byte box would cost one allocation per Put, defeating the pool on
+// the small-message path). The pointer keeps the allocation alive for the
+// garbage collector, and the class length reconstructs the full slice.
+var bufPools [len(bufClasses)]sync.Pool
+
+// classFor returns the index of the smallest class holding n bytes, or -1
+// if n exceeds every class.
+func classFor(n int) int {
+	for i, c := range bufClasses {
+		if n <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// GetBuf returns a byte slice of length n. When pooling is enabled and n
+// fits a size class, the backing array is recycled; otherwise it is a
+// fresh allocation. The contents are unspecified (callers overwrite).
+func GetBuf(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	if pooling.Load() {
+		if ci := classFor(n); ci >= 0 {
+			if v := bufPools[ci].Get(); v != nil {
+				return unsafe.Slice((*byte)(v.(unsafe.Pointer)), bufClasses[ci])[:n]
+			}
+			return make([]byte, n, bufClasses[ci])
+		}
+	}
+	return make([]byte, n)
+}
+
+// FreeBuf returns a buffer obtained from GetBuf to its pool. Callers must
+// own b exclusively; after FreeBuf the slice must not be touched. Buffers
+// whose capacity matches no size class (or that were handed out while
+// pooling was off) are left to the garbage collector.
+func FreeBuf(b []byte) {
+	if cap(b) == 0 || !pooling.Load() {
+		return
+	}
+	// Only capacities that exactly match a class are recycled: a buffer we
+	// did not shape can confuse length bookkeeping.
+	for i, c := range bufClasses {
+		if cap(b) == c {
+			bufPools[i].Put(unsafe.Pointer(&b[:c][0]))
+			return
+		}
+	}
+}
+
+// GetMessage returns an empty Message envelope, pool-recycled when pooling
+// is enabled. The caller owns it until it is handed to the wire or freed.
+func GetMessage() *Message {
+	if pooling.Load() {
+		m := msgPool.Get().(*Message)
+		m.pflags = flagPooledEnv
+		return m
+	}
+	return new(Message)
+}
+
+// FreeMessage releases a message at the end of its life: the pooled payload
+// (if any) returns to its buffer pool and the pooled envelope to the
+// message pool. Messages built as plain literals pass through untouched,
+// so calling FreeMessage at every terminal consumption point is safe
+// regardless of where the message came from. The caller must hold the only
+// reference.
+func FreeMessage(m *Message) {
+	if m == nil {
+		return
+	}
+	if m.pflags&flagPooledData != 0 && m.Data != nil {
+		FreeBuf(m.Data)
+		m.Data = nil
+		m.pflags &^= flagPooledData
+	}
+	if m.pflags&flagPooledEnv != 0 {
+		*m = Message{}
+		msgPool.Put(m)
+	}
+}
+
+// SetPooledData attaches a pool-owned payload to the message: b must come
+// from GetBuf, and ownership transfers to the message (FreeMessage will
+// release it).
+func (m *Message) SetPooledData(b []byte) {
+	m.Data = b
+	if b != nil {
+		m.pflags |= flagPooledData
+	}
+}
+
+// PooledData reports whether the payload is pool-owned (test hook).
+func (m *Message) PooledData() bool { return m.pflags&flagPooledData != 0 }
+
+// Clone returns an unpooled deep copy of the message. Recovery forking
+// uses it: the clone and the original are consumed by different processes,
+// so they must not share pooled storage.
+func (m *Message) Clone() *Message {
+	c := *m
+	c.pflags = 0
+	if len(m.Data) > 0 {
+		c.Data = append([]byte(nil), m.Data...)
+	}
+	return &c
+}

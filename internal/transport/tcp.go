@@ -85,11 +85,12 @@ func (tw *TCPWire) readLoop(c net.Conn) {
 		return
 	}
 	for {
-		m, err := decodeMessage(r)
+		m, err := decodeMessagePooled(r)
 		if err != nil {
 			return
 		}
 		if m.Dst < 0 || int(m.Dst) >= tw.nw.n {
+			FreeMessage(m)
 			return
 		}
 		tw.nw.eps[int(m.Dst)].inject(m)
@@ -97,8 +98,11 @@ func (tw *TCPWire) readLoop(c net.Conn) {
 }
 
 // Deliver implements Wire by writing the message on the (src,dst) TCP
-// connection, dialing it on first use.
+// connection, dialing it on first use. The message is fully serialized
+// before Deliver returns, so its storage is released here — the TCP kernel
+// path owns the bytes from now on.
 func (tw *TCPWire) Deliver(m *Message) error {
+	defer FreeMessage(m)
 	tc, err := tw.conn(m.Src, m.Dst)
 	if err != nil {
 		return err
