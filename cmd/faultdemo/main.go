@@ -1,8 +1,11 @@
 // Command faultdemo kills replicas mid-run and shows the application
-// completing — the live version of the paper's Figures 3 and 4.
+// completing — the live version of the paper's Figures 3 and 4, plus the
+// recovery ladder's second rung.
 //
 //	faultdemo              # crash + substitution (Figure 3)
 //	faultdemo -recover     # crash + recovery of the replica (Figure 4)
+//	faultdemo -exhaust     # crash of ALL replicas of a rank + rollback to
+//	                       # the last coordinated checkpoint (§1, §4.1)
 package main
 
 import (
@@ -15,20 +18,33 @@ import (
 
 func main() {
 	rec := flag.Bool("recover", false, "also recover the crashed replica (§3.4)")
+	exhaust := flag.Bool("exhaust", false, "kill every replica of a rank: replication is exhausted and the run rolls back to the last coordinated checkpoint")
 	steps := flag.Int("steps", 16, "application steps")
 	failAt := flag.Int("fail-at", 5, "step at which the replica crashes")
 	recoverAt := flag.Int("recover-at", 10, "step at which the substitute forks the replacement")
+	every := flag.Int("ckpt-every", 4, "checkpoint interval for -exhaust")
 	flag.Parse()
 
 	var err error
-	if *rec {
+	switch {
+	case *exhaust:
+		failAt := *failAt
+		if failAt <= *every {
+			failAt = *every + 1 // ensure at least one committed wave exists
+		}
+		err = bench.RunRollback(os.Stdout, *steps, *every, failAt)
+	case *rec:
 		err = bench.RunFig4(os.Stdout, *steps, *failAt, *recoverAt)
-	} else {
+	default:
 		err = bench.RunFig3(os.Stdout, *steps, *failAt)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "faultdemo:", err)
 		os.Exit(1)
 	}
-	fmt.Println("application survived the injected failure")
+	if *exhaust {
+		fmt.Println("application survived the loss of an entire rank")
+	} else {
+		fmt.Println("application survived the injected failure")
+	}
 }

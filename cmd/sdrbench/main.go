@@ -11,6 +11,7 @@
 //	sdrbench -exp ablation-degree # overhead vs replication degree (r=1,2,3)
 //	sdrbench -exp ablation-eager  # ack cost on the eager vs rendezvous path
 //	sdrbench -exp ablation-coalesce # discrete vs coalesced ack traffic
+//	sdrbench -exp ablation-ckpt   # checkpoint interval vs rollback-restart cost
 //	sdrbench -exp table1-ext      # extended NAS set (LU, IS, EP)
 //	sdrbench -exp determinism     # send-determinism verdicts (§2.1 taxonomy)
 //	sdrbench -exp partial         # partial replication sweep (§5 outlook)
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1, table1-ext, table2, fig2, fig3, fig4, fig7a, fig7b, ablation-mirror, ablation-leader, ablation-degree, determinism, partial, sdc, all)")
+	exp := flag.String("exp", "all", "experiment id (table1, table1-ext, table2, fig2, fig3, fig4, fig7a, fig7b, ablation-mirror, ablation-leader, ablation-degree, ablation-eager, ablation-coalesce, ablation-ckpt, determinism, partial, sdc, all)")
 	ranks := flag.Int("ranks", 8, "logical ranks for table experiments")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
@@ -103,6 +104,12 @@ func main() {
 				return err
 			}
 			bench.RenderCoalesce(os.Stdout, rows)
+		case "ablation-ckpt":
+			rows, err := bench.RunCkptAblation(s)
+			if err != nil {
+				return err
+			}
+			bench.RenderCkpt(os.Stdout, s, rows)
 		case "ablation-degree":
 			rows, err := bench.RunDegreeSweep(s)
 			if err != nil {
@@ -152,7 +159,7 @@ func main() {
 	if *exp == "all" {
 		ids = []string{"fig2", "fig3", "fig4", "fig7a", "fig7b", "table1", "table1-ext", "table2",
 			"ablation-mirror", "ablation-leader", "ablation-degree", "ablation-eager",
-			"ablation-coalesce", "determinism", "partial", "sdc"}
+			"ablation-coalesce", "ablation-ckpt", "determinism", "partial", "sdc"}
 	}
 	for _, id := range ids {
 		if err := run(id); err != nil {

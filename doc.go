@@ -19,10 +19,30 @@
 //	internal/core       the vProtocol interception point: SDR-MPI with
 //	                    coalesced acknowledgements, the mirror and leader
 //	                    baselines, failure handling, recovery, SDC
-//	internal/cluster    the launcher: spawns r·n goroutine processes and
-//	                    orchestrates crash/recovery schedules
+//	internal/cluster    the launcher: spawns r·n goroutine processes,
+//	                    orchestrates crash/recovery schedules, and restarts
+//	                    the run from the latest committed checkpoint wave
+//	                    when a rank loses its last replica
 //	internal/bench      the evaluation: NetPipe, NAS/wildcard tables,
-//	                    ablations (mirror, leader, degree, eager, coalesce)
+//	                    ablations (mirror, leader, degree, eager, coalesce,
+//	                    ckpt)
+//
+// # Recovery ladder
+//
+// Failure handling has two rungs, matching the paper's combined
+// replication + infrequent-coordinated-checkpointing model (§1, §4.1).
+// The loss of one replica of a rank is absorbed in place: the
+// lowest-index survivor becomes the substitute and re-sends retained
+// unacknowledged messages. The loss of ALL replicas of a rank raises the
+// typed mpi.ReplicationExhausted signal through the crash-sentinel unwind
+// path; cluster.Run then tears the epoch down and — when
+// Config.CheckpointDir is set — restarts every process from the latest
+// committed checkpoint wave (internal/ckpt stamps a wave with a
+// coordinated-commit marker only after every rank's writer replica has
+// saved, so a half-written wave is never chosen) and re-executes to a
+// fault-free-identical result. The ablation-ckpt experiment quantifies
+// the checkpoint-interval vs. re-executed-work trade-off; cmd/faultdemo
+// -exhaust narrates the scenario.
 //
 // # Fast path
 //

@@ -170,6 +170,42 @@ func TestScenarioRunners(t *testing.T) {
 	}
 }
 
+func TestRollbackScenarioRunner(t *testing.T) {
+	var sb strings.Builder
+	if err := RunRollback(&sb, 12, 3, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "replication is exhausted") || !strings.Contains(out, "committed wave") {
+		t.Errorf("rollback narration missing pieces:\n%s", out)
+	}
+}
+
+func TestCkptAblationRows(t *testing.T) {
+	rows, err := RunCkptAblation(Scale{Ranks: 2, Factor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 || rows[0].Interval != 0 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows[1:] {
+		if r.Restarts < 1 {
+			t.Errorf("interval %d: no rollback recorded", r.Interval)
+		}
+		// A shorter interval can never waste more steps than its own
+		// length (the wave lags the failure by less than one interval).
+		if r.WastedSteps < 0 || r.WastedSteps > r.Interval {
+			t.Errorf("interval %d: wasted %d steps", r.Interval, r.WastedSteps)
+		}
+	}
+	var sb strings.Builder
+	RenderCkpt(&sb, Scale{Ranks: 2, Factor: 1}, rows)
+	if !strings.Contains(sb.String(), "fault-free") {
+		t.Error("render missing the reference row")
+	}
+}
+
 func TestSDCDemoDetects(t *testing.T) {
 	n, err := RunSDCDemo()
 	if err != nil {

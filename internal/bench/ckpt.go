@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+)
+
+// CkptRow is one line of the ablation-ckpt table: how the coordinated
+// checkpoint interval trades steady-state overhead against the re-executed
+// work a full rollback restart pays (§4.1's infrequent-checkpointing
+// argument — replication makes rank loss rare, so the interval can be
+// long).
+type CkptRow struct {
+	// Interval is the number of application steps between coordinated
+	// checkpoint waves; 0 marks the fault-free reference row.
+	Interval int
+	Elapsed  time.Duration
+	// Restarts counts full rollback-restart cycles; RestartWave is the
+	// committed wave the last rollback resumed from.
+	Restarts    int
+	RestartWave int
+	// WastedSteps is the re-executed work: fail step minus restart wave.
+	WastedSteps int
+}
+
+// ckptRing is the ablation workload: an n-rank ring accumulation with a
+// coordinated checkpoint every `every` steps, resuming from the
+// launcher-seeded wave after a rollback restart.
+func ckptRing(steps, every int) cluster.AppFunc {
+	return func(env *cluster.Env) (any, error) {
+		c := env.World
+		n := c.Size()
+		me := int(c.Rank())
+		start := 0
+		var sum uint64
+		if b := env.Restored(); b != nil && env.RestoredStep() >= 0 {
+			start = env.RestoredStep()
+			sum = binary.LittleEndian.Uint64(b)
+		}
+		sbuf := make([]byte, 8)
+		rbuf := make([]byte, 8)
+		for i := start; i < steps; i++ {
+			env.Step(i, nil)
+			binary.LittleEndian.PutUint64(sbuf, uint64(me+i))
+			req := c.Isend(mpi.Rank((me+1)%n), 0, sbuf)
+			c.Recv(mpi.Rank((me-1+n)%n), 0, rbuf)
+			mpi.Waitall(req)
+			sum += binary.LittleEndian.Uint64(rbuf)
+			if every > 0 && (i+1)%every == 0 {
+				c.Barrier()
+				state := make([]byte, 8)
+				binary.LittleEndian.PutUint64(state, sum)
+				if err := env.Checkpoint(i+1, state); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return sum, nil
+	}
+}
+
+// RunCkptAblation measures checkpoint interval vs. restart cost
+// (experiment ablation-ckpt): both replicas of rank 1 die at 3/4 of the
+// run, forcing a full rollback restart; shorter intervals waste fewer
+// re-executed steps but checkpoint (and barrier) more often. Row 0 is the
+// fault-free reference.
+func RunCkptAblation(s Scale) ([]CkptRow, error) {
+	ranks := s.Ranks
+	if ranks < 2 {
+		ranks = 2
+	}
+	steps := 16 * s.Factor
+	failAt := steps * 3 / 4
+
+	run := func(every int, fail bool) (*cluster.Report, error) {
+		dir, err := os.MkdirTemp("", "sdr-ablation-ckpt-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		cfg := cluster.Config{
+			Ranks: ranks, Protocol: cluster.SDR, Timeout: 2 * time.Minute,
+			CheckpointDir: dir,
+		}
+		if fail {
+			cfg.Failures = []cluster.FailureEvent{
+				{Rank: 1, Rep: 0, AtStep: failAt},
+				{Rank: 1, Rep: 1, AtStep: failAt},
+			}
+		}
+		rep := cluster.Run(cfg, ckptRing(steps, every))
+		if err := rep.FirstError(); err != nil {
+			return nil, fmt.Errorf("ablation-ckpt every=%d: %w", every, err)
+		}
+		return rep, nil
+	}
+
+	// Fault-free reference (checkpointing every 4 steps, no rollback).
+	ref, err := run(4, false)
+	if err != nil {
+		return nil, err
+	}
+	rows := []CkptRow{{Interval: 0, Elapsed: ref.Elapsed, RestartWave: -1}}
+
+	for _, every := range []int{1, 2, 4, 8} {
+		rep, err := run(every, true)
+		if err != nil {
+			return nil, err
+		}
+		if rep.Restarts == 0 {
+			return nil, fmt.Errorf("ablation-ckpt every=%d: rank loss did not force a rollback", every)
+		}
+		for _, p := range rep.Procs {
+			if want := ref.ResultOf(p.Rank, p.Rep); p.Result != want {
+				return nil, fmt.Errorf("ablation-ckpt every=%d: rank %d rep %d computed %v, fault-free %v",
+					every, p.Rank, p.Rep, p.Result, want)
+			}
+		}
+		rows = append(rows, CkptRow{
+			Interval:    every,
+			Elapsed:     rep.Elapsed,
+			Restarts:    rep.Restarts,
+			RestartWave: rep.RestartWave,
+			WastedSteps: failAt - rep.RestartWave,
+		})
+	}
+	return rows, nil
+}
+
+// RenderCkpt prints the ablation-ckpt rows, paper-table style.
+func RenderCkpt(w io.Writer, s Scale, rows []CkptRow) {
+	steps := 16 * s.Factor
+	fmt.Fprintf(w, "Ablation — checkpoint interval vs. restart cost (ring, ranks=%d, steps=%d, rank 1 lost at step %d)\n",
+		s.Ranks, steps, steps*3/4)
+	fmt.Fprintf(w, "%-10s %12s %10s %14s %14s\n", "interval", "time (s)", "restarts", "restart wave", "wasted steps")
+	for _, r := range rows {
+		label := fmt.Sprintf("%d", r.Interval)
+		if r.Interval == 0 {
+			label = "fault-free"
+		}
+		fmt.Fprintf(w, "%-10s %12.3f %10d %14d %14d\n",
+			label, r.Elapsed.Seconds(), r.Restarts, r.RestartWave, r.WastedSteps)
+	}
+}

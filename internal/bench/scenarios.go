@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"repro/internal/cluster"
@@ -72,6 +73,65 @@ func RunFig4(w io.Writer, steps, failAt, recoverAt int) error {
 		return fmt.Errorf("fig4: %d processes finished, want 4 (recovered replica included)", finished)
 	}
 	fmt.Fprintln(w, "  the forked replica resumed from the substitute's state and finished the run")
+	return nil
+}
+
+// RunRollback executes the exhaustion + rollback scenario — both replicas
+// of rank 1 die at the same step, the second rung of the recovery ladder —
+// and narrates the teardown, the committed wave chosen, and the restarted
+// run's results. Returns an error if the rollback run misbehaves.
+func RunRollback(w io.Writer, steps, every, failAt int) error {
+	dir, err := os.MkdirTemp("", "sdr-rollback-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	refDir, err := os.MkdirTemp("", "sdr-rollback-ref-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(refDir)
+
+	app := ckptRing(steps, every)
+	ref := cluster.Run(cluster.Config{
+		Ranks: 2, Protocol: cluster.SDR, Timeout: time.Minute,
+		CheckpointDir: refDir,
+	}, app)
+	if err := ref.FirstError(); err != nil {
+		return fmt.Errorf("rollback reference run: %w", err)
+	}
+
+	rep := cluster.Run(cluster.Config{
+		Ranks: 2, Protocol: cluster.SDR, Timeout: time.Minute,
+		CheckpointDir: dir,
+		Failures: []cluster.FailureEvent{
+			{Rank: 1, Rep: 0, AtStep: failAt},
+			{Rank: 1, Rep: 1, AtStep: failAt},
+		},
+	}, app)
+	if err := rep.FirstError(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Exhaustion + rollback — BOTH replicas of rank 1 die at step %d of %d (checkpoint every %d)\n",
+		failAt, steps, every)
+	fmt.Fprintln(w, "  replica substitution impossible: rank 1 has no survivor — replication is exhausted")
+	if rep.Restarts == 0 {
+		return fmt.Errorf("rollback: rank loss did not force a restart")
+	}
+	fmt.Fprintf(w, "  rollback: tore the run down, restarted %d time(s) from committed wave %d (%d steps re-executed)\n",
+		rep.Restarts, rep.RestartWave, failAt-rep.RestartWave)
+	for _, p := range rep.Procs {
+		want := ref.ResultOf(p.Rank, p.Rep)
+		status := "OK"
+		if p.Result != want {
+			status = fmt.Sprintf("WRONG (%v, want %v)", p.Result, want)
+		}
+		fmt.Fprintf(w, "  rank %d replica %d: finished, result %v — %s\n", p.Rank, p.Rep, p.Result, status)
+		if p.Result != want {
+			return fmt.Errorf("rollback: rank %d rep %d computed %v, want %v", p.Rank, p.Rep, p.Result, want)
+		}
+	}
+	fmt.Fprintln(w, "  results are identical to a fault-free run: the recovery ladder's second rung held")
 	return nil
 }
 

@@ -8,11 +8,13 @@
 //
 // This package implements that storage side: per-rank, per-step checkpoint
 // files written atomically by the designated writer replica only (the
-// lowest-index alive one), with an integrity hash verified on load, and a
-// Latest scan for restart.
+// lowest-index alive one), with an integrity hash verified on load, a
+// coordinated-commit marker per wave so a half-written wave is never chosen
+// for restart, and a Latest scan plus GC of superseded waves.
 package ckpt
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
@@ -103,17 +105,16 @@ func (s *Store) Load(rank, step int) ([]byte, error) {
 
 // Verify checks an existing checkpoint against data a non-writer replica
 // computed — the cross-replica output comparison of redundant-execution
-// I/O (a mismatch indicates divergence or corruption).
+// I/O (a mismatch indicates divergence or corruption). The comparison is
+// exact: Load has already integrity-checked the stored bytes, so comparing
+// the bytes themselves costs the same as re-hashing and cannot be fooled
+// by a hash collision.
 func (s *Store) Verify(rank, step int, data []byte) error {
 	stored, err := s.Load(rank, step)
 	if err != nil {
 		return err
 	}
-	h1 := fnv.New64a()
-	h1.Write(stored)
-	h2 := fnv.New64a()
-	h2.Write(data)
-	if h1.Sum64() != h2.Sum64() {
+	if !bytes.Equal(stored, data) {
 		return fmt.Errorf("ckpt: replica state diverges from stored checkpoint (rank %d step %d)", rank, step)
 	}
 	return nil
@@ -144,8 +145,11 @@ func (s *Store) Steps(rank int) ([]int, error) {
 }
 
 // LatestCommon returns the most recent step for which *every* rank in
-// 0..ranks-1 has a checkpoint — the consistent restart line of a
-// coordinated checkpoint — or -1 if none exists.
+// 0..ranks-1 has a checkpoint AND the coordinated-commit marker exists —
+// the consistent restart line of a coordinated checkpoint — or -1 if none
+// exists. Requiring the marker means a wave interrupted mid-write (a rank
+// lost before its save, or a writer crashed between ranks) is never chosen
+// even if every per-rank file happens to be present and intact.
 func (s *Store) LatestCommon(ranks int) (int, error) {
 	common := map[int]int{}
 	for rank := 0; rank < ranks; rank++ {
@@ -159,9 +163,77 @@ func (s *Store) LatestCommon(ranks int) (int, error) {
 	}
 	best := -1
 	for st, n := range common {
-		if n == ranks && st > best {
+		if n == ranks && st > best && s.Committed(st) {
 			best = st
 		}
 	}
 	return best, nil
+}
+
+func (s *Store) commitPath(step int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("ckpt-commit-s%08d.ok", step))
+}
+
+// Commit marks the wave at step as coordinated: every rank's writer has
+// completed its save. Idempotent. The marker is empty — its existence is
+// the whole signal, so a plain create is already atomic (it cannot be
+// observed torn) and no temp-file dance is needed. Until the marker
+// exists, LatestCommon will not select the wave.
+func (s *Store) Commit(step int) error {
+	if err := os.WriteFile(s.commitPath(step), nil, 0o644); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	return nil
+}
+
+// Committed reports whether the wave at step carries the coordinated-commit
+// marker.
+func (s *Store) Committed(step int) bool {
+	_, err := os.Stat(s.commitPath(step))
+	return err == nil
+}
+
+// Prune garbage-collects superseded waves: every checkpoint file and commit
+// marker with step < keep is removed. The launcher calls it after a new
+// wave commits, so the store holds at most the waves still usable for
+// rollback. In-flight ckpt-tmp-* files are left alone — a concurrent writer
+// may own them.
+func (s *Store) Prune(keep int) error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	for _, e := range entries {
+		st, ok := stepOf(e.Name())
+		if !ok || st >= keep {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, e.Name())); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("ckpt: %w", err)
+		}
+	}
+	return nil
+}
+
+// stepOf parses the wave step out of a checkpoint or commit-marker file
+// name, rejecting anything else (tmp files, foreign files).
+func stepOf(name string) (int, bool) {
+	var num string
+	switch {
+	case strings.HasPrefix(name, "ckpt-commit-s") && strings.HasSuffix(name, ".ok"):
+		num = strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-commit-s"), ".ok")
+	case strings.HasPrefix(name, "ckpt-r") && strings.HasSuffix(name, ".bin"):
+		i := strings.LastIndex(name, "-s")
+		if i < 0 {
+			return 0, false
+		}
+		num = strings.TrimSuffix(name[i+2:], ".bin")
+	default:
+		return 0, false
+	}
+	v, err := strconv.Atoi(num)
+	if err != nil || v < 0 {
+		return 0, false
+	}
+	return v, true
 }

@@ -78,7 +78,8 @@ func TestVerifyCrossReplica(t *testing.T) {
 
 func TestStepsAndLatestCommon(t *testing.T) {
 	s := newTestStore(t)
-	// Rank 0 checkpointed steps 2, 5, 9; rank 1 only 2 and 5.
+	// Rank 0 checkpointed steps 2, 5, 9; rank 1 only 2 and 5. Waves 2 and
+	// 5 are committed; 9 is missing rank 1 and was never committed.
 	for _, st := range []int{2, 5, 9} {
 		if err := s.Save(0, st, []byte{byte(st)}, true); err != nil {
 			t.Fatal(err)
@@ -86,6 +87,9 @@ func TestStepsAndLatestCommon(t *testing.T) {
 	}
 	for _, st := range []int{2, 5} {
 		if err := s.Save(1, st, []byte{byte(st)}, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Commit(st); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -101,6 +105,73 @@ func TestStepsAndLatestCommon(t *testing.T) {
 	latest, err = s.LatestCommon(3)
 	if err != nil || latest != -1 {
 		t.Fatalf("latest with missing rank = %d", latest)
+	}
+}
+
+func TestLatestCommonRequiresCommitMarker(t *testing.T) {
+	s := newTestStore(t)
+	// Every rank has files for waves 2 and 4, but only wave 2 carries the
+	// coordinated-commit marker: wave 4 is a half-written wave whose last
+	// save raced a crash. It must never be chosen.
+	for rank := 0; rank < 2; rank++ {
+		for _, st := range []int{2, 4} {
+			if err := s.Save(rank, st, []byte{byte(st)}, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	if latest, err := s.LatestCommon(2); err != nil || latest != 2 {
+		t.Fatalf("latest = %d err %v (want committed wave 2)", latest, err)
+	}
+	// A marker without every rank's file (the opposite torn state) is
+	// equally unusable.
+	if err := s.Save(0, 6, []byte{6}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(6); err != nil {
+		t.Fatal(err)
+	}
+	if latest, _ := s.LatestCommon(2); latest != 2 {
+		t.Fatalf("latest = %d: marker without all rank files was chosen", latest)
+	}
+}
+
+func TestCommitIdempotentAndPrune(t *testing.T) {
+	s := newTestStore(t)
+	for _, st := range []int{1, 3, 5} {
+		for rank := 0; rank < 2; rank++ {
+			if err := s.Save(rank, st, []byte{byte(st)}, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Commit(st); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Commit(st); err != nil {
+			t.Fatalf("re-commit: %v", err)
+		}
+	}
+	if err := s.Prune(5); err != nil {
+		t.Fatal(err)
+	}
+	// Waves 1 and 3 (files and markers) are gone; wave 5 survives.
+	for _, st := range []int{1, 3} {
+		if _, err := s.Load(0, st); err == nil {
+			t.Fatalf("wave %d file survived pruning", st)
+		}
+		if s.Committed(st) {
+			t.Fatalf("wave %d marker survived pruning", st)
+		}
+	}
+	if latest, err := s.LatestCommon(2); err != nil || latest != 5 {
+		t.Fatalf("latest after prune = %d err %v", latest, err)
+	}
+	got, err := s.Load(1, 5)
+	if err != nil || len(got) != 1 || got[0] != 5 {
+		t.Fatalf("surviving wave unreadable: %q err %v", got, err)
 	}
 }
 
@@ -180,6 +251,119 @@ func TestLoadTruncatedCheckpoint(t *testing.T) {
 	}
 	if _, err := s.Load(0, 0); err == nil {
 		t.Fatal("Load of a truncated checkpoint succeeded")
+	}
+}
+
+func TestLoadFailureModes(t *testing.T) {
+	// Table-driven corruption/truncation/partial-rename matrix: every way
+	// a checkpoint file can be damaged on disk must surface as a Load
+	// error (or, for writer-crash leftovers, be invisible to the scans),
+	// never as silently wrong state.
+	const payload = "twenty-one bytes here"
+	cases := []struct {
+		name    string
+		damage  func(t *testing.T, s *Store, path string)
+		loadErr bool // Load(0, 0) must fail
+		scanned bool // Steps(0) still lists step 0
+	}{
+		{
+			name: "payload bit flip",
+			damage: func(t *testing.T, s *Store, path string) {
+				flipByte(t, path, 0)
+			},
+			loadErr: true, scanned: true,
+		},
+		{
+			name: "footer bit flip",
+			damage: func(t *testing.T, s *Store, path string) {
+				flipByte(t, path, len(payload))
+			},
+			loadErr: true, scanned: true,
+		},
+		{
+			name: "truncated below footer",
+			damage: func(t *testing.T, s *Store, path string) {
+				if err := os.Truncate(path, 4); err != nil {
+					t.Fatal(err)
+				}
+			},
+			loadErr: true, scanned: true,
+		},
+		{
+			name: "truncated to empty",
+			damage: func(t *testing.T, s *Store, path string) {
+				if err := os.Truncate(path, 0); err != nil {
+					t.Fatal(err)
+				}
+			},
+			loadErr: true, scanned: true,
+		},
+		{
+			name: "payload shortened but footer-sized",
+			damage: func(t *testing.T, s *Store, path string) {
+				// Drop one payload byte: length stays above the footer
+				// minimum, so only the hash catches it.
+				raw, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(raw[:1], raw[2:]...), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			loadErr: true, scanned: true,
+		},
+		{
+			name: "partial rename: writer crashed before rename",
+			damage: func(t *testing.T, s *Store, path string) {
+				// The atomic-write discipline means a crash mid-save
+				// leaves a ckpt-tmp-* file and no final file.
+				if err := os.Remove(path); err != nil {
+					t.Fatal(err)
+				}
+				tmp := filepath.Join(s.Dir(), "ckpt-tmp-leftover")
+				if err := os.WriteFile(tmp, []byte("half-written"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			loadErr: true, scanned: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newTestStore(t)
+			if err := s.Save(0, 0, []byte(payload), true); err != nil {
+				t.Fatal(err)
+			}
+			tc.damage(t, s, filepath.Join(s.Dir(), "ckpt-r0000-s00000000.bin"))
+			if _, err := s.Load(0, 0); (err != nil) != tc.loadErr {
+				t.Fatalf("Load err = %v, want error %v", err, tc.loadErr)
+			}
+			steps, err := s.Steps(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(steps) == 1; got != tc.scanned {
+				t.Fatalf("Steps = %v, want scanned %v", steps, tc.scanned)
+			}
+			// Whatever the damage, the wave was never committed, so the
+			// restart line must ignore it.
+			if latest, err := s.LatestCommon(1); err != nil || latest != -1 {
+				t.Fatalf("damaged uncommitted wave chosen: %d err %v", latest, err)
+			}
+		})
+	}
+}
+
+func flipByte(t *testing.T, path string, off int) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[off] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -9,63 +9,20 @@ import (
 	"repro/internal/mpi"
 )
 
-// ckptApp runs `steps` rounds of the ping-pong pattern, checkpointing
-// every `every` steps, resuming from the newest common checkpoint if one
-// exists.
-func ckptApp(steps, every int) AppFunc {
-	return func(env *Env) (any, error) {
-		c := env.World
-		start := 0
-		var sum uint64
-		if latest, err := env.LatestCheckpoint(); err == nil && latest >= 0 {
-			b, err := env.LoadCheckpoint(latest)
-			if err != nil {
-				return nil, err
-			}
-			start = latest
-			sum = binary.LittleEndian.Uint64(b)
-		}
-		buf := make([]byte, 8)
-		for i := start; i < steps; i++ {
-			env.Step(i, nil)
-			if c.Rank() == 1 {
-				binary.LittleEndian.PutUint64(buf, uint64(i))
-				c.Send(0, 0, buf)
-				c.Recv(0, 1, buf)
-				sum += binary.LittleEndian.Uint64(buf)
-			} else {
-				c.Recv(1, 0, buf)
-				v := binary.LittleEndian.Uint64(buf) * 2
-				binary.LittleEndian.PutUint64(buf, v)
-				c.Send(1, 1, buf)
-				sum += v
-			}
-			if (i+1)%every == 0 {
-				// Coordinated checkpoint: everyone agrees the step is
-				// complete, then saves.
-				c.Barrier()
-				state := make([]byte, 8)
-				binary.LittleEndian.PutUint64(state, sum)
-				if err := env.Checkpoint(i+1, state); err != nil {
-					return nil, err
-				}
-			}
-		}
-		return sum, nil
-	}
-}
-
 func TestCheckpointRestartAfterRankLoss(t *testing.T) {
 	// The paper's combined scheme (§1): replication absorbs single-
 	// replica failures; only the rare loss of ALL replicas of a rank
 	// forces a rollback to the last checkpoint. Simulate exactly that:
-	// both replicas of rank 1 die at step 6; the run fails; a restart
-	// resumes from the step-4 checkpoint and completes correctly.
+	// both replicas of rank 1 die at step 6 — Run itself tears the epoch
+	// down, rolls back to the latest committed wave, and re-executes to
+	// completion. One call, no error, correct results.
 	dir := t.TempDir()
 	const steps, every = 10, 2
-	app := ckptApp(steps, every)
+	// rollbackApp resumes from the launcher-seeded Env.Restored — scanning
+	// the live store here instead would race the in-run commit/prune.
+	app := rollbackApp(steps, every)
 
-	first := Run(Config{
+	rep := Run(Config{
 		Ranks: 2, Protocol: SDR, Timeout: 20 * time.Second,
 		CheckpointDir: dir,
 		Failures: []FailureEvent{
@@ -73,32 +30,35 @@ func TestCheckpointRestartAfterRankLoss(t *testing.T) {
 			{Rank: 1, Rep: 1, AtStep: 6},
 		},
 	}, app)
-	if first.FirstError() == nil {
-		t.Fatal("losing every replica of a rank must fail the run")
+	if err := rep.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restarts != 1 {
+		t.Errorf("Restarts = %d, want 1", rep.Restarts)
+	}
+	if rep.RestartWave < 2 {
+		t.Errorf("RestartWave = %d, want a committed wave ≥ 2", rep.RestartWave)
+	}
+	want := wantPingPong(steps)
+	for _, p := range rep.Procs {
+		if p.Crashed {
+			t.Errorf("rank %d rep %d still crashed in the final epoch (schedule re-fired)", p.Rank, p.Rep)
+			continue
+		}
+		if p.Result != want {
+			t.Errorf("rank %d rep %d after rollback: %v want %v", p.Rank, p.Rep, p.Result, want)
+		}
 	}
 
+	// The store was pruned down to the surviving wave(s): the chosen wave
+	// is still loadable.
 	store, err := ckpt.NewStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	latest, err := store.LatestCommon(2)
-	if err != nil || latest < 2 {
-		t.Fatalf("no usable checkpoint line: %d %v", latest, err)
-	}
-
-	// Restart: same app, fresh cluster, resumes from the checkpoint.
-	second := Run(Config{
-		Ranks: 2, Protocol: SDR, Timeout: 20 * time.Second,
-		CheckpointDir: dir,
-	}, app)
-	if err := second.FirstError(); err != nil {
-		t.Fatal(err)
-	}
-	want := wantPingPong(steps)
-	for _, p := range second.Procs {
-		if p.Result != want {
-			t.Errorf("rank %d rep %d after restart: %v want %v", p.Rank, p.Rep, p.Result, want)
-		}
+	if err != nil || latest < rep.RestartWave {
+		t.Fatalf("no usable checkpoint line after the run: %d %v", latest, err)
 	}
 }
 

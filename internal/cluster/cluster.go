@@ -95,11 +95,26 @@ type Config struct {
 	// checkpoint store (Env.Checkpoint / Env.LoadCheckpoint): the
 	// paper's combined replication + application-level checkpointing
 	// configuration (§1, §4.1). Writes follow redundant-execution I/O
-	// rules: only the designated writer replica touches the file.
+	// rules: only the designated writer replica touches the file. The
+	// harness commits a wave once every rank's writer has saved it, and
+	// prunes superseded waves.
+	//
+	// CheckpointDir also arms the second rung of the recovery ladder:
+	// when the last replica of a rank dies, Run tears the epoch down and
+	// restarts every process from the latest committed wave instead of
+	// reporting a failure (see Run).
 	CheckpointDir string
 
-	// Timeout is the watchdog deadline for the whole run (default 60s).
+	// Timeout is the watchdog deadline for one run epoch (default 60s).
 	Timeout time.Duration
+}
+
+// timeout returns the effective per-epoch watchdog deadline.
+func (c Config) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return 60 * time.Second
+	}
+	return c.Timeout
 }
 
 func (c Config) replication() int {
@@ -119,22 +134,32 @@ type Env struct {
 	Rank  int // logical rank
 	Rep   int // replica index (0 for native)
 
-	cl       *runState
-	proto    *core.Replicated // nil under Native
-	restored []byte
-	store    *ckpt.Store
+	cl           *runState
+	proto        *core.Replicated // nil under Native
+	restored     []byte
+	restoredStep int // checkpoint wave of a rollback restart, -1 otherwise
+	store        *ckpt.Store
 }
 
 // Checkpoint saves the application state for this process's rank at a
 // step. Under replication, only the writer replica (the lowest-index
 // replica this process believes alive) performs the file write; the
 // others are no-ops, giving exactly-once output as in redundant-execution
-// I/O. Requires Config.CheckpointDir.
+// I/O. Once every rank's writer has saved a step, the harness stamps the
+// wave with the coordinated-commit marker (and prunes superseded waves),
+// making it eligible for rollback restart. Requires Config.CheckpointDir.
 func (e *Env) Checkpoint(step int, data []byte) error {
 	if e.store == nil {
 		return fmt.Errorf("cluster: no CheckpointDir configured")
 	}
-	return e.store.Save(e.Rank, step, data, e.isWriter())
+	write := e.isWriter()
+	if err := e.store.Save(e.Rank, step, data, write); err != nil {
+		return err
+	}
+	if write {
+		return e.cl.noteCkpt(e.Rank, step)
+	}
+	return nil
 }
 
 // LoadCheckpoint reads this rank's checkpoint at a step.
@@ -160,18 +185,43 @@ func (e *Env) isWriter() bool {
 	if e.proto == nil {
 		return true
 	}
-	l := e.proto.Layout()
-	for rep := 0; rep < l.R; rep++ {
-		if e.proto.AliveView(l.Phys(rep, e.Rank)) {
-			return rep == e.Rep
-		}
+	w := writerRep(e.proto.Layout(), e.Rank, e.proto.AliveView)
+	if w < 0 {
+		// Torn view: this replica believes no replica of its own rank is
+		// alive (a transient state around recovery). Electing a writer
+		// from such a view is how two concurrent writers happen — stay
+		// conservative and write nothing; the commit marker keeps an
+		// unwritten wave from ever being chosen for restart.
+		return false
 	}
-	return true
+	return w == e.Rep
 }
 
-// Restored returns the application snapshot a recovered replica resumes
-// from, or nil for a normal start.
+// writerRep elects a rank's designated I/O writer under an alive view: the
+// lowest-index replica believed alive, or -1 when the view has none.
+func writerRep(l core.Layout, rank int, alive func(transport.ProcID) bool) int {
+	for rep := 0; rep < l.R; rep++ {
+		if alive(l.Phys(rep, rank)) {
+			return rep
+		}
+	}
+	return -1
+}
+
+// Restored returns the application snapshot this process resumes from —
+// the substitute's fork in a §3.4 recovery, or this rank's checkpoint in a
+// rollback restart — or nil for a normal start.
 func (e *Env) Restored() []byte { return e.restored }
+
+// RestoredStep returns the checkpoint wave a rollback restart resumed
+// from, or -1 when this is not a rollback epoch. It distinguishes the
+// launcher-seeded checkpoint bytes from a recovery fork's snapshot, whose
+// format the substitute chose.
+func (e *Env) RestoredStep() int { return e.restoredStep }
+
+// Epoch returns the restart epoch: 0 for the first execution, incremented
+// by every full rollback restart.
+func (e *Env) Epoch() int { return e.cl.epoch }
 
 // Replicated exposes the protocol layer for inspection (nil under Native).
 func (e *Env) Replicated() *core.Replicated { return e.proto }
@@ -201,7 +251,9 @@ type ProcReport struct {
 	Elapsed time.Duration
 }
 
-// Report aggregates a run.
+// Report aggregates a run. After a rollback restart, Procs/Stats/Recorders
+// describe the final epoch (the one that ran to completion) while Elapsed
+// accumulates across epochs — the restart cost is part of the run.
 type Report struct {
 	Config  Config
 	Elapsed time.Duration
@@ -212,12 +264,27 @@ type Report struct {
 	// SDCDetected sums hash mismatches across replicas (SDC runs).
 	SDCDetected int
 	TimedOut    bool
+
+	// Restarts counts completed full rollback-restart cycles; RestartWave
+	// is the checkpoint step the last rollback resumed from (-1 if none).
+	Restarts    int
+	RestartWave int
+	// ExhaustErr is set when replication was exhausted and rollback was
+	// impossible (no store, no committed wave, or the restart budget ran
+	// out).
+	ExhaustErr error
 }
 
 // FirstError returns the first non-crash error, if any.
 func (r *Report) FirstError() error {
 	if r.TimedOut {
-		return fmt.Errorf("cluster: run timed out after %v", r.Elapsed)
+		// Report the per-epoch watchdog deadline, not Elapsed: after a
+		// rollback restart, Elapsed accumulates across epochs while the
+		// watchdog fired within the final one.
+		return fmt.Errorf("cluster: run timed out after %v", r.Config.timeout())
+	}
+	if r.ExhaustErr != nil {
+		return r.ExhaustErr
 	}
 	for _, p := range r.Procs {
 		if p.Err != nil {
@@ -241,7 +308,28 @@ func (r *Report) ResultOf(rank, rep int) any {
 // rank. Its result lands in the report.
 type AppFunc func(env *Env) (any, error)
 
-// runState is the shared coordination state of one run.
+// firedSet tracks which scheduled failure events have been realized. It is
+// shared across restart epochs: an injected crash is a physical event that
+// happened once — rolling the application back does not resurrect it — so
+// a restarted epoch must not re-kill the same replicas and loop forever.
+type firedSet struct {
+	mu sync.Mutex
+	m  map[int]bool
+}
+
+// fire marks event i as realized, reporting whether this call was the one
+// that fired it.
+func (f *firedSet) fire(i int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.m[i] {
+		return false
+	}
+	f.m[i] = true
+	return true
+}
+
+// runState is the shared coordination state of one run epoch.
 type runState struct {
 	cfg    Config
 	layout core.Layout
@@ -250,14 +338,27 @@ type runState struct {
 	app    AppFunc
 
 	store *ckpt.Store
+	fired *firedSet
+
+	// Rollback seeding: restart[rank] is the checkpoint every replica of
+	// rank resumes from in this epoch; restartWave is its step (-1 on the
+	// first epoch). epoch counts restarts.
+	restart     [][]byte
+	restartWave int
+	epoch       int
 
 	mu         sync.Mutex
-	recovered  map[int]bool // recovery event index → done
+	recovered  map[int]bool         // recovery event index → done
+	ckptSaved  map[int]map[int]bool // step → set of ranks whose writer saved
 	reports    []ProcReport
 	recorders  map[transport.ProcID]*trace.Recorder
 	wg         sync.WaitGroup
 	sdcTotal   int
 	cloneStart time.Time
+
+	// exhaustedRank+1 of the first rank observed to lose its last
+	// replica; 0 while replication still holds.
+	exhausted atomic.Int64
 
 	// spawned counts launched processes; appDone counts those whose
 	// application body has returned (or unwound). Their difference
@@ -266,9 +367,113 @@ type runState struct {
 	appDone atomic.Int64
 }
 
+// noteCkpt records that rank's writer completed its save for step; when
+// every rank has, the wave is committed and superseded waves are pruned.
+func (rs *runState) noteCkpt(rank, step int) error {
+	rs.mu.Lock()
+	saved := rs.ckptSaved[step]
+	if saved == nil {
+		saved = make(map[int]bool)
+		rs.ckptSaved[step] = saved
+	}
+	saved[rank] = true
+	complete := len(saved) == rs.cfg.Ranks
+	rs.mu.Unlock()
+	if !complete {
+		return nil
+	}
+	if err := rs.store.Commit(step); err != nil {
+		return err
+	}
+	return rs.store.Prune(step)
+}
+
+// noteExhausted records the first replication-exhaustion observation and
+// tears the epoch down: every process is killed so compute-bound survivors
+// unwind promptly, exactly like the watchdog path. Run then escalates to a
+// rollback restart (or reports the failure when no checkpoint exists).
+func (rs *runState) noteExhausted(rank int) {
+	if !rs.exhausted.CompareAndSwap(0, int64(rank)+1) {
+		return
+	}
+	for i := 0; i < rs.layout.Procs(); i++ {
+		rs.nw.Kill(transport.ProcID(i))
+	}
+}
+
+// exhaustedRank returns the rank that lost its last replica this epoch, or
+// -1 while replication still holds.
+func (rs *runState) exhaustedRank() int {
+	return int(rs.exhausted.Load()) - 1
+}
+
 // Run executes the application under the configured protocol and returns
-// the aggregated report.
+// the aggregated report. It implements the full recovery ladder: replica
+// substitution absorbs individual crashes inside an epoch; when the last
+// replica of a rank dies the epoch is torn down and — if a committed
+// checkpoint wave exists — every process is respawned on a fresh network
+// with Env.Restored seeded from that wave, repeating until the application
+// completes. Scheduled crashes fire at most once across epochs.
 func Run(cfg Config, app AppFunc) *Report {
+	var store *ckpt.Store
+	if cfg.CheckpointDir != "" {
+		var err error
+		store, err = ckpt.NewStore(cfg.CheckpointDir)
+		if err != nil {
+			return &Report{Config: cfg, Procs: []ProcReport{{Err: err}}, RestartWave: -1}
+		}
+	}
+
+	fired := &firedSet{m: make(map[int]bool)}
+	var restart [][]byte
+	restartWave := -1
+	restarts := 0
+	var total time.Duration
+	// One-shot event firing bounds the possible exhaustions, but keep an
+	// explicit budget so a misbehaving store cannot loop the launcher.
+	maxRestarts := len(cfg.Failures) + 1
+	for {
+		rep, rs := runOnce(cfg, app, store, fired, restart, restartWave, restarts)
+		total += rep.Elapsed
+		rep.Elapsed = total
+		rep.Restarts = restarts
+		rep.RestartWave = restartWave
+		exRank := rs.exhaustedRank()
+		if exRank < 0 {
+			return rep
+		}
+		fail := func(err error) *Report {
+			rep.ExhaustErr = err
+			return rep
+		}
+		if store == nil {
+			return fail(fmt.Errorf("cluster: all replicas of rank %d failed and no CheckpointDir is configured for rollback", exRank))
+		}
+		if restarts >= maxRestarts {
+			return fail(fmt.Errorf("cluster: all replicas of rank %d failed; restart budget (%d) exhausted", exRank, maxRestarts))
+		}
+		wave, err := store.LatestCommon(cfg.Ranks)
+		if err != nil {
+			return fail(fmt.Errorf("cluster: all replicas of rank %d failed; checkpoint scan: %w", exRank, err))
+		}
+		if wave < 0 {
+			return fail(fmt.Errorf("cluster: all replicas of rank %d failed before any committed checkpoint wave", exRank))
+		}
+		states := make([][]byte, cfg.Ranks)
+		for rank := range states {
+			b, err := store.Load(rank, wave)
+			if err != nil {
+				return fail(fmt.Errorf("cluster: rollback to wave %d: %w", wave, err))
+			}
+			states[rank] = b
+		}
+		restart, restartWave = states, wave
+		restarts++
+	}
+}
+
+// runOnce executes one epoch: spawn, watchdog, aggregate.
+func runOnce(cfg Config, app AppFunc, store *ckpt.Store, fired *firedSet, restart [][]byte, restartWave, epoch int) (*Report, *runState) {
 	r := cfg.replication()
 	layout := core.Layout{N: cfg.Ranks, R: r}
 	nw := transport.NewNetwork(layout.Procs(), cfg.Delay)
@@ -281,21 +486,20 @@ func Run(cfg Config, app AppFunc) *Report {
 	det := detect.NewService(nw)
 
 	rs := &runState{
-		cfg:       cfg,
-		layout:    layout,
-		nw:        nw,
-		det:       det,
-		app:       app,
-		recovered: make(map[int]bool),
-		reports:   make([]ProcReport, layout.Procs()),
-		recorders: make(map[transport.ProcID]*trace.Recorder),
-	}
-	if cfg.CheckpointDir != "" {
-		store, err := ckpt.NewStore(cfg.CheckpointDir)
-		if err != nil {
-			return &Report{Config: cfg, Procs: []ProcReport{{Err: err}}}
-		}
-		rs.store = store
+		cfg:         cfg,
+		layout:      layout,
+		nw:          nw,
+		det:         det,
+		app:         app,
+		store:       store,
+		fired:       fired,
+		restart:     restart,
+		restartWave: restartWave,
+		epoch:       epoch,
+		recovered:   make(map[int]bool),
+		ckptSaved:   make(map[int]map[int]bool),
+		reports:     make([]ProcReport, layout.Procs()),
+		recorders:   make(map[transport.ProcID]*trace.Recorder),
 	}
 
 	// Partial replication: phantom replicas are dead before the first
@@ -311,10 +515,7 @@ func Run(cfg Config, app AppFunc) *Report {
 		nw.Kill(p)
 	}
 
-	timeout := cfg.Timeout
-	if timeout <= 0 {
-		timeout = 60 * time.Second
-	}
+	timeout := cfg.timeout()
 	start := time.Now()
 	for i := 0; i < layout.Procs(); i++ {
 		id := transport.ProcID(i)
@@ -354,7 +555,8 @@ func Run(cfg Config, app AppFunc) *Report {
 		Recorders:   rs.recorders,
 		SDCDetected: rs.sdcTotal,
 		TimedOut:    timedOut,
-	}
+		RestartWave: -1,
+	}, rs
 }
 
 // runProc is one physical process's lifetime. For recovered replicas,
@@ -379,6 +581,11 @@ func (rs *runState) runProc(id transport.ProcID, cloneState *core.CloneState, re
 		if r := recover(); r != nil {
 			if _, ok := mpi.ErrCrashed(r); ok {
 				pr.Crashed = true
+			} else if rank, ok := mpi.ErrExhausted(r); ok {
+				// Not an application error: the recovery ladder's second
+				// rung. Record it for the launcher, which tears this
+				// epoch down and escalates to a rollback restart.
+				rs.noteExhausted(rank)
 			} else {
 				pr.Err = fmt.Errorf("panic: %v", r)
 			}
@@ -400,7 +607,13 @@ func (rs *runState) runProc(id transport.ProcID, cloneState *core.CloneState, re
 		proc.Engine().EagerLimit = rs.cfg.EagerLimit
 	}
 
-	env := &Env{Rank: rank, Rep: rep, cl: rs, restored: restored, store: rs.store}
+	env := &Env{Rank: rank, Rep: rep, cl: rs, restored: restored, restoredStep: -1, store: rs.store}
+	if restored == nil && cloneState == nil && rs.restart != nil {
+		// Rollback epoch: every replica of every rank resumes from the
+		// wave the launcher selected.
+		env.restored = rs.restart[rank]
+		env.restoredStep = rs.restartWave
+	}
 	var protocol mpi.Protocol
 	if rs.cfg.Protocol == Native {
 		protocol = mpi.NewNative(proc)
@@ -482,8 +695,10 @@ func (rs *runState) mode() core.Mode {
 func (rs *runState) step(e *Env, step int, snapshot func() []byte) {
 	// Crash injection: the victim kills itself (fail-stop). The network
 	// kill triggers the detector broadcast; the panic unwinds the app.
-	for _, f := range rs.cfg.Failures {
-		if f.Rank == e.Rank && f.Rep == e.Rep && f.AtStep == step {
+	// Each event fires at most once across restart epochs — a crash is a
+	// physical event that rollback does not replay.
+	for i, f := range rs.cfg.Failures {
+		if f.Rank == e.Rank && f.Rep == e.Rep && f.AtStep == step && rs.fired.fire(i) {
 			self := rs.layout.Phys(e.Rep, e.Rank)
 			rs.nw.Kill(self)
 			mpi.Crash(self)

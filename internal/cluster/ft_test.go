@@ -237,8 +237,9 @@ func ringStepApp(steps int) AppFunc {
 
 func TestAllReplicasOfARankFailing(t *testing.T) {
 	// When both replicas of a rank die, the paper says the system must
-	// fall back to checkpoint/restart: our implementation surfaces it as
-	// an application failure, not a hang.
+	// fall back to checkpoint/restart. Without a CheckpointDir there is
+	// nothing to roll back to: the run must fail cleanly — a typed
+	// exhaustion error, not a panic and not a hang.
 	rep := Run(Config{
 		Ranks: 2, Protocol: SDR, Timeout: 20 * time.Second,
 		Failures: []FailureEvent{
@@ -249,14 +250,16 @@ func TestAllReplicasOfARankFailing(t *testing.T) {
 	if rep.TimedOut {
 		t.Fatal("run hung instead of failing")
 	}
-	sawFailure := false
+	if rep.ExhaustErr == nil {
+		t.Fatal("expected a replication-exhausted error when no checkpoint store exists")
+	}
+	if rep.FirstError() == nil {
+		t.Error("FirstError must surface the exhaustion")
+	}
 	for _, p := range rep.Procs {
 		if p.Err != nil {
-			sawFailure = true
+			t.Errorf("rank loss must not masquerade as an application error: %v", p.Err)
 		}
-	}
-	if !sawFailure {
-		t.Error("expected surviving processes to report rank loss")
 	}
 }
 

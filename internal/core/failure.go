@@ -1,9 +1,9 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 
+	"repro/internal/mpi"
 	"repro/internal/transport"
 )
 
@@ -24,6 +24,16 @@ func (p *Replicated) onFailure(dead transport.ProcID) {
 	// complete; cancel them so gated waits can finish.
 	p.eng.CancelSendsTo(dead)
 
+	sub := p.electSubstitute(deadRank)
+	if sub < 0 {
+		// Escalation point of the recovery ladder (§1, §4.1): with no
+		// replica of deadRank left, no protocol — mirror included — can
+		// mask the loss. Raise the typed signal; the cluster launcher
+		// recovers it and rolls the whole run back to the latest
+		// coordinated checkpoint wave.
+		mpi.RaiseExhausted(deadRank)
+	}
+
 	if p.mode != ModeMirror {
 		// Acks batched for the dead process would have fallen off the
 		// wire; drop them.
@@ -38,10 +48,6 @@ func (p *Replicated) onFailure(dead transport.ProcID) {
 			}
 		}
 
-		sub := p.electSubstitute(deadRank)
-		if sub < 0 {
-			panic(fmt.Sprintf("core: all replicas of rank %d have failed; application must restart from a checkpoint", deadRank))
-		}
 		if deadRank == p.myRank {
 			// Lines 20–27: I am a replica of the failed process's rank.
 			if sub == p.myRep {

@@ -23,7 +23,11 @@
 // ack-on-wait deadlock argument observable in this implementation.
 package mpi
 
-import "repro/internal/transport"
+import (
+	"strconv"
+
+	"repro/internal/transport"
+)
 
 // Rank is a logical MPI rank within a communicator.
 type Rank int
@@ -89,4 +93,31 @@ func ErrCrashed(v any) (transport.ProcID, bool) {
 // Crash unwinds the calling process goroutine as a fail-stop crash.
 func Crash(p transport.ProcID) {
 	panic(crashSentinel{Proc: p})
+}
+
+// ReplicationExhausted is the typed signal raised through the library when
+// the last replica of a logical rank dies: replica substitution — the first
+// rung of the recovery ladder — is no longer possible, and the run must
+// roll back to the latest coordinated checkpoint. It travels the same
+// unwind path as the crash sentinel; the cluster launcher recovers it and
+// escalates to a full rollback-restart instead of reporting a failure.
+type ReplicationExhausted struct{ Rank int }
+
+// Error makes the signal usable as an error when rollback is impossible.
+func (e ReplicationExhausted) Error() string {
+	return "mpi: all replicas of rank " + strconv.Itoa(e.Rank) + " have failed; full rollback required"
+}
+
+// ErrExhausted reports whether a recovered panic value is the
+// replication-exhausted signal, returning the rank that lost its last
+// replica.
+func ErrExhausted(v any) (int, bool) {
+	e, ok := v.(ReplicationExhausted)
+	return e.Rank, ok
+}
+
+// RaiseExhausted unwinds the calling process goroutine with the
+// replication-exhausted signal.
+func RaiseExhausted(rank int) {
+	panic(ReplicationExhausted{Rank: rank})
 }

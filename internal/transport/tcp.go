@@ -3,10 +3,12 @@ package transport
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // TCPWire routes messages between endpoints through real TCP loopback
@@ -57,16 +59,29 @@ func (tw *TCPWire) Addr() string { return tw.ln.Addr().String() }
 
 func (tw *TCPWire) acceptLoop() {
 	defer tw.wg.Done()
+	backoff := time.Millisecond
 	for {
 		c, err := tw.ln.Accept()
 		if err != nil {
 			select {
 			case <-tw.done:
-				return
+				return // shutdown: Close closed the listener
 			default:
-				return
 			}
+			if errors.Is(err, net.ErrClosed) {
+				return // listener gone (Close raced the done signal)
+			}
+			// Transient accept failure (ECONNABORTED, EMFILE, ...): a
+			// single error must not silently kill the listener for the
+			// rest of the run. Back off — doubling so a persistent error
+			// does not become a busy loop — and keep accepting.
+			time.Sleep(backoff)
+			if backoff < time.Second {
+				backoff *= 2
+			}
+			continue
 		}
+		backoff = time.Millisecond
 		tw.wg.Add(1)
 		go tw.readLoop(c)
 	}
@@ -101,6 +116,11 @@ func (tw *TCPWire) readLoop(c net.Conn) {
 // connection, dialing it on first use. The message is fully serialized
 // before Deliver returns, so its storage is released here — the TCP kernel
 // path owns the bytes from now on.
+//
+// A write error leaves the bufio.Writer mid-message: every later write on
+// the connection would be misframed, corrupting the (src,dst) pair's FIFO
+// stream for the rest of the run. The connection is therefore dropped on
+// failure; the next Deliver redials a clean one.
 func (tw *TCPWire) Deliver(m *Message) error {
 	defer FreeMessage(m)
 	tc, err := tw.conn(m.Src, m.Dst)
@@ -108,11 +128,26 @@ func (tw *TCPWire) Deliver(m *Message) error {
 		return err
 	}
 	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	if err := encodeMessage(tc.w, m); err != nil {
-		return err
+	err = encodeMessage(tc.w, m)
+	if err == nil {
+		err = tc.w.Flush()
 	}
-	return tc.w.Flush()
+	tc.mu.Unlock()
+	if err != nil {
+		tw.dropConn(m.Src, m.Dst, tc)
+	}
+	return err
+}
+
+// dropConn closes tc and forgets it, provided the (src,dst) slot still
+// holds it (a concurrent dropper may have replaced it already).
+func (tw *TCPWire) dropConn(src, dst ProcID, tc *tcpConn) {
+	tw.mu.Lock()
+	if byDst := tw.conns[src]; byDst != nil && byDst[dst] == tc {
+		delete(byDst, dst)
+	}
+	tw.mu.Unlock()
+	tc.c.Close()
 }
 
 func (tw *TCPWire) conn(src, dst ProcID) (*tcpConn, error) {

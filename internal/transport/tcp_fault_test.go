@@ -1,0 +1,148 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// recvN drains endpoint ep until n messages arrived or the deadline hits.
+func recvN(t *testing.T, ep *Endpoint, n int) []*Message {
+	t.Helper()
+	var got []*Message
+	deadline := time.Now().Add(5 * time.Second)
+	for len(got) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: received %d/%d", len(got), n)
+		}
+		ep.WaitActivity(100 * time.Millisecond)
+		got = append(got, ep.Drain()...)
+	}
+	return got
+}
+
+func TestTCPWireDeliverRedialsAfterWriteError(t *testing.T) {
+	// A write error leaves the per-connection bufio.Writer mid-message;
+	// reusing the connection would corrupt FIFO framing for every later
+	// message on the (src,dst) pair. Deliver must drop the connection and
+	// redial a clean one on the next message.
+	nw := NewNetwork(2, nil)
+	tw, err := NewTCPWire(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tw.Close()
+	a, b := nw.Endpoint(0), nw.Endpoint(1)
+
+	if err := a.Send(&Message{Dst: 1, Kind: KindEager, Seq: 0, Data: []byte("before")}); err != nil {
+		t.Fatal(err)
+	}
+	recvN(t, b, 1)
+
+	// Sabotage the established (0,1) connection underneath the wire.
+	tw.mu.Lock()
+	tc := tw.conns[0][1]
+	tw.mu.Unlock()
+	if tc == nil {
+		t.Fatal("no connection cached for (0,1)")
+	}
+	tc.c.Close()
+
+	// The next Deliver must fail (the writer hits the closed socket) and
+	// forget the poisoned connection. Depending on kernel buffering the
+	// error can surface on the first or second send; either way the wire
+	// must recover.
+	sawErr := false
+	for i := 0; i < 10 && !sawErr; i++ {
+		if err := a.Send(&Message{Dst: 1, Kind: KindEager, Seq: 1, Data: []byte("poisoned")}); err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("Deliver never surfaced the write error on a closed connection")
+	}
+	tw.mu.Lock()
+	stale := tw.conns[0][1] == tc
+	tw.mu.Unlock()
+	if stale {
+		t.Fatal("poisoned connection still cached after write error")
+	}
+
+	// A fresh Deliver redials and the stream works again, correctly framed.
+	if err := a.Send(&Message{Dst: 1, Kind: KindEager, Seq: 2, Data: []byte("after-redial")}); err != nil {
+		t.Fatalf("Deliver after redial: %v", err)
+	}
+	got := recvN(t, b, 1)
+	if string(got[len(got)-1].Data) != "after-redial" {
+		t.Fatalf("post-redial payload = %q", got[len(got)-1].Data)
+	}
+}
+
+// flakyListener wraps a real listener, failing the first `failures` Accept
+// calls with a transient (non-closed) error.
+type flakyListener struct {
+	net.Listener
+	failures int
+}
+
+func (f *flakyListener) Accept() (net.Conn, error) {
+	if f.failures > 0 {
+		f.failures--
+		return nil, fmt.Errorf("accept: %w", errTransient)
+	}
+	return f.Listener.Accept()
+}
+
+var errTransient = errors.New("transient accept failure")
+
+func TestTCPWireAcceptLoopRetriesTransientError(t *testing.T) {
+	// A transient Accept error (ECONNABORTED, EMFILE, ...) must not kill
+	// the listener for the rest of the run: later dials still connect and
+	// messages still flow.
+	nw := NewNetwork(2, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := &TCPWire{
+		nw:    nw,
+		ln:    &flakyListener{Listener: ln, failures: 3},
+		conns: make(map[ProcID]map[ProcID]*tcpConn),
+		done:  make(chan struct{}),
+	}
+	tw.wg.Add(1)
+	go tw.acceptLoop()
+	nw.SetWire(tw)
+	defer tw.Close()
+
+	a, b := nw.Endpoint(0), nw.Endpoint(1)
+	if err := a.Send(&Message{Dst: 1, Kind: KindEager, Seq: 0, Data: []byte("through")}); err != nil {
+		t.Fatal(err)
+	}
+	got := recvN(t, b, 1)
+	if string(got[0].Data) != "through" {
+		t.Fatalf("payload = %q", got[0].Data)
+	}
+}
+
+func TestTCPWireCloseStopsAcceptLoop(t *testing.T) {
+	// Shutdown must still terminate the loop (not spin retrying the
+	// closed listener).
+	nw := NewNetwork(2, nil)
+	tw, err := NewTCPWire(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		tw.Close() // waits on tw.wg: hangs forever if acceptLoop spins
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not stop the accept loop")
+	}
+}
