@@ -1,0 +1,108 @@
+// Command benchjson converts `go test -bench` text output (stdin) into a
+// machine-readable JSON document (stdout), so CI can archive benchmark
+// results as artifacts and the performance trajectory accumulates across
+// PRs instead of evaporating into build logs.
+//
+//	go test -bench=NetpipeSmallMsg -benchmem ./internal/mpi | benchjson > BENCH.json
+//
+// Non-benchmark lines (ok/PASS/goos/...) are ignored, so piping a whole
+// test run through is safe.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	HasMem      bool    `json:"has_mem_stats"`
+}
+
+// Doc is the emitted artifact.
+type Doc struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parseLine parses one `go test -bench` result line, reporting ok=false
+// for anything that is not a benchmark result.
+func parseLine(line string) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: f[0], Iterations: iters}
+	// The rest is (value, unit) pairs: "12345 ns/op", "16 B/op",
+	// "2 allocs/op", plus any custom metrics (ignored).
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+			b.HasMem = true
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
+			b.HasMem = true
+		}
+	}
+	return b, true
+}
+
+func run(in *bufio.Scanner, out *json.Encoder) error {
+	doc := Doc{Benchmarks: []Benchmark{}}
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		if v, ok := strings.CutPrefix(line, "goos: "); ok {
+			doc.Goos = v
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "goarch: "); ok {
+			doc.Goarch = v
+			continue
+		}
+		if b, ok := parseLine(line); ok {
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	if err := in.Err(); err != nil {
+		return err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return out.Encode(doc)
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := run(sc, enc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

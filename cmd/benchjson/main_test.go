@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/mpi
+cpu: AMD EPYC
+BenchmarkNetpipeSmallMsg/pooled-8         	    2000	     10452 ns/op	     968 B/op	       7 allocs/op
+BenchmarkNetpipeSmallMsg/unpooled-8       	    2000	     11890 ns/op	    2122 B/op	      13 allocs/op
+BenchmarkSendDrain/pooled-8               	   10000	       310.5 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/mpi	1.234s
+`
+
+func TestRunParsesBenchOutput(t *testing.T) {
+	var out bytes.Buffer
+	enc := json.NewEncoder(&out)
+	if err := run(bufio.NewScanner(strings.NewReader(sample)), enc); err != nil {
+		t.Fatal(err)
+	}
+	var doc Doc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" {
+		t.Errorf("goos/goarch = %q/%q", doc.Goos, doc.Goarch)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkNetpipeSmallMsg/pooled-8" || b.Iterations != 2000 ||
+		b.NsPerOp != 10452 || b.BytesPerOp != 968 || b.AllocsPerOp != 7 || !b.HasMem {
+		t.Errorf("first benchmark parsed as %+v", b)
+	}
+	if sd := doc.Benchmarks[2]; sd.NsPerOp != 310.5 || sd.AllocsPerOp != 0 || !sd.HasMem {
+		t.Errorf("fractional ns/op parsed as %+v", sd)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	err := run(bufio.NewScanner(strings.NewReader("PASS\nok\n")), json.NewEncoder(&out))
+	if err == nil {
+		t.Fatal("want an error when no benchmark lines are present")
+	}
+}
+
+func TestParseLineIgnoresNonBench(t *testing.T) {
+	for _, line := range []string{"", "PASS", "ok  \trepro\t0.1s", "Benchmark", "BenchmarkX notanumber ns/op"} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted", line)
+		}
+	}
+}

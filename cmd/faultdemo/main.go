@@ -6,31 +6,51 @@
 //	faultdemo -recover     # crash + recovery of the replica (Figure 4)
 //	faultdemo -exhaust     # crash of ALL replicas of a rank + rollback to
 //	                       # the last coordinated checkpoint (§1, §4.1)
+//	faultdemo -distributed # the -exhaust scenario with every rank a real
+//	                       # OS process: SIGKILLs, registry rendezvous,
+//	                       # cross-process rollback respawn
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cluster"
 )
 
 func main() {
+	if cluster.DistWorkerActive() {
+		// Hidden worker mode: this process is one rank of the
+		// -distributed demo (same env contract as sdrun's workers).
+		os.Exit(distWorkerMain())
+	}
+
 	rec := flag.Bool("recover", false, "also recover the crashed replica (§3.4)")
 	exhaust := flag.Bool("exhaust", false, "kill every replica of a rank: replication is exhausted and the run rolls back to the last coordinated checkpoint")
+	distributed := flag.Bool("distributed", false, "run the exhaustion scenario as real OS processes: SIGKILL both replicas of a rank, roll back, respawn workers")
 	steps := flag.Int("steps", 16, "application steps")
 	failAt := flag.Int("fail-at", 5, "step at which the replica crashes")
 	recoverAt := flag.Int("recover-at", 10, "step at which the substitute forks the replacement")
-	every := flag.Int("ckpt-every", 4, "checkpoint interval for -exhaust")
+	every := flag.Int("ckpt-every", 4, "checkpoint interval for -exhaust / -distributed")
 	flag.Parse()
 
 	var err error
 	switch {
-	case *exhaust:
+	case *distributed:
 		failAt := *failAt
 		if failAt <= *every {
 			failAt = *every + 1 // ensure at least one committed wave exists
+		}
+		err = runDistDemo(os.Stdout, *steps, *every, failAt)
+	case *exhaust:
+		failAt := *failAt
+		if failAt <= *every {
+			failAt = *every + 1
 		}
 		err = bench.RunRollback(os.Stdout, *steps, *every, failAt)
 	case *rec:
@@ -42,9 +62,113 @@ func main() {
 		fmt.Fprintln(os.Stderr, "faultdemo:", err)
 		os.Exit(1)
 	}
-	if *exhaust {
+	switch {
+	case *distributed:
+		fmt.Println("application survived the loss of an entire rank — across real OS processes")
+	case *exhaust:
 		fmt.Println("application survived the loss of an entire rank")
-	} else {
+	default:
 		fmt.Println("application survived the injected failure")
 	}
+}
+
+// App-shape side of the worker env contract for the distributed demo.
+const (
+	envSteps = "FAULTDEMO_STEPS"
+	envEvery = "FAULTDEMO_EVERY"
+)
+
+// demoApp is a ping-pong accumulator with coordinated checkpoints every
+// `every` steps; on a rollback restart it resumes from the wave the
+// launcher seeded (Env.Restored), exactly like the in-process -exhaust
+// demo.
+func demoApp(steps, every int) cluster.AppFunc {
+	return func(env *cluster.Env) (any, error) {
+		c := env.World
+		start := 0
+		var sum uint64
+		if b := env.Restored(); b != nil && env.RestoredStep() >= 0 {
+			start = env.RestoredStep()
+			sum = binary.LittleEndian.Uint64(b)
+			fmt.Printf("resuming from committed wave %d (sum=%d)\n", start, sum)
+		}
+		buf := make([]byte, 8)
+		for i := start; i < steps; i++ {
+			env.Step(i, nil)
+			if c.Rank() == 1 {
+				binary.LittleEndian.PutUint64(buf, uint64(i))
+				c.Send(0, 0, buf)
+				c.Recv(0, 1, buf)
+				sum += binary.LittleEndian.Uint64(buf)
+			} else {
+				c.Recv(1, 0, buf)
+				v := binary.LittleEndian.Uint64(buf) * 2
+				binary.LittleEndian.PutUint64(buf, v)
+				c.Send(1, 1, buf)
+				sum += v
+			}
+			if (i+1)%every == 0 {
+				c.Barrier()
+				state := make([]byte, 8)
+				binary.LittleEndian.PutUint64(state, sum)
+				if err := env.Checkpoint(i+1, state); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return cluster.WorkerResult{Checksum: float64(sum), Iterations: steps}, nil
+	}
+}
+
+func distWorkerMain() int {
+	cfg, err := cluster.WorkerConfigFromEnv()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultdemo worker:", err)
+		return 2
+	}
+	steps, every := 16, 4
+	fmt.Sscanf(os.Getenv(envSteps), "%d", &steps)
+	fmt.Sscanf(os.Getenv(envEvery), "%d", &every)
+	return cluster.RunWorker(cfg, demoApp(steps, every))
+}
+
+// runDistDemo narrates the distributed rung: 2 ranks × 2 replicas as real
+// OS processes, both replicas of rank 1 SIGKILLed at failAt, rollback to
+// the latest committed wave, respawn, identical final answer.
+func runDistDemo(w io.Writer, steps, every, failAt int) error {
+	dir, err := os.MkdirTemp("", "faultdemo-ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	fmt.Fprintf(w, "launching 4 worker processes (2 ranks x 2 replicas); checkpoints every %d steps\n", every)
+	fmt.Fprintf(w, "SIGKILL scheduled for BOTH replicas of rank 1 at step %d\n", failAt)
+	rep := cluster.RunDistributed(cluster.DistConfig{
+		Ranks:       2,
+		Replication: 2,
+		Protocol:    cluster.SDR,
+		Failures: []cluster.FailureEvent{
+			{Rank: 1, Rep: 0, AtStep: failAt},
+			{Rank: 1, Rep: 1, AtStep: failAt},
+		},
+		CheckpointDir: dir,
+		Timeout:       time.Minute,
+		WorkerEnv: []string{
+			fmt.Sprintf("%s=%d", envSteps, steps),
+			fmt.Sprintf("%s=%d", envEvery, every),
+		},
+		LogSink: w,
+	})
+	if err := rep.FirstError(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "rollback restarts: %d (resumed from wave %d)\n", rep.Restarts, rep.RestartWave)
+	for _, p := range rep.Procs {
+		fmt.Fprintf(w, "  rank %d rep %d: sum=%.0f\n", p.Rank, p.Rep, p.Result.Checksum)
+	}
+	if rep.Restarts < 1 {
+		return fmt.Errorf("expected at least one rollback restart")
+	}
+	return nil
 }

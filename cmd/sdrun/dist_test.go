@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// buildSdrun compiles the sdrun binary into a test temp dir; the
+// distributed integration tests exercise the real coordinator/worker
+// re-exec path, not an in-test approximation.
+func buildSdrun(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sdrun")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// runSdrun executes the built binary with a hard timeout, returning
+// combined output.
+func runSdrun(t *testing.T, bin string, timeout time.Duration, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	done := make(chan struct{})
+	var out []byte
+	var err error
+	go func() {
+		out, err = cmd.CombinedOutput()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+		<-done
+		t.Fatalf("sdrun %v did not finish within %v\n%s", args, timeout, out)
+	}
+	return string(out), err
+}
+
+// TestDistributedRollbackIntegration SIGKILLs BOTH replicas of rank 1 mid
+// run: the coordinator must observe replication exhaustion, restart every
+// worker process from the latest committed checkpoint wave, and the final
+// results must be identical to the in-process fault-free native run
+// (-compare enforces that inside the binary; the test asserts on both the
+// exit code and the printed evidence).
+func TestDistributedRollbackIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and spawns real worker processes")
+	}
+	bin := buildSdrun(t)
+	out, err := runSdrun(t, bin, 2*time.Minute,
+		"-distributed", "-app", "lu", "-ranks", "2", "-protocol", "sdr",
+		"-kill", "1:0:2", "-kill", "1:1:2", "-compare", "-timeout", "90s")
+	if err != nil {
+		t.Fatalf("sdrun failed: %v\n%s", err, out)
+	}
+	m := regexp.MustCompile(`restarts: 1 \(rolled back to wave (\d+)\)`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no rollback restart reported:\n%s", out)
+	}
+	if wave, _ := strconv.Atoi(m[1]); wave < 0 || wave > 3 {
+		t.Errorf("implausible restart wave %s (LU checkpoints every iteration, kill at step 2)", m[1])
+	}
+	if !regexp.MustCompile(`MATCH: 4 surviving workers identical`).MatchString(out) {
+		t.Fatalf("results do not match the in-process native run:\n%s", out)
+	}
+}
+
+// TestDistributedSubstitutionIntegration is the exact CI smoke scenario:
+// one SIGKILLed replica, absorbed by substitution (no rollback), results
+// identical to the in-process native run.
+func TestDistributedSubstitutionIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and spawns real worker processes")
+	}
+	bin := buildSdrun(t)
+	out, err := runSdrun(t, bin, 2*time.Minute,
+		"-distributed", "-app", "lu", "-ranks", "4", "-protocol", "sdr",
+		"-kill", "1:1:3", "-compare", "-timeout", "90s")
+	if err != nil {
+		t.Fatalf("sdrun failed: %v\n%s", err, out)
+	}
+	if !regexp.MustCompile(`(?m)^restarts: 0$`).MatchString(out) {
+		t.Fatalf("single-replica loss must not trigger a rollback:\n%s", out)
+	}
+	if !regexp.MustCompile(`MATCH: 7 surviving workers identical`).MatchString(out) {
+		t.Fatalf("results do not match the in-process native run:\n%s", out)
+	}
+}

@@ -11,18 +11,38 @@
 //
 // Crash injection (-kill, repeatable) needs an application with step
 // boundaries; apps without them (all except lu, is, mw) reject it.
+//
+// With -distributed, the run leaves the single-process simulation: sdrun
+// becomes a coordinator that spawns r·n real OS worker processes (this
+// same binary, re-entered through a hidden worker mode selected by the
+// SDR_DIST_* environment contract), hands out the rendezvous world through
+// a registry, streams the workers' output, and realizes -kill events as
+// real SIGKILLs. When every replica of a rank has been killed, the
+// coordinator rolls the whole run back to the latest committed checkpoint
+// wave and respawns the workers.
+//
+//	sdrun -distributed -app lu -ranks 4 -protocol sdr -kill 1:1:3
+//	sdrun -distributed -app lu -protocol sdr -kill 1:0:2 -kill 1:1:2  # rollback
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/cluster"
 	"repro/internal/trace"
+)
+
+// App-selection side of the worker env contract (the cluster package owns
+// the topology side).
+const (
+	envApp   = "SDR_DIST_APP"
+	envScale = "SDR_DIST_SCALE"
 )
 
 // appEntry describes one launchable workload.
@@ -54,11 +74,11 @@ func registry() map[string]appEntry {
 		}},
 		"lu": {true, func(f int, env *cluster.Env) apps.Result {
 			return apps.LU(env.World, apps.LUParams{NX: 12, NZ: 6 * f, Iters: 4 * f, Work: 1500,
-				OnIter: func(it int) { env.Step(it, nil) }})
+				OnIter: iterHook(env)})
 		}},
 		"is": {true, func(f int, env *cluster.Env) apps.Result {
 			return apps.IS(env.World, apps.ISParams{KeysPerRank: 1024 * f, MaxKey: 1 << 14,
-				Iters: 5 * f, Work: 5000, OnIter: func(it int) { env.Step(it, nil) }})
+				Iters: 5 * f, Work: 5000, OnIter: iterHook(env)})
 		}},
 		"ep": {false, func(f int, env *cluster.Env) apps.Result {
 			return apps.EP(env.World, apps.EPParams{Pairs: 20000 * f, Work: 20000})
@@ -72,6 +92,22 @@ func registry() map[string]appEntry {
 		"mw": {false, func(f int, env *cluster.Env) apps.Result {
 			return apps.MasterWorker(env.World, apps.MWParams{Tasks: 24 * f, Work: 500, Skew: 3})
 		}},
+	}
+}
+
+// iterHook builds the per-iteration boundary hook: checkpoint the wave
+// (when the run has a store — every -distributed run does), then expose
+// the step to the crash schedule. The NAS proxies cannot resume mid-state,
+// so the checkpoint is a step marker and a rollback re-executes the app
+// from scratch; determinism makes the recomputed result identical.
+func iterHook(env *cluster.Env) func(it int) {
+	return func(it int) {
+		if env.CanCheckpoint() {
+			if err := env.Checkpoint(it, []byte{byte(it)}); err != nil {
+				panic(err)
+			}
+		}
+		env.Step(it, nil)
 	}
 }
 
@@ -90,6 +126,12 @@ func (k *killList) Set(v string) error {
 }
 
 func main() {
+	if cluster.DistWorkerActive() {
+		// Hidden worker mode: this process is one physical rank of a
+		// -distributed run, selected purely by the env contract.
+		os.Exit(workerMain())
+	}
+
 	var kills killList
 	app := flag.String("app", "cg", "workload: cg mg ft bt sp lu is ep hpccg cm1 mw")
 	ranks := flag.Int("ranks", 4, "logical MPI ranks")
@@ -97,9 +139,11 @@ func main() {
 	r := flag.Int("r", 2, "replication degree (replicated protocols)")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	traceSends := flag.Bool("trace", false, "record send sequences and print determinism verdicts")
-	compare := flag.Bool("compare", false, "also run natively and report the overhead")
+	compare := flag.Bool("compare", false, "also run natively and report the overhead (with -distributed: verify results match the in-process native run)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "watchdog deadline")
-	flag.Var(&kills, "kill", "inject a crash: rank:rep:step (repeatable)")
+	distributed := flag.Bool("distributed", false, "run as r·n real OS processes under a coordinator (registry + SIGKILL fault injection + rollback respawn)")
+	ckptDir := flag.String("ckpt", "", "shared checkpoint directory for -distributed (default: a fresh temp dir)")
+	flag.Var(&kills, "kill", "inject a crash: rank:rep:step (repeatable; SIGKILL under -distributed)")
 	flag.Parse()
 
 	entry, ok := registry()[*app]
@@ -117,6 +161,18 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "sdrun: unknown protocol %q\n", *protoName)
 		os.Exit(2)
+	}
+
+	if *distributed {
+		if *traceSends {
+			fmt.Fprintln(os.Stderr, "sdrun: -trace is not supported with -distributed")
+			os.Exit(2)
+		}
+		os.Exit(runDistributed(distOpts{
+			entry: entry, app: *app, ranks: *ranks, proto: proto, r: *r,
+			scale: *scale, timeout: *timeout, ckptDir: *ckptDir,
+			kills: kills, compare: *compare,
+		}))
 	}
 
 	run := func(p cluster.Protocol, fails []cluster.FailureEvent, tr bool) *cluster.Report {
@@ -200,6 +256,141 @@ func main() {
 type timed struct {
 	r apps.Result
 	d time.Duration
+}
+
+// workerMain is the hidden worker mode: build the workload named by the
+// env contract and hand control to the cluster worker runtime.
+func workerMain() int {
+	cfg, err := cluster.WorkerConfigFromEnv()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdrun worker:", err)
+		return 2
+	}
+	appName := os.Getenv(envApp)
+	entry, ok := registry()[appName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sdrun worker: unknown app %q\n", appName)
+		return 2
+	}
+	scale, err := strconv.Atoi(os.Getenv(envScale))
+	if err != nil || scale <= 0 {
+		scale = 1
+	}
+	return cluster.RunWorker(cfg, func(env *cluster.Env) (any, error) {
+		c := env.World
+		c.Barrier()
+		res := entry.build(scale, env)
+		c.Barrier()
+		return cluster.WorkerResult{
+			Checksum:   res.Checksum,
+			Residual:   res.Residual,
+			Iterations: res.Iterations,
+		}, nil
+	})
+}
+
+// distOpts carries the coordinator-side options of a -distributed run.
+type distOpts struct {
+	entry   appEntry
+	app     string
+	ranks   int
+	proto   cluster.Protocol
+	r       int
+	scale   int
+	timeout time.Duration
+	ckptDir string
+	kills   killList
+	compare bool
+}
+
+// runDistributed is the coordinator side of -distributed: configure the
+// cluster launcher, print the final-epoch results, and (with -compare)
+// verify them against an in-process native run. Returns the exit code.
+func runDistributed(o distOpts) int {
+	ckptDir := o.ckptDir
+	if ckptDir == "" {
+		dir, err := os.MkdirTemp("", "sdrun-ckpt-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdrun:", err)
+			return 1
+		}
+		defer os.RemoveAll(dir)
+		ckptDir = dir
+	}
+
+	rep := cluster.RunDistributed(cluster.DistConfig{
+		Ranks:         o.ranks,
+		Replication:   o.r,
+		Protocol:      o.proto,
+		Failures:      o.kills,
+		CheckpointDir: ckptDir,
+		Timeout:       o.timeout,
+		WorkerEnv: []string{
+			envApp + "=" + o.app,
+			fmt.Sprintf("%s=%d", envScale, o.scale),
+		},
+	})
+	if err := rep.FirstError(); err != nil {
+		fmt.Fprintf(os.Stderr, "sdrun: distributed: %v\n", err)
+		return 1
+	}
+
+	fmt.Printf("%s on %d ranks under %s (r=%d, distributed: %d worker processes)\n",
+		o.app, o.ranks, o.proto, rep.Replication, o.ranks*rep.Replication)
+	for _, p := range rep.Procs {
+		if p.Crashed {
+			fmt.Printf("  rank %2d rep %d: killed (SIGKILL, injected)\n", p.Rank, p.Rep)
+			continue
+		}
+		fmt.Printf("  rank %2d rep %d: checksum=%.6g iters=%d\n",
+			p.Rank, p.Rep, p.Result.Checksum, p.Result.Iterations)
+	}
+	fmt.Printf("restarts: %d", rep.Restarts)
+	if rep.Restarts > 0 {
+		fmt.Printf(" (rolled back to wave %d)", rep.RestartWave)
+	}
+	fmt.Println()
+	fmt.Printf("elapsed: %v\n", rep.Elapsed.Round(time.Millisecond))
+
+	if !o.compare {
+		return 0
+	}
+	// Reference: the in-process fault-free native run of the same
+	// workload. Every surviving worker of every replica world must have
+	// computed exactly its rank's native checksum.
+	nat := cluster.Run(cluster.Config{
+		Ranks: o.ranks, Protocol: cluster.Native, Timeout: o.timeout,
+	}, func(env *cluster.Env) (any, error) {
+		c := env.World
+		c.Barrier()
+		res := o.entry.build(o.scale, env)
+		c.Barrier()
+		return res, nil
+	})
+	if err := nat.FirstError(); err != nil {
+		fmt.Fprintf(os.Stderr, "sdrun: native reference run: %v\n", err)
+		return 1
+	}
+	mismatch := false
+	compared := 0
+	for _, p := range rep.Procs {
+		if p.Crashed {
+			continue
+		}
+		want := nat.ResultOf(p.Rank, 0).(apps.Result)
+		if p.Result.Checksum != want.Checksum || p.Result.Iterations != want.Iterations {
+			mismatch = true
+			fmt.Printf("MISMATCH rank %d rep %d: distributed checksum=%.9g iters=%d, native checksum=%.9g iters=%d\n",
+				p.Rank, p.Rep, p.Result.Checksum, p.Result.Iterations, want.Checksum, want.Iterations)
+			continue
+		}
+		compared++
+	}
+	if mismatch {
+		return 1
+	}
+	fmt.Printf("MATCH: %d surviving workers identical to the in-process native run\n", compared)
+	return 0
 }
 
 func appNames() []string {

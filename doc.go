@@ -13,16 +13,19 @@
 //	internal/transport  byte-transfer layer: reliable FIFO ordered-pair
 //	                    channels with per-source sharded inbound queues,
 //	                    pooled zero-copy buffers/envelopes, a TCP loopback
-//	                    wire, delay models and fail-stop injection
+//	                    wire, a peer-to-peer TCP wire for multi-process
+//	                    runs, delay models and fail-stop injection
 //	internal/mpi        PML matching/progress engine and the MPI surface:
 //	                    requests, communicators, collectives, datatypes
 //	internal/core       the vProtocol interception point: SDR-MPI with
 //	                    coalesced acknowledgements, the mirror and leader
 //	                    baselines, failure handling, recovery, SDC
-//	internal/cluster    the launcher: spawns r·n goroutine processes,
-//	                    orchestrates crash/recovery schedules, and restarts
-//	                    the run from the latest committed checkpoint wave
-//	                    when a rank loses its last replica
+//	internal/cluster    the launcher: spawns r·n goroutine processes (or,
+//	                    in distributed mode, r·n real OS processes behind a
+//	                    rendezvous registry), orchestrates crash/recovery
+//	                    schedules, and restarts the run from the latest
+//	                    committed checkpoint wave when a rank loses its
+//	                    last replica
 //	internal/bench      the evaluation: NetPipe, NAS/wildcard tables,
 //	                    ablations (mirror, leader, degree, eager, coalesce,
 //	                    ckpt)
@@ -43,6 +46,26 @@
 // fault-free-identical result. The ablation-ckpt experiment quantifies
 // the checkpoint-interval vs. re-executed-work trade-off; cmd/faultdemo
 // -exhaust narrates the scenario.
+//
+// # Distributed mode
+//
+// sdrun -distributed (and faultdemo -distributed) executes the same stack
+// as r·n real OS worker processes. A rendezvous registry in the
+// coordinator hands out the ProcID → host:port world table once every
+// worker has registered its transport.PeerWire listener; each worker then
+// dials its peers directly (per-pair FIFO over TCP, bounded dial budget,
+// fail-stop drops to dead peers). The registry connection doubles as
+// control plane and health channel: liveness pings, checkpoint-save
+// notices (the registry stamps a wave's coordinated-commit marker once
+// every rank's writer reported), kill-boundary reports (-kill becomes a
+// real SIGKILL delivered by the coordinator at the exact step boundary),
+// failure broadcasts (the paper's external detector, injected in-band by
+// each worker), and shutdown. Replication exhaustion makes workers exit
+// with a distinct code; the coordinator tears the epoch down and respawns
+// every worker from the latest committed wave in the shared internal/ckpt
+// store — the cross-process incarnation of cluster.Run's recovery ladder,
+// with results identical to a fault-free in-process run. The env contract
+// (SDR_DIST_*) is documented on the cluster package's Env* constants.
 //
 // # Fast path
 //

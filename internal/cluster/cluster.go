@@ -127,6 +127,22 @@ func (c Config) replication() int {
 	return c.Replication
 }
 
+// harness is the launcher-side surface an Env talks back to. Two
+// implementations exist: runState (the in-process goroutine launcher) and
+// workerState (the distributed worker runtime, which forwards these calls
+// to the coordinator over the registry control plane).
+type harness interface {
+	// noteCkpt records that rank's writer completed its save for step;
+	// the harness commits the wave once every rank has.
+	noteCkpt(rank, step int) error
+	// numRanks returns the logical world size.
+	numRanks() int
+	// epochIndex returns the restart epoch (0 for the first execution).
+	epochIndex() int
+	// stepHook realizes the failure/recovery schedule at a step boundary.
+	stepHook(e *Env, step int, snapshot func() []byte)
+}
+
 // Env is what the application function receives: its world communicator
 // plus identity and harness hooks.
 type Env struct {
@@ -134,7 +150,7 @@ type Env struct {
 	Rank  int // logical rank
 	Rep   int // replica index (0 for native)
 
-	cl           *runState
+	h            harness
 	proto        *core.Replicated // nil under Native
 	restored     []byte
 	restoredStep int // checkpoint wave of a rollback restart, -1 otherwise
@@ -157,10 +173,16 @@ func (e *Env) Checkpoint(step int, data []byte) error {
 		return err
 	}
 	if write {
-		return e.cl.noteCkpt(e.Rank, step)
+		return e.h.noteCkpt(e.Rank, step)
 	}
 	return nil
 }
+
+// CanCheckpoint reports whether this run has a checkpoint store configured
+// — applications use it to checkpoint opportunistically (every run under
+// the distributed launcher has one; plain in-process runs only when
+// Config.CheckpointDir is set).
+func (e *Env) CanCheckpoint() bool { return e.store != nil }
 
 // LoadCheckpoint reads this rank's checkpoint at a step.
 func (e *Env) LoadCheckpoint(step int) ([]byte, error) {
@@ -176,7 +198,7 @@ func (e *Env) LatestCheckpoint() (int, error) {
 	if e.store == nil {
 		return -1, fmt.Errorf("cluster: no CheckpointDir configured")
 	}
-	return e.store.LatestCommon(e.cl.cfg.Ranks)
+	return e.store.LatestCommon(e.h.numRanks())
 }
 
 // isWriter reports whether this replica is its rank's designated I/O
@@ -221,7 +243,7 @@ func (e *Env) RestoredStep() int { return e.restoredStep }
 
 // Epoch returns the restart epoch: 0 for the first execution, incremented
 // by every full rollback restart.
-func (e *Env) Epoch() int { return e.cl.epoch }
+func (e *Env) Epoch() int { return e.h.epochIndex() }
 
 // Replicated exposes the protocol layer for inspection (nil under Native).
 func (e *Env) Replicated() *core.Replicated { return e.proto }
@@ -233,10 +255,10 @@ func (e *Env) Replicated() *core.Replicated { return e.proto }
 // scheduled here). Step must be called at quiescent points: all requests
 // completed.
 func (e *Env) Step(step int, snapshot func() []byte) {
-	if e.cl == nil {
+	if e.h == nil {
 		return
 	}
-	e.cl.step(e, step, snapshot)
+	e.h.stepHook(e, step, snapshot)
 }
 
 // ProcReport describes one physical process's outcome.
@@ -366,6 +388,12 @@ type runState struct {
 	spawned atomic.Int64
 	appDone atomic.Int64
 }
+
+// numRanks implements harness.
+func (rs *runState) numRanks() int { return rs.cfg.Ranks }
+
+// epochIndex implements harness.
+func (rs *runState) epochIndex() int { return rs.epoch }
 
 // noteCkpt records that rank's writer completed its save for step; when
 // every rank has, the wave is committed and superseded waves are pruned.
@@ -607,7 +635,7 @@ func (rs *runState) runProc(id transport.ProcID, cloneState *core.CloneState, re
 		proc.Engine().EagerLimit = rs.cfg.EagerLimit
 	}
 
-	env := &Env{Rank: rank, Rep: rep, cl: rs, restored: restored, restoredStep: -1, store: rs.store}
+	env := &Env{Rank: rank, Rep: rep, h: rs, restored: restored, restoredStep: -1, store: rs.store}
 	if restored == nil && cloneState == nil && rs.restart != nil {
 		// Rollback epoch: every replica of every rank resumes from the
 		// wave the launcher selected.
@@ -679,20 +707,11 @@ func (rs *runState) drain(proc *mpi.Proc) {
 	eng.Progress()
 }
 
-func (rs *runState) mode() core.Mode {
-	switch rs.cfg.Protocol {
-	case Mirror:
-		return core.ModeMirror
-	case Leader:
-		return core.ModeLeader
-	default:
-		return core.ModeParallel
-	}
-}
+func (rs *runState) mode() core.Mode { return rs.cfg.Protocol.coreMode() }
 
-// step realizes the failure/recovery schedule at an application step
+// stepHook realizes the failure/recovery schedule at an application step
 // boundary.
-func (rs *runState) step(e *Env, step int, snapshot func() []byte) {
+func (rs *runState) stepHook(e *Env, step int, snapshot func() []byte) {
 	// Crash injection: the victim kills itself (fail-stop). The network
 	// kill triggers the detector broadcast; the panic unwinds the app.
 	// Each event fires at most once across restart epochs — a crash is a

@@ -1,0 +1,532 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// Worker environment contract: the distributed launcher re-execs its own
+// binary with these variables set; the binary detects DistWorkerEnv and
+// enters the hidden worker mode instead of parsing flags.
+const (
+	// EnvWorker selects worker mode ("1").
+	EnvWorker = "SDR_DIST_WORKER"
+	// EnvRegistry is the rendezvous registry address (host:port).
+	EnvRegistry = "SDR_DIST_REGISTRY"
+	// EnvProc is this worker's physical process ID (0..r·n-1).
+	EnvProc = "SDR_DIST_PROC"
+	// EnvRanks is the logical world size n.
+	EnvRanks = "SDR_DIST_RANKS"
+	// EnvRepl is the replication degree r.
+	EnvRepl = "SDR_DIST_R"
+	// EnvProtocol is the protocol name (native | sdr | mirror | leader).
+	EnvProtocol = "SDR_DIST_PROTOCOL"
+	// EnvCkptDir is the shared checkpoint directory (may be empty).
+	EnvCkptDir = "SDR_DIST_CKPT"
+	// EnvWave is the committed checkpoint wave to restore from (-1 for a
+	// fresh start).
+	EnvWave = "SDR_DIST_WAVE"
+	// EnvEpoch is the restart epoch index (0 for the first execution).
+	EnvEpoch = "SDR_DIST_EPOCH"
+	// EnvKills is the comma-separated list of step numbers at which THIS
+	// worker must report a kill boundary and block awaiting SIGKILL.
+	EnvKills = "SDR_DIST_KILLS"
+)
+
+// DistConfig describes one distributed run: the same knobs as Config, but
+// executed as r·n real OS processes under a coordinator.
+type DistConfig struct {
+	Ranks       int
+	Replication int
+	Protocol    Protocol
+
+	// Failures schedules SIGKILLs: when the victim worker reaches
+	// Step(AtStep) it reports the boundary and the coordinator kills the
+	// process. Events fire at most once across restart epochs.
+	Failures []FailureEvent
+
+	// CheckpointDir is the shared checkpoint store — the rollback medium.
+	// Required for the second rung of the recovery ladder; without it,
+	// replication exhaustion is fatal.
+	CheckpointDir string
+
+	// WorkerCmd is the argv used to exec one worker (default: this
+	// binary, re-entered in worker mode via the env contract).
+	WorkerCmd []string
+	// WorkerEnv is extra environment for workers (application selection).
+	WorkerEnv []string
+
+	// LogSink receives the line-prefixed stdout/stderr streams of every
+	// worker (default os.Stderr).
+	LogSink io.Writer
+
+	// Timeout is the per-epoch watchdog (default 2 minutes).
+	Timeout time.Duration
+	// HealthTimeout kills a worker whose control connection has been
+	// silent for this long — the liveness probe backing the failure
+	// detector (default 20s; workers ping every 500ms).
+	HealthTimeout time.Duration
+	// MaxRestarts bounds rollback-restart cycles (default len(Failures)+1).
+	MaxRestarts int
+}
+
+func (c DistConfig) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return 2 * time.Minute
+	}
+	return c.Timeout
+}
+
+func (c DistConfig) healthTimeout() time.Duration {
+	if c.HealthTimeout <= 0 {
+		return 20 * time.Second
+	}
+	return c.HealthTimeout
+}
+
+func (c DistConfig) replication() int {
+	if c.Protocol == Native {
+		return 1
+	}
+	if c.Replication <= 0 {
+		return 2
+	}
+	return c.Replication
+}
+
+// DistProcReport is one worker's outcome in the final epoch.
+type DistProcReport struct {
+	Proc    transport.ProcID
+	Rank    int
+	Rep     int
+	Crashed bool // scheduled SIGKILL realized
+	Err     string
+	Result  WorkerResult
+}
+
+// WorkerResult is the portable application result a distributed worker
+// reports over the control plane (the cross-process counterpart of the
+// in-process report's `any` result).
+type WorkerResult struct {
+	Checksum   float64
+	Residual   float64
+	Iterations int
+}
+
+// DistReport aggregates a distributed run. Like Report, Procs describes
+// the final epoch while Elapsed accumulates across restart epochs.
+type DistReport struct {
+	Ranks       int
+	Replication int
+	Protocol    Protocol
+	Procs       []DistProcReport
+	Elapsed     time.Duration
+	TimedOut    bool
+	Restarts    int
+	RestartWave int
+	ExhaustErr  error
+}
+
+// FirstError returns the first failure of the run, if any.
+func (r *DistReport) FirstError() error {
+	if r.TimedOut {
+		return fmt.Errorf("cluster: distributed run timed out")
+	}
+	if r.ExhaustErr != nil {
+		return r.ExhaustErr
+	}
+	for _, p := range r.Procs {
+		if p.Err != "" {
+			return fmt.Errorf("worker %d (rank %d rep %d): %s", p.Proc, p.Rank, p.Rep, p.Err)
+		}
+	}
+	return nil
+}
+
+// ResultOf returns the result reported by replica rep of rank, or nil.
+func (r *DistReport) ResultOf(rank, rep int) *DistProcReport {
+	for i := range r.Procs {
+		if r.Procs[i].Rank == rank && r.Procs[i].Rep == rep {
+			return &r.Procs[i]
+		}
+	}
+	return nil
+}
+
+// coreMode maps a protocol name to the replication scheme.
+func (p Protocol) coreMode() core.Mode {
+	switch p {
+	case Mirror:
+		return core.ModeMirror
+	case Leader:
+		return core.ModeLeader
+	default:
+		return core.ModeParallel
+	}
+}
+
+// RunDistributed executes the application as r·n real OS processes and
+// returns the aggregated report. It is the cross-process generalization of
+// Run's epoch loop: the coordinator spawns workers, hands out the
+// rendezvous world through the registry, streams their output, SIGKILLs
+// scheduled victims at their reported step boundaries, broadcasts failure
+// notifications, and — when a worker reports replication exhaustion —
+// tears the epoch down and respawns everything from the latest committed
+// checkpoint wave in the shared store.
+func RunDistributed(cfg DistConfig) *DistReport {
+	rep := &DistReport{
+		Ranks:       cfg.Ranks,
+		Replication: cfg.replication(),
+		Protocol:    cfg.Protocol,
+		RestartWave: -1,
+	}
+	var store *ckpt.Store
+	if cfg.CheckpointDir != "" {
+		var err error
+		store, err = ckpt.NewStore(cfg.CheckpointDir)
+		if err != nil {
+			rep.ExhaustErr = err
+			return rep
+		}
+	}
+	if len(cfg.WorkerCmd) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			rep.ExhaustErr = fmt.Errorf("cluster: cannot locate worker binary: %w", err)
+			return rep
+		}
+		cfg.WorkerCmd = []string{exe}
+	}
+	if cfg.LogSink == nil {
+		cfg.LogSink = os.Stderr
+	}
+
+	fired := make([]bool, len(cfg.Failures))
+	maxRestarts := cfg.MaxRestarts
+	if maxRestarts <= 0 {
+		maxRestarts = len(cfg.Failures) + 1
+	}
+	restartWave := -1
+	for {
+		ep := runDistEpoch(cfg, store, fired, restartWave, rep.Restarts)
+		rep.Elapsed += ep.elapsed
+		rep.Procs = ep.procs
+		rep.TimedOut = ep.timedOut
+		rep.RestartWave = restartWave
+		if ep.err != nil {
+			rep.ExhaustErr = ep.err
+			return rep
+		}
+		if !ep.exhausted || ep.timedOut {
+			return rep
+		}
+		// Replication exhausted: climb to the rollback rung.
+		if store == nil {
+			rep.ExhaustErr = fmt.Errorf("cluster: replication exhausted and no CheckpointDir is configured for rollback")
+			return rep
+		}
+		if rep.Restarts >= maxRestarts {
+			rep.ExhaustErr = fmt.Errorf("cluster: replication exhausted; restart budget (%d) spent", maxRestarts)
+			return rep
+		}
+		wave, err := store.LatestCommon(cfg.Ranks)
+		if err != nil {
+			rep.ExhaustErr = fmt.Errorf("cluster: rollback checkpoint scan: %w", err)
+			return rep
+		}
+		if wave < 0 {
+			rep.ExhaustErr = fmt.Errorf("cluster: replication exhausted before any committed checkpoint wave")
+			return rep
+		}
+		restartWave = wave
+		rep.Restarts++
+	}
+}
+
+// distEpoch is one epoch's outcome.
+type distEpoch struct {
+	procs     []DistProcReport
+	elapsed   time.Duration
+	exhausted bool
+	timedOut  bool
+	err       error
+}
+
+// distWorker is the coordinator's handle on one spawned worker process.
+type distWorker struct {
+	proc      int
+	rank, rep int
+	cmd       *exec.Cmd
+}
+
+// procExit reports a worker process's termination.
+type procExit struct {
+	proc int
+	code int // ExitCode(); -1 when signaled (SIGKILL)
+}
+
+// runDistEpoch spawns one full set of workers and runs the epoch's event
+// loop until completion, exhaustion, or the watchdog.
+func runDistEpoch(cfg DistConfig, store *ckpt.Store, fired []bool, wave, epoch int) distEpoch {
+	r := cfg.replication()
+	layout := core.Layout{N: cfg.Ranks, R: r}
+	procs := layout.Procs()
+
+	reg, err := newRegistry(procs, cfg.Ranks, store)
+	if err != nil {
+		return distEpoch{err: err}
+	}
+	defer reg.Close()
+
+	sink := &syncWriter{w: cfg.LogSink}
+	exitCh := make(chan procExit, procs)
+	workers := make([]*distWorker, procs)
+	start := time.Now()
+	for p := 0; p < procs; p++ {
+		w, err := spawnWorker(cfg, reg.Addr(), layout, p, fired, wave, epoch, sink, exitCh)
+		if err != nil {
+			// Abort the partial epoch: kill what already started.
+			for _, prev := range workers {
+				if prev != nil {
+					_ = prev.cmd.Process.Kill()
+				}
+			}
+			return distEpoch{err: fmt.Errorf("cluster: spawn worker %d: %w", p, err), elapsed: time.Since(start)}
+		}
+		workers[p] = w
+	}
+
+	var (
+		dead      = make(map[int]bool)   // exited (any reason)
+		scheduled = make(map[int]bool)   // SIGKILL sent for a fired event
+		done      = make(map[int]ctlMsg) // app results
+		exhausted = false
+		timedOut  = false
+		tearing   = false
+		exits     = 0
+	)
+	watchdog := time.NewTimer(cfg.timeout())
+	defer watchdog.Stop()
+	health := time.NewTicker(time.Second)
+	defer health.Stop()
+
+	teardown := func() {
+		if tearing {
+			return
+		}
+		tearing = true
+		for p, w := range workers {
+			if !dead[p] {
+				_ = w.cmd.Process.Kill()
+			}
+		}
+	}
+	complete := func() bool {
+		for p := 0; p < procs; p++ {
+			if !dead[p] {
+				if _, ok := done[p]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	for exits < procs {
+		select {
+		case ev := <-reg.events:
+			if tearing {
+				continue
+			}
+			switch ev.kind {
+			case evReady:
+				// World table broadcast; workers are computing.
+			case evKillMe:
+				// The victim is parked at its step boundary: realize the
+				// scheduled fail-stop with a real SIGKILL.
+				w := workers[ev.proc]
+				for i, f := range cfg.Failures {
+					if !fired[i] && f.Rank == w.rank && f.Rep == w.rep && f.AtStep == ev.msg.Step {
+						fired[i] = true
+						scheduled[ev.proc] = true
+						_ = w.cmd.Process.Kill()
+						break
+					}
+				}
+			case evExhausted:
+				exhausted = true
+				teardown()
+			case evDone:
+				done[ev.proc] = ev.msg
+				if complete() {
+					tearing = true // workers exit on their own now
+					reg.broadcast(ctlMsg{Op: opShutdown}, -1)
+				}
+			case evLost:
+				// The process exit (right behind the EOF) carries the
+				// classification; nothing to do here.
+			}
+		case ex := <-exitCh:
+			exits++
+			if dead[ex.proc] {
+				continue
+			}
+			dead[ex.proc] = true
+			if tearing {
+				continue
+			}
+			if ex.code == workerExitExhausted {
+				exhausted = true
+				teardown()
+				continue
+			}
+			if _, finished := done[ex.proc]; finished && ex.code == 0 {
+				continue // clean exit after shutdown (rare ordering)
+			}
+			// A real process death — scheduled or not. Broadcast the
+			// failure notification so the survivors' protocol layer can
+			// substitute (or report exhaustion).
+			reg.announceDead(ex.proc)
+			if complete() {
+				tearing = true
+				reg.broadcast(ctlMsg{Op: opShutdown}, -1)
+			}
+		case <-health.C:
+			if tearing {
+				continue
+			}
+			if p, age := reg.stalest(func(p int) bool { return !dead[p] }); p >= 0 && age > cfg.healthTimeout() {
+				// Hung worker: the liveness probe treats it as failed.
+				fmt.Fprintf(sink, "[coordinator] worker %d silent for %v; killing\n", p, age.Round(time.Second))
+				_ = workers[p].cmd.Process.Kill()
+			}
+		case <-watchdog.C:
+			timedOut = true
+			teardown()
+		}
+	}
+
+	elapsed := time.Since(start)
+	reports := make([]DistProcReport, procs)
+	for p := 0; p < procs; p++ {
+		w := workers[p]
+		pr := DistProcReport{Proc: transport.ProcID(p), Rank: w.rank, Rep: w.rep}
+		if m, ok := done[p]; ok {
+			pr.Result = WorkerResult{Checksum: m.Checksum, Residual: m.Residual, Iterations: m.Iterations}
+			pr.Err = m.Err
+		} else if scheduled[p] {
+			pr.Crashed = true
+		} else if !timedOut && !exhausted {
+			pr.Err = "worker exited without a result"
+		}
+		reports[p] = pr
+	}
+	return distEpoch{procs: reports, elapsed: elapsed, exhausted: exhausted, timedOut: timedOut}
+}
+
+// spawnWorker execs one worker process with the env contract filled in and
+// its output streamed line-by-line to the sink.
+func spawnWorker(cfg DistConfig, regAddr string, layout core.Layout, proc int, fired []bool, wave, epoch int, sink io.Writer, exitCh chan<- procExit) (*distWorker, error) {
+	rank := layout.RankOf(transport.ProcID(proc))
+	rep := layout.RepOf(transport.ProcID(proc))
+
+	// Steps at which this worker must park and await SIGKILL: its unfired
+	// scheduled failures.
+	var kills []string
+	for i, f := range cfg.Failures {
+		if !fired[i] && f.Rank == rank && f.Rep == rep {
+			kills = append(kills, strconv.Itoa(f.AtStep))
+		}
+	}
+
+	cmd := exec.Command(cfg.WorkerCmd[0], cfg.WorkerCmd[1:]...)
+	cmd.Env = append(os.Environ(), cfg.WorkerEnv...)
+	cmd.Env = append(cmd.Env,
+		EnvWorker+"=1",
+		EnvRegistry+"="+regAddr,
+		fmt.Sprintf("%s=%d", EnvProc, proc),
+		fmt.Sprintf("%s=%d", EnvRanks, cfg.Ranks),
+		fmt.Sprintf("%s=%d", EnvRepl, layout.R),
+		EnvProtocol+"="+string(cfg.Protocol),
+		EnvCkptDir+"="+cfg.CheckpointDir,
+		fmt.Sprintf("%s=%d", EnvWave, wave),
+		fmt.Sprintf("%s=%d", EnvEpoch, epoch),
+		EnvKills+"="+strings.Join(kills, ","),
+	)
+	prefix := fmt.Sprintf("[r%d.%d] ", rank, rep)
+	stdout := &lineWriter{w: sink, prefix: prefix}
+	stderr := &lineWriter{w: sink, prefix: prefix}
+	cmd.Stdout = stdout
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	w := &distWorker{proc: proc, rank: rank, rep: rep, cmd: cmd}
+	go func() {
+		_ = cmd.Wait()
+		// All pipe writes have completed once Wait returns; push out any
+		// final unterminated line — often the most interesting bytes of a
+		// SIGKILLed worker.
+		stdout.flushRemainder()
+		stderr.flushRemainder()
+		code := -1
+		if st := cmd.ProcessState; st != nil {
+			code = st.ExitCode()
+		}
+		exitCh <- procExit{proc: proc, code: code}
+	}()
+	return w, nil
+}
+
+// syncWriter serializes concurrent writers onto one sink.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (sw *syncWriter) Write(p []byte) (int, error) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.w.Write(p)
+}
+
+// lineWriter prefixes every line of a worker's output stream, so the
+// interleaved logs of r·n processes stay attributable.
+type lineWriter struct {
+	w      io.Writer
+	prefix string
+	buf    []byte
+}
+
+func (lw *lineWriter) Write(p []byte) (int, error) {
+	lw.buf = append(lw.buf, p...)
+	for {
+		i := bytes.IndexByte(lw.buf, '\n')
+		if i < 0 {
+			break
+		}
+		fmt.Fprintf(lw.w, "%s%s\n", lw.prefix, lw.buf[:i])
+		lw.buf = lw.buf[i+1:]
+	}
+	return len(p), nil
+}
+
+// flushRemainder emits a final unterminated line, if any. Only safe once
+// no more Writes can occur (after cmd.Wait).
+func (lw *lineWriter) flushRemainder() {
+	if len(lw.buf) > 0 {
+		fmt.Fprintf(lw.w, "%s%s\n", lw.prefix, lw.buf)
+		lw.buf = nil
+	}
+}

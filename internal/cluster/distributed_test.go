@@ -1,0 +1,269 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/ckpt"
+)
+
+// fakeWorker is a test-side client of the registry control protocol.
+type fakeWorker struct {
+	c   net.Conn
+	enc *json.Encoder
+	dec *json.Decoder
+}
+
+func dialRegistry(t *testing.T, addr string) *fakeWorker {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return &fakeWorker{c: c, enc: json.NewEncoder(c), dec: json.NewDecoder(c)}
+}
+
+func (w *fakeWorker) send(t *testing.T, m ctlMsg) {
+	t.Helper()
+	if err := w.enc.Encode(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (w *fakeWorker) recv(t *testing.T) ctlMsg {
+	t.Helper()
+	var m ctlMsg
+	w.c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if err := w.dec.Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRegistryRendezvousHandshake(t *testing.T) {
+	store, err := ckpt.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := newRegistry(2, 2, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	// Worker 1 joins first: no world broadcast yet (worker 0's listener
+	// is not up, so publishing would let peers dial into the void).
+	w1 := dialRegistry(t, reg.Addr())
+	w1.send(t, ctlMsg{Op: opHello, Proc: 1, Addr: "127.0.0.1:5001"})
+	select {
+	case ev := <-reg.events:
+		t.Fatalf("premature event %v before all workers joined", ev.kind)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	w0 := dialRegistry(t, reg.Addr())
+	w0.send(t, ctlMsg{Op: opHello, Proc: 0, Addr: "127.0.0.1:5000"})
+
+	// Both joined: every worker receives the full world table, in proc
+	// order, and the coordinator sees evReady.
+	for _, w := range []*fakeWorker{w0, w1} {
+		world := w.recv(t)
+		if world.Op != opWorld {
+			t.Fatalf("op = %q, want world", world.Op)
+		}
+		if len(world.Addrs) != 2 || world.Addrs[0] != "127.0.0.1:5000" || world.Addrs[1] != "127.0.0.1:5001" {
+			t.Fatalf("world table %v", world.Addrs)
+		}
+	}
+	if ev := <-reg.events; ev.kind != evReady {
+		t.Fatalf("event %v, want evReady", ev.kind)
+	}
+}
+
+func TestRegistryCommitsWaveWhenAllRanksSaved(t *testing.T) {
+	dir := t.TempDir()
+	store, err := ckpt.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := newRegistry(2, 2, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	w0 := dialRegistry(t, reg.Addr())
+	w0.send(t, ctlMsg{Op: opHello, Proc: 0, Addr: "a"})
+	w1 := dialRegistry(t, reg.Addr())
+	w1.send(t, ctlMsg{Op: opHello, Proc: 1, Addr: "b"})
+	w0.recv(t) // world
+	w1.recv(t)
+	<-reg.events // ready
+
+	// The writers actually save their files (the registry only counts and
+	// stamps; the data goes through the shared store).
+	if err := store.Save(0, 3, []byte("r0"), true); err != nil {
+		t.Fatal(err)
+	}
+	w0.send(t, ctlMsg{Op: opCkpt, Rank: 0, Step: 3})
+	waitFor := func(committed bool) bool {
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if store.Committed(3) == committed {
+				return true
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return false
+	}
+	if !waitFor(false) {
+		t.Fatal("wave committed after a single rank's save")
+	}
+	if err := store.Save(1, 3, []byte("r1"), true); err != nil {
+		t.Fatal(err)
+	}
+	w1.send(t, ctlMsg{Op: opCkpt, Rank: 1, Step: 3})
+	if !waitFor(true) {
+		t.Fatal("wave not committed after every rank saved")
+	}
+	if wave, err := store.LatestCommon(2); err != nil || wave != 3 {
+		t.Fatalf("LatestCommon = %d, %v; want 3", wave, err)
+	}
+
+	// Worker events still flow after checkpoint traffic.
+	w0.send(t, ctlMsg{Op: opDone, Proc: 0, Checksum: 42})
+	ev := <-reg.events
+	if ev.kind != evDone || ev.proc != 0 || ev.msg.Checksum != 42 {
+		t.Fatalf("event %+v", ev)
+	}
+}
+
+func TestLineWriterPrefixesEveryLine(t *testing.T) {
+	var out bytes.Buffer
+	lw := &lineWriter{w: &out, prefix: "[r1.0] "}
+	io.WriteString(lw, "hello\nwor")
+	io.WriteString(lw, "ld\n")
+	want := "[r1.0] hello\n[r1.0] world\n"
+	if out.String() != want {
+		t.Fatalf("got %q, want %q", out.String(), want)
+	}
+}
+
+// TestDistWorkerHelper is not a test: it is the worker-mode body used by
+// TestDistributedRollbackRealProcesses, which re-execs this test binary
+// with the worker env contract set (the same hidden-mode trick sdrun
+// uses). It must exit the process so the test framework never reports on
+// it.
+func TestDistWorkerHelper(t *testing.T) {
+	if !DistWorkerActive() {
+		t.Skip("not in worker mode")
+	}
+	cfg, err := WorkerConfigFromEnv()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(workerExitConfig)
+	}
+	os.Exit(RunWorker(cfg, func(env *Env) (any, error) {
+		res, err := rollbackApp(12, 3)(env)
+		if err != nil {
+			return nil, err
+		}
+		return WorkerResult{Checksum: float64(res.(uint64))}, nil
+	}))
+}
+
+// TestDistributedRollbackRealProcesses is the cross-process incarnation of
+// TestRollbackSeedsRestoredState: both replicas of rank 1 are SIGKILLed —
+// as real OS processes — at step 7, the coordinator must observe the
+// exhaustion, tear the epoch down, and respawn every worker from the
+// latest committed wave, and the final results must equal the fault-free
+// answer.
+func TestDistributedRollbackRealProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real worker processes")
+	}
+	const steps = 12
+	rep := RunDistributed(DistConfig{
+		Ranks:       2,
+		Replication: 2,
+		Protocol:    SDR,
+		Failures: []FailureEvent{
+			{Rank: 1, Rep: 0, AtStep: 7},
+			{Rank: 1, Rep: 1, AtStep: 7},
+		},
+		CheckpointDir: t.TempDir(),
+		WorkerCmd:     []string{os.Args[0], "-test.run=^TestDistWorkerHelper$"},
+		LogSink:       io.Discard,
+		Timeout:       60 * time.Second,
+	})
+	if err := rep.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restarts != 1 {
+		t.Fatalf("Restarts = %d, want 1", rep.Restarts)
+	}
+	// Waves commit every 3 steps; the newest committed line by step 7 is
+	// wave 6, but a lagging writer can leave it at 3 (see the in-process
+	// test for the same tolerance).
+	if rep.RestartWave != 6 && rep.RestartWave != 3 {
+		t.Errorf("RestartWave = %d, want a committed wave (3 or 6)", rep.RestartWave)
+	}
+	want := float64(wantPingPong(steps))
+	for _, p := range rep.Procs {
+		if p.Crashed {
+			t.Errorf("rank %d rep %d: crashed in the final epoch", p.Rank, p.Rep)
+			continue
+		}
+		if p.Result.Checksum != want {
+			t.Errorf("rank %d rep %d: checksum %v, fault-free run computes %v", p.Rank, p.Rep, p.Result.Checksum, want)
+		}
+	}
+}
+
+// TestDistributedSurvivesSingleReplicaKill is the substitution rung, cross
+// process: one SIGKILLed replica, no rollback, identical results.
+func TestDistributedSurvivesSingleReplicaKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real worker processes")
+	}
+	const steps = 12
+	rep := RunDistributed(DistConfig{
+		Ranks:       2,
+		Replication: 2,
+		Protocol:    SDR,
+		Failures: []FailureEvent{
+			{Rank: 1, Rep: 1, AtStep: 5},
+		},
+		CheckpointDir: t.TempDir(),
+		WorkerCmd:     []string{os.Args[0], "-test.run=^TestDistWorkerHelper$"},
+		LogSink:       io.Discard,
+		Timeout:       60 * time.Second,
+	})
+	if err := rep.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restarts != 0 {
+		t.Fatalf("Restarts = %d, want 0 (substitution must absorb a single replica loss)", rep.Restarts)
+	}
+	want := float64(wantPingPong(steps))
+	killed := 0
+	for _, p := range rep.Procs {
+		if p.Crashed {
+			killed++
+			continue
+		}
+		if p.Result.Checksum != want {
+			t.Errorf("rank %d rep %d: checksum %v, want %v", p.Rank, p.Rep, p.Result.Checksum, want)
+		}
+	}
+	if killed != 1 {
+		t.Errorf("killed = %d, want exactly the scheduled victim", killed)
+	}
+}

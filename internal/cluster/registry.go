@@ -1,0 +1,305 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/ckpt"
+)
+
+// The distributed control plane: one rendezvous registry lives in the
+// coordinator process; every worker keeps a single TCP connection to it
+// for the whole epoch. The connection carries newline-delimited JSON
+// control messages (ctlMsg) and doubles as the worker's health channel —
+// its death is itself a failure signal.
+//
+// Handshake (per epoch):
+//
+//	worker → registry   {"op":"hello","proc":P,"addr":"host:port"}
+//	registry → worker   {"op":"world","addrs":[addr0, addr1, ...]}
+//
+// The registry broadcasts the world table only once all r·n workers have
+// registered their peer-wire listeners, so no worker ever dials a peer
+// that is not yet listening. After the handshake:
+//
+//	worker → registry   {"op":"ping"}                       liveness
+//	worker → registry   {"op":"ckpt","rank":R,"step":S}     writer saved
+//	worker → registry   {"op":"killme","proc":P,"step":S}   at a scheduled
+//	                    kill boundary; the worker then blocks awaiting
+//	                    SIGKILL from the coordinator
+//	worker → registry   {"op":"exhausted","rank":R}         last replica of
+//	                    R died; worker exits with code 3
+//	worker → registry   {"op":"done","proc":P,...}          app finished
+//	registry → worker   {"op":"dead","proc":P}              failure
+//	                    notification (the paper's external detector)
+//	registry → worker   {"op":"shutdown"}                   all done; exit
+type ctlMsg struct {
+	Op    string   `json:"op"`
+	Proc  int      `json:"proc,omitempty"`
+	Rank  int      `json:"rank,omitempty"`
+	Step  int      `json:"step,omitempty"`
+	Addr  string   `json:"addr,omitempty"`
+	Addrs []string `json:"addrs,omitempty"`
+
+	// Result payload (op == "done").
+	Checksum   float64 `json:"checksum,omitempty"`
+	Residual   float64 `json:"residual,omitempty"`
+	Iterations int     `json:"iterations,omitempty"`
+	Err        string  `json:"err,omitempty"`
+}
+
+// Control-plane ops.
+const (
+	opHello     = "hello"
+	opWorld     = "world"
+	opPing      = "ping"
+	opCkpt      = "ckpt"
+	opKillMe    = "killme"
+	opExhausted = "exhausted"
+	opDone      = "done"
+	opDead      = "dead"
+	opShutdown  = "shutdown"
+)
+
+// Worker exit codes (the launcher's failure ladder reads them).
+const (
+	// workerExitConfig signals a setup/config error before the app ran.
+	workerExitConfig = 2
+	// workerExitExhausted signals replication exhaustion: the worker
+	// observed the last replica of some rank die and the run must roll
+	// back to the latest committed checkpoint wave.
+	workerExitExhausted = 3
+)
+
+// regEventKind discriminates registry events surfaced to the coordinator.
+type regEventKind int
+
+const (
+	evReady     regEventKind = iota // all workers joined; world broadcast sent
+	evKillMe                        // worker reached a scheduled kill boundary
+	evExhausted                     // worker reported replication exhaustion
+	evDone                          // worker finished its application body
+	evLost                          // worker control connection dropped
+)
+
+// regEvent is one control-plane observation.
+type regEvent struct {
+	kind regEventKind
+	proc int
+	msg  ctlMsg
+}
+
+// regConn is the registry's handle on one worker connection.
+type regConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *json.Encoder
+}
+
+func (rc *regConn) send(m ctlMsg) error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.enc.Encode(m)
+}
+
+// registry is the rendezvous + control service for one distributed epoch.
+type registry struct {
+	ln    net.Listener
+	procs int
+	ranks int
+	store *ckpt.Store
+
+	events chan regEvent
+
+	mu       sync.Mutex
+	conns    []*regConn // indexed by proc; nil until hello
+	addrs    []string
+	joined   int
+	lastSeen []time.Time
+	saved    map[int]map[int]bool // step → ranks whose writer saved
+	closed   bool
+}
+
+// newRegistry starts the rendezvous registry for an epoch of `procs`
+// workers over `ranks` logical ranks, committing checkpoint waves into
+// store as workers report writer saves.
+func newRegistry(procs, ranks int, store *ckpt.Store) (*registry, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: registry listen: %w", err)
+	}
+	r := &registry{
+		ln:       ln,
+		procs:    procs,
+		ranks:    ranks,
+		store:    store,
+		events:   make(chan regEvent, 4*procs+16),
+		conns:    make([]*regConn, procs),
+		addrs:    make([]string, procs),
+		lastSeen: make([]time.Time, procs),
+		saved:    make(map[int]map[int]bool),
+	}
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr returns the registry's listen address (the worker env contract's
+// SDR_DIST_REGISTRY value).
+func (r *registry) Addr() string { return r.ln.Addr().String() }
+
+func (r *registry) acceptLoop() {
+	for {
+		c, err := r.ln.Accept()
+		if err != nil {
+			return // listener closed: epoch over
+		}
+		go r.serve(c)
+	}
+}
+
+// serve handles one worker connection: hello, then the event stream.
+func (r *registry) serve(c net.Conn) {
+	dec := json.NewDecoder(c)
+	var hello ctlMsg
+	if err := dec.Decode(&hello); err != nil || hello.Op != opHello {
+		c.Close()
+		return
+	}
+	proc := hello.Proc
+	if proc < 0 || proc >= r.procs {
+		c.Close()
+		return
+	}
+
+	rc := &regConn{c: c, enc: json.NewEncoder(c)}
+	r.mu.Lock()
+	if r.conns[proc] != nil {
+		r.mu.Unlock()
+		c.Close() // duplicate registration
+		return
+	}
+	r.conns[proc] = rc
+	r.addrs[proc] = hello.Addr
+	r.lastSeen[proc] = time.Now()
+	r.joined++
+	ready := r.joined == r.procs
+	var world []string
+	if ready {
+		world = append([]string(nil), r.addrs...)
+	}
+	r.mu.Unlock()
+
+	if ready {
+		// Every worker's listener is up: publish the world table. From
+		// this moment peers may dial each other.
+		r.broadcast(ctlMsg{Op: opWorld, Addrs: world}, -1)
+		r.events <- regEvent{kind: evReady}
+	}
+
+	for {
+		var m ctlMsg
+		if err := dec.Decode(&m); err != nil {
+			r.events <- regEvent{kind: evLost, proc: proc}
+			return
+		}
+		r.mu.Lock()
+		r.lastSeen[proc] = time.Now()
+		r.mu.Unlock()
+		switch m.Op {
+		case opPing:
+			// liveness only
+		case opCkpt:
+			r.noteCkpt(m.Rank, m.Step)
+		case opKillMe:
+			r.events <- regEvent{kind: evKillMe, proc: proc, msg: m}
+		case opExhausted:
+			r.events <- regEvent{kind: evExhausted, proc: proc, msg: m}
+		case opDone:
+			r.events <- regEvent{kind: evDone, proc: proc, msg: m}
+		}
+	}
+}
+
+// noteCkpt mirrors runState.noteCkpt across process boundaries: count
+// writer saves per wave, commit and prune once every rank reported.
+func (r *registry) noteCkpt(rank, step int) {
+	if r.store == nil || rank < 0 || rank >= r.ranks {
+		return
+	}
+	r.mu.Lock()
+	saved := r.saved[step]
+	if saved == nil {
+		saved = make(map[int]bool)
+		r.saved[step] = saved
+	}
+	saved[rank] = true
+	complete := len(saved) == r.ranks
+	r.mu.Unlock()
+	if !complete {
+		return
+	}
+	// Commit/prune failures are not fatal to the epoch: the wave simply
+	// stays uncommitted and rollback selects an older one.
+	if err := r.store.Commit(step); err == nil {
+		_ = r.store.Prune(step)
+	}
+}
+
+// broadcast sends m to every connected worker except `skip` (-1 = none).
+func (r *registry) broadcast(m ctlMsg, skip int) {
+	r.mu.Lock()
+	conns := append([]*regConn(nil), r.conns...)
+	r.mu.Unlock()
+	for p, rc := range conns {
+		if rc == nil || p == skip {
+			continue
+		}
+		_ = rc.send(m) // a dead worker's send failure is handled via evLost
+	}
+}
+
+// announceDead broadcasts the failure notification for proc to every other
+// worker — the distributed incarnation of detect.Service.broadcastFailure.
+func (r *registry) announceDead(proc int) {
+	r.broadcast(ctlMsg{Op: opDead, Proc: proc}, proc)
+}
+
+// stalest returns the proc with the oldest lastSeen among `live` and how
+// stale it is. Used by the coordinator's health check.
+func (r *registry) stalest(live func(int) bool) (int, time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	proc, worst := -1, time.Duration(0)
+	now := time.Now()
+	for p := 0; p < r.procs; p++ {
+		if r.conns[p] == nil || !live(p) {
+			continue
+		}
+		if age := now.Sub(r.lastSeen[p]); age > worst {
+			proc, worst = p, age
+		}
+	}
+	return proc, worst
+}
+
+// Close shuts the registry down, closing the listener and every worker
+// connection.
+func (r *registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	conns := append([]*regConn(nil), r.conns...)
+	r.mu.Unlock()
+	r.ln.Close()
+	for _, rc := range conns {
+		if rc != nil {
+			rc.c.Close()
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/mpi"
+	"repro/internal/transport"
+)
+
+// WorkerConfig is the env-contract side of a distributed worker: one
+// physical process of the r·n world, running in its own OS process.
+type WorkerConfig struct {
+	Proc          transport.ProcID
+	Ranks         int
+	Replication   int
+	Protocol      Protocol
+	Registry      string
+	CheckpointDir string
+	RestartWave   int // committed wave to restore from, -1 for fresh start
+	Epoch         int
+	KillSteps     []int // step boundaries at which to park and await SIGKILL
+}
+
+// DistWorkerActive reports whether this process was exec'd as a
+// distributed worker (the hidden mode commands enter before flag parsing).
+func DistWorkerActive() bool { return os.Getenv(EnvWorker) == "1" }
+
+// WorkerConfigFromEnv decodes the worker env contract.
+func WorkerConfigFromEnv() (WorkerConfig, error) {
+	geti := func(key string) (int, error) {
+		v, err := strconv.Atoi(os.Getenv(key))
+		if err != nil {
+			return 0, fmt.Errorf("cluster: bad %s=%q: %w", key, os.Getenv(key), err)
+		}
+		return v, nil
+	}
+	var cfg WorkerConfig
+	var err error
+	var v int
+	if v, err = geti(EnvProc); err != nil {
+		return cfg, err
+	}
+	cfg.Proc = transport.ProcID(v)
+	if cfg.Ranks, err = geti(EnvRanks); err != nil {
+		return cfg, err
+	}
+	if cfg.Replication, err = geti(EnvRepl); err != nil {
+		return cfg, err
+	}
+	if cfg.RestartWave, err = geti(EnvWave); err != nil {
+		return cfg, err
+	}
+	if cfg.Epoch, err = geti(EnvEpoch); err != nil {
+		return cfg, err
+	}
+	cfg.Protocol = Protocol(os.Getenv(EnvProtocol))
+	cfg.Registry = os.Getenv(EnvRegistry)
+	cfg.CheckpointDir = os.Getenv(EnvCkptDir)
+	if ks := os.Getenv(EnvKills); ks != "" {
+		for _, s := range strings.Split(ks, ",") {
+			st, err := strconv.Atoi(s)
+			if err != nil {
+				return cfg, fmt.Errorf("cluster: bad %s entry %q", EnvKills, s)
+			}
+			cfg.KillSteps = append(cfg.KillSteps, st)
+		}
+	}
+	if cfg.Registry == "" {
+		return cfg, fmt.Errorf("cluster: %s not set", EnvRegistry)
+	}
+	return cfg, nil
+}
+
+// ctlClient is the worker's connection to the registry; safe for
+// concurrent senders (app goroutine, ping goroutine).
+type ctlClient struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+func (cc *ctlClient) send(m ctlMsg) error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.enc.Encode(m)
+}
+
+// workerState implements harness for a distributed worker: checkpoint
+// bookkeeping and the kill schedule are forwarded to / driven by the
+// coordinator over the control plane.
+type workerState struct {
+	cfg   WorkerConfig
+	cc    *ctlClient
+	kills map[int]bool
+}
+
+func (ws *workerState) noteCkpt(rank, step int) error {
+	return ws.cc.send(ctlMsg{Op: opCkpt, Rank: rank, Step: step})
+}
+
+func (ws *workerState) numRanks() int { return ws.cfg.Ranks }
+
+func (ws *workerState) epochIndex() int { return ws.cfg.Epoch }
+
+// stepHook realizes the kill schedule: at a scheduled boundary the worker
+// tells the coordinator it is parked and blocks until the SIGKILL lands —
+// giving the crash the exact step placement the in-process harness has,
+// with a real process death.
+func (ws *workerState) stepHook(e *Env, step int, snapshot func() []byte) {
+	if !ws.kills[step] {
+		return
+	}
+	delete(ws.kills, step)
+	_ = ws.cc.send(ctlMsg{Op: opKillMe, Proc: int(ws.cfg.Proc), Step: step})
+	select {} // await SIGKILL; the ping goroutine keeps the conn warm
+}
+
+// RunWorker is the body of the hidden worker mode: rendezvous with the
+// registry, build the per-process transport/protocol stack, run the
+// application, and participate in the epoch's drain/shutdown. It returns
+// the process exit code.
+func RunWorker(cfg WorkerConfig, app AppFunc) int {
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "worker %d: %v\n", cfg.Proc, err)
+		return workerExitConfig
+	}
+
+	layout := core.Layout{N: cfg.Ranks, R: cfg.Replication}
+	rank := layout.RankOf(cfg.Proc)
+	rep := layout.RepOf(cfg.Proc)
+
+	conn, err := net.DialTimeout("tcp", cfg.Registry, 10*time.Second)
+	if err != nil {
+		return fail(fmt.Errorf("dial registry %s: %w", cfg.Registry, err))
+	}
+	defer conn.Close()
+	cc := &ctlClient{enc: json.NewEncoder(conn)}
+	dec := json.NewDecoder(conn)
+
+	// Per-process transport: a full-size network whose only live endpoint
+	// is ours, wired to peers through the PeerWire.
+	nw := transport.NewNetwork(layout.Procs(), nil)
+	defer nw.Close()
+	pw, err := transport.NewPeerWire(nw, cfg.Proc, "")
+	if err != nil {
+		return fail(err)
+	}
+	defer pw.Close()
+
+	// Rendezvous: register our listener, wait for the world table. A
+	// worker that dies before the rendezvous completes makes the
+	// coordinator broadcast `dead` to the already-joined workers, so the
+	// handshake loop must tolerate (and remember) control traffic ahead
+	// of the world message instead of treating it as a protocol error.
+	if err := cc.send(ctlMsg{Op: opHello, Proc: int(cfg.Proc), Addr: pw.Addr()}); err != nil {
+		return fail(fmt.Errorf("hello: %w", err))
+	}
+	var pendingDead []transport.ProcID
+	var world ctlMsg
+	for world.Op != opWorld {
+		var m ctlMsg
+		if err := dec.Decode(&m); err != nil {
+			return fail(fmt.Errorf("world handshake failed: %w", err))
+		}
+		switch m.Op {
+		case opWorld:
+			world = m
+		case opDead:
+			pendingDead = append(pendingDead, transport.ProcID(m.Proc))
+		case opShutdown:
+			return 0 // epoch abandoned before it began
+		}
+	}
+	pw.SetPeers(world.Addrs)
+
+	// noteDead realizes one failure notification: mark the peer dead on
+	// the wire and inject the same in-band control message
+	// detect.Service delivers in-process (the coordinator is the paper's
+	// external failure detector).
+	noteDead := func(dead transport.ProcID) {
+		pw.MarkDead(dead)
+		nw.Inject(cfg.Proc, &transport.Message{
+			Src:  transport.NoProc,
+			Kind: transport.KindCtl,
+			Tag:  detect.TagFailure,
+			Meta: [4]int64{int64(dead)},
+		})
+	}
+	for _, dead := range pendingDead {
+		noteDead(dead)
+	}
+
+	// Control-plane reader: failure notifications and the shutdown
+	// signal. Losing the registry conn means the coordinator is gone (or
+	// tearing the epoch down) — this process is an orphan and must not
+	// linger.
+	shutdown := make(chan struct{})
+	go func() {
+		for {
+			var m ctlMsg
+			if err := dec.Decode(&m); err != nil {
+				os.Exit(1)
+			}
+			switch m.Op {
+			case opDead:
+				noteDead(transport.ProcID(m.Proc))
+			case opShutdown:
+				close(shutdown)
+				return
+			}
+		}
+	}()
+
+	// Liveness pings, decoupled from application progress so a
+	// compute-bound step cannot trip the coordinator's health probe.
+	go func() {
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		for range tick.C {
+			if cc.send(ctlMsg{Op: opPing, Proc: int(cfg.Proc)}) != nil {
+				return
+			}
+		}
+	}()
+
+	var store *ckpt.Store
+	if cfg.CheckpointDir != "" {
+		if store, err = ckpt.NewStore(cfg.CheckpointDir); err != nil {
+			return fail(err)
+		}
+	}
+
+	ws := &workerState{cfg: cfg, cc: cc, kills: make(map[int]bool)}
+	for _, s := range cfg.KillSteps {
+		ws.kills[s] = true
+	}
+
+	proc := mpi.NewProc(nw, cfg.Proc)
+	env := &Env{Rank: rank, Rep: rep, h: ws, restoredStep: -1, store: store}
+	if cfg.RestartWave >= 0 && store != nil {
+		b, err := store.Load(rank, cfg.RestartWave)
+		if err != nil {
+			return fail(fmt.Errorf("rollback restore wave %d: %w", cfg.RestartWave, err))
+		}
+		env.restored = b
+		env.restoredStep = cfg.RestartWave
+	}
+	var protocol mpi.Protocol
+	if cfg.Protocol == Native {
+		protocol = mpi.NewNative(proc)
+	} else {
+		rp := core.NewReplicated(proc, layout, cfg.Protocol.coreMode(), nil, core.Options{})
+		env.proto = rp
+		protocol = rp
+	}
+	env.World = mpi.NewWorld(proc, protocol, cfg.Ranks)
+
+	// Run the application, catching the library's typed unwinds.
+	exhaustedRank := -1
+	res, appErr := func() (res any, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				if rk, ok := mpi.ErrExhausted(r); ok {
+					exhaustedRank = rk
+				} else if _, ok := mpi.ErrCrashed(r); ok {
+					err = fmt.Errorf("worker observed its own crash flag")
+				} else {
+					err = fmt.Errorf("panic: %v", r)
+				}
+			}
+		}()
+		return app(env)
+	}()
+	if exhaustedRank >= 0 {
+		// Second rung of the recovery ladder: report and exit with the
+		// exhaustion code; the coordinator tears the epoch down and
+		// respawns everyone from the latest committed wave.
+		_ = cc.send(ctlMsg{Op: opExhausted, Rank: exhaustedRank})
+		return workerExitExhausted
+	}
+
+	doneMsg := ctlMsg{Op: opDone, Proc: int(cfg.Proc)}
+	if wr, ok := res.(WorkerResult); ok {
+		doneMsg.Checksum = wr.Checksum
+		doneMsg.Residual = wr.Residual
+		doneMsg.Iterations = wr.Iterations
+	}
+	if appErr != nil {
+		doneMsg.Err = appErr.Error()
+	}
+	if err := cc.send(doneMsg); err != nil {
+		return fail(fmt.Errorf("report result: %w", err))
+	}
+
+	// Drain until the coordinator's shutdown: a peer may still need this
+	// engine's cooperation (rendezvous handshakes, acks) to finish — the
+	// distributed counterpart of runState.drain.
+	eng := proc.Engine()
+	ep := eng.Endpoint()
+	for {
+		select {
+		case <-shutdown:
+			eng.Progress()
+			return 0
+		default:
+		}
+		eng.Progress()
+		ep.WaitActivity(200 * time.Microsecond)
+	}
+}

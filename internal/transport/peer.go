@@ -1,0 +1,315 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Dialing policy shared by the TCP wires. A dead remote peer must never
+// hang a sender forever: every dial carries a hard timeout, and the retry
+// loop is bounded — after it, the message is treated as fallen off the
+// wire (fail-stop) or the error surfaces to the caller.
+const (
+	// DialTimeout bounds one connection attempt.
+	DialTimeout = 2 * time.Second
+	// DialAttempts bounds the redial loop.
+	DialAttempts = 3
+	// dialBackoff is the initial sleep between attempts (doubled each
+	// retry, so the total worst-case stall is bounded and small).
+	dialBackoff = 25 * time.Millisecond
+)
+
+// dialRetry dials addr with DialTimeout per attempt and bounded backoff
+// between attempts. It returns the first successful connection or the last
+// error once the attempt budget is spent.
+func dialRetry(addr string) (net.Conn, error) {
+	var lastErr error
+	backoff := dialBackoff
+	for attempt := 0; attempt < DialAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		c, err := net.DialTimeout("tcp", addr, DialTimeout)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// PeerWire is the distributed-mode transport: one instance lives in each
+// worker OS process, listens on its own port for inbound traffic, and
+// dials its *peers'* listeners (looked up in the rendezvous table the
+// registry distributed) — in contrast to TCPWire, whose every connection
+// loops back to its own listener inside a single process.
+//
+// Delivery semantics:
+//   - messages addressed to the local process are injected directly into
+//     its endpoint queue (no socket round-trip);
+//   - messages to a peer are serialized onto a lazily dialed, cached
+//     connection (one per destination, preserving per-pair FIFO);
+//   - messages to a peer declared dead — or one that stays unreachable
+//     after the bounded dial budget — are dropped: the fail-stop model's
+//     bytes-fall-off-the-wire rule, exactly like Endpoint.Send to a killed
+//     in-process endpoint. The failure detector (the coordinator's control
+//     plane) is the authority on death; the wire never invents liveness
+//     information, it only stops burning dial budgets once told.
+type PeerWire struct {
+	nw   *Network
+	self ProcID
+	ln   net.Listener
+
+	mu      sync.Mutex
+	addrs   []string // proc → listener address ("" = unknown/local)
+	conns   map[ProcID]*tcpConn
+	down    map[ProcID]bool // peers declared dead by the control plane
+	inbound map[net.Conn]struct{}
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewPeerWire creates a peer wire for local process self, listening on
+// listenAddr (host:0 picks a free port), and installs it on the network.
+// Peer addresses must be provided via SetPeers before any remote traffic
+// flows; the rendezvous registry guarantees that ordering by broadcasting
+// the world table only after every worker has registered its listener.
+func NewPeerWire(nw *Network, self ProcID, listenAddr string) (*PeerWire, error) {
+	if listenAddr == "" {
+		listenAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: peer wire listen: %w", err)
+	}
+	pw := &PeerWire{
+		nw:      nw,
+		self:    self,
+		ln:      ln,
+		addrs:   make([]string, nw.Size()),
+		conns:   make(map[ProcID]*tcpConn),
+		down:    make(map[ProcID]bool),
+		inbound: make(map[net.Conn]struct{}),
+		done:    make(chan struct{}),
+	}
+	pw.wg.Add(1)
+	go pw.acceptLoop()
+	nw.SetWire(pw)
+	return pw, nil
+}
+
+// Addr returns the local listener address — what the worker registers with
+// the rendezvous registry.
+func (pw *PeerWire) Addr() string { return pw.ln.Addr().String() }
+
+// SetPeers installs the ProcID → address table (the registry's world
+// broadcast). The local process's own entry is ignored.
+func (pw *PeerWire) SetPeers(addrs []string) {
+	pw.mu.Lock()
+	defer pw.mu.Unlock()
+	for p, a := range addrs {
+		if p < len(pw.addrs) && ProcID(p) != pw.self {
+			pw.addrs[p] = a
+		}
+	}
+}
+
+// MarkDead records that peer p has failed (control-plane notification):
+// its cached connection is dropped and every later Deliver to it becomes
+// an immediate fail-stop drop instead of a doomed dial.
+func (pw *PeerWire) MarkDead(p ProcID) {
+	pw.mu.Lock()
+	pw.down[p] = true
+	tc := pw.conns[p]
+	delete(pw.conns, p)
+	pw.mu.Unlock()
+	if tc != nil {
+		tc.c.Close()
+	}
+}
+
+func (pw *PeerWire) acceptLoop() {
+	defer pw.wg.Done()
+	backoff := time.Millisecond
+	for {
+		c, err := pw.ln.Accept()
+		if err != nil {
+			select {
+			case <-pw.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient accept failure: back off and keep the listener.
+			time.Sleep(backoff)
+			if backoff < time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = time.Millisecond
+		pw.mu.Lock()
+		pw.inbound[c] = struct{}{}
+		pw.mu.Unlock()
+		pw.wg.Add(1)
+		go pw.readLoop(c)
+	}
+}
+
+// readLoop decodes inbound peer traffic and injects it into the local
+// endpoint. A decode error or EOF (peer died, connection reset) simply
+// ends the connection: retransmission is the sender's protocol-level
+// concern, not the wire's.
+func (pw *PeerWire) readLoop(c net.Conn) {
+	defer pw.wg.Done()
+	defer func() {
+		c.Close()
+		pw.mu.Lock()
+		delete(pw.inbound, c)
+		pw.mu.Unlock()
+	}()
+	r := bufio.NewReaderSize(c, 256<<10)
+	var pre [8]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return
+	}
+	for {
+		m, err := decodeMessagePooled(r)
+		if err != nil {
+			return
+		}
+		if m.Dst != pw.self {
+			// Misrouted frame: this listener only serves the local
+			// process. Drop it rather than corrupting a foreign queue.
+			FreeMessage(m)
+			continue
+		}
+		pw.nw.eps[int(m.Dst)].inject(m)
+	}
+}
+
+// Deliver implements Wire. Local destinations bypass the sockets entirely;
+// remote ones are serialized onto the per-destination connection. Send
+// failures drop the connection (the bufio stream is mid-message and every
+// later write would be misframed) and retry once on a fresh dial; if the
+// peer stays unreachable the message is released — fail-stop.
+func (pw *PeerWire) Deliver(m *Message) error {
+	if m.Dst == pw.self {
+		pw.nw.eps[int(m.Dst)].inject(m)
+		return nil
+	}
+	defer FreeMessage(m)
+	for attempt := 0; attempt < 2; attempt++ {
+		tc, err := pw.conn(m.Dst)
+		if err != nil {
+			return nil // unreachable or dead: bytes fall off the wire
+		}
+		tc.mu.Lock()
+		err = encodeMessage(tc.w, m)
+		if err == nil {
+			err = tc.w.Flush()
+		}
+		tc.mu.Unlock()
+		if err == nil {
+			return nil
+		}
+		pw.dropConn(m.Dst, tc)
+	}
+	return nil
+}
+
+// conn returns the cached connection to dst, dialing it on first use.
+func (pw *PeerWire) conn(dst ProcID) (*tcpConn, error) {
+	pw.mu.Lock()
+	if pw.down[dst] {
+		pw.mu.Unlock()
+		return nil, fmt.Errorf("transport: peer %d is dead", dst)
+	}
+	if tc, ok := pw.conns[dst]; ok {
+		pw.mu.Unlock()
+		return tc, nil
+	}
+	addr := ""
+	if int(dst) < len(pw.addrs) {
+		addr = pw.addrs[int(dst)]
+	}
+	pw.mu.Unlock()
+	if addr == "" {
+		return nil, fmt.Errorf("transport: no address for peer %d", dst)
+	}
+
+	// Dial outside the wire lock: a slow or dead peer must not stall
+	// deliveries to every other destination.
+	c, err := dialRetry(addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial peer %d (%s): %w", dst, addr, err)
+	}
+	w := bufio.NewWriterSize(c, 256<<10)
+	var pre [8]byte
+	binary.LittleEndian.PutUint32(pre[:], uint32(int32(pw.self)))
+	binary.LittleEndian.PutUint32(pre[4:], uint32(int32(dst)))
+	if _, err := w.Write(pre[:]); err != nil {
+		c.Close()
+		return nil, err
+	}
+	tc := &tcpConn{c: c, w: w}
+
+	pw.mu.Lock()
+	if pw.down[dst] {
+		pw.mu.Unlock()
+		c.Close()
+		return nil, fmt.Errorf("transport: peer %d died during dial", dst)
+	}
+	if prev, ok := pw.conns[dst]; ok {
+		// A concurrent Deliver won the dial race; keep its connection so
+		// the (self,dst) stream stays a single FIFO.
+		pw.mu.Unlock()
+		c.Close()
+		return prev, nil
+	}
+	pw.conns[dst] = tc
+	pw.mu.Unlock()
+	return tc, nil
+}
+
+// dropConn closes tc and forgets it, provided dst's slot still holds it.
+func (pw *PeerWire) dropConn(dst ProcID, tc *tcpConn) {
+	pw.mu.Lock()
+	if pw.conns[dst] == tc {
+		delete(pw.conns, dst)
+	}
+	pw.mu.Unlock()
+	tc.c.Close()
+}
+
+// Close shuts the wire down: listener, inbound readers, outbound
+// connections. Inbound connections must be closed here too — they are
+// peers' outbound conns, and waiting for the peer to close its side first
+// would deadlock two wires closing in sequence. Idempotent.
+func (pw *PeerWire) Close() error {
+	pw.closeOnce.Do(func() {
+		close(pw.done)
+		pw.ln.Close()
+		pw.mu.Lock()
+		for _, tc := range pw.conns {
+			tc.c.Close()
+		}
+		for c := range pw.inbound {
+			c.Close()
+		}
+		pw.mu.Unlock()
+		pw.wg.Wait()
+	})
+	return nil
+}

@@ -161,7 +161,7 @@ func (tw *TCPWire) conn(src, dst ProcID) (*tcpConn, error) {
 	if tc, ok := byDst[dst]; ok {
 		return tc, nil
 	}
-	c, err := net.Dial("tcp", tw.ln.Addr().String())
+	c, err := dialRetry(tw.ln.Addr().String())
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial tcp wire: %w", err)
 	}
