@@ -136,6 +136,40 @@ func BenchmarkAblationDegree(b *testing.B) {
 	}
 }
 
+// BenchmarkPartialReplication regenerates the §5 partial-replication
+// ablation at fixed logical rank count: wall time plus application and
+// acknowledgement message counts as a function of the replicated
+// fraction. The degree-aware layout spawns only Σ degrees processes, so
+// the procs metric documents the hardware each point consumes.
+func BenchmarkPartialReplication(b *testing.B) {
+	const n = 4
+	for _, quarter := range bench.PartialSweepQuarters {
+		b.Run(fmt.Sprintf("frac=%dof4", quarter), func(b *testing.B) {
+			proto, unrep := bench.PartialSweepPoint(n, quarter)
+			var appMsgs, ackMsgs uint64
+			var procs int
+			for i := 0; i < b.N; i++ {
+				rep := cluster.Run(cluster.Config{
+					Ranks: n, Protocol: proto, Timeout: 5 * time.Minute,
+					UnreplicatedRanks: unrep,
+				}, func(env *cluster.Env) (any, error) {
+					apps.CG(env.World, apps.CGParams{N: 512, Iters: 10})
+					return nil, nil
+				})
+				if err := rep.FirstError(); err != nil {
+					b.Fatal(err)
+				}
+				appMsgs = rep.Stats.AppMsgs()
+				ackMsgs = rep.Stats.AckMsgs()
+				procs = len(rep.Procs)
+			}
+			b.ReportMetric(float64(appMsgs), "app-msgs/run")
+			b.ReportMetric(float64(ackMsgs), "ack-msgs/run")
+			b.ReportMetric(float64(procs), "procs")
+		})
+	}
+}
+
 // BenchmarkFig2AnySource compares one anonymous-reception round under the
 // send-deterministic protocol and under the leader-based baseline
 // (Figure 2's two diagrams).

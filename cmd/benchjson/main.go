@@ -18,14 +18,18 @@ import (
 	"strings"
 )
 
-// Benchmark is one parsed benchmark result line.
+// Benchmark is one parsed benchmark result line. Custom metrics emitted
+// with b.ReportMetric (e.g. "app-msgs/run" from the partial-replication
+// ablation) land in Metrics keyed by their unit, so experiment-specific
+// counters survive into the archived artifact.
 type Benchmark struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	HasMem      bool    `json:"has_mem_stats"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	HasMem      bool               `json:"has_mem_stats"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Doc is the emitted artifact.
@@ -51,7 +55,7 @@ func parseLine(line string) (Benchmark, bool) {
 	}
 	b := Benchmark{Name: f[0], Iterations: iters}
 	// The rest is (value, unit) pairs: "12345 ns/op", "16 B/op",
-	// "2 allocs/op", plus any custom metrics (ignored).
+	// "2 allocs/op", plus custom ReportMetric units, kept under Metrics.
 	for i := 2; i+1 < len(f); i += 2 {
 		v, err := strconv.ParseFloat(f[i], 64)
 		if err != nil {
@@ -66,6 +70,11 @@ func parseLine(line string) (Benchmark, bool) {
 		case "allocs/op":
 			b.AllocsPerOp = int64(v)
 			b.HasMem = true
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[f[i+1]] = v
 		}
 	}
 	return b, true

@@ -45,6 +45,24 @@ func TestRunParsesBenchOutput(t *testing.T) {
 	}
 }
 
+func TestParseLineKeepsCustomMetrics(t *testing.T) {
+	// ReportMetric columns (the partial-replication ablation emits
+	// app-msgs/run and ack-msgs/run) must survive into the artifact.
+	b, ok := parseLine("BenchmarkPartialReplication/frac=2of4-8 \t 1 \t 52000000 ns/op \t 480 app-msgs/run \t 240 ack-msgs/run \t 6.000 procs")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if b.NsPerOp != 52000000 {
+		t.Errorf("ns/op = %v", b.NsPerOp)
+	}
+	want := map[string]float64{"app-msgs/run": 480, "ack-msgs/run": 240, "procs": 6}
+	for unit, v := range want {
+		if b.Metrics[unit] != v {
+			t.Errorf("metric %q = %v, want %v", unit, b.Metrics[unit], v)
+		}
+	}
+}
+
 func TestRunRejectsEmptyInput(t *testing.T) {
 	var out bytes.Buffer
 	err := run(bufio.NewScanner(strings.NewReader("PASS\nok\n")), json.NewEncoder(&out))

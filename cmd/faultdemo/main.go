@@ -6,6 +6,9 @@
 //	faultdemo -recover     # crash + recovery of the replica (Figure 4)
 //	faultdemo -exhaust     # crash of ALL replicas of a rank + rollback to
 //	                       # the last coordinated checkpoint (§1, §4.1)
+//	faultdemo -partial     # partial replication (§5): one rank runs a
+//	                       # single replica — its death has no substitution
+//	                       # rung and goes straight to rollback
 //	faultdemo -distributed # the -exhaust scenario with every rank a real
 //	                       # OS process: SIGKILLs, registry rendezvous,
 //	                       # cross-process rollback respawn
@@ -32,6 +35,7 @@ func main() {
 
 	rec := flag.Bool("recover", false, "also recover the crashed replica (§3.4)")
 	exhaust := flag.Bool("exhaust", false, "kill every replica of a rank: replication is exhausted and the run rolls back to the last coordinated checkpoint")
+	partial := flag.Bool("partial", false, "run one rank unreplicated (degree-aware layout) and kill it: no substitution rung, straight to rollback")
 	distributed := flag.Bool("distributed", false, "run the exhaustion scenario as real OS processes: SIGKILL both replicas of a rank, roll back, respawn workers")
 	steps := flag.Int("steps", 16, "application steps")
 	failAt := flag.Int("fail-at", 5, "step at which the replica crashes")
@@ -47,6 +51,12 @@ func main() {
 			failAt = *every + 1 // ensure at least one committed wave exists
 		}
 		err = runDistDemo(os.Stdout, *steps, *every, failAt)
+	case *partial:
+		failAt := *failAt
+		if failAt <= *every {
+			failAt = *every + 1
+		}
+		err = runPartialDemo(os.Stdout, *steps, *every, failAt)
 	case *exhaust:
 		failAt := *failAt
 		if failAt <= *every {
@@ -65,6 +75,8 @@ func main() {
 	switch {
 	case *distributed:
 		fmt.Println("application survived the loss of an entire rank — across real OS processes")
+	case *partial:
+		fmt.Println("application survived the loss of its unreplicated rank")
 	case *exhaust:
 		fmt.Println("application survived the loss of an entire rank")
 	default:
@@ -130,6 +142,47 @@ func distWorkerMain() int {
 	fmt.Sscanf(os.Getenv(envSteps), "%d", &steps)
 	fmt.Sscanf(os.Getenv(envEvery), "%d", &every)
 	return cluster.RunWorker(cfg, demoApp(steps, every))
+}
+
+// runPartialDemo narrates the partial-replication failure ladder: rank 1
+// runs a single replica under an otherwise dual-replicated layout (3
+// processes, not 4 — the degree-aware layout spawns no phantoms). Killing
+// that replica leaves nothing to substitute, so the run escalates
+// directly to a rollback restart from the last coordinated checkpoint.
+func runPartialDemo(w io.Writer, steps, every, failAt int) error {
+	dir, err := os.MkdirTemp("", "faultdemo-ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	fmt.Fprintf(w, "degree-aware layout: rank 0 dual-replicated, rank 1 unreplicated — 3 processes, not 4\n")
+	fmt.Fprintf(w, "checkpoints every %d steps; rank 1's ONLY replica crashes at step %d\n", every, failAt)
+	fmt.Fprintf(w, "the partial failure ladder: an unreplicated rank's death skips substitution entirely\n")
+	rep := cluster.Run(cluster.Config{
+		Ranks:             2,
+		Protocol:          cluster.SDR,
+		UnreplicatedRanks: []int{1},
+		CheckpointDir:     dir,
+		Failures:          []cluster.FailureEvent{{Rank: 1, Rep: 0, AtStep: failAt}},
+		Timeout:           time.Minute,
+	}, demoApp(steps, every))
+	if err := rep.FirstError(); err != nil {
+		return err
+	}
+	if len(rep.Procs) != 3 {
+		return fmt.Errorf("expected 3 processes in the final epoch, saw %d", len(rep.Procs))
+	}
+	if rep.Restarts < 1 {
+		return fmt.Errorf("expected a rollback restart after the unreplicated rank died")
+	}
+	fmt.Fprintf(w, "replication exhausted at rank 1 — rolled back to committed wave %d and re-ran\n", rep.RestartWave)
+	for _, p := range rep.Procs {
+		if wr, ok := p.Result.(cluster.WorkerResult); ok {
+			fmt.Fprintf(w, "  rank %d rep %d: sum=%.0f\n", p.Rank, p.Rep, wr.Checksum)
+		}
+	}
+	return nil
 }
 
 // runDistDemo narrates the distributed rung: 2 ranks × 2 replicas as real

@@ -77,6 +77,56 @@ func TestDistributedRollbackIntegration(t *testing.T) {
 	}
 }
 
+// TestDistributedPartialReplicationIntegration is the acceptance scenario
+// of the degree-aware layout: ranks 1 and 3 run unreplicated, so the
+// coordinator spawns exactly 6 OS processes (not 8); replica 1 of the
+// replicated rank 0 is SIGKILLed and substitution absorbs it; and every
+// survivor matches the in-process native run.
+func TestDistributedPartialReplicationIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and spawns real worker processes")
+	}
+	bin := buildSdrun(t)
+	out, err := runSdrun(t, bin, 2*time.Minute,
+		"-distributed", "-app", "lu", "-ranks", "4", "-protocol", "sdr", "-r", "2",
+		"-unreplicated", "1,3", "-kill", "0:1:3", "-compare", "-timeout", "90s")
+	if err != nil {
+		t.Fatalf("sdrun failed: %v\n%s", err, out)
+	}
+	if !regexp.MustCompile(`distributed: 6 worker processes`).MatchString(out) {
+		t.Fatalf("expected exactly 6 worker processes (dense layout, not 8):\n%s", out)
+	}
+	if !regexp.MustCompile(`(?m)^restarts: 0$`).MatchString(out) {
+		t.Fatalf("replicated-rank loss must be absorbed by substitution:\n%s", out)
+	}
+	if !regexp.MustCompile(`MATCH: 5 surviving workers identical`).MatchString(out) {
+		t.Fatalf("results do not match the in-process native run:\n%s", out)
+	}
+}
+
+// TestDistributedPartialUnreplicatedKillIntegration kills the single
+// replica of an unreplicated rank: the partial failure ladder has no
+// substitution rung for it, so the run must roll back to the latest
+// committed wave — not hang, and not behave as if fully replicated.
+func TestDistributedPartialUnreplicatedKillIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and spawns real worker processes")
+	}
+	bin := buildSdrun(t)
+	out, err := runSdrun(t, bin, 2*time.Minute,
+		"-distributed", "-app", "lu", "-ranks", "4", "-protocol", "sdr", "-r", "2",
+		"-unreplicated", "1,3", "-kill", "1:0:3", "-compare", "-timeout", "90s")
+	if err != nil {
+		t.Fatalf("sdrun failed: %v\n%s", err, out)
+	}
+	if !regexp.MustCompile(`restarts: 1 \(rolled back to wave \d+\)`).MatchString(out) {
+		t.Fatalf("unreplicated-rank loss must trigger a rollback restart:\n%s", out)
+	}
+	if !regexp.MustCompile(`MATCH: 6 surviving workers identical`).MatchString(out) {
+		t.Fatalf("results do not match the in-process native run:\n%s", out)
+	}
+}
+
 // TestDistributedSubstitutionIntegration is the exact CI smoke scenario:
 // one SIGKILLed replica, absorbed by substitution (no rollback), results
 // identical to the in-process native run.

@@ -8,6 +8,8 @@
 //	sdrun -app hpccg -protocol sdr -r 3           # triple replication
 //	sdrun -app mw -protocol sdr -trace            # master-worker + verdicts
 //	sdrun -app is -protocol sdr -compare          # measure overhead vs native
+//	sdrun -app cg -protocol sdr -unreplicated 1,3 # partial replication
+//	sdrun -app cg -protocol sdr -r 3 -degrees 3,1,2,1  # per-rank degrees
 //
 // Crash injection (-kill, repeatable) needs an application with step
 // boundaries; apps without them (all except lu, is, mw) reject it.
@@ -141,10 +143,23 @@ func main() {
 	traceSends := flag.Bool("trace", false, "record send sequences and print determinism verdicts")
 	compare := flag.Bool("compare", false, "also run natively and report the overhead (with -distributed: verify results match the in-process native run)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "watchdog deadline")
-	distributed := flag.Bool("distributed", false, "run as r·n real OS processes under a coordinator (registry + SIGKILL fault injection + rollback respawn)")
+	distributed := flag.Bool("distributed", false, "run as real OS processes under a coordinator (registry + SIGKILL fault injection + rollback respawn)")
 	ckptDir := flag.String("ckpt", "", "shared checkpoint directory for -distributed (default: a fresh temp dir)")
+	unreplicated := flag.String("unreplicated", "", "comma-separated logical ranks to run with a single replica (partial replication)")
+	degreesFlag := flag.String("degrees", "", "comma-separated per-rank replication degrees, one per rank (overrides the uniform -r; each in [1,r])")
 	flag.Var(&kills, "kill", "inject a crash: rank:rep:step (repeatable; SIGKILL under -distributed)")
 	flag.Parse()
+
+	unrep, err := parseIntList(*unreplicated)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdrun: -unreplicated: %v\n", err)
+		os.Exit(2)
+	}
+	degrees, err := parseIntList(*degreesFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdrun: -degrees: %v\n", err)
+		os.Exit(2)
+	}
 
 	entry, ok := registry()[*app]
 	if !ok {
@@ -172,14 +187,20 @@ func main() {
 			entry: entry, app: *app, ranks: *ranks, proto: proto, r: *r,
 			scale: *scale, timeout: *timeout, ckptDir: *ckptDir,
 			kills: kills, compare: *compare,
+			unreplicated: unrep, degrees: degrees,
 		}))
 	}
 
 	run := func(p cluster.Protocol, fails []cluster.FailureEvent, tr bool) *cluster.Report {
-		return cluster.Run(cluster.Config{
+		cfg := cluster.Config{
 			Ranks: *ranks, Protocol: p, Replication: *r, Timeout: *timeout,
 			Failures: fails, TraceSends: tr, KeepEvents: 64,
-		}, func(env *cluster.Env) (any, error) {
+		}
+		if p != cluster.Native {
+			cfg.UnreplicatedRanks = unrep
+			cfg.Degrees = degrees
+		}
+		return cluster.Run(cfg, func(env *cluster.Env) (any, error) {
 			c := env.World
 			c.Barrier()
 			start := time.Now()
@@ -195,12 +216,10 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("%s on %d ranks under %s (r=%d)\n", *app, *ranks, proto, rep.Config.Replication)
+	fmt.Printf("%s on %d ranks under %s (r=%d%s, %d processes)\n",
+		*app, *ranks, proto, rep.Config.Replication, degreeSuffix(rep.Config), len(rep.Procs))
 	var wall time.Duration
 	for _, p := range rep.Procs {
-		if p.Phantom {
-			continue
-		}
 		if p.Crashed {
 			fmt.Printf("  rank %2d rep %d: crashed (injected)\n", p.Rank, p.Rep)
 			continue
@@ -221,7 +240,7 @@ func main() {
 		for rank := 0; rank < *ranks; rank++ {
 			var recs []*trace.Recorder
 			for _, p := range rep.Procs {
-				if p.Rank == rank && !p.Phantom {
+				if p.Rank == rank {
 					if rc := rep.Recorders[p.Proc]; rc != nil {
 						recs = append(recs, rc)
 					}
@@ -258,6 +277,34 @@ type timed struct {
 	d time.Duration
 }
 
+// parseIntList parses a comma-separated integer list ("" → nil).
+func parseIntList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad entry %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// degreeSuffix renders the partial-replication shape of a run for the
+// header line ("" when every rank runs the uniform degree).
+func degreeSuffix(cfg cluster.Config) string {
+	if len(cfg.Degrees) > 0 {
+		return fmt.Sprintf(", degrees %v", cfg.Degrees)
+	}
+	if len(cfg.UnreplicatedRanks) > 0 {
+		return fmt.Sprintf(", unreplicated %v", cfg.UnreplicatedRanks)
+	}
+	return ""
+}
+
 // workerMain is the hidden worker mode: build the workload named by the
 // env contract and hand control to the cluster worker runtime.
 func workerMain() int {
@@ -291,16 +338,18 @@ func workerMain() int {
 
 // distOpts carries the coordinator-side options of a -distributed run.
 type distOpts struct {
-	entry   appEntry
-	app     string
-	ranks   int
-	proto   cluster.Protocol
-	r       int
-	scale   int
-	timeout time.Duration
-	ckptDir string
-	kills   killList
-	compare bool
+	entry        appEntry
+	app          string
+	ranks        int
+	proto        cluster.Protocol
+	r            int
+	scale        int
+	timeout      time.Duration
+	ckptDir      string
+	kills        killList
+	compare      bool
+	unreplicated []int
+	degrees      []int
 }
 
 // runDistributed is the coordinator side of -distributed: configure the
@@ -319,12 +368,14 @@ func runDistributed(o distOpts) int {
 	}
 
 	rep := cluster.RunDistributed(cluster.DistConfig{
-		Ranks:         o.ranks,
-		Replication:   o.r,
-		Protocol:      o.proto,
-		Failures:      o.kills,
-		CheckpointDir: ckptDir,
-		Timeout:       o.timeout,
+		Ranks:             o.ranks,
+		Replication:       o.r,
+		Protocol:          o.proto,
+		Failures:          o.kills,
+		UnreplicatedRanks: o.unreplicated,
+		Degrees:           o.degrees,
+		CheckpointDir:     ckptDir,
+		Timeout:           o.timeout,
 		WorkerEnv: []string{
 			envApp + "=" + o.app,
 			fmt.Sprintf("%s=%d", envScale, o.scale),
@@ -336,7 +387,7 @@ func runDistributed(o distOpts) int {
 	}
 
 	fmt.Printf("%s on %d ranks under %s (r=%d, distributed: %d worker processes)\n",
-		o.app, o.ranks, o.proto, rep.Replication, o.ranks*rep.Replication)
+		o.app, o.ranks, o.proto, rep.Replication, len(rep.Procs))
 	for _, p := range rep.Procs {
 		if p.Crashed {
 			fmt.Printf("  rank %2d rep %d: killed (SIGKILL, injected)\n", p.Rank, p.Rep)

@@ -20,12 +20,12 @@
 //	internal/core       the vProtocol interception point: SDR-MPI with
 //	                    coalesced acknowledgements, the mirror and leader
 //	                    baselines, failure handling, recovery, SDC
-//	internal/cluster    the launcher: spawns r·n goroutine processes (or,
-//	                    in distributed mode, r·n real OS processes behind a
-//	                    rendezvous registry), orchestrates crash/recovery
-//	                    schedules, and restarts the run from the latest
-//	                    committed checkpoint wave when a rank loses its
-//	                    last replica
+//	internal/cluster    the launcher: spawns one goroutine process per
+//	                    layout slot (or, in distributed mode, one real OS
+//	                    process each behind a rendezvous registry),
+//	                    orchestrates crash/recovery schedules, and restarts
+//	                    the run from the latest committed checkpoint wave
+//	                    when a rank loses its last replica
 //	internal/bench      the evaluation: NetPipe, NAS/wildcard tables,
 //	                    ablations (mirror, leader, degree, eager, coalesce,
 //	                    ckpt)
@@ -46,6 +46,27 @@
 // fault-free-identical result. The ablation-ckpt experiment quantifies
 // the checkpoint-interval vs. re-executed-work trade-off; cmd/faultdemo
 // -exhaust narrates the scenario.
+//
+// # Partial replication
+//
+// The paper's §5 outlook — replicate only the ranks whose loss is
+// expensive — is a first-class layout, not a launch trick. core.Layout
+// carries a per-rank replication vector (core.NewLayout(n, r, degrees),
+// each degree in [1, r]); the physical-ID space is dense, Σ degrees
+// processes in a world-major enumeration that reduces to the uniform
+// rep·n + rank mapping when every degree equals r. A rank absent from a
+// world is served by its lowest replica through the same substitution
+// bookkeeping that absorbs failures, set up at construction — no phantom
+// processes exist at any layer. Config.UnreplicatedRanks/Degrees select
+// it in-process, the same DistConfig fields (and sdrun -unreplicated /
+// -degrees) select it distributed, where exactly Σ degrees worker OS
+// processes are spawned and SDR_DIST_DEGREES ships the vector to each
+// worker. The failure ladder shortens accordingly: an unreplicated
+// rank's death has no substitution rung and escalates straight to the
+// rollback restart (faultdemo -partial narrates it). The partial
+// experiment and BenchmarkPartialReplication measure wall-clock overhead
+// and message counts as a function of the replicated fraction — the
+// O(q·r) protocol cost is paid only where r > 1.
 //
 // # Distributed mode
 //

@@ -10,32 +10,68 @@ import (
 	"repro/internal/mpi"
 )
 
-// PartialRow is one point of the partial-replication sweep: what fraction
-// of ranks are replicated, the physical processes consumed, and the
-// wall-clock overhead against the unreplicated run. The paper's closing
-// section points to partial replication (Elliott et al. [6]) as the route
-// past the 50 % efficiency ceiling of full dual replication; MR-MPI
-// already offered it. Here it falls out of the substitution machinery.
+// PartialRow is one point of the partial-replication ablation: what
+// fraction of ranks are replicated, the physical processes the
+// degree-aware layout actually spawns, the wall-clock overhead against
+// the unreplicated run, and the protocol traffic that overhead buys. The
+// paper's closing section points to partial replication (Elliott et al.
+// [6]) as the route past the 50 % efficiency ceiling of full dual
+// replication; the O(q·r) message cost and the ack machinery are paid
+// only where r > 1, which these columns make visible.
 type PartialRow struct {
 	ReplicatedRanks int
 	TotalRanks      int
 	PhysicalProcs   int
 	Elapsed         time.Duration
 	OverheadPct     float64
+	AppMsgs         uint64 // application messages on the wire
+	AckMsgs         uint64 // protocol acknowledgement messages
+}
+
+// AckPerApp is the protocol-overhead ratio: acks per application message.
+func (r PartialRow) AckPerApp() float64 {
+	if r.AppMsgs == 0 {
+		return 0
+	}
+	return float64(r.AckMsgs) / float64(r.AppMsgs)
+}
+
+// PartialSweepQuarters are the sweep's points: quarter/4 of the ranks
+// replicated, from the native baseline (0) to full dual replication (4).
+var PartialSweepQuarters = []int{0, 1, 2, 3, 4}
+
+// PartialSweepPoint defines one sweep point for n ranks: the protocol to
+// run and the ranks left unreplicated. Quarter 0 is the native baseline.
+// Shared by RunPartialSweep and BenchmarkPartialReplication so the
+// CI-archived benchmark and the sdrbench table describe the same
+// experiment.
+func PartialSweepPoint(n, quarter int) (cluster.Protocol, []int) {
+	if quarter == 0 {
+		return cluster.Native, nil
+	}
+	var unrep []int
+	for rank := n * quarter / 4; rank < n; rank++ {
+		unrep = append(unrep, rank)
+	}
+	return cluster.SDR, unrep
 }
 
 // RunPartialSweep measures the CG proxy with 0 %, 25 %, 50 %, 75 % and
-// 100 % of ranks replicated (experiment id: partial).
+// 100 % of ranks replicated at a fixed logical rank count (experiment id:
+// partial), recording wall time and message counts per point.
 func RunPartialSweep(s Scale) ([]PartialRow, error) {
 	n := s.Ranks
 	w := func(c *mpi.Comm) apps.Result {
 		return apps.CG(c, apps.CGParams{N: 1024 * s.Factor, Iters: 15 * s.Factor, Work: 3000})
 	}
 
-	run := func(unreplicated []int, proto cluster.Protocol) (time.Duration, error) {
+	var rows []PartialRow
+	var base time.Duration
+	for _, quarter := range PartialSweepQuarters {
+		proto, unrep := PartialSweepPoint(n, quarter)
 		rep := cluster.Run(cluster.Config{
 			Ranks: n, Protocol: proto, Timeout: 5 * time.Minute,
-			UnreplicatedRanks: unreplicated,
+			UnreplicatedRanks: unrep,
 		}, func(env *cluster.Env) (any, error) {
 			c := env.World
 			c.Barrier()
@@ -45,47 +81,28 @@ func RunPartialSweep(s Scale) ([]PartialRow, error) {
 			return time.Since(start), nil
 		})
 		if err := rep.FirstError(); err != nil {
-			return 0, err
+			return nil, fmt.Errorf("partial %d/4: %w", quarter, err)
 		}
 		var worst time.Duration
 		for _, p := range rep.Procs {
-			if p.Phantom || p.Rep != 0 {
+			if p.Rep != 0 {
 				continue
 			}
 			if d := p.Result.(time.Duration); d > worst {
 				worst = d
 			}
 		}
-		return worst, nil
-	}
-
-	base, err := run(nil, cluster.Native)
-	if err != nil {
-		return nil, fmt.Errorf("partial baseline: %w", err)
-	}
-
-	var rows []PartialRow
-	for _, quarter := range []int{0, 1, 2, 3, 4} {
-		k := n * quarter / 4 // ranks replicated
-		var unrep []int
-		for rank := k; rank < n; rank++ {
-			unrep = append(unrep, rank)
-		}
-		var d time.Duration
 		if quarter == 0 {
-			d = base
-		} else {
-			d, err = run(unrep, cluster.SDR)
-			if err != nil {
-				return nil, fmt.Errorf("partial %d/4: %w", quarter, err)
-			}
+			base = worst
 		}
 		rows = append(rows, PartialRow{
-			ReplicatedRanks: k,
+			ReplicatedRanks: n * quarter / 4,
 			TotalRanks:      n,
-			PhysicalProcs:   n + k,
-			Elapsed:         d,
-			OverheadPct:     (d.Seconds() - base.Seconds()) / base.Seconds() * 100,
+			PhysicalProcs:   len(rep.Procs),
+			Elapsed:         worst,
+			OverheadPct:     (worst.Seconds() - base.Seconds()) / base.Seconds() * 100,
+			AppMsgs:         rep.Stats.AppMsgs(),
+			AckMsgs:         rep.Stats.AckMsgs(),
 		})
 	}
 	return rows, nil
@@ -93,10 +110,12 @@ func RunPartialSweep(s Scale) ([]PartialRow, error) {
 
 // RenderPartial prints the sweep.
 func RenderPartial(w io.Writer, rows []PartialRow) {
-	fmt.Fprintln(w, "Partial replication sweep (CG proxy; §5 outlook / MR-MPI feature)")
-	fmt.Fprintf(w, "%-12s %10s %12s %14s\n", "replicated", "procs", "time (s)", "overhead (%)")
+	fmt.Fprintln(w, "Partial replication ablation (CG proxy; §5 outlook / MR-MPI feature)")
+	fmt.Fprintf(w, "%-12s %8s %12s %14s %10s %10s %9s\n",
+		"replicated", "procs", "time (s)", "overhead (%)", "app msgs", "ack msgs", "acks/app")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%6d/%-5d %10d %12.3f %14.2f\n",
-			r.ReplicatedRanks, r.TotalRanks, r.PhysicalProcs, r.Elapsed.Seconds(), r.OverheadPct)
+		fmt.Fprintf(w, "%6d/%-5d %8d %12.3f %14.2f %10d %10d %9.3f\n",
+			r.ReplicatedRanks, r.TotalRanks, r.PhysicalProcs, r.Elapsed.Seconds(),
+			r.OverheadPct, r.AppMsgs, r.AckMsgs, r.AckPerApp())
 	}
 }

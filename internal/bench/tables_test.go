@@ -86,6 +86,21 @@ func TestPartialSweepSmall(t *testing.T) {
 	if last.PhysicalProcs <= first.PhysicalProcs {
 		t.Errorf("physical procs did not grow: %d → %d", first.PhysicalProcs, last.PhysicalProcs)
 	}
+	// The ablation's point: protocol traffic scales with the replicated
+	// fraction. The unreplicated end pays no acks at all; the fully
+	// replicated end pays more application messages and more acks than
+	// any partial point.
+	if first.AckMsgs != 0 {
+		t.Errorf("native end sent %d acks, want 0", first.AckMsgs)
+	}
+	mid := rows[len(rows)/2]
+	if !(first.AppMsgs < mid.AppMsgs && mid.AppMsgs < last.AppMsgs) {
+		t.Errorf("app messages not increasing with replicated fraction: %d, %d, %d",
+			first.AppMsgs, mid.AppMsgs, last.AppMsgs)
+	}
+	if mid.AckMsgs == 0 || mid.AckMsgs >= last.AckMsgs {
+		t.Errorf("ack messages not increasing with replicated fraction: %d → %d", mid.AckMsgs, last.AckMsgs)
+	}
 	var sb strings.Builder
 	RenderPartial(&sb, rows)
 	if !strings.Contains(sb.String(), "partial") && !strings.Contains(sb.String(), "Partial") {

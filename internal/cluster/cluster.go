@@ -1,9 +1,11 @@
-// Package cluster is the launcher: it spawns r·n physical processes as
-// goroutines, wires the transport, the failure-detection service and the
-// chosen protocol, builds each process's application world (the paper's
-// Figure 6 MPI_COMM_WORLD separation), and orchestrates crash injection
-// and recovery schedules. It is the simulation counterpart of mpirun on
-// the paper's 64-node Grid'5000 testbed.
+// Package cluster is the launcher: it spawns the layout's physical
+// processes as goroutines (r·n under uniform replication, Σ degrees
+// under a partial-replication degree vector), wires the transport, the
+// failure-detection service and the chosen protocol, builds each
+// process's application world (the paper's Figure 6 MPI_COMM_WORLD
+// separation), and orchestrates crash injection and recovery schedules.
+// It is the simulation counterpart of mpirun on the paper's 64-node
+// Grid'5000 testbed.
 package cluster
 
 import (
@@ -79,10 +81,18 @@ type Config struct {
 
 	// UnreplicatedRanks lists logical ranks that run with a single
 	// replica under an otherwise replicated protocol (partial
-	// replication — the paper's §5 outlook). Their world-k (k > 0)
-	// processes are never spawned; the world-0 instance serves every
-	// world through the standard substitution machinery.
+	// replication — the paper's §5 outlook). The launcher builds a
+	// degree-aware layout: only the replicas that exist get physical
+	// processes (a dense ID space, no phantom slots), and the world-0
+	// instance serves every world through the standard substitution
+	// machinery.
 	UnreplicatedRanks []int
+
+	// Degrees optionally gives every rank's replication degree
+	// explicitly (len == Ranks, each in [1, Replication]); it subsumes
+	// UnreplicatedRanks, which further forces the listed ranks to
+	// degree 1. Nil means the uniform Replication everywhere.
+	Degrees []int
 
 	// TraceSends attaches a send-determinism recorder to every replica.
 	TraceSends bool
@@ -125,6 +135,71 @@ func (c Config) replication() int {
 		return 2
 	}
 	return c.Replication
+}
+
+// layout builds the (possibly degree-aware) replica layout for the run.
+func (c Config) layout() (core.Layout, error) {
+	degrees, err := degreeVector(c.Ranks, c.replication(), c.Degrees, c.UnreplicatedRanks)
+	if err != nil {
+		return core.Layout{}, err
+	}
+	return core.NewLayout(c.Ranks, c.replication(), degrees)
+}
+
+// validateSchedule rejects failure/recovery events that target replicas
+// the layout does not contain. Before the degree-aware layout this could
+// not happen (every (rank, rep) with rep < r existed); now a -kill of a
+// pruned replica would otherwise never fire and the run would silently
+// pass without injecting anything.
+func validateSchedule(l core.Layout, failures []FailureEvent, recoveries []RecoveryEvent) error {
+	check := func(kind string, rank, rep int) error {
+		if rank < 0 || rank >= l.N {
+			return fmt.Errorf("cluster: %s event targets rank %d outside [0,%d)", kind, rank, l.N)
+		}
+		if rep < 0 || rep >= l.Degree(rank) {
+			return fmt.Errorf("cluster: %s event targets replica %d of rank %d, which runs %d replica(s)",
+				kind, rep, rank, l.Degree(rank))
+		}
+		return nil
+	}
+	for _, f := range failures {
+		if err := check("failure", f.Rank, f.Rep); err != nil {
+			return err
+		}
+	}
+	for _, r := range recoveries {
+		if err := check("recovery", r.Rank, r.Rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// degreeVector merges an explicit per-rank degree vector with an
+// unreplicated-rank list into the form core.NewLayout takes: nil for the
+// uniform degree r, else one entry per rank.
+func degreeVector(ranks, r int, degrees, unreplicated []int) ([]int, error) {
+	if len(degrees) == 0 && len(unreplicated) == 0 {
+		return nil, nil
+	}
+	out := make([]int, ranks)
+	if len(degrees) > 0 {
+		if len(degrees) != ranks {
+			return nil, fmt.Errorf("cluster: %d degrees for %d ranks", len(degrees), ranks)
+		}
+		copy(out, degrees)
+	} else {
+		for i := range out {
+			out[i] = r
+		}
+	}
+	for _, rank := range unreplicated {
+		if rank < 0 || rank >= ranks {
+			return nil, fmt.Errorf("cluster: unreplicated rank %d outside [0,%d)", rank, ranks)
+		}
+		out[rank] = 1
+	}
+	return out, nil
 }
 
 // harness is the launcher-side surface an Env talks back to. Two
@@ -222,7 +297,7 @@ func (e *Env) isWriter() bool {
 // writerRep elects a rank's designated I/O writer under an alive view: the
 // lowest-index replica believed alive, or -1 when the view has none.
 func writerRep(l core.Layout, rank int, alive func(transport.ProcID) bool) int {
-	for rep := 0; rep < l.R; rep++ {
+	for rep := 0; rep < l.Degree(rank); rep++ {
 		if alive(l.Phys(rep, rank)) {
 			return rep
 		}
@@ -261,13 +336,14 @@ func (e *Env) Step(step int, snapshot func() []byte) {
 	e.h.stepHook(e, step, snapshot)
 }
 
-// ProcReport describes one physical process's outcome.
+// ProcReport describes one physical process's outcome. Under partial
+// replication only the replicas the degree vector names exist — the
+// physical-ID space is dense, so there are no placeholder entries.
 type ProcReport struct {
 	Proc    transport.ProcID
 	Rank    int
 	Rep     int
 	Crashed bool // scheduled fail-stop realized
-	Phantom bool // never spawned (partial replication)
 	Err     error
 	Result  any
 	Elapsed time.Duration
@@ -443,9 +519,15 @@ func (rs *runState) exhaustedRank() int {
 // with Env.Restored seeded from that wave, repeating until the application
 // completes. Scheduled crashes fire at most once across epochs.
 func Run(cfg Config, app AppFunc) *Report {
+	layout, err := cfg.layout()
+	if err == nil {
+		err = validateSchedule(layout, cfg.Failures, cfg.Recoveries)
+	}
+	if err != nil {
+		return &Report{Config: cfg, Procs: []ProcReport{{Err: err}}, RestartWave: -1}
+	}
 	var store *ckpt.Store
 	if cfg.CheckpointDir != "" {
-		var err error
 		store, err = ckpt.NewStore(cfg.CheckpointDir)
 		if err != nil {
 			return &Report{Config: cfg, Procs: []ProcReport{{Err: err}}, RestartWave: -1}
@@ -461,7 +543,7 @@ func Run(cfg Config, app AppFunc) *Report {
 	// explicit budget so a misbehaving store cannot loop the launcher.
 	maxRestarts := len(cfg.Failures) + 1
 	for {
-		rep, rs := runOnce(cfg, app, store, fired, restart, restartWave, restarts)
+		rep, rs := runOnce(cfg, layout, app, store, fired, restart, restartWave, restarts)
 		total += rep.Elapsed
 		rep.Elapsed = total
 		rep.Restarts = restarts
@@ -501,9 +583,7 @@ func Run(cfg Config, app AppFunc) *Report {
 }
 
 // runOnce executes one epoch: spawn, watchdog, aggregate.
-func runOnce(cfg Config, app AppFunc, store *ckpt.Store, fired *firedSet, restart [][]byte, restartWave, epoch int) (*Report, *runState) {
-	r := cfg.replication()
-	layout := core.Layout{N: cfg.Ranks, R: r}
+func runOnce(cfg Config, layout core.Layout, app AppFunc, store *ckpt.Store, fired *firedSet, restart [][]byte, restartWave, epoch int) (*Report, *runState) {
 	nw := transport.NewNetwork(layout.Procs(), cfg.Delay)
 	defer nw.Close()
 	if cfg.UseTCP {
@@ -530,30 +610,16 @@ func runOnce(cfg Config, app AppFunc, store *ckpt.Store, fired *firedSet, restar
 		recorders:   make(map[transport.ProcID]*trace.Recorder),
 	}
 
-	// Partial replication: phantom replicas are dead before the first
-	// event. Kill them before any process starts, so every protocol
-	// instance is constructed with (or notified of) the reduced world.
-	phantom := make(map[transport.ProcID]bool)
-	for _, rank := range cfg.UnreplicatedRanks {
-		for rep := 1; rep < r; rep++ {
-			phantom[layout.Phys(rep, rank)] = true
-		}
-	}
-	for p := range phantom {
-		nw.Kill(p)
-	}
-
+	// Partial replication needs no special casing here: the degree-aware
+	// layout's physical-ID space is dense, so every ID names a process
+	// that really exists and the spawn loop launches exactly Σ degrees
+	// goroutines — no phantom slots, reports, or detector traffic.
 	timeout := cfg.timeout()
 	start := time.Now()
 	for i := 0; i < layout.Procs(); i++ {
-		id := transport.ProcID(i)
-		if phantom[id] {
-			rs.reports[i] = ProcReport{Proc: id, Rank: layout.RankOf(id), Rep: layout.RepOf(id), Phantom: true}
-			continue
-		}
 		rs.wg.Add(1)
 		rs.spawned.Add(1)
-		go rs.runProc(id, nil, nil)
+		go rs.runProc(transport.ProcID(i), nil, nil)
 	}
 
 	done := make(chan struct{})

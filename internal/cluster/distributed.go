@@ -28,8 +28,12 @@ const (
 	EnvProc = "SDR_DIST_PROC"
 	// EnvRanks is the logical world size n.
 	EnvRanks = "SDR_DIST_RANKS"
-	// EnvRepl is the replication degree r.
+	// EnvRepl is the maximum replication degree r.
 	EnvRepl = "SDR_DIST_R"
+	// EnvDegrees is the comma-separated per-rank replication degree
+	// vector ("2,1,2,1"); empty means the uniform degree r for every
+	// rank. Workers rebuild the same dense degree-aware layout from it.
+	EnvDegrees = "SDR_DIST_DEGREES"
 	// EnvProtocol is the protocol name (native | sdr | mirror | leader).
 	EnvProtocol = "SDR_DIST_PROTOCOL"
 	// EnvCkptDir is the shared checkpoint directory (may be empty).
@@ -45,7 +49,8 @@ const (
 )
 
 // DistConfig describes one distributed run: the same knobs as Config, but
-// executed as r·n real OS processes under a coordinator.
+// executed as real OS processes (one per layout slot) under a
+// coordinator.
 type DistConfig struct {
 	Ranks       int
 	Replication int
@@ -55,6 +60,12 @@ type DistConfig struct {
 	// Step(AtStep) it reports the boundary and the coordinator kills the
 	// process. Events fire at most once across restart epochs.
 	Failures []FailureEvent
+
+	// UnreplicatedRanks and Degrees select partial replication exactly
+	// as in Config: only the replicas the degree vector names are
+	// spawned as OS processes (Σ degrees workers, not r·n).
+	UnreplicatedRanks []int
+	Degrees           []int
 
 	// CheckpointDir is the shared checkpoint store — the rollback medium.
 	// Required for the second rung of the recovery ladder; without it,
@@ -103,6 +114,29 @@ func (c DistConfig) replication() int {
 		return 2
 	}
 	return c.Replication
+}
+
+// layout builds the (possibly degree-aware) replica layout for the run.
+func (c DistConfig) layout() (core.Layout, error) {
+	degrees, err := degreeVector(c.Ranks, c.replication(), c.Degrees, c.UnreplicatedRanks)
+	if err != nil {
+		return core.Layout{}, err
+	}
+	return core.NewLayout(c.Ranks, c.replication(), degrees)
+}
+
+// formatDegrees renders a layout's degree vector for the env contract:
+// comma-separated degrees, or "" for a uniform layout.
+func formatDegrees(l core.Layout) string {
+	ds := l.DegreeVector()
+	if ds == nil {
+		return ""
+	}
+	parts := make([]string, len(ds))
+	for i, d := range ds {
+		parts[i] = strconv.Itoa(d)
+	}
+	return strings.Join(parts, ",")
 }
 
 // DistProcReport is one worker's outcome in the final epoch.
@@ -176,8 +210,9 @@ func (p Protocol) coreMode() core.Mode {
 	}
 }
 
-// RunDistributed executes the application as r·n real OS processes and
-// returns the aggregated report. It is the cross-process generalization of
+// RunDistributed executes the application as real OS processes — one per
+// slot of the (possibly degree-aware) layout — and returns the aggregated
+// report. It is the cross-process generalization of
 // Run's epoch loop: the coordinator spawns workers, hands out the
 // rendezvous world through the registry, streams their output, SIGKILLs
 // scheduled victims at their reported step boundaries, broadcasts failure
@@ -190,6 +225,14 @@ func RunDistributed(cfg DistConfig) *DistReport {
 		Replication: cfg.replication(),
 		Protocol:    cfg.Protocol,
 		RestartWave: -1,
+	}
+	layout, err := cfg.layout()
+	if err == nil {
+		err = validateSchedule(layout, cfg.Failures, nil)
+	}
+	if err != nil {
+		rep.ExhaustErr = err
+		return rep
 	}
 	var store *ckpt.Store
 	if cfg.CheckpointDir != "" {
@@ -219,7 +262,7 @@ func RunDistributed(cfg DistConfig) *DistReport {
 	}
 	restartWave := -1
 	for {
-		ep := runDistEpoch(cfg, store, fired, restartWave, rep.Restarts)
+		ep := runDistEpoch(cfg, layout, store, fired, restartWave, rep.Restarts)
 		rep.Elapsed += ep.elapsed
 		rep.Procs = ep.procs
 		rep.TimedOut = ep.timedOut
@@ -278,9 +321,7 @@ type procExit struct {
 
 // runDistEpoch spawns one full set of workers and runs the epoch's event
 // loop until completion, exhaustion, or the watchdog.
-func runDistEpoch(cfg DistConfig, store *ckpt.Store, fired []bool, wave, epoch int) distEpoch {
-	r := cfg.replication()
-	layout := core.Layout{N: cfg.Ranks, R: r}
+func runDistEpoch(cfg DistConfig, layout core.Layout, store *ckpt.Store, fired []bool, wave, epoch int) distEpoch {
 	procs := layout.Procs()
 
 	reg, err := newRegistry(procs, cfg.Ranks, store)
@@ -458,6 +499,7 @@ func spawnWorker(cfg DistConfig, regAddr string, layout core.Layout, proc int, f
 		fmt.Sprintf("%s=%d", EnvProc, proc),
 		fmt.Sprintf("%s=%d", EnvRanks, cfg.Ranks),
 		fmt.Sprintf("%s=%d", EnvRepl, layout.R),
+		EnvDegrees+"="+formatDegrees(layout),
 		EnvProtocol+"="+string(cfg.Protocol),
 		EnvCkptDir+"="+cfg.CheckpointDir,
 		fmt.Sprintf("%s=%d", EnvWave, wave),

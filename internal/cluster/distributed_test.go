@@ -227,6 +227,100 @@ func TestDistributedRollbackRealProcesses(t *testing.T) {
 	}
 }
 
+// TestDistributedPartialReplicationSubstitution proves the distributed
+// runtime honors the degree vector: rank 0 runs unreplicated, so only 3
+// worker OS processes exist (not 4), and a SIGKILL of the replicated
+// rank's second replica is still absorbed by substitution.
+func TestDistributedPartialReplicationSubstitution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real worker processes")
+	}
+	const steps = 12
+	rep := RunDistributed(DistConfig{
+		Ranks:             2,
+		Replication:       2,
+		Protocol:          SDR,
+		UnreplicatedRanks: []int{0},
+		Failures: []FailureEvent{
+			{Rank: 1, Rep: 1, AtStep: 5},
+		},
+		CheckpointDir: t.TempDir(),
+		WorkerCmd:     []string{os.Args[0], "-test.run=^TestDistWorkerHelper$"},
+		LogSink:       io.Discard,
+		Timeout:       60 * time.Second,
+	})
+	if err := rep.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Procs) != 3 {
+		t.Fatalf("spawned %d workers, want 3 (dense degree-aware layout)", len(rep.Procs))
+	}
+	if rep.Restarts != 0 {
+		t.Fatalf("Restarts = %d, want 0 (replicated-rank loss must be absorbed)", rep.Restarts)
+	}
+	want := float64(wantPingPong(steps))
+	killed := 0
+	for _, p := range rep.Procs {
+		if p.Crashed {
+			killed++
+			continue
+		}
+		if p.Result.Checksum != want {
+			t.Errorf("rank %d rep %d: checksum %v, want %v", p.Rank, p.Rep, p.Result.Checksum, want)
+		}
+	}
+	if killed != 1 {
+		t.Errorf("killed = %d, want exactly the scheduled victim", killed)
+	}
+}
+
+// TestDistributedPartialUnreplicatedKillRollsBack is the partial
+// failure ladder across real processes: the unreplicated rank's only
+// replica is SIGKILLed, so there is no substitution rung — the
+// coordinator must go straight to a rollback restart from the latest
+// committed wave and the survivors must compute the fault-free answer.
+func TestDistributedPartialUnreplicatedKillRollsBack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real worker processes")
+	}
+	const steps = 12
+	rep := RunDistributed(DistConfig{
+		Ranks:             2,
+		Replication:       2,
+		Protocol:          SDR,
+		UnreplicatedRanks: []int{0},
+		Failures: []FailureEvent{
+			{Rank: 0, Rep: 0, AtStep: 7},
+		},
+		CheckpointDir: t.TempDir(),
+		WorkerCmd:     []string{os.Args[0], "-test.run=^TestDistWorkerHelper$"},
+		LogSink:       io.Discard,
+		Timeout:       60 * time.Second,
+	})
+	if err := rep.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Procs) != 3 {
+		t.Fatalf("spawned %d workers, want 3", len(rep.Procs))
+	}
+	if rep.Restarts != 1 {
+		t.Fatalf("Restarts = %d, want 1 (unreplicated loss must roll back)", rep.Restarts)
+	}
+	if rep.RestartWave != 6 && rep.RestartWave != 3 {
+		t.Errorf("RestartWave = %d, want a committed wave (3 or 6)", rep.RestartWave)
+	}
+	want := float64(wantPingPong(steps))
+	for _, p := range rep.Procs {
+		if p.Crashed {
+			t.Errorf("rank %d rep %d: crashed in the final epoch", p.Rank, p.Rep)
+			continue
+		}
+		if p.Result.Checksum != want {
+			t.Errorf("rank %d rep %d: checksum %v, want %v", p.Rank, p.Rep, p.Result.Checksum, want)
+		}
+	}
+}
+
 // TestDistributedSurvivesSingleReplicaKill is the substitution rung, cross
 // process: one SIGKILLed replica, no rollback, identical results.
 func TestDistributedSurvivesSingleReplicaKill(t *testing.T) {

@@ -8,8 +8,9 @@ import (
 )
 
 func TestPartialReplicationBasic(t *testing.T) {
-	// Ranks 1 and 3 run single; 0 and 2 are dual-replicated. All logical
-	// ranks must compute identical results.
+	// Ranks 1 and 3 run single; 0 and 2 are dual-replicated. The layout
+	// is dense: exactly 6 processes exist (no phantom slots), and all
+	// logical ranks must compute identical results.
 	rep := Run(Config{
 		Ranks: 4, Protocol: SDR, Timeout: 30 * time.Second,
 		UnreplicatedRanks: []int{1, 3},
@@ -17,15 +18,18 @@ func TestPartialReplicationBasic(t *testing.T) {
 	if err := rep.FirstError(); err != nil {
 		t.Fatal(err)
 	}
+	if len(rep.Procs) != 6 {
+		t.Errorf("spawned %d processes, want 6 (dense degree-aware layout)", len(rep.Procs))
+	}
 	var want any
-	spawned := 0
-	phantoms := 0
+	singles := 0
 	for _, p := range rep.Procs {
-		if p.Phantom {
-			phantoms++
-			continue
+		if p.Rank == 1 || p.Rank == 3 {
+			if p.Rep != 0 {
+				t.Errorf("unreplicated rank %d has replica %d", p.Rank, p.Rep)
+			}
+			singles++
 		}
-		spawned++
 		if want == nil {
 			want = p.Result
 		}
@@ -33,8 +37,70 @@ func TestPartialReplicationBasic(t *testing.T) {
 			t.Errorf("rank %d rep %d: %v want %v", p.Rank, p.Rep, p.Result, want)
 		}
 	}
-	if phantoms != 2 || spawned != 6 {
-		t.Errorf("phantoms=%d spawned=%d, want 2/6", phantoms, spawned)
+	if singles != 2 {
+		t.Errorf("unreplicated processes = %d, want 2", singles)
+	}
+}
+
+func TestPartialReplicationDegreeVector(t *testing.T) {
+	// An explicit per-rank degree vector under r=3: 3+1+2 = 6 processes,
+	// identical results everywhere.
+	rep := Run(Config{
+		Ranks: 3, Protocol: SDR, Replication: 3, Timeout: 30 * time.Second,
+		Degrees: []int{3, 1, 2},
+	}, ringApp(5))
+	if err := rep.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Procs) != 6 {
+		t.Fatalf("spawned %d processes, want 6 for degrees [3 1 2]", len(rep.Procs))
+	}
+	perRank := map[int]int{}
+	var want any
+	for _, p := range rep.Procs {
+		perRank[p.Rank]++
+		if want == nil {
+			want = p.Result
+		}
+		if p.Result != want {
+			t.Errorf("rank %d rep %d: %v want %v", p.Rank, p.Rep, p.Result, want)
+		}
+	}
+	for rank, wantDeg := range map[int]int{0: 3, 1: 1, 2: 2} {
+		if perRank[rank] != wantDeg {
+			t.Errorf("rank %d ran %d replicas, want %d", rank, perRank[rank], wantDeg)
+		}
+	}
+}
+
+func TestPartialReplicationRejectsBadDegrees(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"wrong length":      {Ranks: 4, Protocol: SDR, Degrees: []int{2, 1}},
+		"degree above r":    {Ranks: 2, Protocol: SDR, Replication: 2, Degrees: []int{3, 2}},
+		"rank out of range": {Ranks: 2, Protocol: SDR, UnreplicatedRanks: []int{5}},
+		"kill of pruned replica": {Ranks: 2, Protocol: SDR, UnreplicatedRanks: []int{1},
+			Failures: []FailureEvent{{Rank: 1, Rep: 1, AtStep: 2}}},
+		"recovery of pruned replica": {Ranks: 2, Protocol: SDR, UnreplicatedRanks: []int{1},
+			Recoveries: []RecoveryEvent{{Rank: 1, Rep: 1, AtStep: 2}}},
+	} {
+		rep := Run(cfg, ringApp(2))
+		if rep.FirstError() == nil {
+			t.Errorf("%s: invalid layout accepted", name)
+		}
+	}
+}
+
+func TestDistributedRejectsKillOfPrunedReplica(t *testing.T) {
+	// A -kill naming a replica the degree vector prunes must fail fast:
+	// silently never firing would make the fault-injection run pass
+	// without injecting anything.
+	rep := RunDistributed(DistConfig{
+		Ranks: 2, Replication: 2, Protocol: SDR,
+		UnreplicatedRanks: []int{1},
+		Failures:          []FailureEvent{{Rank: 1, Rep: 1, AtStep: 2}},
+	})
+	if rep.FirstError() == nil {
+		t.Fatal("kill of a pruned replica accepted")
 	}
 }
 
@@ -66,7 +132,7 @@ func TestPartialReplicationCollectivesAndWildcards(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, p := range rep.Procs {
-		if !p.Phantom && p.Result != 10.0 {
+		if p.Result != 10.0 {
 			t.Errorf("rank %d rep %d: %v", p.Rank, p.Rep, p.Result)
 		}
 	}
@@ -80,11 +146,11 @@ func TestPartialReplicationMirror(t *testing.T) {
 	if err := rep.FirstError(); err != nil {
 		t.Fatal(err)
 	}
+	if len(rep.Procs) != 5 {
+		t.Errorf("spawned %d processes, want 5", len(rep.Procs))
+	}
 	var want any
 	for _, p := range rep.Procs {
-		if p.Phantom {
-			continue
-		}
 		if want == nil {
 			want = p.Result
 		}
@@ -107,7 +173,7 @@ func TestPartialReplicationSurvivesReplicatedRankFailure(t *testing.T) {
 	}
 	var want any
 	for _, p := range rep.Procs {
-		if p.Phantom || p.Crashed {
+		if p.Crashed {
 			continue
 		}
 		if want == nil {
@@ -132,6 +198,39 @@ func TestPartialReplicationUnreplicatedFailureIsFatal(t *testing.T) {
 	}
 	if rep.ExhaustErr == nil || rep.FirstError() == nil {
 		t.Error("expected a replication-exhausted error (no checkpoint store to roll back to)")
+	}
+}
+
+func TestPartialReplicationUnreplicatedFailureRollsBack(t *testing.T) {
+	// The partial-replication failure ladder: an unreplicated rank dying
+	// skips substitution and goes straight to rollback — with a store,
+	// the run restarts from the latest committed wave and completes with
+	// the fault-free answer.
+	const steps, every = 12, 3
+	rep := Run(Config{
+		Ranks: 2, Protocol: SDR, Timeout: 30 * time.Second,
+		UnreplicatedRanks: []int{1},
+		CheckpointDir:     t.TempDir(),
+		Failures:          []FailureEvent{{Rank: 1, Rep: 0, AtStep: 7}},
+	}, rollbackApp(steps, every))
+	if err := rep.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restarts != 1 {
+		t.Fatalf("Restarts = %d, want 1 (unreplicated loss must escalate to rollback)", rep.Restarts)
+	}
+	if rep.RestartWave != 6 && rep.RestartWave != 3 {
+		t.Errorf("RestartWave = %d, want a committed wave (3 or 6)", rep.RestartWave)
+	}
+	want := wantPingPong(steps)
+	for _, p := range rep.Procs {
+		if p.Crashed {
+			t.Errorf("rank %d rep %d: crashed in the final epoch", p.Rank, p.Rep)
+			continue
+		}
+		if p.Result != want {
+			t.Errorf("rank %d rep %d: %v want %v", p.Rank, p.Rep, p.Result, want)
+		}
 	}
 }
 

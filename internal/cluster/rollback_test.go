@@ -85,7 +85,7 @@ func TestRollbackSeedsRestoredState(t *testing.T) {
 		t.Errorf("RestartWave = %d, want a committed wave (3 or 6)", rep.RestartWave)
 	}
 	for _, p := range rep.Procs {
-		if p.Crashed || p.Phantom {
+		if p.Crashed {
 			t.Errorf("rank %d rep %d: unexpected crash in the final epoch", p.Rank, p.Rep)
 			continue
 		}

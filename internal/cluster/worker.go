@@ -22,7 +22,8 @@ import (
 type WorkerConfig struct {
 	Proc          transport.ProcID
 	Ranks         int
-	Replication   int
+	Replication   int   // maximum replication degree
+	Degrees       []int // per-rank degree vector; nil = uniform Replication
 	Protocol      Protocol
 	Registry      string
 	CheckpointDir string
@@ -73,6 +74,15 @@ func WorkerConfigFromEnv() (WorkerConfig, error) {
 				return cfg, fmt.Errorf("cluster: bad %s entry %q", EnvKills, s)
 			}
 			cfg.KillSteps = append(cfg.KillSteps, st)
+		}
+	}
+	if ds := os.Getenv(EnvDegrees); ds != "" {
+		for _, s := range strings.Split(ds, ",") {
+			d, err := strconv.Atoi(s)
+			if err != nil {
+				return cfg, fmt.Errorf("cluster: bad %s entry %q", EnvDegrees, s)
+			}
+			cfg.Degrees = append(cfg.Degrees, d)
 		}
 	}
 	if cfg.Registry == "" {
@@ -134,7 +144,10 @@ func RunWorker(cfg WorkerConfig, app AppFunc) int {
 		return workerExitConfig
 	}
 
-	layout := core.Layout{N: cfg.Ranks, R: cfg.Replication}
+	layout, err := core.NewLayout(cfg.Ranks, cfg.Replication, cfg.Degrees)
+	if err != nil {
+		return fail(err)
+	}
 	rank := layout.RankOf(cfg.Proc)
 	rep := layout.RepOf(cfg.Proc)
 

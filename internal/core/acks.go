@@ -201,6 +201,22 @@ func (p *Replicated) applyAck(ctx uint32, seq uint64, src transport.ProcID) {
 	}
 }
 
+// dropEarlyAck discards a recorded early ack from q for key, reporting
+// whether one existed. Early acks are consumed when the send is posted
+// with q as an expected acker, and dropped as moot when q is instead a
+// direct destination (a take-over converted it) or has died.
+func (p *Replicated) dropEarlyAck(key retKey, q transport.ProcID) bool {
+	ea := p.earlyAcks[key]
+	if ea == nil || !ea[q] {
+		return false
+	}
+	delete(ea, q)
+	if len(ea) == 0 {
+		delete(p.earlyAcks, key)
+	}
+	return true
+}
+
 // dropRetain releases a retention entry, recycling a pooled payload.
 func (p *Replicated) dropRetain(key retKey, entry *sendEntry) {
 	delete(p.retain, key)
@@ -217,7 +233,7 @@ func (p *Replicated) dropRetain(key retKey, entry *sendEntry) {
 func (p *Replicated) sendAcksFor(ps mpi.PStatus) {
 	srcRank := int(ps.Meta[mpi.MetaSrcRank])
 	senderWorld := int(ps.Meta[mpi.MetaWorld])
-	for rep := 0; rep < p.layout.R; rep++ {
+	for rep := 0; rep < p.layout.Degree(srcRank); rep++ {
 		if rep == senderWorld {
 			continue
 		}

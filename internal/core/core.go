@@ -61,28 +61,131 @@ func (m Mode) String() string {
 	}
 }
 
-// Layout maps (replica, logical rank) pairs onto physical processes: the
-// application is launched with r·n processes and physical process
-// rep·n + rank is replica `rep` of rank `rank` (the paper's Figure 6
-// world separation).
+// Layout maps (replica, logical rank) pairs onto physical processes.
+//
+// A uniform layout (the paper's Figure 6 world separation) launches r·n
+// processes and physical process rep·n + rank is replica `rep` of rank
+// `rank`. A degree-aware layout (§5's partial-replication outlook)
+// additionally carries a per-rank replication vector: rank i runs
+// degrees[i] replicas, 1 ≤ degrees[i] ≤ R, and the physical-ID space is
+// dense — Σ degrees[i] processes, with no slots for replicas that do not
+// exist. The enumeration stays world-major so it degenerates to the
+// uniform formula when every degree equals R: world k contains replica k
+// of every rank whose degree exceeds k, in rank order.
 type Layout struct {
 	N int // logical ranks
-	R int // replication degree
+	R int // maximum replication degree
+
+	// degrees[rank] is rank's replication degree; nil means the uniform
+	// R for every rank. Non-uniform layouts must be built with NewLayout
+	// so the dense lookup tables below exist.
+	degrees []int
+	physTab []transport.ProcID // rep*N+rank → physical ID, NoProc if absent
+	rankTab []int              // physical ID → logical rank
+	repTab  []int              // physical ID → replica (world) index
+	nprocs  int
 }
 
-// Phys returns the physical process implementing replica rep of rank.
+// NewLayout builds a layout for n ranks with maximum degree r. A nil
+// degree vector — or one that is r everywhere — yields the uniform
+// layout; otherwise degrees[rank] gives rank's replica count and the
+// physical-ID space is dense.
+func NewLayout(n, r int, degrees []int) (Layout, error) {
+	if n <= 0 || r <= 0 {
+		return Layout{}, fmt.Errorf("core: layout needs n ≥ 1, r ≥ 1 (got n=%d r=%d)", n, r)
+	}
+	uniform := degrees == nil
+	if degrees != nil {
+		if len(degrees) != n {
+			return Layout{}, fmt.Errorf("core: degree vector has %d entries for %d ranks", len(degrees), n)
+		}
+		uniform = true
+		for rank, d := range degrees {
+			if d < 1 || d > r {
+				return Layout{}, fmt.Errorf("core: rank %d degree %d outside [1,%d]", rank, d, r)
+			}
+			if d != r {
+				uniform = false
+			}
+		}
+	}
+	if uniform {
+		return Layout{N: n, R: r}, nil
+	}
+	l := Layout{
+		N:       n,
+		R:       r,
+		degrees: append([]int(nil), degrees...),
+		physTab: make([]transport.ProcID, n*r),
+	}
+	for rep := 0; rep < r; rep++ {
+		for rank := 0; rank < n; rank++ {
+			if degrees[rank] > rep {
+				l.physTab[rep*n+rank] = transport.ProcID(l.nprocs)
+				l.rankTab = append(l.rankTab, rank)
+				l.repTab = append(l.repTab, rep)
+				l.nprocs++
+			} else {
+				l.physTab[rep*n+rank] = transport.NoProc
+			}
+		}
+	}
+	return l, nil
+}
+
+// Uniform reports whether every rank runs the same degree R.
+func (l Layout) Uniform() bool { return l.degrees == nil }
+
+// Degree returns rank's replication degree.
+func (l Layout) Degree(rank int) int {
+	if l.degrees == nil {
+		return l.R
+	}
+	return l.degrees[rank]
+}
+
+// DegreeVector returns a copy of the per-rank degree vector, or nil for a
+// uniform layout (callers encode nil as "uniform R" on the wire).
+func (l Layout) DegreeVector() []int {
+	if l.degrees == nil {
+		return nil
+	}
+	return append([]int(nil), l.degrees...)
+}
+
+// Phys returns the physical process implementing replica rep of rank, or
+// transport.NoProc when the rank's degree does not reach that replica.
 func (l Layout) Phys(rep, rank int) transport.ProcID {
-	return transport.ProcID(rep*l.N + rank)
+	if l.degrees == nil {
+		return transport.ProcID(rep*l.N + rank)
+	}
+	return l.physTab[rep*l.N+rank]
 }
 
 // RankOf returns the logical rank of a physical process.
-func (l Layout) RankOf(p transport.ProcID) int { return int(p) % l.N }
+func (l Layout) RankOf(p transport.ProcID) int {
+	if l.degrees == nil {
+		return int(p) % l.N
+	}
+	return l.rankTab[int(p)]
+}
 
 // RepOf returns the replica (world) index of a physical process.
-func (l Layout) RepOf(p transport.ProcID) int { return int(p) / l.N }
+func (l Layout) RepOf(p transport.ProcID) int {
+	if l.degrees == nil {
+		return int(p) / l.N
+	}
+	return l.repTab[int(p)]
+}
 
-// Procs returns the total number of physical processes.
-func (l Layout) Procs() int { return l.N * l.R }
+// Procs returns the total number of physical processes: r·n for a
+// uniform layout, Σ degrees[i] for a degree-aware one.
+func (l Layout) Procs() int {
+	if l.degrees == nil {
+		return l.N * l.R
+	}
+	return l.nprocs
+}
 
 // Options tune the protocol; the zero value is the paper's configuration.
 type Options struct {

@@ -47,6 +47,17 @@ func (p *Replicated) onFailure(dead transport.ProcID) {
 				}
 			}
 		}
+		// Early acks recorded FROM the dead process can never be
+		// consumed — Isend checks them only for alive destinations — so
+		// without this sweep the records stay reachable forever.
+		for key, ea := range p.earlyAcks {
+			if ea[dead] {
+				delete(ea, dead)
+				if len(ea) == 0 {
+					delete(p.earlyAcks, key)
+				}
+			}
+		}
 
 		if deadRank == p.myRank {
 			// Lines 20–27: I am a replica of the failed process's rank.
@@ -77,7 +88,7 @@ func (p *Replicated) onFailure(dead transport.ProcID) {
 // (line 19). Every process computes the same answer from the consistent
 // failure view.
 func (p *Replicated) electSubstitute(rank int) int {
-	for rep := 0; rep < p.layout.R; rep++ {
+	for rep := 0; rep < p.layout.Degree(rank); rep++ {
 		if p.alive[int(p.layout.Phys(rep, rank))] {
 			return rep
 		}
@@ -95,6 +106,9 @@ func (p *Replicated) takeOver(deadRep int) {
 			continue
 		}
 		for j := 0; j < p.layout.N; j++ {
+			if l >= p.layout.Degree(j) {
+				continue // world l has no member of rank j
+			}
 			q := p.layout.Phys(l, j)
 			if q == p.proc.ID() || !p.alive[int(q)] {
 				continue

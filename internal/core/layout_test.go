@@ -3,6 +3,8 @@ package core
 import (
 	"testing"
 	"testing/quick"
+
+	"repro/internal/transport"
 )
 
 func TestLayoutMapping(t *testing.T) {
@@ -30,6 +32,128 @@ func TestLayoutRoundTripProperty(t *testing.T) {
 		rk := int(rank) % l.N
 		p := l.Phys(rp, rk)
 		return l.RankOf(p) == rk && l.RepOf(p) == rp && int(p) < l.Procs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeLayoutDenseMapping(t *testing.T) {
+	// degrees [2,1,2,1] under r=2: world 0 is ranks 0..3 (procs 0..3),
+	// world 1 holds only ranks 0 and 2 (procs 4,5) — 6 processes, dense.
+	l, err := NewLayout(4, 2, []int{2, 1, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Uniform() {
+		t.Fatal("degree-aware layout reported uniform")
+	}
+	if l.Procs() != 6 {
+		t.Fatalf("procs = %d, want 6", l.Procs())
+	}
+	wantPhys := map[[2]int]transport.ProcID{
+		{0, 0}: 0, {0, 1}: 1, {0, 2}: 2, {0, 3}: 3,
+		{1, 0}: 4, {1, 2}: 5,
+	}
+	for k, want := range wantPhys {
+		if got := l.Phys(k[0], k[1]); got != want {
+			t.Errorf("Phys(%d,%d) = %d, want %d", k[0], k[1], got, want)
+		}
+	}
+	if got := l.Phys(1, 1); got != transport.NoProc {
+		t.Errorf("Phys(1,1) = %d, want NoProc for a missing replica", got)
+	}
+	if got := l.Phys(1, 3); got != transport.NoProc {
+		t.Errorf("Phys(1,3) = %d, want NoProc for a missing replica", got)
+	}
+	for rep := 0; rep < l.R; rep++ {
+		for rank := 0; rank < l.N; rank++ {
+			p := l.Phys(rep, rank)
+			if p == transport.NoProc {
+				continue
+			}
+			if l.RankOf(p) != rank || l.RepOf(p) != rep {
+				t.Errorf("roundtrip failed for rep=%d rank=%d (proc %d)", rep, rank, p)
+			}
+		}
+	}
+	if got := l.DegreeVector(); len(got) != 4 || got[1] != 1 || got[0] != 2 {
+		t.Errorf("DegreeVector = %v", got)
+	}
+}
+
+func TestDegreeLayoutUniformNormalization(t *testing.T) {
+	// A vector that is r everywhere is the uniform layout: same mapping
+	// as the {N,R} literal, and DegreeVector reports nil.
+	l, err := NewLayout(3, 2, []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Uniform() || l.DegreeVector() != nil {
+		t.Fatal("all-r degree vector must normalize to the uniform layout")
+	}
+	lit := Layout{N: 3, R: 2}
+	for rep := 0; rep < 2; rep++ {
+		for rank := 0; rank < 3; rank++ {
+			if l.Phys(rep, rank) != lit.Phys(rep, rank) {
+				t.Fatalf("uniform mapping diverged at rep=%d rank=%d", rep, rank)
+			}
+		}
+	}
+}
+
+func TestNewLayoutRejectsBadVectors(t *testing.T) {
+	cases := map[string]struct {
+		n, r    int
+		degrees []int
+	}{
+		"zero ranks":    {0, 2, nil},
+		"zero r":        {2, 0, nil},
+		"wrong length":  {3, 2, []int{2, 2}},
+		"degree zero":   {2, 2, []int{0, 2}},
+		"degree over r": {2, 2, []int{3, 2}},
+	}
+	for name, c := range cases {
+		if _, err := NewLayout(c.n, c.r, c.degrees); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDegreeLayoutRoundTripProperty(t *testing.T) {
+	f := func(n, r uint8, seed uint64) bool {
+		N := int(n%8) + 1
+		R := int(r%4) + 1
+		degrees := make([]int, N)
+		for i := range degrees {
+			degrees[i] = int(seed>>(3*uint(i))&0x7)%R + 1
+		}
+		l, err := NewLayout(N, R, degrees)
+		if err != nil {
+			return false
+		}
+		total := 0
+		seen := make(map[transport.ProcID]bool)
+		for rank := 0; rank < N; rank++ {
+			total += l.Degree(rank)
+			for rep := 0; rep < R; rep++ {
+				p := l.Phys(rep, rank)
+				if rep >= l.Degree(rank) {
+					if p != transport.NoProc {
+						return false
+					}
+					continue
+				}
+				if p == transport.NoProc || seen[p] || int(p) >= l.Procs() {
+					return false
+				}
+				seen[p] = true
+				if l.RankOf(p) != rank || l.RepOf(p) != rep {
+					return false
+				}
+			}
+		}
+		return total == l.Procs()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)

@@ -95,7 +95,7 @@ func (p *Replicated) onMatchLeader(pr *mpi.PReq, m *transport.Message) {
 // sendDecision informs the other replicas of this rank which source the
 // leader's wildcard consumed.
 func (p *Replicated) sendDecision(idx uint64, srcRank int) {
-	for rep := 1; rep < p.layout.R; rep++ {
+	for rep := 1; rep < p.layout.Degree(p.myRank); rep++ {
 		q := p.layout.Phys(rep, p.myRank)
 		if !p.alive[int(q)] {
 			continue

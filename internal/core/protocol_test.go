@@ -17,7 +17,15 @@ import (
 func miniWorld(t *testing.T, n, r int, mode Mode, opts Options,
 	fn func(world *mpi.Comm, p *Replicated)) map[transport.ProcID]*Replicated {
 	t.Helper()
-	layout := Layout{N: n, R: r}
+	return miniWorldLayout(t, Layout{N: n, R: r}, mode, opts, fn)
+}
+
+// miniWorldLayout is miniWorld for an arbitrary (possibly degree-aware)
+// layout.
+func miniWorldLayout(t *testing.T, layout Layout, mode Mode, opts Options,
+	fn func(world *mpi.Comm, p *Replicated)) map[transport.ProcID]*Replicated {
+	t.Helper()
+	n := layout.N
 	nw := transport.NewNetwork(layout.Procs(), nil)
 	det := detect.NewService(nw)
 	protos := make(map[transport.ProcID]*Replicated, layout.Procs())
@@ -175,6 +183,179 @@ func TestInitialFailuresApplyPartialTopology(t *testing.T) {
 	}
 	if p01.substitute[1] != 0 {
 		t.Errorf("substitute[1] = %d, want 0", p01.substitute[1])
+	}
+}
+
+func TestDegreeAwareConstructionTopology(t *testing.T) {
+	// The dense degree-aware layout builds the partial topology directly
+	// at construction — no phantom kills, no detector traffic. degrees
+	// [2,1]: procs 0 (r0w0), 1 (r1w0), 2 (r0w1).
+	layout, err := NewLayout(2, 2, []int{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := transport.NewNetwork(layout.Procs(), nil)
+	defer nw.Close()
+	det := detect.NewService(nw)
+
+	// World-1 rank 0's view: physicalSrc[1] points at rank 1's only
+	// replica, and its dests for rank 1 are empty (it waits for the
+	// world-0 copy's ack instead).
+	p01 := NewReplicated(mpi.NewProc(nw, layout.Phys(1, 0)), layout, ModeParallel, det, Options{})
+	if p01.physicalSrc[1] != layout.Phys(0, 1) {
+		t.Errorf("physicalSrc[1] = %d", p01.physicalSrc[1])
+	}
+	if len(p01.physicalDests[1]) != 0 {
+		t.Errorf("dests[1] = %v, want empty", p01.physicalDests[1])
+	}
+
+	// Rank 1's only replica serves both worlds: it emits to every
+	// replica of rank 0 and substitutes for its own missing world-1
+	// instance.
+	p10 := NewReplicated(mpi.NewProc(nw, layout.Phys(0, 1)), layout, ModeParallel, det, Options{})
+	if len(p10.physicalDests[0]) != 2 {
+		t.Errorf("survivor dests[0] = %v, want both replicas of rank 0", p10.physicalDests[0])
+	}
+	if p10.substitute[1] != 0 {
+		t.Errorf("substitute[1] = %d, want 0", p10.substitute[1])
+	}
+}
+
+func TestDegreeAwareWorldRunsAndDrains(t *testing.T) {
+	// A full run over a degree-aware layout (degrees [2,1,2]): every
+	// process computes, the ack machinery converges, and no protocol
+	// state leaks. SDC is on to pin the partial-layout hash accounting:
+	// receptions from the unreplicated rank must not accumulate local
+	// hashes that no peer replica will ever pair.
+	layout, err := NewLayout(3, 2, []int{2, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout.Procs() != 5 {
+		t.Fatalf("procs = %d, want 5", layout.Procs())
+	}
+	protos := miniWorldLayout(t, layout, ModeParallel, Options{SDC: true}, func(c *mpi.Comm, p *Replicated) {
+		sum := c.AllreduceFloat64(float64(c.Rank())+1, mpi.OpSum)
+		if sum != 6 {
+			t.Errorf("allreduce = %v", sum)
+		}
+		buf := make([]byte, 8)
+		me, size := int(c.Rank()), c.Size()
+		for i := 0; i < 10; i++ {
+			next := mpi.Rank((me + 1) % size)
+			prev := mpi.Rank((me + size - 1) % size)
+			if me%2 == 0 {
+				c.Send(next, 0, buf)
+				c.Recv(prev, 0, buf)
+			} else {
+				c.Recv(prev, 0, buf)
+				c.Send(next, 0, buf)
+			}
+		}
+		c.Barrier()
+		for i := 0; i < 50; i++ {
+			c.Proc().Engine().Progress()
+		}
+	})
+	if len(protos) != 5 {
+		t.Fatalf("ran %d processes, want 5", len(protos))
+	}
+	for id, p := range protos {
+		if got := p.RetainedCount(); got != 0 {
+			t.Errorf("proc %d: %d retained entries after quiescence", id, got)
+		}
+		if got := len(p.earlyAcks); got != 0 {
+			t.Errorf("proc %d: %d dangling early-ack records", id, got)
+		}
+		if p.SDCDetected() != 0 {
+			t.Errorf("proc %d: false SDC positives: %d", id, p.SDCDetected())
+		}
+		// Receptions from the unreplicated rank must never store a local
+		// hash: no peer replica exists to pair it, so each one would be a
+		// permanent leak. (Degree-2 pairings may legitimately still be in
+		// flight when a fast process stops progressing, so only the
+		// degree-1 invariant is asserted.)
+		for key := range p.sdcLocal {
+			if layout.Degree(key.dstRank) < 2 {
+				t.Errorf("proc %d: unpairable local hash for degree-1 rank %d", id, key.dstRank)
+			}
+		}
+	}
+}
+
+func TestEarlyAcksSweptWhenAckerDies(t *testing.T) {
+	// The earlyAcks leak: an ack recorded from a process that then dies
+	// can never be consumed (Isend checks early acks only for alive
+	// destinations), so the failure handling must sweep it.
+	layout := Layout{N: 2, R: 2}
+	nw := transport.NewNetwork(layout.Procs(), nil)
+	defer nw.Close()
+	det := detect.NewService(nw)
+	p := NewReplicated(mpi.NewProc(nw, layout.Phys(0, 0)), layout, ModeParallel, det, Options{})
+
+	// The other world ran ahead: replica 1 of rank 1 acknowledges a
+	// logical send this replica has not posted yet.
+	acker := layout.Phys(1, 1)
+	p.applyAck(2, 0, acker)
+	if len(p.earlyAcks) != 1 {
+		t.Fatalf("early ack not recorded: %d entries", len(p.earlyAcks))
+	}
+	// The acker dies before this replica posts the send: without the
+	// sweep the record would stay reachable forever.
+	p.onFailure(acker)
+	if got := len(p.earlyAcks); got != 0 {
+		t.Errorf("earlyAcks = %d entries after the acker died, want 0", got)
+	}
+}
+
+func TestEarlyAckDroppedWhenAckerBecomesDirectDestination(t *testing.T) {
+	// The alive-acker variant of the leak: the other world runs ahead and
+	// Phys(1,1) early-acks a send this replica has not posted; then this
+	// replica's own-world peer Phys(1,0) dies, and take-over converts
+	// Phys(1,1) into a direct destination. When the send is finally
+	// posted it goes out directly — the early-ack record is moot and must
+	// be dropped, not orphaned.
+	layout := Layout{N: 2, R: 2}
+	nw := transport.NewNetwork(layout.Procs(), nil)
+	defer nw.Close()
+	det := detect.NewService(nw)
+	proc := mpi.NewProc(nw, layout.Phys(0, 0))
+	p := NewReplicated(proc, layout, ModeParallel, det, Options{})
+	world := mpi.NewWorld(proc, p, 2)
+
+	p.applyAck(world.CtxP2P(), 0, layout.Phys(1, 1))
+	if len(p.earlyAcks) != 1 {
+		t.Fatalf("early ack not recorded: %d entries", len(p.earlyAcks))
+	}
+	p.onFailure(layout.Phys(1, 0)) // my world-1 peer dies; I take over
+	if !p.inDests(1, layout.Phys(1, 1)) {
+		t.Fatal("take-over did not convert the acker into a direct destination")
+	}
+	world.Isend(1, 7, []byte{1})
+	if got := len(p.earlyAcks); got != 0 {
+		t.Errorf("earlyAcks = %d entries after the direct send, want 0", got)
+	}
+}
+
+func TestEarlyAcksPartiallySweptKeepsSurvivors(t *testing.T) {
+	// With r=3, only the dead process's record goes; an early ack from a
+	// surviving replica must stay consumable.
+	layout := Layout{N: 2, R: 3}
+	nw := transport.NewNetwork(layout.Procs(), nil)
+	defer nw.Close()
+	det := detect.NewService(nw)
+	p := NewReplicated(mpi.NewProc(nw, layout.Phys(0, 0)), layout, ModeParallel, det, Options{})
+
+	p.applyAck(2, 0, layout.Phys(1, 1))
+	p.applyAck(2, 0, layout.Phys(2, 1))
+	p.onFailure(layout.Phys(1, 1))
+	if len(p.earlyAcks) != 1 {
+		t.Fatalf("earlyAcks = %d entries, want 1 (survivor's record kept)", len(p.earlyAcks))
+	}
+	for _, ea := range p.earlyAcks {
+		if !ea[layout.Phys(2, 1)] || len(ea) != 1 {
+			t.Errorf("surviving record wrong: %v", ea)
+		}
 	}
 }
 

@@ -34,7 +34,7 @@ type CloneState struct {
 // buffer. It must be followed by BroadcastRecovered before any further
 // application send.
 func (p *Replicated) ForkFor(revived transport.ProcID) *CloneState {
-	if p.layout.R != 2 {
+	if p.layout.Degree(p.myRank) != 2 {
 		panic("core: recovery requires replication degree 2 (paper §3.4)")
 	}
 	if p.layout.RankOf(revived) != p.myRank {
@@ -138,7 +138,9 @@ func (p *Replicated) onRecovered(q transport.ProcID) {
 		p.substitute[qRep] = qRep
 		if qRep != p.myRep {
 			for j := 0; j < p.layout.N; j++ {
-				p.removeDest(j, p.layout.Phys(qRep, j))
+				if qRep < p.layout.Degree(j) {
+					p.removeDest(j, p.layout.Phys(qRep, j))
+				}
 			}
 		}
 		return

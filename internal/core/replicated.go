@@ -92,15 +92,44 @@ func NewReplicated(proc *mpi.Proc, layout Layout, mode Mode, det *detect.Service
 		sdcRemote: make(map[retKey][]int64),
 		sdcLocal:  make(map[retKey]uint64),
 	}
+	// Degree-aware topology (§5's research direction, MR-MPI's feature):
+	// a rank whose degree does not reach this process's world has no
+	// member here — its lowest replica permanently serves this world
+	// through the standard substitution bookkeeping, so sends to it
+	// become pure ack expectations and no phantom process is ever
+	// involved.
 	p.physicalDests = make([][]transport.ProcID, layout.N)
 	p.physicalSrc = make([]transport.ProcID, layout.N)
 	for rank := 0; rank < layout.N; rank++ {
-		p.physicalDests[rank] = []transport.ProcID{layout.Phys(p.myRep, rank)}
-		p.physicalSrc[rank] = layout.Phys(p.myRep, rank)
+		if p.myRep < layout.Degree(rank) {
+			q := layout.Phys(p.myRep, rank)
+			p.physicalDests[rank] = []transport.ProcID{q}
+			p.physicalSrc[rank] = q
+		} else {
+			p.physicalSrc[rank] = layout.Phys(0, rank)
+		}
 	}
 	p.substitute = make([]int, layout.R)
 	for rep := range p.substitute {
-		p.substitute[rep] = rep
+		if rep < layout.Degree(p.myRank) {
+			p.substitute[rep] = rep
+		} else {
+			p.substitute[rep] = 0
+		}
+	}
+	if p.myRep == 0 {
+		// The lowest replica emits to — and collects acks for — every
+		// world its rank is absent from (the permanent analogue of a
+		// failed replica's take-over).
+		for w := layout.Degree(p.myRank); w < layout.R; w++ {
+			for j := 0; j < layout.N; j++ {
+				if w < layout.Degree(j) {
+					if q := layout.Phys(w, j); !p.inDests(j, q) {
+						p.physicalDests[j] = append(p.physicalDests[j], q)
+					}
+				}
+			}
+		}
 	}
 	p.alive = make([]bool, layout.Procs())
 	for i := range p.alive {
@@ -108,12 +137,9 @@ func NewReplicated(proc *mpi.Proc, layout Layout, mode Mode, det *detect.Service
 	}
 	p.wc.init()
 
-	// Partial replication (§5's research direction, MR-MPI's feature):
-	// replicas that never existed are processes that failed before the
-	// first event. Applying the ordinary failure handling at construction
-	// sets up substitution — the surviving replica of a partially
-	// replicated rank permanently emits to, and collects acks for, every
-	// world — with no further special cases anywhere in the protocol.
+	// Processes may be born into a world with prior real failures
+	// (recovery and restart scenarios): apply the ordinary failure
+	// handling for them at construction.
 	for i := range p.alive {
 		if !p.alive[i] {
 			p.alive[i] = true // arm the duplicate-notification guard
@@ -197,10 +223,14 @@ func (p *Replicated) Isend(c *mpi.Comm, ctx uint32, to mpi.Rank, tag int, data [
 	entry := &sendEntry{ctx: ctx, tag: tag, dstRank: dstRank, seq: seq, meta: meta,
 		needed: make(map[transport.ProcID]bool)}
 	var preqs []*mpi.PReq
-	for rep := 0; rep < p.layout.R; rep++ {
+	for rep := 0; rep < p.layout.Degree(dstRank); rep++ {
 		q := p.layout.Phys(rep, dstRank)
 		switch {
 		case p.inDests(dstRank, q):
+			// A stale early ack from q is moot once q is a direct
+			// destination (a take-over converted it while the ack was in
+			// flight): drop it, or the record lingers forever.
+			p.dropEarlyAck(entry.key(), q)
 			if p.alive[int(q)] {
 				// Piggyback trigger: acks owed to q ride just ahead of
 				// this message on the same FIFO channel.
@@ -212,12 +242,7 @@ func (p *Replicated) Isend(c *mpi.Comm, ctx uint32, to mpi.Rank, tag int, data [
 		case p.alive[int(q)]:
 			// Line 9: expect an ack instead of sending directly —
 			// unless it already arrived (the other world ran ahead).
-			if ea := p.earlyAcks[entry.key()]; ea != nil && ea[q] {
-				delete(ea, q)
-				if len(ea) == 0 {
-					delete(p.earlyAcks, entry.key())
-				}
-			} else {
+			if !p.dropEarlyAck(entry.key(), q) {
 				entry.needed[q] = true
 			}
 			if p.opts.SDC {
@@ -248,7 +273,7 @@ func (p *Replicated) Isend(c *mpi.Comm, ctx uint32, to mpi.Rank, tag int, data [
 // the destination rank; no acks, no retention.
 func (p *Replicated) isendMirror(c *mpi.Comm, ctx uint32, dstRank, tag int, data []byte, seq uint64, meta [4]int64) *mpi.Request {
 	var preqs []*mpi.PReq
-	for rep := 0; rep < p.layout.R; rep++ {
+	for rep := 0; rep < p.layout.Degree(dstRank); rep++ {
 		q := p.layout.Phys(rep, dstRank)
 		if p.alive[int(q)] {
 			preqs = append(preqs, p.eng.Isend(q, ctx, tag, data, seq, meta))
@@ -364,6 +389,10 @@ func (p *Replicated) flush(key seqKey) {
 	q := p.pending[key]
 	for len(q) > 0 && q[0].Seq == p.recvNext[key] {
 		m := q[0]
+		// Clear the drained slot: the re-sliced queue keeps its backing
+		// array, which would otherwise pin the pooled message reachable
+		// for the rest of an out-of-order burst.
+		q[0] = nil
 		q = q[1:]
 		p.recvNext[key] = m.Seq + 1
 		p.eng.InjectMatch(m)

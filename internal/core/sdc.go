@@ -57,18 +57,24 @@ func (p *Replicated) recordLocalHash(ps mpi.PStatus, pr *mpi.PReq) {
 		}
 		p.sdcRemote[key] = p.sdcRemote[key][:0]
 		delete(p.sdcRemote, key)
-		if p.layout.R == 2 {
+		if p.layout.Degree(key.dstRank) == 2 {
 			return // the single expected remote hash has been consumed
 		}
+	}
+	if p.layout.Degree(key.dstRank) < 2 {
+		// An unreplicated sender has no peer replica that could ever ship
+		// a hash; storing the local one would leak an entry per message.
+		return
 	}
 	p.sdcLocal[key] = h
 }
 
 // consumeLocal drops the stored local hash once all expected remote hashes
-// have been compared (exact accounting matters only for r > 2; with dual
-// replication one remote hash completes the pair).
+// have been compared (exact accounting matters only for degree > 2; with
+// dual replication one remote hash completes the pair). The retKey's rank
+// field holds the sender's rank here — hash pairing is keyed by source.
 func (p *Replicated) consumeLocal(key retKey) {
-	if p.layout.R == 2 {
+	if p.layout.Degree(key.dstRank) == 2 {
 		delete(p.sdcLocal, key)
 	}
 }

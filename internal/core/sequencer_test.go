@@ -103,6 +103,36 @@ func TestSequencerIndependentChannels(t *testing.T) {
 	}
 }
 
+func TestSequencerFlushReleasesDrainedSlots(t *testing.T) {
+	// flush re-slices the pending queue as it drains; the backing array
+	// survives for the rest of the burst, so drained slots must be nil'd
+	// or the pooled messages they point at stay reachable.
+	layout := Layout{N: 2, R: 2}
+	nw := transport.NewNetwork(layout.Procs(), nil)
+	t.Cleanup(func() { nw.Close() })
+	det := detect.NewService(nw)
+	proc := mpi.NewProc(nw, 0)
+	p := NewReplicated(proc, layout, ModeParallel, det, Options{})
+	arrive := proc.Engine().OnArrive
+
+	arrive(eagerMsg(2, 102))
+	arrive(eagerMsg(1, 101))
+	key := seqKey{2, 1}
+	stashed := p.pending[key]
+	if len(stashed) != 2 {
+		t.Fatalf("stashed %d messages, want 2", len(stashed))
+	}
+	arrive(eagerMsg(0, 100)) // fills the gap: both stashed messages drain
+	if len(p.pending) != 0 {
+		t.Fatalf("pending not empty after flush: %d keys", len(p.pending))
+	}
+	for i, m := range stashed {
+		if m != nil {
+			t.Errorf("drained slot %d still pins a message (seq %d)", i, m.Seq)
+		}
+	}
+}
+
 func TestSequencerLongGapFlush(t *testing.T) {
 	eng, arrive := seqHarness(t)
 	// Stash a long out-of-order run, then fill the gap: everything must

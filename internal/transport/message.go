@@ -12,8 +12,10 @@ package transport
 
 import "fmt"
 
-// ProcID identifies a physical process (a replica). With n logical ranks
-// and replication degree r, physical process IDs range over [0, r*n).
+// ProcID identifies a physical process (a replica). IDs are dense: with
+// n logical ranks they range over [0, Σ degrees), which is [0, r·n) under
+// uniform replication degree r. The (replica, rank) ↔ ProcID mapping is
+// owned by core.Layout.
 type ProcID int
 
 // NoProc is the zero-value-adjacent sentinel for "no process".
