@@ -170,6 +170,30 @@ func BenchmarkPartialReplication(b *testing.B) {
 	}
 }
 
+// BenchmarkRecoveryAblation regenerates the recovery-ladder ablation: the
+// same unreplicated-rank kill schedule handled by localized replay
+// (sender-based message logging) and by global rollback. The re-executed
+// step metrics are the experiment's headline: replay must be strictly
+// cheaper, and RunRecoveryAblation fails the run if it is not.
+func BenchmarkRecoveryAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunRecoveryAblation(bench.Scale{Ranks: 4, Factor: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var replayRe, rollbackRe float64
+		for _, r := range rows {
+			if r.Mode == cluster.RecoveryLog {
+				replayRe += float64(r.ReExecSteps)
+			} else {
+				rollbackRe += float64(r.ReExecSteps)
+			}
+		}
+		b.ReportMetric(replayRe, "replay-reexec-steps")
+		b.ReportMetric(rollbackRe, "rollback-reexec-steps")
+	}
+}
+
 // BenchmarkFig2AnySource compares one anonymous-reception round under the
 // send-deterministic protocol and under the leader-based baseline
 // (Figure 2's two diagrams).

@@ -9,6 +9,10 @@
 //	faultdemo -partial     # partial replication (§5): one rank runs a
 //	                       # single replica — its death has no substitution
 //	                       # rung and goes straight to rollback
+//	faultdemo -replay      # same kill, but under -recovery=log: the
+//	                       # unreplicated rank is relaunched ALONE from its
+//	                       # own checkpoint, survivors re-send from their
+//	                       # message logs, nobody rolls back
 //	faultdemo -distributed # the -exhaust scenario with every rank a real
 //	                       # OS process: SIGKILLs, registry rendezvous,
 //	                       # cross-process rollback respawn
@@ -36,6 +40,7 @@ func main() {
 	rec := flag.Bool("recover", false, "also recover the crashed replica (§3.4)")
 	exhaust := flag.Bool("exhaust", false, "kill every replica of a rank: replication is exhausted and the run rolls back to the last coordinated checkpoint")
 	partial := flag.Bool("partial", false, "run one rank unreplicated (degree-aware layout) and kill it: no substitution rung, straight to rollback")
+	replay := flag.Bool("replay", false, "kill the unreplicated rank under the log recovery mode: sender-based message logging relaunches it alone, no global rollback")
 	distributed := flag.Bool("distributed", false, "run the exhaustion scenario as real OS processes: SIGKILL both replicas of a rank, roll back, respawn workers")
 	steps := flag.Int("steps", 16, "application steps")
 	failAt := flag.Int("fail-at", 5, "step at which the replica crashes")
@@ -51,6 +56,12 @@ func main() {
 			failAt = *every + 1 // ensure at least one committed wave exists
 		}
 		err = runDistDemo(os.Stdout, *steps, *every, failAt)
+	case *replay:
+		failAt := *failAt
+		if failAt <= *every {
+			failAt = *every + 1
+		}
+		err = runReplayDemo(os.Stdout, *steps, *every, failAt)
 	case *partial:
 		failAt := *failAt
 		if failAt <= *every {
@@ -75,6 +86,8 @@ func main() {
 	switch {
 	case *distributed:
 		fmt.Println("application survived the loss of an entire rank — across real OS processes")
+	case *replay:
+		fmt.Println("application survived the loss of its unreplicated rank without rolling anyone back")
 	case *partial:
 		fmt.Println("application survived the loss of its unreplicated rank")
 	case *exhaust:
@@ -180,6 +193,77 @@ func runPartialDemo(w io.Writer, steps, every, failAt int) error {
 	for _, p := range rep.Procs {
 		if wr, ok := p.Result.(cluster.WorkerResult); ok {
 			fmt.Fprintf(w, "  rank %d rep %d: sum=%.0f\n", p.Rank, p.Rep, wr.Checksum)
+		}
+	}
+	return nil
+}
+
+// runReplayDemo narrates the recovery ladder's middle rung: the same
+// degree-aware layout and kill as -partial, but under RecoveryLog. Every
+// sender copies its rank-1-bound payloads into a message log (truncated by
+// rank 1's checkpoint acknowledgements); when rank 1's only replica dies,
+// it alone is relaunched from its newest checkpoint + replay state, the
+// survivors replay their logs, and nobody rolls back — then the final
+// sums are checked against a fault-free run (MATCH).
+func runReplayDemo(w io.Writer, steps, every, failAt int) error {
+	run := func(fail bool) (*cluster.Report, error) {
+		dir, err := os.MkdirTemp("", "faultdemo-ckpt-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		cfg := cluster.Config{
+			Ranks:             2,
+			Protocol:          cluster.SDR,
+			UnreplicatedRanks: []int{1},
+			RecoveryMode:      cluster.RecoveryLog,
+			CheckpointDir:     dir,
+			Timeout:           time.Minute,
+		}
+		if fail {
+			cfg.Failures = []cluster.FailureEvent{{Rank: 1, Rep: 0, AtStep: failAt}}
+		}
+		rep := cluster.Run(cfg, demoApp(steps, every))
+		if err := rep.FirstError(); err != nil {
+			return nil, err
+		}
+		return rep, nil
+	}
+
+	fmt.Fprintf(w, "degree-aware layout, recovery=log: rank 1 unreplicated, every sender logs its rank-1-bound payloads\n")
+	fmt.Fprintf(w, "checkpoints every %d steps persist rank 1's replay state; rank 1's ONLY replica crashes at step %d\n", every, failAt)
+	free, err := run(false)
+	if err != nil {
+		return fmt.Errorf("fault-free reference: %w", err)
+	}
+	rep, err := run(true)
+	if err != nil {
+		return err
+	}
+	if rep.Restarts != 0 {
+		return fmt.Errorf("survivors rolled back (%d restarts) — the localized rung should have absorbed this", rep.Restarts)
+	}
+	if rep.Replays != 1 {
+		return fmt.Errorf("expected exactly one localized replay, saw %d", rep.Replays)
+	}
+	fmt.Fprintf(w, "kill-unreplicated → localized replay: rank 1 relaunched ALONE from wave %d; survivors re-sent from their logs, 0 rollbacks\n", rep.ReplayWave)
+	for _, p := range rep.Procs {
+		if p.Crashed {
+			fmt.Fprintf(w, "  rank %d rep %d: crashed (injected), relaunched below\n", p.Rank, p.Rep)
+			continue
+		}
+		wr, ok := p.Result.(cluster.WorkerResult)
+		if !ok {
+			continue
+		}
+		want := free.ResultOf(p.Rank, p.Rep).(cluster.WorkerResult)
+		verdict := "MATCH"
+		if wr.Checksum != want.Checksum {
+			verdict = fmt.Sprintf("MISMATCH (fault-free %.0f)", want.Checksum)
+		}
+		fmt.Fprintf(w, "  rank %d rep %d: sum=%.0f — %s\n", p.Rank, p.Rep, wr.Checksum, verdict)
+		if wr.Checksum != want.Checksum {
+			return fmt.Errorf("rank %d rep %d diverged from the fault-free run", p.Rank, p.Rep)
 		}
 	}
 	return nil

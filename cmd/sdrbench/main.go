@@ -12,6 +12,7 @@
 //	sdrbench -exp ablation-eager  # ack cost on the eager vs rendezvous path
 //	sdrbench -exp ablation-coalesce # discrete vs coalesced ack traffic
 //	sdrbench -exp ablation-ckpt   # checkpoint interval vs rollback-restart cost
+//	sdrbench -exp ablation-recovery # localized replay vs global rollback re-executed work
 //	sdrbench -exp table1-ext      # extended NAS set (LU, IS, EP)
 //	sdrbench -exp determinism     # send-determinism verdicts (§2.1 taxonomy)
 //	sdrbench -exp partial         # partial replication sweep (§5 outlook)
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1, table1-ext, table2, fig2, fig3, fig4, fig7a, fig7b, ablation-mirror, ablation-leader, ablation-degree, ablation-eager, ablation-coalesce, ablation-ckpt, determinism, partial, sdc, all)")
+	exp := flag.String("exp", "all", "experiment id (table1, table1-ext, table2, fig2, fig3, fig4, fig7a, fig7b, ablation-mirror, ablation-leader, ablation-degree, ablation-eager, ablation-coalesce, ablation-ckpt, ablation-recovery, determinism, partial, sdc, all)")
 	ranks := flag.Int("ranks", 8, "logical ranks for table experiments")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
@@ -110,6 +111,12 @@ func main() {
 				return err
 			}
 			bench.RenderCkpt(os.Stdout, s, rows)
+		case "ablation-recovery":
+			rows, err := bench.RunRecoveryAblation(s)
+			if err != nil {
+				return err
+			}
+			bench.RenderRecovery(os.Stdout, s, rows)
 		case "ablation-degree":
 			rows, err := bench.RunDegreeSweep(s)
 			if err != nil {
@@ -159,7 +166,7 @@ func main() {
 	if *exp == "all" {
 		ids = []string{"fig2", "fig3", "fig4", "fig7a", "fig7b", "table1", "table1-ext", "table2",
 			"ablation-mirror", "ablation-leader", "ablation-degree", "ablation-eager",
-			"ablation-coalesce", "ablation-ckpt", "determinism", "partial", "sdc"}
+			"ablation-coalesce", "ablation-ckpt", "ablation-recovery", "determinism", "partial", "sdc"}
 	}
 	for _, id := range ids {
 		if err := run(id); err != nil {

@@ -127,6 +127,38 @@ func TestDistributedPartialUnreplicatedKillIntegration(t *testing.T) {
 	}
 }
 
+// TestDistributedLocalizedReplayIntegration is the acceptance scenario of
+// the log recovery mode: the single replica of unreplicated rank 1 is
+// SIGKILLed under -recovery=log. The coordinator must relaunch exactly
+// that worker — restored from its own newest checkpoint wave plus its
+// persisted replay state — while the survivors are never torn down
+// (restarts stays 0) and re-send from their in-memory sender logs; the
+// final results must be identical to a fault-free run.
+func TestDistributedLocalizedReplayIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and spawns real worker processes")
+	}
+	bin := buildSdrun(t)
+	out, err := runSdrun(t, bin, 2*time.Minute,
+		"-distributed", "-app", "ring", "-ranks", "4", "-protocol", "sdr", "-r", "2",
+		"-unreplicated", "1,3", "-recovery", "log", "-kill", "1:0:6", "-compare", "-timeout", "90s")
+	if err != nil {
+		t.Fatalf("sdrun failed: %v\n%s", err, out)
+	}
+	if !regexp.MustCompile(`recovery: log \(sender-logged ranks \[1 3\]\)`).MatchString(out) {
+		t.Fatalf("header does not announce the recovery mode and logging set:\n%s", out)
+	}
+	if !regexp.MustCompile(`(?m)^restarts: 0$`).MatchString(out) {
+		t.Fatalf("survivors were rolled back — localized replay must not restart the epoch:\n%s", out)
+	}
+	if !regexp.MustCompile(`localized replays: 1 \(relaunched alone from wave \d+`).MatchString(out) {
+		t.Fatalf("no localized replay reported:\n%s", out)
+	}
+	if !regexp.MustCompile(`MATCH: 6 surviving workers identical`).MatchString(out) {
+		t.Fatalf("results do not match the fault-free native run:\n%s", out)
+	}
+}
+
 // TestDistributedSubstitutionIntegration is the exact CI smoke scenario:
 // one SIGKILLed replica, absorbed by substitution (no rollback), results
 // identical to the in-process native run.

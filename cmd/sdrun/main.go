@@ -25,9 +25,20 @@
 //
 //	sdrun -distributed -app lu -ranks 4 -protocol sdr -kill 1:1:3
 //	sdrun -distributed -app lu -protocol sdr -kill 1:0:2 -kill 1:1:2  # rollback
+//
+// With -recovery=log (requires -protocol sdr and a resumable app — ring),
+// every degree-1 rank runs under sender-based message logging: killing it
+// relaunches that rank ALONE from its own newest checkpoint while the
+// survivors keep their state and re-send from their logs — restarts stays
+// 0 and the results still match a fault-free run.
+//
+//	sdrun -app ring -protocol sdr -unreplicated 1 -recovery log -kill 1:0:7
+//	sdrun -distributed -app ring -ranks 4 -protocol sdr -unreplicated 1,3 \
+//	      -recovery log -kill 1:0:6 -compare
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +48,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/cluster"
+	"repro/internal/mpi"
 	"repro/internal/trace"
 )
 
@@ -49,52 +61,92 @@ const (
 
 // appEntry describes one launchable workload.
 type appEntry struct {
-	steps bool // supports -kill (has step boundaries)
-	build func(scale int, env *cluster.Env) apps.Result
+	steps     bool // supports -kill (has step boundaries)
+	resumable bool // honors Env.Restored/RestoredStep (required by -recovery=log)
+	build     func(scale int, env *cluster.Env) apps.Result
 }
 
 func registry() map[string]appEntry {
 	return map[string]appEntry{
-		"cg": {false, func(f int, env *cluster.Env) apps.Result {
+		"cg": {false, false, func(f int, env *cluster.Env) apps.Result {
 			return apps.CG(env.World, apps.CGParams{N: 1024 * f, Iters: 12 * f, Work: 2000})
 		}},
-		"mg": {false, func(f int, env *cluster.Env) apps.Result {
+		"mg": {false, false, func(f int, env *cluster.Env) apps.Result {
 			return apps.MG(env.World, apps.MGParams{M: 1024 * f, Levels: 4, Cycles: 3 * f, Work: 2000})
 		}},
-		"ft": {false, func(f int, env *cluster.Env) apps.Result {
+		"ft": {false, false, func(f int, env *cluster.Env) apps.Result {
 			return apps.FT(env.World, apps.FTParams{BlockBytes: 4096 * f, Iters: 4 * f, Work: 8000})
 		}},
-		"bt": {false, func(f int, env *cluster.Env) apps.Result {
+		"bt": {false, false, func(f int, env *cluster.Env) apps.Result {
 			p := apps.BTParams(f)
 			p.Work = 2000
 			return apps.ADI(env.World, p)
 		}},
-		"sp": {false, func(f int, env *cluster.Env) apps.Result {
+		"sp": {false, false, func(f int, env *cluster.Env) apps.Result {
 			p := apps.SPParams(f)
 			p.Work = 1500
 			return apps.ADI(env.World, p)
 		}},
-		"lu": {true, func(f int, env *cluster.Env) apps.Result {
+		"lu": {true, false, func(f int, env *cluster.Env) apps.Result {
 			return apps.LU(env.World, apps.LUParams{NX: 12, NZ: 6 * f, Iters: 4 * f, Work: 1500,
 				OnIter: iterHook(env)})
 		}},
-		"is": {true, func(f int, env *cluster.Env) apps.Result {
+		"is": {true, false, func(f int, env *cluster.Env) apps.Result {
 			return apps.IS(env.World, apps.ISParams{KeysPerRank: 1024 * f, MaxKey: 1 << 14,
 				Iters: 5 * f, Work: 5000, OnIter: iterHook(env)})
 		}},
-		"ep": {false, func(f int, env *cluster.Env) apps.Result {
+		"ep": {false, false, func(f int, env *cluster.Env) apps.Result {
 			return apps.EP(env.World, apps.EPParams{Pairs: 20000 * f, Work: 20000})
 		}},
-		"hpccg": {false, func(f int, env *cluster.Env) apps.Result {
+		"hpccg": {false, false, func(f int, env *cluster.Env) apps.Result {
 			return apps.HPCCG(env.World, apps.HPCCGParams{NX: 16, NY: 16, NZ: 8 * f, Iters: 6 * f, Work: 8000})
 		}},
-		"cm1": {false, func(f int, env *cluster.Env) apps.Result {
+		"cm1": {false, false, func(f int, env *cluster.Env) apps.Result {
 			return apps.CM1(env.World, apps.CM1Params{NX: 16, NY: 16, NZ: 8, Steps: 8 * f, Work: 4000, CFLEvery: 4})
 		}},
-		"mw": {false, func(f int, env *cluster.Env) apps.Result {
+		"mw": {false, false, func(f int, env *cluster.Env) apps.Result {
 			return apps.MasterWorker(env.World, apps.MWParams{Tasks: 24 * f, Work: 500, Skew: 3})
 		}},
+		"ring": {true, true, func(f int, env *cluster.Env) apps.Result {
+			return ringApp(env, 12*f, 2)
+		}},
 	}
+}
+
+// ringApp is the resumable reference workload for the recovery ladder: an
+// n-rank ring accumulation that checkpoints real state every `every` steps
+// and resumes from Env.Restored()/RestoredStep() — so a relaunched rank
+// (or a rolled-back epoch) re-executes only from its wave, not from
+// scratch. This is the app shape -recovery=log requires.
+func ringApp(env *cluster.Env, steps, every int) apps.Result {
+	c := env.World
+	n := int(c.Size())
+	me := int(c.Rank())
+	start := 0
+	var sum uint64
+	if b := env.Restored(); len(b) == 8 && env.RestoredStep() >= 0 {
+		start = env.RestoredStep()
+		sum = binary.LittleEndian.Uint64(b)
+	}
+	sbuf := make([]byte, 8)
+	rbuf := make([]byte, 8)
+	for i := start; i < steps; i++ {
+		env.Step(i, nil)
+		binary.LittleEndian.PutUint64(sbuf, uint64(me*1000+i))
+		req := c.Isend(mpi.Rank((me+1)%n), 0, sbuf)
+		c.Recv(mpi.Rank((me-1+n)%n), 0, rbuf)
+		mpi.Waitall(req)
+		sum += binary.LittleEndian.Uint64(rbuf)
+		if env.CanCheckpoint() && (i+1)%every == 0 {
+			c.Barrier()
+			state := make([]byte, 8)
+			binary.LittleEndian.PutUint64(state, sum)
+			if err := env.Checkpoint(i+1, state); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return apps.Result{Checksum: float64(sum), Iterations: steps}
 }
 
 // iterHook builds the per-iteration boundary hook: checkpoint the wave
@@ -135,7 +187,7 @@ func main() {
 	}
 
 	var kills killList
-	app := flag.String("app", "cg", "workload: cg mg ft bt sp lu is ep hpccg cm1 mw")
+	app := flag.String("app", "cg", "workload: cg mg ft bt sp lu is ep hpccg cm1 mw ring")
 	ranks := flag.Int("ranks", 4, "logical MPI ranks")
 	protoName := flag.String("protocol", "native", "native | sdr | mirror | leader")
 	r := flag.Int("r", 2, "replication degree (replicated protocols)")
@@ -147,6 +199,7 @@ func main() {
 	ckptDir := flag.String("ckpt", "", "shared checkpoint directory for -distributed (default: a fresh temp dir)")
 	unreplicated := flag.String("unreplicated", "", "comma-separated logical ranks to run with a single replica (partial replication)")
 	degreesFlag := flag.String("degrees", "", "comma-separated per-rank replication degrees, one per rank (overrides the uniform -r; each in [1,r])")
+	recovery := flag.String("recovery", "rollback", "recovery mode above substitution: rollback (global) | log (sender-based message logging + localized replay for degree-1 ranks)")
 	flag.Var(&kills, "kill", "inject a crash: rank:rep:step (repeatable; SIGKILL under -distributed)")
 	flag.Parse()
 
@@ -167,7 +220,7 @@ func main() {
 		os.Exit(2)
 	}
 	if len(kills) > 0 && !entry.steps {
-		fmt.Fprintf(os.Stderr, "sdrun: -kill needs an app with step boundaries (lu, is)\n")
+		fmt.Fprintf(os.Stderr, "sdrun: -kill needs an app with step boundaries (lu, is, ring)\n")
 		os.Exit(2)
 	}
 	proto := cluster.Protocol(*protoName)
@@ -175,6 +228,22 @@ func main() {
 	case cluster.Native, cluster.SDR, cluster.Mirror, cluster.Leader:
 	default:
 		fmt.Fprintf(os.Stderr, "sdrun: unknown protocol %q\n", *protoName)
+		os.Exit(2)
+	}
+	mode := cluster.RecoveryMode(*recovery)
+	switch mode {
+	case cluster.RecoveryRollback, cluster.RecoveryLog:
+	default:
+		fmt.Fprintf(os.Stderr, "sdrun: unknown -recovery %q (want log or rollback)\n", *recovery)
+		os.Exit(2)
+	}
+	if mode == cluster.RecoveryLog && !entry.resumable {
+		fmt.Fprintf(os.Stderr, "sdrun: -recovery=log needs an app that resumes from its checkpoint (ring); %q re-executes from scratch\n", *app)
+		os.Exit(2)
+	}
+	logged := loggedRanks(*ranks, *r, degrees, unrep)
+	if mode == cluster.RecoveryLog && proto != cluster.SDR {
+		fmt.Fprintf(os.Stderr, "sdrun: -recovery=log requires -protocol sdr\n")
 		os.Exit(2)
 	}
 
@@ -188,7 +257,20 @@ func main() {
 			scale: *scale, timeout: *timeout, ckptDir: *ckptDir,
 			kills: kills, compare: *compare,
 			unreplicated: unrep, degrees: degrees,
+			recovery: mode, logged: logged,
 		}))
+	}
+
+	// The localized-replay rung needs a checkpoint store even in-process.
+	inprocCkpt := *ckptDir
+	if mode == cluster.RecoveryLog && inprocCkpt == "" {
+		dir, err := os.MkdirTemp("", "sdrun-ckpt-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdrun:", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+		inprocCkpt = dir
 	}
 
 	run := func(p cluster.Protocol, fails []cluster.FailureEvent, tr bool) *cluster.Report {
@@ -199,10 +281,19 @@ func main() {
 		if p != cluster.Native {
 			cfg.UnreplicatedRanks = unrep
 			cfg.Degrees = degrees
+			cfg.RecoveryMode = mode
+			cfg.CheckpointDir = inprocCkpt
 		}
 		return cluster.Run(cfg, func(env *cluster.Env) (any, error) {
 			c := env.World
-			c.Barrier()
+			// The leading barrier ran before any checkpoint: a resumed
+			// process (rollback epoch or localized relaunch) must not
+			// re-execute it, or its collective sequence would double-count
+			// it and desynchronize from the survivors. The trailing
+			// barrier is after every restore point and runs always.
+			if env.RestoredStep() < 0 {
+				c.Barrier()
+			}
 			start := time.Now()
 			res := entry.build(*scale, env)
 			c.Barrier()
@@ -217,7 +308,10 @@ func main() {
 	}
 
 	fmt.Printf("%s on %d ranks under %s (r=%d%s, %d processes)\n",
-		*app, *ranks, proto, rep.Config.Replication, degreeSuffix(rep.Config), len(rep.Procs))
+		*app, *ranks, proto, rep.Config.Replication, degreeSuffix(rep.Config), distinctProcs(rep))
+	if proto != cluster.Native {
+		fmt.Printf("recovery: %s%s\n", mode, logSuffix(mode, logged))
+	}
 	var wall time.Duration
 	for _, p := range rep.Procs {
 		if p.Crashed {
@@ -234,6 +328,13 @@ func main() {
 	fmt.Printf("wall (slowest world-0 rank): %v\n", wall.Round(time.Millisecond))
 	fmt.Printf("traffic: %d app msgs, %d acks\n",
 		rep.Stats.AppMsgs(), rep.Stats.AckMsgs())
+	if rep.Replays > 0 {
+		fmt.Printf("localized replays: %d (relaunched from wave %d; survivors kept their state)\n",
+			rep.Replays, rep.ReplayWave)
+	}
+	if rep.Restarts > 0 {
+		fmt.Printf("rollback restarts: %d (wave %d)\n", rep.Restarts, rep.RestartWave)
+	}
 
 	if *traceSends && proto != cluster.Native {
 		fmt.Println("send-determinism verdicts:")
@@ -293,6 +394,52 @@ func parseIntList(s string) ([]int, error) {
 	return out, nil
 }
 
+// distinctProcs counts the layout's physical slots in a report: recovered
+// or relaunched replicas report alongside their crashed predecessor, so
+// raw report entries over-count the hardware.
+func distinctProcs(rep *cluster.Report) int {
+	seen := map[[2]int]bool{}
+	for _, p := range rep.Procs {
+		seen[[2]int{p.Rank, p.Rep}] = true
+	}
+	return len(seen)
+}
+
+// loggedRanks computes the sender-logged rank set of a -recovery=log run:
+// every rank the degree vector leaves at a single replica.
+func loggedRanks(ranks, r int, degrees, unreplicated []int) []int {
+	d := make([]int, ranks)
+	for i := range d {
+		d[i] = r
+	}
+	if len(degrees) == ranks {
+		copy(d, degrees)
+	}
+	for _, rank := range unreplicated {
+		if rank >= 0 && rank < ranks {
+			d[rank] = 1
+		}
+	}
+	var logged []int
+	for rank, deg := range d {
+		if deg == 1 {
+			logged = append(logged, rank)
+		}
+	}
+	return logged
+}
+
+// logSuffix renders the per-rank logging set for the recovery header line.
+func logSuffix(mode cluster.RecoveryMode, logged []int) string {
+	if mode != cluster.RecoveryLog {
+		return ""
+	}
+	if len(logged) == 0 {
+		return " (no degree-1 ranks: logging idle)"
+	}
+	return fmt.Sprintf(" (sender-logged ranks %v)", logged)
+}
+
 // degreeSuffix renders the partial-replication shape of a run for the
 // header line ("" when every rank runs the uniform degree).
 func degreeSuffix(cfg cluster.Config) string {
@@ -325,7 +472,11 @@ func workerMain() int {
 	}
 	return cluster.RunWorker(cfg, func(env *cluster.Env) (any, error) {
 		c := env.World
-		c.Barrier()
+		// Pre-restore collectives must not be re-executed on a resumed
+		// process — see the in-process launcher's closure.
+		if env.RestoredStep() < 0 {
+			c.Barrier()
+		}
 		res := entry.build(scale, env)
 		c.Barrier()
 		return cluster.WorkerResult{
@@ -350,6 +501,8 @@ type distOpts struct {
 	compare      bool
 	unreplicated []int
 	degrees      []int
+	recovery     cluster.RecoveryMode
+	logged       []int
 }
 
 // runDistributed is the coordinator side of -distributed: configure the
@@ -375,6 +528,7 @@ func runDistributed(o distOpts) int {
 		UnreplicatedRanks: o.unreplicated,
 		Degrees:           o.degrees,
 		CheckpointDir:     ckptDir,
+		RecoveryMode:      o.recovery,
 		Timeout:           o.timeout,
 		WorkerEnv: []string{
 			envApp + "=" + o.app,
@@ -388,6 +542,9 @@ func runDistributed(o distOpts) int {
 
 	fmt.Printf("%s on %d ranks under %s (r=%d, distributed: %d worker processes)\n",
 		o.app, o.ranks, o.proto, rep.Replication, len(rep.Procs))
+	if o.proto != cluster.Native {
+		fmt.Printf("recovery: %s%s\n", o.recovery, logSuffix(o.recovery, o.logged))
+	}
 	for _, p := range rep.Procs {
 		if p.Crashed {
 			fmt.Printf("  rank %2d rep %d: killed (SIGKILL, injected)\n", p.Rank, p.Rep)
@@ -401,6 +558,10 @@ func runDistributed(o distOpts) int {
 		fmt.Printf(" (rolled back to wave %d)", rep.RestartWave)
 	}
 	fmt.Println()
+	if rep.Replays > 0 {
+		fmt.Printf("localized replays: %d (relaunched alone from wave %d; survivors kept their state)\n",
+			rep.Replays, rep.ReplayWave)
+	}
 	fmt.Printf("elapsed: %v\n", rep.Elapsed.Round(time.Millisecond))
 
 	if !o.compare {

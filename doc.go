@@ -32,20 +32,35 @@
 //
 // # Recovery ladder
 //
-// Failure handling has two rungs, matching the paper's combined
-// replication + infrequent-coordinated-checkpointing model (§1, §4.1).
-// The loss of one replica of a rank is absorbed in place: the
-// lowest-index survivor becomes the substitute and re-sends retained
-// unacknowledged messages. The loss of ALL replicas of a rank raises the
-// typed mpi.ReplicationExhausted signal through the crash-sentinel unwind
-// path; cluster.Run then tears the epoch down and — when
-// Config.CheckpointDir is set — restarts every process from the latest
-// committed checkpoint wave (internal/ckpt stamps a wave with a
-// coordinated-commit marker only after every rank's writer replica has
-// saved, so a half-written wave is never chosen) and re-executes to a
-// fault-free-identical result. The ablation-ckpt experiment quantifies
-// the checkpoint-interval vs. re-executed-work trade-off; cmd/faultdemo
-// -exhaust narrates the scenario.
+// Failure handling has three rungs, matching the paper's combined
+// replication + infrequent-coordinated-checkpointing model (§1, §4.1)
+// extended with the hybrid mode send-determinism enables. (1)
+// Substitution: the loss of one replica of a rank is absorbed in place —
+// the lowest-index survivor becomes the substitute and re-sends retained
+// unacknowledged messages. (2) Localized replay
+// (cluster.Config.RecoveryMode = log, sdrun -recovery=log,
+// SDR_DIST_RECOVERY): every process copies its sends to degree-1 ranks
+// into a per-sender message log (core/msglog.go), truncated by the
+// receiver's checkpoint acknowledgements; the rank itself persists a
+// replay state — sequence counters, world collective counter, buffered
+// undelivered messages — beside each checkpoint (ckpt.SaveLog, pruned
+// with the wave). When such a rank dies, it ALONE is relaunched from its
+// newest checkpoint + replay state while the survivors park and re-send
+// from their logs; send-determinism makes the relaunch's regenerated
+// messages identical, so the sequencer dedup absorbs every overlap and
+// no survivor ever rolls back. A missing or corrupt replay state fails
+// closed into rung 3 — the codec never lets garbage reach the
+// application. (3) Global rollback: the loss of ALL replicas of a
+// non-logging rank raises the typed mpi.ReplicationExhausted signal
+// through the crash-sentinel unwind path; cluster.Run then tears the
+// epoch down and — when Config.CheckpointDir is set — restarts every
+// process from the latest committed checkpoint wave (internal/ckpt
+// stamps a wave with a coordinated-commit marker only after every rank's
+// writer replica has saved, so a half-written wave is never chosen) and
+// re-executes to a fault-free-identical result. The ablation-ckpt
+// experiment quantifies the checkpoint-interval vs. re-executed-work
+// trade-off, ablation-recovery compares rungs 2 and 3 on the same kill
+// schedule; cmd/faultdemo -exhaust and -replay narrate the scenarios.
 //
 // # Partial replication
 //
@@ -63,7 +78,9 @@
 // processes are spawned and SDR_DIST_DEGREES ships the vector to each
 // worker. The failure ladder shortens accordingly: an unreplicated
 // rank's death has no substitution rung and escalates straight to the
-// rollback restart (faultdemo -partial narrates it). The partial
+// rollback restart (faultdemo -partial narrates it) — unless the log
+// recovery mode is armed, in which case the localized-replay rung
+// catches it first (see Recovery ladder above). The partial
 // experiment and BenchmarkPartialReplication measure wall-clock overhead
 // and message counts as a function of the replicated fraction — the
 // O(q·r) protocol cost is paid only where r > 1.
@@ -85,8 +102,12 @@
 // with a distinct code; the coordinator tears the epoch down and respawns
 // every worker from the latest committed wave in the shared internal/ckpt
 // store — the cross-process incarnation of cluster.Run's recovery ladder,
-// with results identical to a fault-free in-process run. The env contract
-// (SDR_DIST_*) is documented on the cluster package's Env* constants.
+// with results identical to a fault-free in-process run. Under
+// SDR_DIST_RECOVERY=log a logging-enabled rank's death instead respawns
+// only that worker (SDR_DIST_REPLAY carries its restore wave) behind the
+// registry's revive/ack rejoin flow, with the survivors kept alive. The
+// env contract (SDR_DIST_*) is documented on the cluster package's Env*
+// constants.
 //
 // # Fast path
 //

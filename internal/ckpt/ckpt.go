@@ -54,6 +54,13 @@ func (s *Store) Save(rank, step int, data []byte, write bool) error {
 	if !write {
 		return nil
 	}
+	return s.writeAtomic(s.path(rank, step), data)
+}
+
+// writeAtomic persists data with an fnv64 integrity footer via a temp file
+// + rename, so a crash mid-write never corrupts a previous file under the
+// same name. Shared by checkpoint and message-log writes.
+func (s *Store) writeAtomic(path string, data []byte) error {
 	h := fnv.New64a()
 	h.Write(data)
 	var footer [8]byte
@@ -78,29 +85,35 @@ func (s *Store) Save(rank, step int, data []byte, write bool) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("ckpt: %w", err)
 	}
-	if err := os.Rename(tmpName, s.path(rank, step)); err != nil {
+	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("ckpt: %w", err)
 	}
 	return nil
 }
 
-// Load reads and verifies one rank's checkpoint at a step.
-func (s *Store) Load(rank, step int) ([]byte, error) {
-	raw, err := os.ReadFile(s.path(rank, step))
+// readVerified reads a footer-protected file, failing on truncation or an
+// integrity-hash mismatch.
+func readVerified(path, what string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: %w", err)
 	}
 	if len(raw) < 8 {
-		return nil, fmt.Errorf("ckpt: truncated checkpoint rank %d step %d", rank, step)
+		return nil, fmt.Errorf("ckpt: truncated %s", what)
 	}
 	data, footer := raw[:len(raw)-8], raw[len(raw)-8:]
 	h := fnv.New64a()
 	h.Write(data)
 	if h.Sum64() != binary.LittleEndian.Uint64(footer) {
-		return nil, fmt.Errorf("ckpt: corrupt checkpoint rank %d step %d", rank, step)
+		return nil, fmt.Errorf("ckpt: corrupt %s", what)
 	}
 	return data, nil
+}
+
+// Load reads and verifies one rank's checkpoint at a step.
+func (s *Store) Load(rank, step int) ([]byte, error) {
+	return readVerified(s.path(rank, step), fmt.Sprintf("checkpoint rank %d step %d", rank, step))
 }
 
 // Verify checks an existing checkpoint against data a non-writer replica
@@ -122,11 +135,16 @@ func (s *Store) Verify(rank, step int, data []byte) error {
 
 // Steps lists the checkpointed steps for a rank, ascending.
 func (s *Store) Steps(rank int) ([]int, error) {
+	return s.stepsWithPrefix(fmt.Sprintf("ckpt-r%04d-s", rank))
+}
+
+// stepsWithPrefix lists the steps encoded in "<prefix><step>.bin" file
+// names, ascending.
+func (s *Store) stepsWithPrefix(prefix string) ([]int, error) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: %w", err)
 	}
-	prefix := fmt.Sprintf("ckpt-r%04d-s", rank)
 	var steps []int
 	for _, e := range entries {
 		name := e.Name()
@@ -193,11 +211,13 @@ func (s *Store) Committed(step int) bool {
 	return err == nil
 }
 
-// Prune garbage-collects superseded waves: every checkpoint file and commit
-// marker with step < keep is removed. The launcher calls it after a new
-// wave commits, so the store holds at most the waves still usable for
-// rollback. In-flight ckpt-tmp-* files are left alone — a concurrent writer
-// may own them.
+// Prune garbage-collects superseded waves: every checkpoint file, per-rank
+// message-log (replay-state) file, and commit marker with step < keep is
+// removed. The launcher calls it after a new wave commits, so the store
+// holds at most the waves still usable for rollback or localized replay —
+// without it, repeated waves of a logging-enabled run would leak one mlog
+// file per wave forever. In-flight ckpt-tmp-* files are left alone — a
+// concurrent writer may own them.
 func (s *Store) Prune(keep int) error {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -222,7 +242,8 @@ func stepOf(name string) (int, bool) {
 	switch {
 	case strings.HasPrefix(name, "ckpt-commit-s") && strings.HasSuffix(name, ".ok"):
 		num = strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-commit-s"), ".ok")
-	case strings.HasPrefix(name, "ckpt-r") && strings.HasSuffix(name, ".bin"):
+	case strings.HasPrefix(name, "ckpt-r") && strings.HasSuffix(name, ".bin"),
+		strings.HasPrefix(name, "mlog-r") && strings.HasSuffix(name, ".bin"):
 		i := strings.LastIndex(name, "-s")
 		if i < 0 {
 			return 0, false

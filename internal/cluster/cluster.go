@@ -38,6 +38,30 @@ const (
 	Leader Protocol = "leader"
 )
 
+// RecoveryMode selects how the loss of a rank's LAST replica is handled —
+// the shape of the recovery ladder above the substitution rung.
+type RecoveryMode string
+
+const (
+	// RecoveryRollback (the default, also selected by the empty string)
+	// escalates straight to the global rung: the epoch is torn down and
+	// every process restarts from the latest committed checkpoint wave.
+	RecoveryRollback RecoveryMode = "rollback"
+	// RecoveryLog arms sender-based message logging for every degree-1
+	// rank, inserting the localized-replay rung between substitution and
+	// global rollback: each process copies the payloads it sends to a
+	// logging-enabled rank into a per-sender log (truncated by the
+	// receiver's checkpoint acknowledgements), and when such a rank dies
+	// only IT is relaunched — from its own latest checkpoint plus its
+	// persisted replay state — while the survivors park on their next
+	// dependence and re-send from their logs. Send-determinism makes the
+	// relaunched rank's regenerated messages identical, so the sequencer
+	// dedup machinery absorbs every overlap. Requires Protocol SDR and a
+	// CheckpointDir; if the replay state is missing or fails to decode,
+	// the run falls back to the global rollback rung.
+	RecoveryLog RecoveryMode = "log"
+)
+
 // FailureEvent schedules a fail-stop crash: the victim replica kills
 // itself when its application reaches Step(AtStep).
 type FailureEvent struct {
@@ -115,8 +139,62 @@ type Config struct {
 	// reporting a failure (see Run).
 	CheckpointDir string
 
+	// RecoveryMode picks the ladder shape above substitution: "" or
+	// RecoveryRollback for global rollback only, RecoveryLog to add the
+	// localized-replay rung for degree-1 ranks (see RecoveryMode).
+	RecoveryMode RecoveryMode
+
 	// Timeout is the watchdog deadline for one run epoch (default 60s).
 	Timeout time.Duration
+}
+
+// recoveryLog reports whether the localized-replay rung is armed.
+func (c Config) recoveryLog() bool { return c.RecoveryMode == RecoveryLog }
+
+// validateRecovery rejects unusable recovery configurations.
+func (c Config) validateRecovery() error {
+	return validateRecoveryMode(c.RecoveryMode, c.Protocol, c.CheckpointDir)
+}
+
+// validateRecoveryMode is the shared rule both launchers enforce: the log
+// mode needs the SDR protocol (the replay argument rests on
+// send-determinism and the ack/sequencer machinery) and a checkpoint
+// store (the replay state rides the checkpoint waves).
+func validateRecoveryMode(mode RecoveryMode, proto Protocol, ckptDir string) error {
+	switch mode {
+	case "", RecoveryRollback:
+		return nil
+	case RecoveryLog:
+		if proto != SDR {
+			return fmt.Errorf("cluster: RecoveryMode log requires the sdr protocol (got %q)", proto)
+		}
+		if ckptDir == "" {
+			return fmt.Errorf("cluster: RecoveryMode log requires a CheckpointDir (the replay state rides the checkpoint waves)")
+		}
+		return nil
+	default:
+		return fmt.Errorf("cluster: unknown RecoveryMode %q (want log or rollback)", mode)
+	}
+}
+
+// logRankVector marks the logical ranks running with sender-based message
+// logging: every degree-1 rank when the log mode is armed, nil otherwise.
+func logRankVector(cfg interface{ recoveryLog() bool }, l core.Layout) []bool {
+	if !cfg.recoveryLog() {
+		return nil
+	}
+	logged := make([]bool, l.N)
+	any := false
+	for rank := 0; rank < l.N; rank++ {
+		if l.Degree(rank) == 1 {
+			logged[rank] = true
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return logged
 }
 
 // timeout returns the effective per-epoch watchdog deadline.
@@ -230,6 +308,7 @@ type Env struct {
 	restored     []byte
 	restoredStep int // checkpoint wave of a rollback restart, -1 otherwise
 	store        *ckpt.Store
+	logSelf      bool // this rank persists replay state with each checkpoint
 }
 
 // Checkpoint saves the application state for this process's rank at a
@@ -246,6 +325,21 @@ func (e *Env) Checkpoint(step int, data []byte) error {
 	write := e.isWriter()
 	if err := e.store.Save(e.Rank, step, data, write); err != nil {
 		return err
+	}
+	if write && e.logSelf && e.proto != nil {
+		// Localized-replay bookkeeping for a logging-enabled rank: persist
+		// the protocol replay state next to the app checkpoint, then
+		// acknowledge the wave so senders truncate their message logs.
+		// The broadcast happens ONLY after both files are durable — until
+		// then senders keep everything, so a capture or save failure just
+		// leaves this wave replay-ineligible (and the logs longer), never
+		// unsafe.
+		if state, err := e.proto.CaptureReplayState(e.World.CollSeq()); err == nil {
+			if err := e.store.SaveLog(e.Rank, step, state); err != nil {
+				return err
+			}
+			e.proto.BroadcastLogTruncate()
+		}
 	}
 	if write {
 		return e.h.noteCkpt(e.Rank, step)
@@ -310,10 +404,16 @@ func writerRep(l core.Layout, rank int, alive func(transport.ProcID) bool) int {
 // rollback restart — or nil for a normal start.
 func (e *Env) Restored() []byte { return e.restored }
 
-// RestoredStep returns the checkpoint wave a rollback restart resumed
-// from, or -1 when this is not a rollback epoch. It distinguishes the
-// launcher-seeded checkpoint bytes from a recovery fork's snapshot, whose
-// format the substitute chose.
+// RestoredStep returns the checkpoint wave a rollback restart — or a
+// localized-replay relaunch — resumed from, or -1 when this is a normal
+// start. It distinguishes the launcher-seeded checkpoint bytes from a
+// recovery fork's snapshot, whose format the substitute chose.
+//
+// Resumable applications must skip work that preceded the restored wave,
+// collectives included: under a localized relaunch the survivors do NOT
+// re-execute, so a resumed process that repeats a pre-restore Barrier
+// (or any collective) double-counts it in the restored collective
+// sequence and desynchronizes from them permanently.
 func (e *Env) RestoredStep() int { return e.restoredStep }
 
 // Epoch returns the restart epoch: 0 for the first execution, incremented
@@ -367,6 +467,12 @@ type Report struct {
 	// is the checkpoint step the last rollback resumed from (-1 if none).
 	Restarts    int
 	RestartWave int
+	// Replays counts localized replays: logging-enabled ranks relaunched
+	// alone from their own checkpoint while the survivors kept their
+	// state. ReplayWave is the wave the last such relaunch resumed from
+	// (-1 if none).
+	Replays    int
+	ReplayWave int
 	// ExhaustErr is set when replication was exhausted and rollback was
 	// impossible (no store, no committed wave, or the restart budget ran
 	// out).
@@ -438,6 +544,13 @@ type runState struct {
 	store *ckpt.Store
 	fired *firedSet
 
+	// logRanks marks the ranks under sender-based message logging (nil
+	// unless Config.RecoveryMode is log and the layout has degree-1
+	// ranks); timedOut flags the watchdog teardown so a crash unwind
+	// during it is not mistaken for a replayable death.
+	logRanks []bool
+	timedOut atomic.Bool
+
 	// Rollback seeding: restart[rank] is the checkpoint every replica of
 	// rank resumes from in this epoch; restartWave is its step (-1 on the
 	// first epoch). epoch counts restarts.
@@ -453,6 +566,8 @@ type runState struct {
 	wg         sync.WaitGroup
 	sdcTotal   int
 	cloneStart time.Time
+	replays    int // completed localized relaunches this epoch
+	replayWave int // wave of the last localized relaunch
 
 	// exhaustedRank+1 of the first rank observed to lose its last
 	// replica; 0 while replication still holds.
@@ -511,6 +626,85 @@ func (rs *runState) exhaustedRank() int {
 	return int(rs.exhausted.Load()) - 1
 }
 
+// logEnabled reports whether rank runs under sender-based message logging.
+func (rs *runState) logEnabled(rank int) bool {
+	return rs.logRanks != nil && rs.logRanks[rank]
+}
+
+// replaySeed carries everything a localized relaunch restores: the rank's
+// own newest checkpoint wave, its application state, and its encoded
+// protocol replay state.
+type replaySeed struct {
+	wave  int
+	app   []byte
+	state []byte
+}
+
+// loadReplay loads rank's newest replay-eligible wave from the store,
+// validating the replay state end to end — the shared pre-flight of both
+// launchers' localized relaunch. Only the NEWEST (checkpoint, mlog) pair
+// is ever usable: the rank's last checkpoint acknowledgement already
+// truncated the senders' logs up to it, so any failure here means the
+// localized rung is gone and the caller must fall back to a global
+// rollback.
+func loadReplay(store *ckpt.Store, rank int) (*replaySeed, error) {
+	if store == nil {
+		return nil, fmt.Errorf("cluster: no checkpoint store for localized replay")
+	}
+	wave, err := store.LatestLog(rank)
+	if err != nil {
+		return nil, err
+	}
+	if wave < 0 {
+		return nil, fmt.Errorf("cluster: rank %d has no replay-eligible checkpoint wave", rank)
+	}
+	app, err := store.Load(rank, wave)
+	if err != nil {
+		return nil, err
+	}
+	state, err := store.LoadLog(rank, wave)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.ValidateReplayState(state); err != nil {
+		return nil, err
+	}
+	return &replaySeed{wave: wave, app: app, state: state}, nil
+}
+
+// relaunchLogged performs the localized-replay rung for the dead process
+// of a logging-enabled rank: load its newest checkpoint + replay state,
+// revive its network endpoint, and run it again. The survivors replay
+// their message logs when the relaunched process announces itself. Any
+// load or decode failure fails closed into the global-rollback rung. The
+// caller has already reserved the wg/spawned slot this (re)run consumes.
+func (rs *runState) relaunchLogged(dead transport.ProcID) {
+	rank := rs.layout.RankOf(dead)
+	bail := func() {
+		rs.appDone.Add(1)
+		rs.wg.Done()
+	}
+	seed, err := loadReplay(rs.store, rank)
+	if err != nil {
+		// Record the exhaustion BEFORE releasing the reserved WaitGroup
+		// slot: the release may be the epoch's last, and Run must observe
+		// the escalation when the epoch drains.
+		rs.noteExhausted(rank)
+		bail()
+		return
+	}
+	if rs.exhausted.Load() != 0 || rs.timedOut.Load() {
+		bail() // the epoch is being torn down; don't revive into it
+		return
+	}
+	rs.mu.Lock()
+	rs.replays++
+	rs.replayWave = seed.wave
+	rs.mu.Unlock()
+	rs.nw.Revive(dead)
+	rs.runProc(dead, nil, nil, seed)
+}
+
 // Run executes the application under the configured protocol and returns
 // the aggregated report. It implements the full recovery ladder: replica
 // substitution absorbs individual crashes inside an epoch; when the last
@@ -523,14 +717,17 @@ func Run(cfg Config, app AppFunc) *Report {
 	if err == nil {
 		err = validateSchedule(layout, cfg.Failures, cfg.Recoveries)
 	}
+	if err == nil {
+		err = cfg.validateRecovery()
+	}
 	if err != nil {
-		return &Report{Config: cfg, Procs: []ProcReport{{Err: err}}, RestartWave: -1}
+		return &Report{Config: cfg, Procs: []ProcReport{{Err: err}}, RestartWave: -1, ReplayWave: -1}
 	}
 	var store *ckpt.Store
 	if cfg.CheckpointDir != "" {
 		store, err = ckpt.NewStore(cfg.CheckpointDir)
 		if err != nil {
-			return &Report{Config: cfg, Procs: []ProcReport{{Err: err}}, RestartWave: -1}
+			return &Report{Config: cfg, Procs: []ProcReport{{Err: err}}, RestartWave: -1, ReplayWave: -1}
 		}
 	}
 
@@ -538,6 +735,7 @@ func Run(cfg Config, app AppFunc) *Report {
 	var restart [][]byte
 	restartWave := -1
 	restarts := 0
+	replays, replayWave := 0, -1
 	var total time.Duration
 	// One-shot event firing bounds the possible exhaustions, but keep an
 	// explicit budget so a misbehaving store cannot loop the launcher.
@@ -548,6 +746,14 @@ func Run(cfg Config, app AppFunc) *Report {
 		rep.Elapsed = total
 		rep.Restarts = restarts
 		rep.RestartWave = restartWave
+		rs.mu.Lock()
+		replays += rs.replays
+		if rs.replays > 0 {
+			replayWave = rs.replayWave
+		}
+		rs.mu.Unlock()
+		rep.Replays = replays
+		rep.ReplayWave = replayWave
 		exRank := rs.exhaustedRank()
 		if exRank < 0 {
 			return rep
@@ -576,6 +782,12 @@ func Run(cfg Config, app AppFunc) *Report {
 				return fail(fmt.Errorf("cluster: rollback to wave %d: %w", wave, err))
 			}
 			states[rank] = b
+		}
+		// Replay states are epoch-relative (sequence counters restart with
+		// the fresh processes); pre-rollback mlogs must never seed a
+		// localized relaunch in the new epoch.
+		if err := store.PruneLogs(); err != nil {
+			return fail(fmt.Errorf("cluster: rollback to wave %d: %w", wave, err))
 		}
 		restart, restartWave = states, wave
 		restarts++
@@ -608,6 +820,8 @@ func runOnce(cfg Config, layout core.Layout, app AppFunc, store *ckpt.Store, fir
 		ckptSaved:   make(map[int]map[int]bool),
 		reports:     make([]ProcReport, layout.Procs()),
 		recorders:   make(map[transport.ProcID]*trace.Recorder),
+		logRanks:    logRankVector(cfg, layout),
+		replayWave:  -1,
 	}
 
 	// Partial replication needs no special casing here: the degree-aware
@@ -619,7 +833,7 @@ func runOnce(cfg Config, layout core.Layout, app AppFunc, store *ckpt.Store, fir
 	for i := 0; i < layout.Procs(); i++ {
 		rs.wg.Add(1)
 		rs.spawned.Add(1)
-		go rs.runProc(transport.ProcID(i), nil, nil)
+		go rs.runProc(transport.ProcID(i), nil, nil, nil)
 	}
 
 	done := make(chan struct{})
@@ -632,6 +846,7 @@ func runOnce(cfg Config, layout core.Layout, app AppFunc, store *ckpt.Store, fir
 	case <-done:
 	case <-time.After(timeout):
 		timedOut = true
+		rs.timedOut.Store(true)
 		for i := 0; i < layout.Procs(); i++ {
 			nw.Kill(transport.ProcID(i))
 		}
@@ -650,12 +865,14 @@ func runOnce(cfg Config, layout core.Layout, app AppFunc, store *ckpt.Store, fir
 		SDCDetected: rs.sdcTotal,
 		TimedOut:    timedOut,
 		RestartWave: -1,
+		ReplayWave:  -1,
 	}, rs
 }
 
 // runProc is one physical process's lifetime. For recovered replicas,
-// cloneState and restored carry the fork.
-func (rs *runState) runProc(id transport.ProcID, cloneState *core.CloneState, restored []byte) {
+// cloneState and restored carry the §3.4 fork; for a localized relaunch of
+// a logging-enabled rank, replay carries the checkpoint + replay state.
+func (rs *runState) runProc(id transport.ProcID, cloneState *core.CloneState, restored []byte, replay *replaySeed) {
 	defer rs.wg.Done()
 	rank := rs.layout.RankOf(id)
 	rep := rs.layout.RepOf(id)
@@ -675,6 +892,16 @@ func (rs *runState) runProc(id transport.ProcID, cloneState *core.CloneState, re
 		if r := recover(); r != nil {
 			if _, ok := mpi.ErrCrashed(r); ok {
 				pr.Crashed = true
+				if rs.logEnabled(rank) && rs.exhausted.Load() == 0 && !rs.timedOut.Load() {
+					// The middle rung: a logging-enabled rank died. Reserve
+					// the relaunch slot before this process releases its
+					// own, so the epoch's WaitGroup can never drain in
+					// between, and relaunch it alone — the survivors keep
+					// their state and replay their logs.
+					rs.wg.Add(1)
+					rs.spawned.Add(1)
+					go rs.relaunchLogged(id)
+				}
 			} else if rank, ok := mpi.ErrExhausted(r); ok {
 				// Not an application error: the recovery ladder's second
 				// rung. Record it for the launcher, which tears this
@@ -686,9 +913,9 @@ func (rs *runState) runProc(id transport.ProcID, cloneState *core.CloneState, re
 		}
 		markDone()
 		rs.mu.Lock()
-		if cloneState != nil {
-			// A recovered replica reports alongside — not instead of —
-			// its crashed predecessor.
+		if cloneState != nil || replay != nil {
+			// A recovered or relaunched replica reports alongside — not
+			// instead of — its crashed predecessor.
 			rs.reports = append(rs.reports, pr)
 		} else {
 			rs.reports[int(id)] = pr
@@ -701,14 +928,22 @@ func (rs *runState) runProc(id transport.ProcID, cloneState *core.CloneState, re
 		proc.Engine().EagerLimit = rs.cfg.EagerLimit
 	}
 
-	env := &Env{Rank: rank, Rep: rep, h: rs, restored: restored, restoredStep: -1, store: rs.store}
-	if restored == nil && cloneState == nil && rs.restart != nil {
+	env := &Env{Rank: rank, Rep: rep, h: rs, restored: restored, restoredStep: -1,
+		store: rs.store, logSelf: rs.logEnabled(rank)}
+	switch {
+	case replay != nil:
+		// Localized relaunch: only this rank rolls back, to its own
+		// newest checkpoint wave.
+		env.restored = replay.app
+		env.restoredStep = replay.wave
+	case restored == nil && cloneState == nil && rs.restart != nil:
 		// Rollback epoch: every replica of every rank resumes from the
 		// wave the launcher selected.
 		env.restored = rs.restart[rank]
 		env.restoredStep = rs.restartWave
 	}
 	var protocol mpi.Protocol
+	var replayCollSeq uint64
 	if rs.cfg.Protocol == Native {
 		protocol = mpi.NewNative(proc)
 	} else {
@@ -716,6 +951,7 @@ func (rs *runState) runProc(id transport.ProcID, cloneState *core.CloneState, re
 			AckOnWait:     rs.cfg.AckOnWait,
 			SDC:           rs.cfg.SDC,
 			NoAckCoalesce: rs.cfg.NoAckCoalesce,
+			LogDests:      rs.logRanks,
 		}
 		if rs.cfg.TraceSends {
 			rec := trace.NewRecorder(rs.cfg.KeepEvents)
@@ -735,10 +971,27 @@ func (rs *runState) runProc(id transport.ProcID, cloneState *core.CloneState, re
 		if cloneState != nil {
 			rp.Restore(cloneState)
 		}
+		if replay != nil {
+			v, err := rp.RestoreReplayState(replay.state)
+			if err != nil {
+				// Fail closed: a replay state that validated on disk but
+				// no longer restores means the localized rung is gone.
+				rs.noteExhausted(rank)
+				return
+			}
+			replayCollSeq = v
+			// Announce the relaunch in-band; on this notification every
+			// survivor that emits into world 0 re-adds this process as a
+			// destination and replays its message log.
+			rp.BroadcastRecovered(id)
+		}
 		env.proto = rp
 		protocol = rp
 	}
 	env.World = mpi.NewWorld(proc, protocol, rs.cfg.Ranks)
+	if replay != nil {
+		env.World.SetCollSeq(replayCollSeq)
+	}
 
 	res, err := rs.app(env)
 	pr.Result = res
@@ -821,6 +1074,6 @@ func (rs *runState) stepHook(e *Env, step int, snapshot func() []byte) {
 		e.proto.BroadcastRecovered(dead)
 		rs.wg.Add(1)
 		rs.spawned.Add(1)
-		go rs.runProc(dead, cs, appState)
+		go rs.runProc(dead, cs, appState, nil)
 	}
 }

@@ -46,6 +46,18 @@ const (
 	// EnvKills is the comma-separated list of step numbers at which THIS
 	// worker must report a kill boundary and block awaiting SIGKILL.
 	EnvKills = "SDR_DIST_KILLS"
+	// EnvRecovery is the recovery mode above the substitution rung:
+	// "rollback" (or empty) for global rollback only, "log" to arm
+	// sender-based message logging for every degree-1 rank and the
+	// localized-replay rung it enables (see RecoveryMode).
+	EnvRecovery = "SDR_DIST_RECOVERY"
+	// EnvReplay marks a localized-replay relaunch: the checkpoint wave
+	// THIS worker must restore (app state + replay state) before
+	// announcing itself in-band; -1 for a normal start.
+	EnvReplay = "SDR_DIST_REPLAY"
+	// EnvDead is the comma-separated list of procs already dead when THIS
+	// worker was (re)spawned mid-epoch; empty normally.
+	EnvDead = "SDR_DIST_DEAD"
 )
 
 // DistConfig describes one distributed run: the same knobs as Config, but
@@ -71,6 +83,13 @@ type DistConfig struct {
 	// Required for the second rung of the recovery ladder; without it,
 	// replication exhaustion is fatal.
 	CheckpointDir string
+
+	// RecoveryMode picks the ladder shape above substitution, exactly as
+	// in Config: RecoveryLog relaunches a dead degree-1 rank alone (a
+	// single fresh OS process restored from its own newest checkpoint +
+	// replay state, re-fed from the survivors' sender logs) instead of
+	// tearing the whole epoch down.
+	RecoveryMode RecoveryMode
 
 	// WorkerCmd is the argv used to exec one worker (default: this
 	// binary, re-entered in worker mode via the env contract).
@@ -125,6 +144,14 @@ func (c DistConfig) layout() (core.Layout, error) {
 	return core.NewLayout(c.Ranks, c.replication(), degrees)
 }
 
+// recoveryLog reports whether the localized-replay rung is armed.
+func (c DistConfig) recoveryLog() bool { return c.RecoveryMode == RecoveryLog }
+
+// validateRecovery mirrors Config.validateRecovery for distributed runs.
+func (c DistConfig) validateRecovery() error {
+	return validateRecoveryMode(c.RecoveryMode, c.Protocol, c.CheckpointDir)
+}
+
 // formatDegrees renders a layout's degree vector for the env contract:
 // comma-separated degrees, or "" for a uniform layout.
 func formatDegrees(l core.Layout) string {
@@ -169,7 +196,11 @@ type DistReport struct {
 	TimedOut    bool
 	Restarts    int
 	RestartWave int
-	ExhaustErr  error
+	// Replays counts localized relaunches (single-worker respawns under
+	// RecoveryLog); ReplayWave is the wave the last one resumed from.
+	Replays    int
+	ReplayWave int
+	ExhaustErr error
 }
 
 // FirstError returns the first failure of the run, if any.
@@ -225,10 +256,14 @@ func RunDistributed(cfg DistConfig) *DistReport {
 		Replication: cfg.replication(),
 		Protocol:    cfg.Protocol,
 		RestartWave: -1,
+		ReplayWave:  -1,
 	}
 	layout, err := cfg.layout()
 	if err == nil {
 		err = validateSchedule(layout, cfg.Failures, nil)
+	}
+	if err == nil {
+		err = cfg.validateRecovery()
 	}
 	if err != nil {
 		rep.ExhaustErr = err
@@ -267,6 +302,10 @@ func RunDistributed(cfg DistConfig) *DistReport {
 		rep.Procs = ep.procs
 		rep.TimedOut = ep.timedOut
 		rep.RestartWave = restartWave
+		rep.Replays += ep.replays
+		if ep.replays > 0 {
+			rep.ReplayWave = ep.replayWave
+		}
 		if ep.err != nil {
 			rep.ExhaustErr = ep.err
 			return rep
@@ -292,6 +331,13 @@ func RunDistributed(cfg DistConfig) *DistReport {
 			rep.ExhaustErr = fmt.Errorf("cluster: replication exhausted before any committed checkpoint wave")
 			return rep
 		}
+		// Pre-rollback replay states are epoch-relative — drop them so a
+		// logging rank dying in the new epoch fails closed instead of
+		// restoring counters from the torn-down one.
+		if err := store.PruneLogs(); err != nil {
+			rep.ExhaustErr = fmt.Errorf("cluster: rollback to wave %d: %w", wave, err)
+			return rep
+		}
 		restartWave = wave
 		rep.Restarts++
 	}
@@ -299,11 +345,13 @@ func RunDistributed(cfg DistConfig) *DistReport {
 
 // distEpoch is one epoch's outcome.
 type distEpoch struct {
-	procs     []DistProcReport
-	elapsed   time.Duration
-	exhausted bool
-	timedOut  bool
-	err       error
+	procs      []DistProcReport
+	elapsed    time.Duration
+	exhausted  bool
+	timedOut   bool
+	replays    int
+	replayWave int
+	err        error
 }
 
 // distWorker is the coordinator's handle on one spawned worker process.
@@ -331,11 +379,11 @@ func runDistEpoch(cfg DistConfig, layout core.Layout, store *ckpt.Store, fired [
 	defer reg.Close()
 
 	sink := &syncWriter{w: cfg.LogSink}
-	exitCh := make(chan procExit, procs)
+	exitCh := make(chan procExit, 4*procs)
 	workers := make([]*distWorker, procs)
 	start := time.Now()
 	for p := 0; p < procs; p++ {
-		w, err := spawnWorker(cfg, reg.Addr(), layout, p, fired, wave, epoch, sink, exitCh)
+		w, err := spawnWorker(cfg, reg.Addr(), layout, p, fired, wave, epoch, sink, exitCh, -1, nil)
 		if err != nil {
 			// Abort the partial epoch: kill what already started.
 			for _, prev := range workers {
@@ -349,14 +397,19 @@ func runDistEpoch(cfg DistConfig, layout core.Layout, store *ckpt.Store, fired [
 	}
 
 	var (
-		dead      = make(map[int]bool)   // exited (any reason)
-		scheduled = make(map[int]bool)   // SIGKILL sent for a fired event
-		done      = make(map[int]ctlMsg) // app results
-		exhausted = false
-		timedOut  = false
-		tearing   = false
-		exits     = 0
+		dead       = make(map[int]bool)   // exited (any reason)
+		scheduled  = make(map[int]bool)   // SIGKILL sent for a fired event
+		done       = make(map[int]ctlMsg) // app results
+		exhausted  = false
+		timedOut   = false
+		tearing    = false
+		exits      = 0
+		spawnTotal = procs // grows with localized relaunches
+		replays    = 0
+		replayWave = -1
 	)
+	logRanks := logRankVector(cfg, layout)
+	maxReplays := len(cfg.Failures) + 1
 	watchdog := time.NewTimer(cfg.timeout())
 	defer watchdog.Stop()
 	health := time.NewTicker(time.Second)
@@ -384,7 +437,44 @@ func runDistEpoch(cfg DistConfig, layout core.Layout, store *ckpt.Store, fired [
 		return true
 	}
 
-	for exits < procs {
+	// relaunch attempts the localized-replay rung for a dead logging-rank
+	// worker: validate the rank's newest (checkpoint, replay-state) pair
+	// end to end, then respawn exactly one OS process restored from it.
+	// Any failure reports false and the caller escalates to the global
+	// rollback rung — fail closed, never garbage.
+	relaunch := func(proc int) bool {
+		rank := layout.RankOf(transport.ProcID(proc))
+		if replays >= maxReplays {
+			fmt.Fprintf(sink, "[coordinator] worker %d (rank %d): replay budget (%d) spent; global rollback\n", proc, rank, maxReplays)
+			return false
+		}
+		seedWave, err := validateDistReplay(store, rank)
+		if err != nil {
+			fmt.Fprintf(sink, "[coordinator] worker %d (rank %d): localized replay unavailable (%v); global rollback\n", proc, rank, err)
+			return false
+		}
+		var deadList []int
+		for p := range dead {
+			if dead[p] && p != proc {
+				deadList = append(deadList, p)
+			}
+		}
+		reg.forget(proc)
+		w, err := spawnWorker(cfg, reg.Addr(), layout, proc, fired, wave, epoch, sink, exitCh, seedWave, deadList)
+		if err != nil {
+			fmt.Fprintf(sink, "[coordinator] relaunch worker %d: %v; global rollback\n", proc, err)
+			return false
+		}
+		workers[proc] = w
+		dead[proc] = false
+		spawnTotal++
+		replays++
+		replayWave = seedWave
+		fmt.Fprintf(sink, "[coordinator] worker %d (rank %d) relaunched alone from wave %d; survivors replay their logs\n", proc, rank, seedWave)
+		return true
+	}
+
+	for exits < spawnTotal {
 		select {
 		case ev := <-reg.events:
 			if tearing {
@@ -437,8 +527,16 @@ func runDistEpoch(cfg DistConfig, layout core.Layout, store *ckpt.Store, fired [
 			}
 			// A real process death — scheduled or not. Broadcast the
 			// failure notification so the survivors' protocol layer can
-			// substitute (or report exhaustion).
+			// substitute (or, for a logging-enabled rank, park for the
+			// localized replay; or report exhaustion).
 			reg.announceDead(ex.proc)
+			if rank := layout.RankOf(transport.ProcID(ex.proc)); logRanks != nil && logRanks[rank] {
+				if !relaunch(ex.proc) {
+					exhausted = true
+					teardown()
+				}
+				continue
+			}
 			if complete() {
 				tearing = true
 				reg.broadcast(ctlMsg{Op: opShutdown}, -1)
@@ -473,12 +571,26 @@ func runDistEpoch(cfg DistConfig, layout core.Layout, store *ckpt.Store, fired [
 		}
 		reports[p] = pr
 	}
-	return distEpoch{procs: reports, elapsed: elapsed, exhausted: exhausted, timedOut: timedOut}
+	return distEpoch{procs: reports, elapsed: elapsed, exhausted: exhausted, timedOut: timedOut,
+		replays: replays, replayWave: replayWave}
+}
+
+// validateDistReplay checks rank's newest (checkpoint, replay-state) pair
+// in the shared store — the same pre-flight the in-process launcher runs
+// (loadReplay) — returning the wave a localized relaunch may restore from.
+func validateDistReplay(store *ckpt.Store, rank int) (int, error) {
+	seed, err := loadReplay(store, rank)
+	if err != nil {
+		return -1, err
+	}
+	return seed.wave, nil
 }
 
 // spawnWorker execs one worker process with the env contract filled in and
-// its output streamed line-by-line to the sink.
-func spawnWorker(cfg DistConfig, regAddr string, layout core.Layout, proc int, fired []bool, wave, epoch int, sink io.Writer, exitCh chan<- procExit) (*distWorker, error) {
+// its output streamed line-by-line to the sink. replayWave >= 0 marks a
+// localized-replay relaunch (the worker restores that wave and announces
+// itself in-band); deadProcs lists workers already dead at spawn time.
+func spawnWorker(cfg DistConfig, regAddr string, layout core.Layout, proc int, fired []bool, wave, epoch int, sink io.Writer, exitCh chan<- procExit, replayWave int, deadProcs []int) (*distWorker, error) {
 	rank := layout.RankOf(transport.ProcID(proc))
 	rep := layout.RepOf(transport.ProcID(proc))
 
@@ -491,6 +603,10 @@ func spawnWorker(cfg DistConfig, regAddr string, layout core.Layout, proc int, f
 		}
 	}
 
+	var deads []string
+	for _, p := range deadProcs {
+		deads = append(deads, strconv.Itoa(p))
+	}
 	cmd := exec.Command(cfg.WorkerCmd[0], cfg.WorkerCmd[1:]...)
 	cmd.Env = append(os.Environ(), cfg.WorkerEnv...)
 	cmd.Env = append(cmd.Env,
@@ -505,6 +621,9 @@ func spawnWorker(cfg DistConfig, regAddr string, layout core.Layout, proc int, f
 		fmt.Sprintf("%s=%d", EnvWave, wave),
 		fmt.Sprintf("%s=%d", EnvEpoch, epoch),
 		EnvKills+"="+strings.Join(kills, ","),
+		EnvRecovery+"="+string(cfg.RecoveryMode),
+		fmt.Sprintf("%s=%d", EnvReplay, replayWave),
+		EnvDead+"="+strings.Join(deads, ","),
 	)
 	prefix := fmt.Sprintf("[r%d.%d] ", rank, rep)
 	stdout := &lineWriter{w: sink, prefix: prefix}

@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/mpi"
+)
+
+// replayRing is a resumable n-rank ring accumulator: every rank sends a
+// deterministic value to its right neighbor each step, checkpoints every
+// `every` steps, and resumes from Env.Restored()/RestoredStep() after any
+// restart — the app shape the localized-replay rung requires. counter (if
+// non-nil) tallies every executed step across all processes and epochs,
+// measuring re-executed work.
+func replayRing(steps, every int, counter *atomic.Int64) AppFunc {
+	return func(env *Env) (any, error) {
+		c := env.World
+		n := c.Size()
+		me := int(c.Rank())
+		start := 0
+		var sum uint64
+		if b := env.Restored(); b != nil && env.RestoredStep() >= 0 {
+			start = env.RestoredStep()
+			sum = binary.LittleEndian.Uint64(b)
+		}
+		sbuf := make([]byte, 8)
+		rbuf := make([]byte, 8)
+		for i := start; i < steps; i++ {
+			env.Step(i, nil)
+			if counter != nil {
+				counter.Add(1)
+			}
+			binary.LittleEndian.PutUint64(sbuf, uint64(me*1000+i))
+			req := c.Isend(mpi.Rank((me+1)%n), 0, sbuf)
+			c.Recv(mpi.Rank((me-1+n)%n), 0, rbuf)
+			mpi.Waitall(req)
+			sum += binary.LittleEndian.Uint64(rbuf)
+			if every > 0 && (i+1)%every == 0 {
+				c.Barrier()
+				state := make([]byte, 8)
+				binary.LittleEndian.PutUint64(state, sum)
+				if err := env.Checkpoint(i+1, state); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return sum, nil
+	}
+}
+
+// TestLocalizedReplayUnreplicatedKill is the in-process acceptance
+// scenario of the log recovery mode: the single replica of an
+// unreplicated rank is killed mid-run; instead of the global rollback the
+// default mode would take, only that rank is relaunched — from its own
+// newest checkpoint — while the survivors never roll back, and the final
+// sums are identical to a fault-free run. The step counter proves the
+// locality: exactly one step of work is re-executed.
+func TestLocalizedReplayUnreplicatedKill(t *testing.T) {
+	const (
+		ranks  = 3
+		steps  = 12
+		every  = 2
+		failAt = 7 // one step past the wave-6 checkpoint
+	)
+
+	free := Run(Config{
+		Ranks: ranks, Protocol: SDR, UnreplicatedRanks: []int{1},
+		CheckpointDir: t.TempDir(), RecoveryMode: RecoveryLog,
+		Timeout: 30 * time.Second,
+	}, replayRing(steps, every, nil))
+	if err := free.FirstError(); err != nil {
+		t.Fatalf("fault-free run: %v", err)
+	}
+
+	var counter atomic.Int64
+	rep := Run(Config{
+		Ranks: ranks, Protocol: SDR, UnreplicatedRanks: []int{1},
+		CheckpointDir: t.TempDir(), RecoveryMode: RecoveryLog,
+		Failures: []FailureEvent{{Rank: 1, Rep: 0, AtStep: failAt}},
+		Timeout:  30 * time.Second,
+	}, replayRing(steps, every, &counter))
+	if err := rep.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restarts != 0 {
+		t.Fatalf("restarts = %d, want 0 (survivors must never roll back)", rep.Restarts)
+	}
+	if rep.Replays != 1 {
+		t.Fatalf("replays = %d, want 1", rep.Replays)
+	}
+	if rep.ReplayWave != failAt-1 {
+		t.Fatalf("replay wave = %d, want %d (the rank's newest checkpoint)", rep.ReplayWave, failAt-1)
+	}
+
+	// Every finishing process — the relaunched rank 1 included — must
+	// compute exactly its fault-free sum.
+	finished := 0
+	for _, p := range rep.Procs {
+		if p.Crashed {
+			continue
+		}
+		finished++
+		want := free.ResultOf(p.Rank, p.Rep)
+		if p.Result != want {
+			t.Errorf("rank %d rep %d: sum %v, fault-free %v", p.Rank, p.Rep, p.Result, want)
+		}
+	}
+	if finished != 5 {
+		t.Errorf("finished = %d, want 5 (4 survivors + relaunched rank)", finished)
+	}
+
+	// Locality of the recovery: the whole run re-executes exactly the one
+	// step the victim completed after its last checkpoint (it died at the
+	// step-7 boundary, so step 7 itself was never executed work). A global
+	// rollback would have re-executed failAt-wave steps on EVERY process.
+	ideal := int64(5 * steps)
+	if got := counter.Load(); got != ideal+1 {
+		t.Errorf("executed steps = %d, want %d (ideal %d + 1 replayed)", got, ideal+1, ideal)
+	}
+}
+
+// TestLocalizedReplayFailsClosedOnCorruptLog plants a newest-wave replay
+// state that does not decode: the localized rung must not deliver garbage
+// — the run has to fall back to a full global rollback and still finish
+// with correct results.
+func TestLocalizedReplayFailsClosedOnCorruptLog(t *testing.T) {
+	const (
+		ranks  = 3
+		steps  = 12
+		every  = 2
+		failAt = 7
+	)
+	dir := t.TempDir()
+	// A well-footered mlog+ckpt pair at a bogus future wave: LatestLog
+	// will pick it, the store-level integrity check passes, and the
+	// codec-level decode must reject it.
+	sab, err := ckpt.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sab.Save(1, 99, []byte{9, 9}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := sab.SaveLog(1, 99, []byte("not a replay state")); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := Run(Config{
+		Ranks: ranks, Protocol: SDR, UnreplicatedRanks: []int{1},
+		CheckpointDir: dir, RecoveryMode: RecoveryLog,
+		Failures: []FailureEvent{{Rank: 1, Rep: 0, AtStep: failAt}},
+		Timeout:  30 * time.Second,
+	}, replayRing(steps, every, nil))
+	if err := rep.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replays != 0 {
+		t.Fatalf("replays = %d, want 0 (corrupt replay state must not be used)", rep.Replays)
+	}
+	if rep.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1 (fail closed into global rollback)", rep.Restarts)
+	}
+
+	free := Run(Config{
+		Ranks: ranks, Protocol: SDR, UnreplicatedRanks: []int{1},
+		CheckpointDir: t.TempDir(), RecoveryMode: RecoveryLog,
+		Timeout: 30 * time.Second,
+	}, replayRing(steps, every, nil))
+	if err := free.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rep.Procs {
+		if p.Crashed {
+			continue
+		}
+		if want := free.ResultOf(p.Rank, p.Rep); p.Result != want {
+			t.Errorf("rank %d rep %d: sum %v, fault-free %v", p.Rank, p.Rep, p.Result, want)
+		}
+	}
+}
+
+// TestStaleReplayStateAfterRollback pins the epoch-relativity of replay
+// states: a global rollback restarts every process with fresh sequence
+// counters, so mlog files captured in the torn-down epoch are poison — a
+// relaunch restoring one would discard the new epoch's replayed traffic
+// as stale and hang. Seeding the rollback must prune them, and a logging
+// rank dying in the new epoch before its first new checkpoint must fail
+// CLOSED into a second rollback, finishing with correct results.
+func TestStaleReplayStateAfterRollback(t *testing.T) {
+	const (
+		ranks = 3
+		steps = 8
+		every = 2
+	)
+	cfgFor := func(dir string, fails []FailureEvent) Config {
+		return Config{
+			Ranks: ranks, Protocol: SDR, UnreplicatedRanks: []int{1},
+			CheckpointDir: dir, RecoveryMode: RecoveryLog,
+			Failures: fails, Timeout: 30 * time.Second,
+		}
+	}
+	free := Run(cfgFor(t.TempDir(), nil), replayRing(steps, every, nil))
+	if err := free.FirstError(); err != nil {
+		t.Fatalf("fault-free run: %v", err)
+	}
+
+	// Epoch 0: both replicas of rank 0 die at step 4 (wave 4 committed,
+	// mlog-r1-s4 on disk) → global rollback. Epoch 1: rank 1's single
+	// replica dies at step 5, BEFORE its first new checkpoint — the only
+	// candidate replay state is the pre-rollback one.
+	rep := Run(cfgFor(t.TempDir(), []FailureEvent{
+		{Rank: 0, Rep: 0, AtStep: 4},
+		{Rank: 0, Rep: 1, AtStep: 4},
+		{Rank: 1, Rep: 0, AtStep: 5},
+	}), replayRing(steps, every, nil))
+	if err := rep.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replays != 0 {
+		t.Fatalf("replays = %d, want 0 (a pre-rollback replay state must never be restored)", rep.Replays)
+	}
+	if rep.Restarts != 2 {
+		t.Fatalf("restarts = %d, want 2 (rank-0 exhaustion, then the fail-closed logging death)", rep.Restarts)
+	}
+	for _, p := range rep.Procs {
+		if p.Crashed {
+			continue
+		}
+		if want := free.ResultOf(p.Rank, p.Rep); p.Result != want {
+			t.Errorf("rank %d rep %d: sum %v, fault-free %v", p.Rank, p.Rep, p.Result, want)
+		}
+	}
+}
+
+// TestRecoveryModeValidation rejects unusable log-mode configurations
+// instead of running without the rung armed.
+func TestRecoveryModeValidation(t *testing.T) {
+	app := replayRing(2, 1, nil)
+	if err := Run(Config{Ranks: 2, Protocol: Mirror, RecoveryMode: RecoveryLog,
+		CheckpointDir: t.TempDir()}, app).FirstError(); err == nil {
+		t.Error("log mode under mirror accepted")
+	}
+	if err := Run(Config{Ranks: 2, Protocol: SDR, RecoveryMode: RecoveryLog}, app).FirstError(); err == nil {
+		t.Error("log mode without CheckpointDir accepted")
+	}
+	if err := Run(Config{Ranks: 2, Protocol: SDR, RecoveryMode: "bogus"}, app).FirstError(); err == nil {
+		t.Error("unknown recovery mode accepted")
+	}
+}

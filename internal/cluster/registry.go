@@ -62,6 +62,14 @@ const (
 	opDone      = "done"
 	opDead      = "dead"
 	opShutdown  = "shutdown"
+	// opRevive announces a relaunched worker's new listener address to the
+	// survivors (localized replay); each replies with opReviveAck once its
+	// peer wire points at the new incarnation, and only when every live
+	// worker has acknowledged does the registry hand the joiner the world
+	// table — so the joiner's in-band recovery broadcast can never race a
+	// survivor's stale dead-marking.
+	opRevive    = "revive"
+	opReviveAck = "reviveok"
 )
 
 // Worker exit codes (the launcher's failure ladder reads them).
@@ -121,6 +129,17 @@ type registry struct {
 	lastSeen []time.Time
 	saved    map[int]map[int]bool // step → ranks whose writer saved
 	closed   bool
+
+	// Rejoin (localized replay) state: worldSent marks the epoch's world
+	// broadcast done, after which a hello is a relaunched worker.
+	// rejoinMu serializes rejoin handshakes — with two logged ranks dying
+	// back to back, concurrent flows would clobber reviveLeft/reviveCh
+	// and cross-credit acks, releasing a joiner before every survivor
+	// re-aimed its wire (acks carry no revive identity).
+	worldSent  bool
+	rejoinMu   sync.Mutex
+	reviveLeft int
+	reviveCh   chan struct{}
 }
 
 // newRegistry starts the rendezvous registry for an epoch of `procs`
@@ -181,13 +200,19 @@ func (r *registry) serve(c net.Conn) {
 		c.Close() // duplicate registration
 		return
 	}
+	rejoin := r.worldSent
 	r.conns[proc] = rc
 	r.addrs[proc] = hello.Addr
 	r.lastSeen[proc] = time.Now()
-	r.joined++
-	ready := r.joined == r.procs
+	ready := false
 	var world []string
-	if ready {
+	if !rejoin {
+		r.joined++
+		if ready = r.joined == r.procs; ready {
+			r.worldSent = true
+			world = append([]string(nil), r.addrs...)
+		}
+	} else {
 		world = append([]string(nil), r.addrs...)
 	}
 	r.mu.Unlock()
@@ -198,10 +223,54 @@ func (r *registry) serve(c net.Conn) {
 		r.broadcast(ctlMsg{Op: opWorld, Addrs: world}, -1)
 		r.events <- regEvent{kind: evReady}
 	}
+	if rejoin {
+		// A relaunched worker (localized replay). Point every survivor's
+		// peer wire at the new incarnation and wait for their acks before
+		// handing over the world table — the joiner must not start its
+		// recovery broadcast while any survivor still fail-stop-drops
+		// traffic to it. One handshake at a time; a second joiner blocks
+		// here (its worker side acknowledges revives while waiting).
+		r.rejoinMu.Lock()
+		r.mu.Lock()
+		live := 0
+		for p, other := range r.conns {
+			if other != nil && p != proc {
+				live++
+			}
+		}
+		r.reviveLeft = live
+		ch := make(chan struct{})
+		r.reviveCh = ch
+		if live == 0 {
+			close(ch)
+			r.reviveCh = nil
+		}
+		// The world table must reflect peers revived while this goroutine
+		// queued on rejoinMu.
+		world = append(world[:0], r.addrs...)
+		r.mu.Unlock()
+		if live > 0 {
+			r.broadcast(ctlMsg{Op: opRevive, Proc: proc, Addr: hello.Addr}, proc)
+		}
+		select {
+		case <-ch:
+		case <-time.After(10 * time.Second):
+			// A hung survivor; the coordinator's health probe will deal
+			// with it. Proceed — worst case its traffic to the joiner is
+			// dropped a little longer.
+		}
+		_ = rc.send(ctlMsg{Op: opWorld, Addrs: world})
+		r.rejoinMu.Unlock()
+	}
 
 	for {
 		var m ctlMsg
 		if err := dec.Decode(&m); err != nil {
+			r.mu.Lock()
+			if r.conns[proc] == rc {
+				r.conns[proc] = nil
+			}
+			r.mu.Unlock()
 			r.events <- regEvent{kind: evLost, proc: proc}
 			return
 		}
@@ -211,6 +280,16 @@ func (r *registry) serve(c net.Conn) {
 		switch m.Op {
 		case opPing:
 			// liveness only
+		case opReviveAck:
+			r.mu.Lock()
+			if r.reviveLeft > 0 {
+				r.reviveLeft--
+				if r.reviveLeft == 0 && r.reviveCh != nil {
+					close(r.reviveCh)
+					r.reviveCh = nil
+				}
+			}
+			r.mu.Unlock()
 		case opCkpt:
 			r.noteCkpt(m.Rank, m.Step)
 		case opKillMe:
@@ -259,6 +338,16 @@ func (r *registry) broadcast(m ctlMsg, skip int) {
 		}
 		_ = rc.send(m) // a dead worker's send failure is handled via evLost
 	}
+}
+
+// forget clears a dead worker's registration so a relaunched incarnation
+// can register under the same proc ID. The old serve goroutine's cleanup
+// compares the connection pointer before nil-ing the slot, so a slow EOF
+// cannot clobber the replacement.
+func (r *registry) forget(proc int) {
+	r.mu.Lock()
+	r.conns[proc] = nil
+	r.mu.Unlock()
 }
 
 // announceDead broadcasts the failure notification for proc to every other

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRegistryRejoinReviveFlow drives the localized-replay rendezvous: a
+// worker's connection dies, the coordinator forgets it, and a relaunched
+// incarnation registers under the same proc ID. The registry must (1) tell
+// every survivor the new address via opRevive, (2) hold the joiner's world
+// table back until the survivors acknowledged, and (3) hand the joiner a
+// world table carrying its own new address.
+func TestRegistryRejoinReviveFlow(t *testing.T) {
+	reg, err := newRegistry(2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	w0 := dialRegistry(t, reg.Addr())
+	w0.send(t, ctlMsg{Op: opHello, Proc: 0, Addr: "127.0.0.1:6000"})
+	w1 := dialRegistry(t, reg.Addr())
+	w1.send(t, ctlMsg{Op: opHello, Proc: 1, Addr: "127.0.0.1:6001"})
+	for _, w := range []*fakeWorker{w0, w1} {
+		if m := w.recv(t); m.Op != opWorld {
+			t.Fatalf("op = %q, want world", m.Op)
+		}
+	}
+	if ev := <-reg.events; ev.kind != evReady {
+		t.Fatalf("event %v, want evReady", ev.kind)
+	}
+
+	// Worker 1 dies (SIGKILL): its control connection drops.
+	w1.c.Close()
+	if ev := <-reg.events; ev.kind != evLost || ev.proc != 1 {
+		t.Fatalf("event %v proc %d, want evLost proc 1", ev.kind, ev.proc)
+	}
+	reg.forget(1)
+
+	// The relaunched incarnation registers with a NEW listener address.
+	w1b := dialRegistry(t, reg.Addr())
+	w1b.send(t, ctlMsg{Op: opHello, Proc: 1, Addr: "127.0.0.1:6999"})
+
+	// Survivor 0 learns the new address first...
+	rev := w0.recv(t)
+	if rev.Op != opRevive || rev.Proc != 1 || rev.Addr != "127.0.0.1:6999" {
+		t.Fatalf("survivor saw %+v, want revive proc 1 @6999", rev)
+	}
+	// ...and only after its ack does the joiner get the world table: with
+	// the ack delayed, the (blocking) world receive must take at least
+	// that long.
+	start := time.Now()
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		_ = w0.enc.Encode(ctlMsg{Op: opReviveAck, Proc: 0})
+	}()
+	world := w1b.recv(t)
+	if time.Since(start) < 140*time.Millisecond {
+		t.Fatal("joiner received the world table before the survivor acknowledged")
+	}
+	if world.Op != opWorld {
+		t.Fatalf("op = %q, want world", world.Op)
+	}
+	if len(world.Addrs) != 2 || world.Addrs[1] != "127.0.0.1:6999" || world.Addrs[0] != "127.0.0.1:6000" {
+		t.Fatalf("rejoin world table %v", world.Addrs)
+	}
+}

@@ -1,0 +1,37 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLocalizedReplayWithBarrierWrapper mirrors sdrun's launch shape: the
+// workload is bracketed by world barriers (the timing harness), with the
+// leading one skipped on a resumed process — re-executing a pre-restore
+// collective would double-count it in the restored collective sequence
+// and desynchronize the relaunched rank from the survivors (the bug this
+// test pins down). The trailing barrier is after every restore point and
+// must run on everyone, the relaunched rank included.
+func TestLocalizedReplayWithBarrierWrapper(t *testing.T) {
+	inner := replayRing(12, 2, nil)
+	app := func(env *Env) (any, error) {
+		if env.RestoredStep() < 0 {
+			env.World.Barrier()
+		}
+		res, err := inner(env)
+		env.World.Barrier()
+		return res, err
+	}
+	rep := Run(Config{
+		Ranks: 3, Protocol: SDR, UnreplicatedRanks: []int{1},
+		CheckpointDir: t.TempDir(), RecoveryMode: RecoveryLog,
+		Failures: []FailureEvent{{Rank: 1, Rep: 0, AtStep: 7}},
+		Timeout:  20 * time.Second,
+	}, app)
+	if err := rep.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restarts != 0 || rep.Replays != 1 {
+		t.Fatalf("restarts=%d replays=%d, want 0/1", rep.Restarts, rep.Replays)
+	}
+}

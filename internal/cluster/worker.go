@@ -30,7 +30,18 @@ type WorkerConfig struct {
 	RestartWave   int // committed wave to restore from, -1 for fresh start
 	Epoch         int
 	KillSteps     []int // step boundaries at which to park and await SIGKILL
+
+	// RecoveryMode arms sender-based message logging for degree-1 ranks
+	// ("log"); ReplayWave marks this process as a localized-replay
+	// relaunch restoring that wave (-1 normally); DeadProcs lists workers
+	// already dead when this process was spawned mid-epoch.
+	RecoveryMode RecoveryMode
+	ReplayWave   int
+	DeadProcs    []int
 }
+
+// recoveryLog reports whether the localized-replay rung is armed.
+func (c WorkerConfig) recoveryLog() bool { return c.RecoveryMode == RecoveryLog }
 
 // DistWorkerActive reports whether this process was exec'd as a
 // distributed worker (the hidden mode commands enter before flag parsing).
@@ -67,6 +78,22 @@ func WorkerConfigFromEnv() (WorkerConfig, error) {
 	cfg.Protocol = Protocol(os.Getenv(EnvProtocol))
 	cfg.Registry = os.Getenv(EnvRegistry)
 	cfg.CheckpointDir = os.Getenv(EnvCkptDir)
+	cfg.RecoveryMode = RecoveryMode(os.Getenv(EnvRecovery))
+	cfg.ReplayWave = -1
+	if v := os.Getenv(EnvReplay); v != "" {
+		if cfg.ReplayWave, err = geti(EnvReplay); err != nil {
+			return cfg, err
+		}
+	}
+	if ds := os.Getenv(EnvDead); ds != "" {
+		for _, s := range strings.Split(ds, ",") {
+			p, err := strconv.Atoi(s)
+			if err != nil {
+				return cfg, fmt.Errorf("cluster: bad %s entry %q", EnvDead, s)
+			}
+			cfg.DeadProcs = append(cfg.DeadProcs, p)
+		}
+	}
 	if ks := os.Getenv(EnvKills); ks != "" {
 		for _, s := range strings.Split(ks, ",") {
 			st, err := strconv.Atoi(s)
@@ -189,11 +216,21 @@ func RunWorker(cfg WorkerConfig, app AppFunc) int {
 			world = m
 		case opDead:
 			pendingDead = append(pendingDead, transport.ProcID(m.Proc))
+		case opRevive:
+			// Another relaunch completing while we handshake (our own
+			// world table will carry its new address, so updating the
+			// wire now is redundant but harmless) — the registry's
+			// serialized rejoin flow is waiting on OUR ack too.
+			pw.Revive(transport.ProcID(m.Proc), m.Addr)
+			_ = cc.send(ctlMsg{Op: opReviveAck, Proc: int(cfg.Proc)})
 		case opShutdown:
 			return 0 // epoch abandoned before it began
 		}
 	}
 	pw.SetPeers(world.Addrs)
+	for _, p := range cfg.DeadProcs {
+		pendingDead = append(pendingDead, transport.ProcID(p))
+	}
 
 	// noteDead realizes one failure notification: mark the peer dead on
 	// the wire and inject the same in-band control message
@@ -226,6 +263,13 @@ func RunWorker(cfg WorkerConfig, app AppFunc) int {
 			switch m.Op {
 			case opDead:
 				noteDead(transport.ProcID(m.Proc))
+			case opRevive:
+				// A logging-enabled rank was relaunched: point the wire at
+				// its new incarnation, then acknowledge — the registry
+				// releases the joiner only after every survivor has, so
+				// its recovery broadcast cannot race this update.
+				pw.Revive(transport.ProcID(m.Proc), m.Addr)
+				_ = cc.send(ctlMsg{Op: opReviveAck, Proc: int(cfg.Proc)})
 			case opShutdown:
 				close(shutdown)
 				return
@@ -257,9 +301,32 @@ func RunWorker(cfg WorkerConfig, app AppFunc) int {
 		ws.kills[s] = true
 	}
 
+	// Sender-based message logging: in the log recovery mode every
+	// degree-1 rank is a logging destination on every worker, and is
+	// itself responsible for persisting its replay state with each
+	// checkpoint wave. Same rule as the in-process launcher and the
+	// coordinator — logRankVector keeps the three in lockstep.
+	logDests := logRankVector(cfg, layout)
+
 	proc := mpi.NewProc(nw, cfg.Proc)
-	env := &Env{Rank: rank, Rep: rep, h: ws, restoredStep: -1, store: store}
-	if cfg.RestartWave >= 0 && store != nil {
+	env := &Env{Rank: rank, Rep: rep, h: ws, restoredStep: -1, store: store,
+		logSelf: logDests != nil && logDests[rank]}
+	switch {
+	case cfg.ReplayWave >= 0:
+		// Localized-replay relaunch: this worker alone rolls back, to its
+		// own newest checkpoint wave; the protocol state is restored below
+		// once the replicated layer exists.
+		if store == nil {
+			return fail(fmt.Errorf("localized replay without a checkpoint store"))
+		}
+		b, err := store.Load(rank, cfg.ReplayWave)
+		if err != nil {
+			_ = cc.send(ctlMsg{Op: opExhausted, Rank: rank})
+			return workerExitExhausted
+		}
+		env.restored = b
+		env.restoredStep = cfg.ReplayWave
+	case cfg.RestartWave >= 0 && store != nil:
 		b, err := store.Load(rank, cfg.RestartWave)
 		if err != nil {
 			return fail(fmt.Errorf("rollback restore wave %d: %w", cfg.RestartWave, err))
@@ -268,14 +335,35 @@ func RunWorker(cfg WorkerConfig, app AppFunc) int {
 		env.restoredStep = cfg.RestartWave
 	}
 	var protocol mpi.Protocol
+	var replayCollSeq uint64
 	if cfg.Protocol == Native {
 		protocol = mpi.NewNative(proc)
 	} else {
-		rp := core.NewReplicated(proc, layout, cfg.Protocol.coreMode(), nil, core.Options{})
+		rp := core.NewReplicated(proc, layout, cfg.Protocol.coreMode(), nil, core.Options{LogDests: logDests})
+		if cfg.ReplayWave >= 0 {
+			// Restore the sequence counters and buffered messages the
+			// checkpoint captured, then announce the relaunch in-band so
+			// the survivors replay their sender logs. A state that fails
+			// to decode fails CLOSED: report exhaustion and let the
+			// coordinator take the global-rollback rung.
+			state, err := store.LoadLog(rank, cfg.ReplayWave)
+			if err == nil {
+				replayCollSeq, err = rp.RestoreReplayState(state)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "worker %d: replay state unusable: %v\n", cfg.Proc, err)
+				_ = cc.send(ctlMsg{Op: opExhausted, Rank: rank})
+				return workerExitExhausted
+			}
+			rp.BroadcastRecovered(cfg.Proc)
+		}
 		env.proto = rp
 		protocol = rp
 	}
 	env.World = mpi.NewWorld(proc, protocol, cfg.Ranks)
+	if cfg.ReplayWave >= 0 {
+		env.World.SetCollSeq(replayCollSeq)
+	}
 
 	// Run the application, catching the library's typed unwinds.
 	exhaustedRank := -1

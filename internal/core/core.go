@@ -209,6 +209,15 @@ type Options struct {
 	// send-determinism checker attaches here).
 	SendRecorder func(ctx uint32, dstRank, tag int, payload []byte)
 
+	// LogDests marks the logical ranks whose inbound application messages
+	// this process must copy into its sender-based message log (the
+	// localized-replay recovery mode: the launcher sets it for every
+	// degree-1 rank). A logged rank's death no longer raises
+	// mpi.ReplicationExhausted — survivors park on their next dependence
+	// while the launcher relaunches the rank alone and the logs replay.
+	// Nil disables logging entirely (zero cost on the send path).
+	LogDests []bool
+
 	// NoAckCoalesce disables receiver-side acknowledgement coalescing,
 	// restoring one discrete KindAck message per (message, replica) — the
 	// configuration a naive reading of Algorithm 1 produces. Coalescing

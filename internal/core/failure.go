@@ -25,12 +25,18 @@ func (p *Replicated) onFailure(dead transport.ProcID) {
 	p.eng.CancelSendsTo(dead)
 
 	sub := p.electSubstitute(deadRank)
-	if sub < 0 {
+	if sub < 0 && !p.LogEnabled(deadRank) {
 		// Escalation point of the recovery ladder (§1, §4.1): with no
 		// replica of deadRank left, no protocol — mirror included — can
 		// mask the loss. Raise the typed signal; the cluster launcher
 		// recovers it and rolls the whole run back to the latest
 		// coordinated checkpoint wave.
+		//
+		// A logging-enabled rank is the exception (the ladder's middle
+		// rung): its sends are logged on every sender, so the launcher
+		// relaunches that rank alone from its own checkpoint while the
+		// survivors park on their next dependence and replay their logs
+		// on the in-band recovery notification — no global teardown.
 		mpi.RaiseExhausted(deadRank)
 	}
 
@@ -69,11 +75,13 @@ func (p *Replicated) onFailure(dead transport.ProcID) {
 					p.substitute[l] = sub
 				}
 			}
-		} else if p.physicalSrc[deadRank] == dead {
+		} else if sub >= 0 && p.physicalSrc[deadRank] == dead {
 			// Lines 29–30: redirect the nominal source. Matching is
 			// already logical (by rank), so no PML retargeting is
 			// required; this keeps the bookkeeping consistent for
-			// recovery.
+			// recovery. With no substitute (a logging-enabled rank down
+			// for localized replay) the nominal source stays put until
+			// the rank's relaunch announces itself.
 			p.physicalSrc[deadRank] = p.layout.Phys(sub, deadRank)
 		}
 	}

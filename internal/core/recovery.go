@@ -146,16 +146,23 @@ func (p *Replicated) onRecovered(q transport.ProcID) {
 		return
 	}
 
-	if p.myRep == qRep {
-		// q is my own-world replica of rank qRank: restore it as my
-		// direct destination and nominal source, and replay every
-		// retained message for that rank — precisely those the
-		// substitute had not acknowledged before the notification.
+	if qRep < len(p.substitute) && p.substitute[qRep] == p.myRep {
+		// q lives in a world I emit into — my own (myRep == qRep), or one
+		// I took over as substitute. Restore it as my direct destination
+		// and nominal source, and replay every retained message for that
+		// rank — precisely those the substitute had not acknowledged
+		// before the notification. For a logging-enabled rank relaunched
+		// by the localized-replay rung, additionally re-send the message
+		// log: retention is empty for degree-1 destinations (no acks gate
+		// those sends), so the log is the only replay source.
 		p.physicalSrc[qRank] = q
 		if !p.inDests(qRank, q) {
 			p.physicalDests[qRank] = append(p.physicalDests[qRank], q)
 		}
 		p.replayRetained(qRank, q)
+		if p.LogEnabled(qRank) {
+			p.replayLog(qRank, q)
+		}
 	}
 	// Processes in other worlds resume acknowledging to q automatically
 	// now that alive[q] holds, and only for messages completed after

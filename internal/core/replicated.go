@@ -54,6 +54,12 @@ type Replicated struct {
 	sdcLocal  map[retKey]uint64
 	sdcCount  int
 
+	// Sender-based message-logging state (see msglog.go): per-destination
+	// payload logs for the logging-enabled (degree-1) ranks, truncated by
+	// the receivers' checkpoint acknowledgements.
+	logDests []bool
+	msgLog   map[int][]*logEntry
+
 	// Ack-coalescing state (see acks.go): per-destination batches of
 	// acknowledgements not yet on the wire.
 	coalesce bool
@@ -91,6 +97,7 @@ func NewReplicated(proc *mpi.Proc, layout Layout, mode Mode, det *detect.Service
 		pending:   make(map[seqKey][]*transport.Message),
 		sdcRemote: make(map[retKey][]int64),
 		sdcLocal:  make(map[retKey]uint64),
+		logDests:  opts.LogDests,
 	}
 	// Degree-aware topology (§5's research direction, MR-MPI's feature):
 	// a rank whose degree does not reach this process's world has no
@@ -215,6 +222,14 @@ func (p *Replicated) Isend(c *mpi.Comm, ctx uint32, to mpi.Rank, tag int, data [
 	meta[mpi.MetaSrcRank] = int64(p.myRank)
 	meta[mpi.MetaDstRank] = int64(dstRank)
 	meta[mpi.MetaWorld] = int64(p.myRep)
+
+	if p.LogEnabled(dstRank) {
+		// Sender-based message logging: keep an owned copy until the
+		// destination's checkpoint acknowledgement covers it. Logged even
+		// while the destination is down — the entry is then the ONLY copy,
+		// re-sent at replay time to fill the outage window.
+		p.logSend(ctx, dstRank, tag, seq, meta, data)
+	}
 
 	if p.mode == ModeMirror {
 		return p.isendMirror(c, ctx, dstRank, tag, data, seq, meta)
@@ -446,5 +461,7 @@ func (p *Replicated) onCtl(m *transport.Message) {
 		p.onRecovered(transport.ProcID(m.Meta[0]))
 	case detect.TagDecision:
 		p.onDecision(m)
+	case detect.TagLogTruncate:
+		p.onLogTruncate(m)
 	}
 }

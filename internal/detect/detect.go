@@ -26,6 +26,12 @@ const (
 	TagRecovered = 2
 	// TagDecision is a leader baseline's wildcard-outcome decision.
 	TagDecision = 3
+	// TagLogTruncate is a logging-enabled rank's checkpoint
+	// acknowledgement: it carries the rank's per-(context, source rank)
+	// delivery frontier so senders can truncate their message logs (the
+	// sender-based message-logging subsystem's GC signal). Broadcast
+	// in-band by the rank itself after a successful checkpoint wave.
+	TagLogTruncate = 4
 )
 
 // Service is the failure detector. One instance watches a network.

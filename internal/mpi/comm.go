@@ -197,6 +197,16 @@ func (c *Comm) nextCollSeq() uint64 {
 	return s
 }
 
+// CollSeq returns the communicator's collective-call sequence counter.
+// Restart machinery (the localized-replay rung) persists it with a
+// checkpoint: a relaunched process must tag its collectives exactly where
+// the survivors expect them, or no barrier would ever complete again.
+func (c *Comm) CollSeq() uint64 { return c.collSeq }
+
+// SetCollSeq restores the collective-call sequence counter on a freshly
+// built communicator (the counterpart of CollSeq for a relaunch).
+func (c *Comm) SetCollSeq(v uint64) { c.collSeq = v }
+
 // --- Communicator management ---------------------------------------------
 
 // childCtx derives the context pair for the next child communicator. The

@@ -137,6 +137,23 @@ func (pw *PeerWire) MarkDead(p ProcID) {
 	}
 }
 
+// Revive reverses MarkDead for a relaunched peer: its new listener address
+// replaces the stale one and later Delivers dial it again. Any cached
+// connection is dropped — it pointed at the dead incarnation.
+func (pw *PeerWire) Revive(p ProcID, addr string) {
+	pw.mu.Lock()
+	delete(pw.down, p)
+	if int(p) < len(pw.addrs) && p != pw.self && addr != "" {
+		pw.addrs[p] = addr
+	}
+	tc := pw.conns[p]
+	delete(pw.conns, p)
+	pw.mu.Unlock()
+	if tc != nil {
+		tc.c.Close()
+	}
+}
+
 func (pw *PeerWire) acceptLoop() {
 	defer pw.wg.Done()
 	backoff := time.Millisecond
