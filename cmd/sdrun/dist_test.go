@@ -1,13 +1,19 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // buildSdrun compiles the sdrun binary into a test temp dir; the
@@ -156,6 +162,165 @@ func TestDistributedLocalizedReplayIntegration(t *testing.T) {
 	}
 	if !regexp.MustCompile(`MATCH: 6 surviving workers identical`).MatchString(out) {
 		t.Fatalf("results do not match the fault-free native run:\n%s", out)
+	}
+}
+
+// metricsAt matches the coordinator's mid-run publication of a worker's
+// observability endpoint in the log stream.
+var metricsAt = regexp.MustCompile(`metrics at http://([0-9.]+:[0-9]+)/metrics`)
+
+// midRunProbe is one successful live scrape of a worker: its parsed
+// /metrics plus its /healthz identity.
+type midRunProbe struct {
+	metrics map[string]float64
+	health  *obs.Health
+}
+
+// pollWorker scrapes addr until the message counters turn nonzero (the
+// run is in flight), then fetches /healthz and reports. It gives up
+// silently once the endpoint is gone for good — the caller treats an
+// empty channel as failure.
+func pollWorker(addr string, out chan<- midRunProbe) {
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		m, err := obs.Scrape(addr, time.Second)
+		if err == nil && obs.SumByName(m, "sdr_core_app_msgs_total") > 0 {
+			if h, herr := obs.Healthz(addr, time.Second); herr == nil {
+				out <- midRunProbe{metrics: m, health: h}
+				return
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestDistributedObservabilityIntegration is the PR's acceptance run: a
+// -distributed run with a kill schedule must (a) expose every worker's
+// /healthz + /metrics — scraped live mid-run with nonzero message
+// counters, and again at end-of-run for every survivor into the RunStats
+// JSON — and (b) print one coherent kill → detect → replay → MATCH trace
+// chain from the coordinator.
+func TestDistributedObservabilityIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and spawns real worker processes")
+	}
+	bin := buildSdrun(t)
+	statsPath := filepath.Join(t.TempDir(), "stats.json")
+	cmd := exec.Command(bin,
+		"-distributed", "-app", "ring", "-ranks", "2", "-protocol", "sdr",
+		"-scale", "8", "-unreplicated", "1", "-recovery", "log",
+		"-kill", "1:0:51", "-compare", "-timeout", "90s", "-stats-json", statsPath)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	stderrPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream the coordinator's log live: the moment it publishes a
+	// worker's metrics address, start scraping that endpoint — the mid-run
+	// path a CI smoke or an operator would use.
+	probed := make(chan midRunProbe, 1)
+	var stderrBuf bytes.Buffer
+	scanned := make(chan struct{})
+	go func() {
+		defer close(scanned)
+		sc := bufio.NewScanner(stderrPipe)
+		scraping := false
+		for sc.Scan() {
+			line := sc.Text()
+			stderrBuf.WriteString(line + "\n")
+			if m := metricsAt.FindStringSubmatch(line); m != nil && !scraping {
+				scraping = true
+				go pollWorker(m[1], probed)
+			}
+		}
+	}()
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	werr := make(chan error, 1)
+	go func() { werr <- cmd.Wait() }()
+	select {
+	case err := <-werr:
+		<-scanned
+		if err != nil {
+			t.Fatalf("sdrun failed: %v\nstdout:\n%s\nstderr:\n%s", err, stdout.String(), stderrBuf.String())
+		}
+	case <-time.After(2 * time.Minute):
+		_ = cmd.Process.Kill()
+		<-werr
+		<-scanned
+		t.Fatalf("sdrun did not finish\nstdout:\n%s\nstderr:\n%s", stdout.String(), stderrBuf.String())
+	}
+	out := stdout.String()
+
+	// (b) One coherent recovery chain, in ladder order, ending in MATCH.
+	idx := strings.Index(out, "recovery trace:")
+	if idx < 0 {
+		t.Fatalf("no recovery trace rendered\nstdout:\n%s", out)
+	}
+	chain := out[idx:]
+	last := -1
+	for _, stage := range []string{"kill ", "detect ", "replay ", "match "} {
+		at := strings.Index(chain, stage)
+		if at < 0 {
+			t.Fatalf("trace chain missing stage %q:\n%s", strings.TrimSpace(stage), chain)
+		}
+		if at < last {
+			t.Fatalf("trace stage %q out of ladder order:\n%s", strings.TrimSpace(stage), chain)
+		}
+		last = at
+	}
+	if !strings.Contains(out, "MATCH:") {
+		t.Fatalf("no MATCH verdict\nstdout:\n%s", out)
+	}
+
+	// (a) Mid-run: one worker's endpoint answered while the run was going,
+	// with nonzero message counters and a healthy identity.
+	select {
+	case p := <-probed:
+		if p.health.Status != "ok" || p.health.PID <= 0 {
+			t.Errorf("mid-run /healthz = %+v, want status ok with a pid", p.health)
+		}
+	case <-time.After(5 * time.Second):
+		t.Errorf("mid-run /metrics scrape never saw nonzero counters\nstderr:\n%s", stderrBuf.String())
+	}
+
+	// End-of-run: the RunStats JSON carries every surviving worker's
+	// scrape, each with nonzero message counters, plus the coordinator's
+	// recovery counters.
+	raw, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatalf("stats JSON not written: %v", err)
+	}
+	var rs obs.RunStats
+	if err := json.Unmarshal(raw, &rs); err != nil {
+		t.Fatalf("stats JSON unparseable: %v", err)
+	}
+	if rs.Schema != "sdr.runstats/1" {
+		t.Errorf("schema %q, want sdr.runstats/1", rs.Schema)
+	}
+	if len(rs.Workers) != 3 {
+		t.Fatalf("scraped %d workers, want 3 (two replicas of rank 0 + relaunched rank 1)", len(rs.Workers))
+	}
+	for _, ws := range rs.Workers {
+		if !ws.Scraped {
+			t.Errorf("worker proc %d (r%d.%d) not scraped: %s", ws.Proc, ws.Rank, ws.Rep, ws.Err)
+			continue
+		}
+		if app := obs.SumByName(ws.Metrics, "sdr_core_app_msgs_total"); app <= 0 {
+			t.Errorf("worker proc %d: sdr_core_app_msgs_total = %v, want > 0", ws.Proc, app)
+		}
+	}
+	if rs.Replays < 1 {
+		t.Errorf("RunStats replays = %d, want >= 1", rs.Replays)
+	}
+	if got := rs.Coordinator["sdr_cluster_replays_total"]; got < 1 {
+		t.Errorf("coordinator sdr_cluster_replays_total = %v, want >= 1", got)
+	}
+	if len(rs.EpochsSec) != 1 {
+		t.Errorf("epochs %v, want exactly one (localized replay must not restart the epoch)", rs.EpochsSec)
 	}
 }
 

@@ -49,6 +49,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/cluster"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -200,6 +201,7 @@ func main() {
 	unreplicated := flag.String("unreplicated", "", "comma-separated logical ranks to run with a single replica (partial replication)")
 	degreesFlag := flag.String("degrees", "", "comma-separated per-rank replication degrees, one per rank (overrides the uniform -r; each in [1,r])")
 	recovery := flag.String("recovery", "rollback", "recovery mode above substitution: rollback (global) | log (sender-based message logging + localized replay for degree-1 ranks)")
+	statsJSON := flag.String("stats-json", "", "with -distributed: write the machine-readable RunStats JSON (schema sdr.runstats/1) to this file")
 	flag.Var(&kills, "kill", "inject a crash: rank:rep:step (repeatable; SIGKILL under -distributed)")
 	flag.Parse()
 
@@ -258,7 +260,12 @@ func main() {
 			kills: kills, compare: *compare,
 			unreplicated: unrep, degrees: degrees,
 			recovery: mode, logged: logged,
+			statsJSON: *statsJSON,
 		}))
+	}
+	if *statsJSON != "" {
+		fmt.Fprintln(os.Stderr, "sdrun: -stats-json requires -distributed")
+		os.Exit(2)
 	}
 
 	// The localized-replay rung needs a checkpoint store even in-process.
@@ -503,6 +510,7 @@ type distOpts struct {
 	degrees      []int
 	recovery     cluster.RecoveryMode
 	logged       []int
+	statsJSON    string
 }
 
 // runDistributed is the coordinator side of -distributed: configure the
@@ -564,45 +572,93 @@ func runDistributed(o distOpts) int {
 	}
 	fmt.Printf("elapsed: %v\n", rep.Elapsed.Round(time.Millisecond))
 
-	if !o.compare {
-		return 0
-	}
-	// Reference: the in-process fault-free native run of the same
-	// workload. Every surviving worker of every replica world must have
-	// computed exactly its rank's native checksum.
-	nat := cluster.Run(cluster.Config{
-		Ranks: o.ranks, Protocol: cluster.Native, Timeout: o.timeout,
-	}, func(env *cluster.Env) (any, error) {
-		c := env.World
-		c.Barrier()
-		res := o.entry.build(o.scale, env)
-		c.Barrier()
-		return res, nil
-	})
-	if err := nat.FirstError(); err != nil {
-		fmt.Fprintf(os.Stderr, "sdrun: native reference run: %v\n", err)
-		return 1
-	}
-	mismatch := false
-	compared := 0
-	for _, p := range rep.Procs {
-		if p.Crashed {
-			continue
+	exit := 0
+	if o.compare {
+		// Reference: the in-process fault-free native run of the same
+		// workload. Every surviving worker of every replica world must have
+		// computed exactly its rank's native checksum.
+		nat := cluster.Run(cluster.Config{
+			Ranks: o.ranks, Protocol: cluster.Native, Timeout: o.timeout,
+		}, func(env *cluster.Env) (any, error) {
+			c := env.World
+			c.Barrier()
+			res := o.entry.build(o.scale, env)
+			c.Barrier()
+			return res, nil
+		})
+		if err := nat.FirstError(); err != nil {
+			fmt.Fprintf(os.Stderr, "sdrun: native reference run: %v\n", err)
+			return 1
 		}
-		want := nat.ResultOf(p.Rank, 0).(apps.Result)
-		if p.Result.Checksum != want.Checksum || p.Result.Iterations != want.Iterations {
-			mismatch = true
-			fmt.Printf("MISMATCH rank %d rep %d: distributed checksum=%.9g iters=%d, native checksum=%.9g iters=%d\n",
-				p.Rank, p.Rep, p.Result.Checksum, p.Result.Iterations, want.Checksum, want.Iterations)
-			continue
+		mismatch := false
+		compared := 0
+		for _, p := range rep.Procs {
+			if p.Crashed {
+				continue
+			}
+			want := nat.ResultOf(p.Rank, 0).(apps.Result)
+			if p.Result.Checksum != want.Checksum || p.Result.Iterations != want.Iterations {
+				mismatch = true
+				fmt.Printf("MISMATCH rank %d rep %d: distributed checksum=%.9g iters=%d, native checksum=%.9g iters=%d\n",
+					p.Rank, p.Rep, p.Result.Checksum, p.Result.Iterations, want.Checksum, want.Iterations)
+				continue
+			}
+			compared++
 		}
-		compared++
+		if mismatch {
+			exit = 1
+		} else {
+			// Close the recovery-ladder chain: whatever the run survived
+			// (substitution, localized replay, rollback), the results came
+			// out identical — the trace now reads detect → recover → match.
+			rep.Trace.Emit(obs.Ev(obs.StageMatch,
+				fmt.Sprintf("%d surviving workers identical to the in-process native run", compared)))
+			fmt.Printf("MATCH: %d surviving workers identical to the in-process native run\n", compared)
+		}
 	}
-	if mismatch {
-		return 1
+
+	if rep.Trace.Len() > 0 {
+		fmt.Println("recovery trace:")
+		rep.Trace.Render(os.Stdout)
 	}
-	fmt.Printf("MATCH: %d surviving workers identical to the in-process native run\n", compared)
-	return 0
+	rs := buildRunStats(o, rep)
+	rs.WriteBlock(os.Stdout)
+	if o.statsJSON != "" {
+		b, err := rs.JSON()
+		if err == nil {
+			err = os.WriteFile(o.statsJSON, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdrun: -stats-json: %v\n", err)
+			return 1
+		}
+	}
+	return exit
+}
+
+// buildRunStats folds a distributed report into the machine-readable
+// RunStats document: the coordinator's own sdr_cluster_* series plus the
+// end-of-run /metrics scrape of every surviving worker.
+func buildRunStats(o distOpts, rep *cluster.DistReport) *obs.RunStats {
+	rs := obs.NewRunStats()
+	rs.Protocol = string(o.proto)
+	rs.Ranks = o.ranks
+	rs.Procs = len(rep.Procs)
+	rs.Restarts = rep.Restarts
+	rs.RestartWave = rep.RestartWave
+	rs.Replays = rep.Replays
+	rs.ReplayWave = rep.ReplayWave
+	rs.ElapsedSec = rep.Elapsed.Seconds()
+	rs.EpochsSec = rep.EpochsSec
+	rs.Workers = rep.Workers
+	coord := make(map[string]float64)
+	for k, v := range obs.Default.Snapshot() {
+		if strings.HasPrefix(k, "sdr_cluster_") {
+			coord[k] = v
+		}
+	}
+	rs.Coordinator = coord
+	return rs
 }
 
 func appNames() []string {

@@ -26,6 +26,10 @@
 //	                    orchestrates crash/recovery schedules, and restarts
 //	                    the run from the latest committed checkpoint wave
 //	                    when a rank loses its last replica
+//	internal/obs        observability: counter/gauge registry with
+//	                    Prometheus text exposition, per-worker /healthz +
+//	                    /metrics HTTP endpoints, the recovery-ladder trace
+//	                    event stream, and the end-of-run RunStats document
 //	internal/bench      the evaluation: NetPipe, NAS/wildcard tables,
 //	                    ablations (mirror, leader, degree, eager, coalesce,
 //	                    ckpt)
@@ -108,6 +112,33 @@
 // registry's revive/ack rejoin flow, with the survivors kept alive. The
 // env contract (SDR_DIST_*) is documented on the cluster package's Env*
 // constants.
+//
+// # Observability
+//
+// internal/obs gives the stack a production-shaped seam with nothing but
+// the standard library. Every layer counts what it does into obs.Default
+// — a process-wide registry of monotonic counters and gauges named by
+// layer (sdr_core_* app/ack/substitution/replay counts,
+// sdr_transport_* bytes and pool hit rates, sdr_ckpt_* waves saved and
+// committed, sdr_cluster_* the coordinator's detect/restart/replay/epoch
+// series) and rendered in Prometheus text exposition format. In
+// distributed mode every worker serves GET /healthz (a JSON liveness
+// document: status, pid, uptime, rank/replica labels) and GET /metrics
+// on an ephemeral loopback port; the worker publishes that address in
+// its rendezvous hello, the coordinator logs "metrics at http://…" the
+// moment the worker is ready, and any operator, test, or CI step can
+// scrape a live run mid-flight. At shutdown the coordinator scrapes
+// every surviving worker and folds the result into an obs.RunStats
+// document (JSON schema "sdr.runstats/1": protocol, layout, restart and
+// replay waves, per-epoch timings, per-worker metric snapshots, the
+// coordinator's own sdr_cluster_* series) — printed as a structured
+// block and written machine-readable via sdrun -stats-json. Recovery
+// itself is traced, not just counted: the coordinator and the in-process
+// launcher emit span-style events (obs.Trace; stages park, kill, detect,
+// substitute, replay, rollback, recovered, match) so one failure reads
+// end-to-end as kill → detect → replay → match with wall-clock offsets;
+// sdrun prints the chain after the MATCH verdict and faultdemo's
+// narration is rendered from the same live event stream.
 //
 // # Fast path
 //

@@ -54,7 +54,11 @@ func (s *Store) Save(rank, step int, data []byte, write bool) error {
 	if !write {
 		return nil
 	}
-	return s.writeAtomic(s.path(rank, step), data)
+	if err := s.writeAtomic(s.path(rank, step), data); err != nil {
+		return err
+	}
+	mBytesCkpt.Add(uint64(len(data)))
+	return nil
 }
 
 // writeAtomic persists data with an fnv64 integrity footer via a temp file
@@ -201,6 +205,7 @@ func (s *Store) Commit(step int) error {
 	if err := os.WriteFile(s.commitPath(step), nil, 0o644); err != nil {
 		return fmt.Errorf("ckpt: %w", err)
 	}
+	mCommits.Inc()
 	return nil
 }
 
@@ -230,6 +235,11 @@ func (s *Store) Prune(keep int) error {
 		}
 		if err := os.Remove(filepath.Join(s.dir, e.Name())); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("ckpt: %w", err)
+		}
+		if strings.HasPrefix(e.Name(), "mlog-") {
+			mPrunedLogs.Inc()
+		} else {
+			mPruned.Inc()
 		}
 	}
 	return nil

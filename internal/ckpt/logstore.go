@@ -29,7 +29,11 @@ func (s *Store) logPath(rank, step int) string {
 
 // SaveLog atomically persists one rank's encoded replay state for a wave.
 func (s *Store) SaveLog(rank, step int, data []byte) error {
-	return s.writeAtomic(s.logPath(rank, step), data)
+	if err := s.writeAtomic(s.logPath(rank, step), data); err != nil {
+		return err
+	}
+	mBytesLog.Add(uint64(len(data)))
+	return nil
 }
 
 // LoadLog reads and integrity-checks one rank's replay state at a step.
@@ -66,6 +70,7 @@ func (s *Store) PruneLogs() error {
 		if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("ckpt: %w", err)
 		}
+		mPrunedLogs.Inc()
 	}
 	return nil
 }

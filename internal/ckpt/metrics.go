@@ -1,0 +1,19 @@
+package ckpt
+
+import "repro/internal/obs"
+
+// Checkpoint-store observability (sdr_ckpt_*): bytes written and files
+// garbage-collected, split by kind — "ckpt" for application checkpoints,
+// "log" for persisted replay states (mlog files).
+var (
+	mBytesCkpt = obs.Default.CounterWith("sdr_ckpt_bytes_written_total",
+		"bytes persisted by the store (payload, pre-footer)", []string{"kind"}, []string{"ckpt"})
+	mBytesLog = obs.Default.CounterWith("sdr_ckpt_bytes_written_total",
+		"bytes persisted by the store (payload, pre-footer)", []string{"kind"}, []string{"log"})
+	mPruned = obs.Default.CounterWith("sdr_ckpt_pruned_total",
+		"files removed by wave GC", []string{"kind"}, []string{"ckpt"})
+	mPrunedLogs = obs.Default.CounterWith("sdr_ckpt_pruned_total",
+		"files removed by wave GC", []string{"kind"}, []string{"log"})
+	mCommits = obs.Default.Counter("sdr_ckpt_waves_committed_total",
+		"checkpoint waves stamped with the coordinated-commit marker")
+)

@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -701,6 +702,10 @@ func (rs *runState) relaunchLogged(dead transport.ProcID) {
 	rs.replays++
 	rs.replayWave = seed.wave
 	rs.mu.Unlock()
+	rev := obs.Ev(obs.StageReplay,
+		fmt.Sprintf("relaunched alone from wave %d; survivors replay their logs", seed.wave))
+	rev.Proc, rev.Rank, rev.Wave = int(dead), rank, seed.wave
+	obs.DefaultTrace.Emit(rev)
 	rs.nw.Revive(dead)
 	rs.runProc(dead, nil, nil, seed)
 }
@@ -791,6 +796,10 @@ func Run(cfg Config, app AppFunc) *Report {
 		}
 		restart, restartWave = states, wave
 		restarts++
+		rbe := obs.Ev(obs.StageRollback,
+			fmt.Sprintf("epoch torn down; respawning all processes from wave %d", wave))
+		rbe.Wave = wave
+		obs.DefaultTrace.Emit(rbe)
 	}
 }
 
@@ -1038,6 +1047,9 @@ func (rs *runState) stepHook(e *Env, step int, snapshot func() []byte) {
 	for i, f := range rs.cfg.Failures {
 		if f.Rank == e.Rank && f.Rep == e.Rep && f.AtStep == step && rs.fired.fire(i) {
 			self := rs.layout.Phys(e.Rep, e.Rank)
+			kev := obs.Ev(obs.StageKill, "fail-stop crash injected")
+			kev.Proc, kev.Rank, kev.Rep, kev.Step = int(self), e.Rank, e.Rep, step
+			obs.DefaultTrace.Emit(kev)
 			rs.nw.Kill(self)
 			mpi.Crash(self)
 		}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/ckpt"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -107,6 +108,11 @@ type DistConfig struct {
 	// silent for this long — the liveness probe backing the failure
 	// detector (default 20s; workers ping every 500ms).
 	HealthTimeout time.Duration
+	// RejoinTimeout bounds a localized-replay rejoin handshake's wait for
+	// survivor acks before the registry releases the joiner anyway
+	// (default 10s). Tests shrink it; a timeout increments
+	// sdr_cluster_rejoin_timeouts_total.
+	RejoinTimeout time.Duration
 	// MaxRestarts bounds rollback-restart cycles (default len(Failures)+1).
 	MaxRestarts int
 }
@@ -201,6 +207,16 @@ type DistReport struct {
 	Replays    int
 	ReplayWave int
 	ExhaustErr error
+
+	// Trace is the coordinator-side recovery-ladder event chain
+	// (park/kill/detect/replay/rollback); the workers' own events surface
+	// as TRACE lines in the log sink.
+	Trace *obs.Trace
+	// Workers holds the end-of-run /metrics scrape of every worker that
+	// was alive when the final epoch completed.
+	Workers []obs.WorkerStats
+	// EpochsSec is each epoch's wall-clock duration, in order.
+	EpochsSec []float64
 }
 
 // FirstError returns the first failure of the run, if any.
@@ -257,6 +273,7 @@ func RunDistributed(cfg DistConfig) *DistReport {
 		Protocol:    cfg.Protocol,
 		RestartWave: -1,
 		ReplayWave:  -1,
+		Trace:       obs.NewTrace(),
 	}
 	layout, err := cfg.layout()
 	if err == nil {
@@ -297,12 +314,16 @@ func RunDistributed(cfg DistConfig) *DistReport {
 	}
 	restartWave := -1
 	for {
-		ep := runDistEpoch(cfg, layout, store, fired, restartWave, rep.Restarts)
+		ep := runDistEpoch(cfg, layout, store, fired, restartWave, rep.Restarts, rep.Trace)
 		rep.Elapsed += ep.elapsed
 		rep.Procs = ep.procs
 		rep.TimedOut = ep.timedOut
 		rep.RestartWave = restartWave
 		rep.Replays += ep.replays
+		rep.Workers = ep.workers
+		rep.EpochsSec = append(rep.EpochsSec, ep.elapsed.Seconds())
+		mEpochs.Inc()
+		gEpochMillis.Set(ep.elapsed.Milliseconds())
 		if ep.replays > 0 {
 			rep.ReplayWave = ep.replayWave
 		}
@@ -340,6 +361,11 @@ func RunDistributed(cfg DistConfig) *DistReport {
 		}
 		restartWave = wave
 		rep.Restarts++
+		mRestarts.Inc()
+		ev := obs.Ev(obs.StageRollback,
+			fmt.Sprintf("epoch torn down; respawning all workers from wave %d", wave))
+		ev.Wave = wave
+		rep.Trace.Emit(ev)
 	}
 }
 
@@ -351,6 +377,7 @@ type distEpoch struct {
 	timedOut   bool
 	replays    int
 	replayWave int
+	workers    []obs.WorkerStats
 	err        error
 }
 
@@ -369,14 +396,19 @@ type procExit struct {
 
 // runDistEpoch spawns one full set of workers and runs the epoch's event
 // loop until completion, exhaustion, or the watchdog.
-func runDistEpoch(cfg DistConfig, layout core.Layout, store *ckpt.Store, fired []bool, wave, epoch int) distEpoch {
+func runDistEpoch(cfg DistConfig, layout core.Layout, store *ckpt.Store, fired []bool, wave, epoch int, tr *obs.Trace) distEpoch {
 	procs := layout.Procs()
 
-	reg, err := newRegistry(procs, cfg.Ranks, store)
+	reg, err := newRegistry(procs, cfg.Ranks, store, cfg.RejoinTimeout)
 	if err != nil {
 		return distEpoch{err: err}
 	}
 	defer reg.Close()
+	emit := func(ev obs.Event) {
+		if tr != nil {
+			tr.Emit(ev)
+		}
+	}
 
 	sink := &syncWriter{w: cfg.LogSink}
 	exitCh := make(chan procExit, 4*procs)
@@ -407,6 +439,7 @@ func runDistEpoch(cfg DistConfig, layout core.Layout, store *ckpt.Store, fired [
 		spawnTotal = procs // grows with localized relaunches
 		replays    = 0
 		replayWave = -1
+		epWorkers  []obs.WorkerStats
 	)
 	logRanks := logRankVector(cfg, layout)
 	maxReplays := len(cfg.Failures) + 1
@@ -435,6 +468,30 @@ func runDistEpoch(cfg DistConfig, layout core.Layout, store *ckpt.Store, fired [
 			}
 		}
 		return true
+	}
+	// finish scrapes every live worker's /metrics — they are draining,
+	// their obs servers still up — then releases them with the shutdown
+	// broadcast. The scrape must come first: after shutdown the workers
+	// exit and the endpoints vanish.
+	finish := func() {
+		tearing = true
+		for p := 0; p < procs; p++ {
+			if dead[p] {
+				continue
+			}
+			w := workers[p]
+			ws := obs.WorkerStats{Proc: p, Rank: w.rank, Rep: w.rep, Addr: reg.obsAddr(p)}
+			if ws.Addr == "" {
+				ws.Err = "no obs address published"
+			} else if m, err := obs.Scrape(ws.Addr, 2*time.Second); err != nil {
+				ws.Err = err.Error()
+			} else {
+				ws.Scraped = true
+				ws.Metrics = m
+			}
+			epWorkers = append(epWorkers, ws)
+		}
+		reg.broadcast(ctlMsg{Op: opShutdown}, -1)
 	}
 
 	// relaunch attempts the localized-replay rung for a dead logging-rank
@@ -470,6 +527,11 @@ func runDistEpoch(cfg DistConfig, layout core.Layout, store *ckpt.Store, fired [
 		spawnTotal++
 		replays++
 		replayWave = seedWave
+		mReplays.Inc()
+		ev := obs.Ev(obs.StageReplay,
+			fmt.Sprintf("relaunched alone from wave %d; survivors replay their logs", seedWave))
+		ev.Proc, ev.Rank, ev.Wave = proc, rank, seedWave
+		emit(ev)
 		fmt.Fprintf(sink, "[coordinator] worker %d (rank %d) relaunched alone from wave %d; survivors replay their logs\n", proc, rank, seedWave)
 		return true
 	}
@@ -482,16 +544,31 @@ func runDistEpoch(cfg DistConfig, layout core.Layout, store *ckpt.Store, fired [
 			}
 			switch ev.kind {
 			case evReady:
-				// World table broadcast; workers are computing.
+				// World table broadcast; workers are computing. Publish
+				// where each worker's metrics live so a mid-run scraper
+				// (CI smoke, an operator) can reach them.
+				for p := 0; p < procs; p++ {
+					if a := reg.obsAddr(p); a != "" && !dead[p] {
+						w := workers[p]
+						fmt.Fprintf(sink, "[coordinator] worker %d (r%d.%d) metrics at http://%s/metrics\n",
+							p, w.rank, w.rep, a)
+					}
+				}
 			case evKillMe:
 				// The victim is parked at its step boundary: realize the
 				// scheduled fail-stop with a real SIGKILL.
 				w := workers[ev.proc]
+				pev := obs.Ev(obs.StagePark, "worker parked at scheduled kill boundary")
+				pev.Proc, pev.Rank, pev.Rep, pev.Step = ev.proc, w.rank, w.rep, ev.msg.Step
+				emit(pev)
 				for i, f := range cfg.Failures {
 					if !fired[i] && f.Rank == w.rank && f.Rep == w.rep && f.AtStep == ev.msg.Step {
 						fired[i] = true
 						scheduled[ev.proc] = true
 						_ = w.cmd.Process.Kill()
+						kev := obs.Ev(obs.StageKill, "SIGKILL delivered")
+						kev.Proc, kev.Rank, kev.Rep, kev.Step = ev.proc, w.rank, w.rep, ev.msg.Step
+						emit(kev)
 						break
 					}
 				}
@@ -501,8 +578,7 @@ func runDistEpoch(cfg DistConfig, layout core.Layout, store *ckpt.Store, fired [
 			case evDone:
 				done[ev.proc] = ev.msg
 				if complete() {
-					tearing = true // workers exit on their own now
-					reg.broadcast(ctlMsg{Op: opShutdown}, -1)
+					finish() // workers exit on their own now
 				}
 			case evLost:
 				// The process exit (right behind the EOF) carries the
@@ -530,6 +606,10 @@ func runDistEpoch(cfg DistConfig, layout core.Layout, store *ckpt.Store, fired [
 			// substitute (or, for a logging-enabled rank, park for the
 			// localized replay; or report exhaustion).
 			reg.announceDead(ex.proc)
+			wk := workers[ex.proc]
+			dev := obs.Ev(obs.StageDetect, "worker process exited; failure broadcast to survivors")
+			dev.Proc, dev.Rank, dev.Rep = ex.proc, wk.rank, wk.rep
+			emit(dev)
 			if rank := layout.RankOf(transport.ProcID(ex.proc)); logRanks != nil && logRanks[rank] {
 				if !relaunch(ex.proc) {
 					exhausted = true
@@ -538,8 +618,7 @@ func runDistEpoch(cfg DistConfig, layout core.Layout, store *ckpt.Store, fired [
 				continue
 			}
 			if complete() {
-				tearing = true
-				reg.broadcast(ctlMsg{Op: opShutdown}, -1)
+				finish()
 			}
 		case <-health.C:
 			if tearing {
@@ -548,6 +627,12 @@ func runDistEpoch(cfg DistConfig, layout core.Layout, store *ckpt.Store, fired [
 			if p, age := reg.stalest(func(p int) bool { return !dead[p] }); p >= 0 && age > cfg.healthTimeout() {
 				// Hung worker: the liveness probe treats it as failed.
 				fmt.Fprintf(sink, "[coordinator] worker %d silent for %v; killing\n", p, age.Round(time.Second))
+				mHealthKills.Inc()
+				w := workers[p]
+				kev := obs.Ev(obs.StageKill,
+					fmt.Sprintf("liveness probe: control channel silent for %v", age.Round(time.Second)))
+				kev.Proc, kev.Rank, kev.Rep = p, w.rank, w.rep
+				emit(kev)
 				_ = workers[p].cmd.Process.Kill()
 			}
 		case <-watchdog.C:
@@ -572,7 +657,7 @@ func runDistEpoch(cfg DistConfig, layout core.Layout, store *ckpt.Store, fired [
 		reports[p] = pr
 	}
 	return distEpoch{procs: reports, elapsed: elapsed, exhausted: exhausted, timedOut: timedOut,
-		replays: replays, replayWave: replayWave}
+		replays: replays, replayWave: replayWave, workers: epWorkers}
 }
 
 // validateDistReplay checks rank's newest (checkpoint, replay-state) pair

@@ -7,10 +7,12 @@ import (
 	"io"
 	"net"
 	"os"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/ckpt"
+	"repro/internal/obs"
 )
 
 // fakeWorker is a test-side client of the registry control protocol.
@@ -52,7 +54,7 @@ func TestRegistryRendezvousHandshake(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reg, err := newRegistry(2, 2, store)
+	reg, err := newRegistry(2, 2, store, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +95,7 @@ func TestRegistryCommitsWaveWhenAllRanksSaved(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reg, err := newRegistry(2, 2, store)
+	reg, err := newRegistry(2, 2, store, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,6 +171,9 @@ func TestDistWorkerHelper(t *testing.T) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(workerExitConfig)
+	}
+	if os.Getenv("SDR_TEST_SILENT_PROC") == os.Getenv(EnvProc) {
+		silentWorkerMain(cfg)
 	}
 	os.Exit(RunWorker(cfg, func(env *Env) (any, error) {
 		res, err := rollbackApp(12, 3)(env)
@@ -318,6 +323,99 @@ func TestDistributedPartialUnreplicatedKillRollsBack(t *testing.T) {
 		if p.Result.Checksum != want {
 			t.Errorf("rank %d rep %d: checksum %v, want %v", p.Rank, p.Rep, p.Result.Checksum, want)
 		}
+	}
+}
+
+// silentWorkerMain is the hung-worker body: it completes the rendezvous
+// (a real TCP listener stands in for the peer wire, accepting and
+// discarding traffic so peers never stall on dial) and keeps its control
+// connection open — but never pings. The coordinator's liveness probe must
+// classify it as failed. Never returns.
+func silentWorkerMain(cfg WorkerConfig) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		os.Exit(workerExitConfig)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { _, _ = io.Copy(io.Discard, c) }()
+		}
+	}()
+	conn, err := net.DialTimeout("tcp", cfg.Registry, 10*time.Second)
+	if err != nil {
+		os.Exit(workerExitConfig)
+	}
+	if err := json.NewEncoder(conn).Encode(ctlMsg{Op: opHello, Proc: int(cfg.Proc), Addr: ln.Addr().String()}); err != nil {
+		os.Exit(workerExitConfig)
+	}
+	select {} // conn stays open, no pings: only the probe can end this
+}
+
+// TestDistributedHealthProbeKillsHungWorker drives the liveness-probe path
+// end to end: a worker that rendezvouses and then goes silent (control
+// connection open, no pings, no application progress) must be killed by
+// the coordinator's health probe, its death broadcast, and the loss
+// absorbed by the substitution rung — the survivors still compute the
+// fault-free answer.
+func TestDistributedHealthProbeKillsHungWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real worker processes")
+	}
+	const steps = 12
+	const silentProc = 3 // rank 1, rep 1 in the dense 2x2 layout
+	killsBefore := mHealthKills.Value()
+	var sink bytes.Buffer
+	rep := RunDistributed(DistConfig{
+		Ranks:         2,
+		Replication:   2,
+		Protocol:      SDR,
+		CheckpointDir: t.TempDir(),
+		WorkerCmd:     []string{os.Args[0], "-test.run=^TestDistWorkerHelper$"},
+		WorkerEnv:     []string{fmt.Sprintf("SDR_TEST_SILENT_PROC=%d", silentProc)},
+		LogSink:       &syncWriter{w: &sink},
+		Timeout:       60 * time.Second,
+		HealthTimeout: 2 * time.Second,
+	})
+	if rep.TimedOut {
+		t.Fatal("run timed out instead of health-killing the hung worker")
+	}
+	if rep.Restarts != 0 {
+		t.Fatalf("Restarts = %d, want 0 (replicated-rank loss must be absorbed)", rep.Restarts)
+	}
+	want := float64(wantPingPong(steps))
+	for _, p := range rep.Procs {
+		if int(p.Proc) == silentProc {
+			if p.Err == "" {
+				t.Errorf("silent worker reported a result: %+v", p)
+			}
+			continue
+		}
+		if p.Err != "" {
+			t.Errorf("rank %d rep %d: %s", p.Rank, p.Rep, p.Err)
+			continue
+		}
+		if p.Result.Checksum != want {
+			t.Errorf("rank %d rep %d: checksum %v, want %v", p.Rank, p.Rep, p.Result.Checksum, want)
+		}
+	}
+	if !strings.Contains(sink.String(), "silent for") {
+		t.Error("coordinator log does not mention the liveness kill")
+	}
+	if got := mHealthKills.Value(); got != killsBefore+1 {
+		t.Errorf("health kills counter = %d, want %d", got, killsBefore+1)
+	}
+	probeKill := false
+	for _, ev := range rep.Trace.Events() {
+		if ev.Stage == obs.StageKill && strings.Contains(ev.Detail, "liveness probe") && ev.Proc == silentProc {
+			probeKill = true
+		}
+	}
+	if !probeKill {
+		t.Error("trace has no liveness-probe kill event for the silent worker")
 	}
 }
 

@@ -43,6 +43,13 @@ type ctlMsg struct {
 	Step  int      `json:"step,omitempty"`
 	Addr  string   `json:"addr,omitempty"`
 	Addrs []string `json:"addrs,omitempty"`
+	// For carries the subject of an acknowledgement when it differs from
+	// the sender (op == "reviveok": the revived proc being acked). Without
+	// it, concurrent rejoins could not credit acks to the right handshake.
+	For int `json:"for,omitempty"`
+	// Obs is the worker's observability address (op == "hello"): the
+	// loopback host:port serving /healthz and /metrics.
+	Obs string `json:"obs,omitempty"`
 
 	// Result payload (op == "done").
 	Checksum   float64 `json:"checksum,omitempty"`
@@ -131,35 +138,56 @@ type registry struct {
 	closed   bool
 
 	// Rejoin (localized replay) state: worldSent marks the epoch's world
-	// broadcast done, after which a hello is a relaunched worker.
-	// rejoinMu serializes rejoin handshakes — with two logged ranks dying
-	// back to back, concurrent flows would clobber reviveLeft/reviveCh
-	// and cross-credit acks, releasing a joiner before every survivor
-	// re-aimed its wire (acks carry no revive identity).
-	worldSent  bool
-	rejoinMu   sync.Mutex
-	reviveLeft int
-	reviveCh   chan struct{}
+	// broadcast done, after which a hello is a relaunched worker. Each
+	// in-flight rejoin waits on its own entry, keyed by the revived proc;
+	// survivor acks carry that key (ctlMsg.For), so concurrent rejoins
+	// proceed in parallel without cross-crediting — a hung survivor only
+	// delays the joiners still missing ITS ack, never unrelated ones.
+	worldSent   bool
+	reviveWaits map[int]*reviveWait
+
+	// rejoinTimeout bounds how long a rejoin waits for survivor acks
+	// before proceeding anyway (a hung survivor is the health probe's
+	// problem); newRegistry defaults it when zero.
+	rejoinTimeout time.Duration
+
+	// obsAddrs mirrors addrs for the workers' observability endpoints
+	// (hello's obs field); "" when a worker did not publish one.
+	obsAddrs []string
+}
+
+// reviveWait tracks one rejoin handshake: the acks still owed and the
+// channel closed when the count reaches zero.
+type reviveWait struct {
+	left int
+	ch   chan struct{}
 }
 
 // newRegistry starts the rendezvous registry for an epoch of `procs`
 // workers over `ranks` logical ranks, committing checkpoint waves into
-// store as workers report writer saves.
-func newRegistry(procs, ranks int, store *ckpt.Store) (*registry, error) {
+// store as workers report writer saves. rejoinTimeout bounds each rejoin
+// handshake's wait for survivor acks (0 = the 10s default).
+func newRegistry(procs, ranks int, store *ckpt.Store, rejoinTimeout time.Duration) (*registry, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("cluster: registry listen: %w", err)
 	}
+	if rejoinTimeout <= 0 {
+		rejoinTimeout = 10 * time.Second
+	}
 	r := &registry{
-		ln:       ln,
-		procs:    procs,
-		ranks:    ranks,
-		store:    store,
-		events:   make(chan regEvent, 4*procs+16),
-		conns:    make([]*regConn, procs),
-		addrs:    make([]string, procs),
-		lastSeen: make([]time.Time, procs),
-		saved:    make(map[int]map[int]bool),
+		ln:            ln,
+		procs:         procs,
+		ranks:         ranks,
+		store:         store,
+		events:        make(chan regEvent, 4*procs+16),
+		conns:         make([]*regConn, procs),
+		addrs:         make([]string, procs),
+		obsAddrs:      make([]string, procs),
+		lastSeen:      make([]time.Time, procs),
+		saved:         make(map[int]map[int]bool),
+		reviveWaits:   make(map[int]*reviveWait),
+		rejoinTimeout: rejoinTimeout,
 	}
 	go r.acceptLoop()
 	return r, nil
@@ -203,6 +231,7 @@ func (r *registry) serve(c net.Conn) {
 	rejoin := r.worldSent
 	r.conns[proc] = rc
 	r.addrs[proc] = hello.Addr
+	r.obsAddrs[proc] = hello.Obs
 	r.lastSeen[proc] = time.Now()
 	ready := false
 	var world []string
@@ -212,8 +241,6 @@ func (r *registry) serve(c net.Conn) {
 			r.worldSent = true
 			world = append([]string(nil), r.addrs...)
 		}
-	} else {
-		world = append([]string(nil), r.addrs...)
 	}
 	r.mu.Unlock()
 
@@ -228,39 +255,15 @@ func (r *registry) serve(c net.Conn) {
 		// peer wire at the new incarnation and wait for their acks before
 		// handing over the world table — the joiner must not start its
 		// recovery broadcast while any survivor still fail-stop-drops
-		// traffic to it. One handshake at a time; a second joiner blocks
-		// here (its worker side acknowledges revives while waiting).
-		r.rejoinMu.Lock()
-		r.mu.Lock()
-		live := 0
-		for p, other := range r.conns {
-			if other != nil && p != proc {
-				live++
-			}
-		}
-		r.reviveLeft = live
-		ch := make(chan struct{})
-		r.reviveCh = ch
-		if live == 0 {
-			close(ch)
-			r.reviveCh = nil
-		}
-		// The world table must reflect peers revived while this goroutine
-		// queued on rejoinMu.
-		world = append(world[:0], r.addrs...)
-		r.mu.Unlock()
-		if live > 0 {
-			r.broadcast(ctlMsg{Op: opRevive, Proc: proc, Addr: hello.Addr}, proc)
-		}
-		select {
-		case <-ch:
-		case <-time.After(10 * time.Second):
-			// A hung survivor; the coordinator's health probe will deal
-			// with it. Proceed — worst case its traffic to the joiner is
-			// dropped a little longer.
-		}
-		_ = rc.send(ctlMsg{Op: opWorld, Addrs: world})
-		r.rejoinMu.Unlock()
+		// traffic to it. Each handshake waits on its own per-proc entry
+		// (acks carry the revived proc in ctlMsg.For), so concurrent
+		// rejoins run in parallel: a survivor hung on one joiner's ack
+		// never stalls another joiner whose acks are all in. The wait runs
+		// in its own goroutine so THIS goroutine can keep decoding the
+		// joiner's traffic — a still-handshaking joiner must be able to
+		// acknowledge OTHER rejoins (its control stream carries reviveok
+		// messages while it waits for its own world table).
+		go r.rejoinFlow(proc, rc, hello.Addr)
 	}
 
 	for {
@@ -281,12 +284,15 @@ func (r *registry) serve(c net.Conn) {
 		case opPing:
 			// liveness only
 		case opReviveAck:
+			// Credit the ack to the handshake it names. A late ack for a
+			// handshake already released by its deadline finds no entry
+			// and is dropped.
 			r.mu.Lock()
-			if r.reviveLeft > 0 {
-				r.reviveLeft--
-				if r.reviveLeft == 0 && r.reviveCh != nil {
-					close(r.reviveCh)
-					r.reviveCh = nil
+			if w := r.reviveWaits[m.For]; w != nil {
+				w.left--
+				if w.left == 0 {
+					close(w.ch)
+					delete(r.reviveWaits, m.For)
 				}
 			}
 			r.mu.Unlock()
@@ -300,6 +306,48 @@ func (r *registry) serve(c net.Conn) {
 			r.events <- regEvent{kind: evDone, proc: proc, msg: m}
 		}
 	}
+}
+
+// rejoinFlow runs one relaunched worker's revive handshake: broadcast the
+// new address, wait (bounded by rejoinTimeout) for every live peer's
+// For-keyed ack, then hand the joiner its world table. Runs concurrently
+// with the joiner's serve loop.
+func (r *registry) rejoinFlow(proc int, rc *regConn, addr string) {
+	r.mu.Lock()
+	live := 0
+	for p, other := range r.conns {
+		if other != nil && p != proc {
+			live++
+		}
+	}
+	var ch chan struct{}
+	if live > 0 {
+		ch = make(chan struct{})
+		r.reviveWaits[proc] = &reviveWait{left: live, ch: ch}
+	}
+	r.mu.Unlock()
+	if live > 0 {
+		r.broadcast(ctlMsg{Op: opRevive, Proc: proc, Addr: addr}, proc)
+		timer := time.NewTimer(r.rejoinTimeout)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+			// A hung survivor; the coordinator's health probe will deal
+			// with it. Proceed — worst case its traffic to the joiner is
+			// dropped a little longer.
+			mRejoinTimeouts.Inc()
+		}
+		r.mu.Lock()
+		delete(r.reviveWaits, proc)
+		r.mu.Unlock()
+	}
+	// The world table must reflect peers revived while this handshake
+	// waited.
+	r.mu.Lock()
+	world := append([]string(nil), r.addrs...)
+	r.mu.Unlock()
+	_ = rc.send(ctlMsg{Op: opWorld, Addrs: world})
 }
 
 // noteCkpt mirrors runState.noteCkpt across process boundaries: count
@@ -338,6 +386,16 @@ func (r *registry) broadcast(m ctlMsg, skip int) {
 		}
 		_ = rc.send(m) // a dead worker's send failure is handled via evLost
 	}
+}
+
+// obsAddr returns proc's published observability address ("" if none).
+func (r *registry) obsAddr(proc int) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if proc < 0 || proc >= len(r.obsAddrs) {
+		return ""
+	}
+	return r.obsAddrs[proc]
 }
 
 // forget clears a dead worker's registration so a relaunched incarnation

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"testing"
 	"time"
 )
@@ -12,7 +13,7 @@ import (
 // table back until the survivors acknowledged, and (3) hand the joiner a
 // world table carrying its own new address.
 func TestRegistryRejoinReviveFlow(t *testing.T) {
-	reg, err := newRegistry(2, 2, nil)
+	reg, err := newRegistry(2, 2, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestRegistryRejoinReviveFlow(t *testing.T) {
 	start := time.Now()
 	go func() {
 		time.Sleep(150 * time.Millisecond)
-		_ = w0.enc.Encode(ctlMsg{Op: opReviveAck, Proc: 0})
+		_ = w0.enc.Encode(ctlMsg{Op: opReviveAck, Proc: 0, For: 1})
 	}()
 	world := w1b.recv(t)
 	if time.Since(start) < 140*time.Millisecond {
@@ -64,5 +65,98 @@ func TestRegistryRejoinReviveFlow(t *testing.T) {
 	}
 	if len(world.Addrs) != 2 || world.Addrs[1] != "127.0.0.1:6999" || world.Addrs[0] != "127.0.0.1:6000" {
 		t.Fatalf("rejoin world table %v", world.Addrs)
+	}
+}
+
+// TestRegistryConcurrentRejoinsDoNotSerialize is the regression test for
+// the rejoin stall: handshakes used to run under one mutex with a shared
+// ack counter, so a survivor hung on joiner A's revive-ack blocked joiner
+// B for A's full 10s deadline. With per-proc waits keyed by ctlMsg.For, a
+// fully-acknowledged joiner gets its world table immediately while the
+// starved one is released at the (configurable) deadline — and the timeout
+// is counted.
+func TestRegistryConcurrentRejoinsDoNotSerialize(t *testing.T) {
+	const rejoinTimeout = 1200 * time.Millisecond
+	reg, err := newRegistry(4, 4, nil, rejoinTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	ws := make([]*fakeWorker, 4)
+	for p := range ws {
+		ws[p] = dialRegistry(t, reg.Addr())
+		ws[p].send(t, ctlMsg{Op: opHello, Proc: p, Addr: fmt.Sprintf("127.0.0.1:70%02d", p)})
+	}
+	for _, w := range ws {
+		if m := w.recv(t); m.Op != opWorld {
+			t.Fatalf("op = %q, want world", m.Op)
+		}
+	}
+	if ev := <-reg.events; ev.kind != evReady {
+		t.Fatalf("event %v, want evReady", ev.kind)
+	}
+
+	// Workers 2 and 3 die.
+	for _, p := range []int{2, 3} {
+		ws[p].c.Close()
+		if ev := <-reg.events; ev.kind != evLost || ev.proc != p {
+			t.Fatalf("event %v proc %d, want evLost proc %d", ev.kind, ev.proc, p)
+		}
+		reg.forget(p)
+	}
+
+	// Joiner A (proc 2) rejoins. Survivors 0 and 1 see the revive; only 0
+	// acknowledges — survivor 1 plays the hung worker.
+	timeoutsBefore := mRejoinTimeouts.Value()
+	w2b := dialRegistry(t, reg.Addr())
+	helloA := time.Now()
+	w2b.send(t, ctlMsg{Op: opHello, Proc: 2, Addr: "127.0.0.1:7102"})
+	for _, p := range []int{0, 1} {
+		if m := ws[p].recv(t); m.Op != opRevive || m.Proc != 2 {
+			t.Fatalf("survivor %d saw %+v, want revive proc 2", p, m)
+		}
+	}
+	ws[0].send(t, ctlMsg{Op: opReviveAck, Proc: 0, For: 2})
+
+	// Joiner B (proc 3) rejoins while A is still waiting on survivor 1.
+	// Everyone — survivors 0, 1 AND the still-handshaking joiner A —
+	// acknowledges B's revive.
+	w3b := dialRegistry(t, reg.Addr())
+	helloB := time.Now()
+	w3b.send(t, ctlMsg{Op: opHello, Proc: 3, Addr: "127.0.0.1:7103"})
+	for _, p := range []int{0, 1} {
+		if m := ws[p].recv(t); m.Op != opRevive || m.Proc != 3 {
+			t.Fatalf("survivor %d saw %+v, want revive proc 3", p, m)
+		}
+		ws[p].send(t, ctlMsg{Op: opReviveAck, Proc: p, For: 3})
+	}
+	if m := w2b.recv(t); m.Op != opRevive || m.Proc != 3 {
+		t.Fatalf("joiner A saw %+v, want revive proc 3", m)
+	}
+	w2b.send(t, ctlMsg{Op: opReviveAck, Proc: 2, For: 3})
+
+	// B is fully acknowledged: its world must arrive promptly, NOT after
+	// A's deadline (the old serialized flow held B for A's full wait).
+	worldB := w3b.recv(t)
+	if elapsed := time.Since(helloB); elapsed >= rejoinTimeout/2 {
+		t.Fatalf("fully-acked joiner waited %v for its world table (stalled behind the starved rejoin)", elapsed)
+	}
+	if worldB.Op != opWorld || len(worldB.Addrs) != 4 || worldB.Addrs[3] != "127.0.0.1:7103" {
+		t.Fatalf("joiner B world %+v", worldB)
+	}
+
+	// A is released at the deadline, with the timeout counted and its own
+	// new address in the (refreshed) world table.
+	worldA := w2b.recv(t)
+	if elapsed := time.Since(helloA); elapsed < rejoinTimeout-100*time.Millisecond {
+		t.Fatalf("starved joiner released after %v, before the %v deadline", elapsed, rejoinTimeout)
+	}
+	if worldA.Op != opWorld || len(worldA.Addrs) != 4 ||
+		worldA.Addrs[2] != "127.0.0.1:7102" || worldA.Addrs[3] != "127.0.0.1:7103" {
+		t.Fatalf("joiner A world %+v", worldA)
+	}
+	if got := mRejoinTimeouts.Value(); got != timeoutsBefore+1 {
+		t.Fatalf("rejoin timeouts counter = %d, want %d", got, timeoutsBefore+1)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -75,10 +76,25 @@ func WorkerConfigFromEnv() (WorkerConfig, error) {
 	if cfg.Epoch, err = geti(EnvEpoch); err != nil {
 		return cfg, err
 	}
-	cfg.Protocol = Protocol(os.Getenv(EnvProtocol))
+	// Validate the string-typed env values at decode time: a typo'd
+	// protocol or recovery mode must fail fast with the env var named,
+	// not silently select a default behavior deep in the stack.
+	switch p := Protocol(os.Getenv(EnvProtocol)); p {
+	case Native, SDR, Mirror, Leader:
+		cfg.Protocol = p
+	default:
+		return cfg, fmt.Errorf("cluster: bad %s=%q (want native|sdr|mirror|leader)",
+			EnvProtocol, os.Getenv(EnvProtocol))
+	}
 	cfg.Registry = os.Getenv(EnvRegistry)
 	cfg.CheckpointDir = os.Getenv(EnvCkptDir)
-	cfg.RecoveryMode = RecoveryMode(os.Getenv(EnvRecovery))
+	switch m := RecoveryMode(os.Getenv(EnvRecovery)); m {
+	case "", RecoveryRollback, RecoveryLog:
+		cfg.RecoveryMode = m
+	default:
+		return cfg, fmt.Errorf("cluster: bad %s=%q (want rollback|log)",
+			EnvRecovery, os.Getenv(EnvRecovery))
+	}
 	cfg.ReplayWave = -1
 	if v := os.Getenv(EnvReplay); v != "" {
 		if cfg.ReplayWave, err = geti(EnvReplay); err != nil {
@@ -186,6 +202,30 @@ func RunWorker(cfg WorkerConfig, app AppFunc) int {
 	cc := &ctlClient{enc: json.NewEncoder(conn)}
 	dec := json.NewDecoder(conn)
 
+	// Observability endpoint: /healthz + /metrics on a loopback port,
+	// published to the coordinator via the hello below. Failure to bind is
+	// degraded service, not a fatal error — the worker still computes.
+	obsAddr := ""
+	if srv, err := obs.Serve("", obs.Default, map[string]string{
+		"proc":  strconv.Itoa(int(cfg.Proc)),
+		"rank":  strconv.Itoa(rank),
+		"rep":   strconv.Itoa(rep),
+		"epoch": strconv.Itoa(cfg.Epoch),
+	}); err == nil {
+		obsAddr = srv.Addr()
+		defer srv.Close()
+	} else {
+		fmt.Fprintf(os.Stderr, "worker %d: obs server unavailable: %v\n", cfg.Proc, err)
+	}
+
+	// Recovery-ladder trace events emitted by the protocol core surface on
+	// stdout, which the coordinator's line-prefixed sink attributes to this
+	// replica — the distributed run's event stream is the concatenation.
+	traceStart := time.Now()
+	obs.DefaultTrace.OnEvent = func(ev obs.Event) {
+		fmt.Printf("TRACE %s\n", ev.Format(traceStart))
+	}
+
 	// Per-process transport: a full-size network whose only live endpoint
 	// is ours, wired to peers through the PeerWire.
 	nw := transport.NewNetwork(layout.Procs(), nil)
@@ -201,7 +241,7 @@ func RunWorker(cfg WorkerConfig, app AppFunc) int {
 	// coordinator broadcast `dead` to the already-joined workers, so the
 	// handshake loop must tolerate (and remember) control traffic ahead
 	// of the world message instead of treating it as a protocol error.
-	if err := cc.send(ctlMsg{Op: opHello, Proc: int(cfg.Proc), Addr: pw.Addr()}); err != nil {
+	if err := cc.send(ctlMsg{Op: opHello, Proc: int(cfg.Proc), Addr: pw.Addr(), Obs: obsAddr}); err != nil {
 		return fail(fmt.Errorf("hello: %w", err))
 	}
 	var pendingDead []transport.ProcID
@@ -222,7 +262,7 @@ func RunWorker(cfg WorkerConfig, app AppFunc) int {
 			// wire now is redundant but harmless) — the registry's
 			// serialized rejoin flow is waiting on OUR ack too.
 			pw.Revive(transport.ProcID(m.Proc), m.Addr)
-			_ = cc.send(ctlMsg{Op: opReviveAck, Proc: int(cfg.Proc)})
+			_ = cc.send(ctlMsg{Op: opReviveAck, Proc: int(cfg.Proc), For: m.Proc})
 		case opShutdown:
 			return 0 // epoch abandoned before it began
 		}
@@ -269,7 +309,7 @@ func RunWorker(cfg WorkerConfig, app AppFunc) int {
 				// releases the joiner only after every survivor has, so
 				// its recovery broadcast cannot race this update.
 				pw.Revive(transport.ProcID(m.Proc), m.Addr)
-				_ = cc.send(ctlMsg{Op: opReviveAck, Proc: int(cfg.Proc)})
+				_ = cc.send(ctlMsg{Op: opReviveAck, Proc: int(cfg.Proc), For: m.Proc})
 			case opShutdown:
 				close(shutdown)
 				return

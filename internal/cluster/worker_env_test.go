@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// setWorkerEnv installs a minimal valid worker env contract, which each
+// test then perturbs.
+func setWorkerEnv(t *testing.T) {
+	t.Helper()
+	t.Setenv(EnvProc, "0")
+	t.Setenv(EnvRanks, "2")
+	t.Setenv(EnvRepl, "2")
+	t.Setenv(EnvWave, "-1")
+	t.Setenv(EnvEpoch, "0")
+	t.Setenv(EnvProtocol, "sdr")
+	t.Setenv(EnvRegistry, "127.0.0.1:1")
+	t.Setenv(EnvRecovery, "")
+}
+
+func TestWorkerConfigFromEnvValidatesStrings(t *testing.T) {
+	setWorkerEnv(t)
+	cfg, err := WorkerConfigFromEnv()
+	if err != nil {
+		t.Fatalf("valid contract rejected: %v", err)
+	}
+	if cfg.Protocol != SDR || cfg.RecoveryMode != RecoveryMode("") {
+		t.Fatalf("decoded %q/%q, want sdr/\"\"", cfg.Protocol, cfg.RecoveryMode)
+	}
+
+	// Every protocol and recovery spelling the contract defines decodes.
+	for _, p := range []string{"native", "sdr", "mirror", "leader"} {
+		t.Setenv(EnvProtocol, p)
+		if _, err := WorkerConfigFromEnv(); err != nil {
+			t.Errorf("protocol %q rejected: %v", p, err)
+		}
+	}
+	t.Setenv(EnvProtocol, "sdr")
+	for _, m := range []string{"", "rollback", "log"} {
+		t.Setenv(EnvRecovery, m)
+		if _, err := WorkerConfigFromEnv(); err != nil {
+			t.Errorf("recovery %q rejected: %v", m, err)
+		}
+	}
+
+	// A typo'd protocol must fail at decode time, naming the env var — not
+	// silently select some default deep in the stack.
+	t.Setenv(EnvProtocol, "srd")
+	_, err = WorkerConfigFromEnv()
+	if err == nil {
+		t.Fatal("bogus protocol accepted")
+	}
+	if !strings.Contains(err.Error(), EnvProtocol) || !strings.Contains(err.Error(), "srd") {
+		t.Errorf("error %q does not name %s and the bad value", err, EnvProtocol)
+	}
+
+	t.Setenv(EnvProtocol, "sdr")
+	t.Setenv(EnvRecovery, "logg")
+	_, err = WorkerConfigFromEnv()
+	if err == nil {
+		t.Fatal("bogus recovery mode accepted")
+	}
+	if !strings.Contains(err.Error(), EnvRecovery) || !strings.Contains(err.Error(), "logg") {
+		t.Errorf("error %q does not name %s and the bad value", err, EnvRecovery)
+	}
+}

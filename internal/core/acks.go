@@ -120,6 +120,8 @@ func (p *Replicated) flushAcksTo(q transport.ProcID, aq *ackQueue) {
 	if len(recs) == 1 {
 		p.sendAckNow(q, recs[0].Ctx, recs[0].Seq, -1)
 	} else {
+		mAckMsgs.Inc()
+		mAcksCoalesced.Add(uint64(len(recs)))
 		buf := transport.GetBuf(transport.AckBatchBytes(len(recs)))
 		buf = transport.EncodeAckRecs(buf[:0], recs)
 		var m transport.Message
@@ -145,6 +147,7 @@ func (p *Replicated) dropAcksFor(dead transport.ProcID) {
 // sendAckNow emits one discrete acknowledgement in the legacy format:
 // ctx/seq in the envelope, Meta = [srcRank, ackerRank, ackerWorld, 1].
 func (p *Replicated) sendAckNow(q transport.ProcID, ctx uint32, seq uint64, srcRank int) {
+	mAckMsgs.Inc()
 	p.eng.Endpoint().Send(&transport.Message{
 		Dst:  q,
 		Kind: transport.KindAck,

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -17,6 +19,11 @@ func (p *Replicated) onFailure(dead transport.ProcID) {
 	p.alive[int(dead)] = false
 	deadRank := p.layout.RankOf(dead)
 	deadRep := p.layout.RepOf(dead)
+	// The detail names only the dead process (not the observer), so the
+	// chain render collapses N survivors' detections into one "(xN)" line.
+	ev := obs.Ev(obs.StageDetect, "failure notification processed")
+	ev.Proc, ev.Rank, ev.Rep = int(dead), deadRank, deadRep
+	obs.DefaultTrace.Emit(ev)
 
 	// The dead process is no longer a direct destination (lines 31–32).
 	p.removeDest(deadRank, dead)
@@ -109,6 +116,11 @@ func (p *Replicated) electSubstitute(rank int) int {
 // destinations, and every retained message they have not acknowledged is
 // re-sent to them.
 func (p *Replicated) takeOver(deadRep int) {
+	mSubstitutions.Inc()
+	ev := obs.Ev(obs.StageSubstitute,
+		fmt.Sprintf("replica %d.%d takes over world %d", p.myRank, p.myRep, deadRep))
+	ev.Proc, ev.Rank, ev.Rep = int(p.proc.ID()), p.myRank, deadRep
+	obs.DefaultTrace.Emit(ev)
 	for l := range p.substitute {
 		if p.substitute[l] != deadRep {
 			continue

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/detect"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -72,6 +73,7 @@ func (p *Replicated) logSend(ctx uint32, dstRank, tag int, seq uint64, meta [4]i
 		ctx: ctx, tag: tag, seq: seq, meta: meta,
 		data: append([]byte(nil), data...),
 	})
+	gMsglogBytes.Add(int64(len(data)))
 }
 
 // replayLog re-sends, in (ctx, seq) order, every logged message destined to
@@ -98,6 +100,11 @@ func (p *Replicated) replayLog(dstRank int, q transport.ProcID) {
 		}
 		p.eng.Isend(q, e.ctx, e.tag, e.data, e.seq, e.meta)
 	}
+	mReplayedMsgs.Add(uint64(len(sorted)))
+	ev := obs.Ev(obs.StageReplay,
+		fmt.Sprintf("sender log replayed: %d messages", len(sorted)))
+	ev.Proc, ev.Rank = int(q), dstRank
+	obs.DefaultTrace.Emit(ev)
 }
 
 // --- Truncation acknowledgements -------------------------------------------
@@ -228,6 +235,7 @@ func (p *Replicated) onLogTruncate(m *transport.Message) {
 	kept := p.msgLog[dstRank][:0]
 	for _, e := range p.msgLog[dstRank] {
 		if next, ok := floor[e.ctx]; ok && e.seq < next {
+			gMsglogBytes.Add(-int64(len(e.data)))
 			continue
 		}
 		kept = append(kept, e)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/detect"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -128,6 +129,11 @@ func (p *Replicated) onRecovered(q transport.ProcID) {
 	p.alive[int(q)] = true
 	qRank := p.layout.RankOf(q)
 	qRep := p.layout.RepOf(q)
+	// Like detect: the detail names only the recovered process, so the
+	// survivors' independent observations collapse in the chain render.
+	rev := obs.Ev(obs.StageRecovered, "recovery notification processed")
+	rev.Proc, rev.Rank, rev.Rep = int(q), qRank, qRep
+	obs.DefaultTrace.Emit(rev)
 
 	if qRank == p.myRank {
 		// A replica of my own rank is back: it handles its own sends
@@ -191,4 +197,5 @@ func (p *Replicated) replayRetained(dstRank int, q transport.ProcID) {
 		// rendezvous transfer is still in flight.
 		p.eng.Isend(q, e.ctx, e.tag, append([]byte(nil), e.data...), e.seq, e.meta)
 	}
+	mReplayedMsgs.Add(uint64(len(entries)))
 }

@@ -210,6 +210,7 @@ func (p *Replicated) Isend(c *mpi.Comm, ctx uint32, to mpi.Rank, tag int, data [
 	key := seqKey{ctx, dstRank}
 	seq := p.sendSeq[key]
 	p.sendSeq[key] = seq + 1
+	mAppMsgs.Inc()
 
 	if p.opts.Corrupt != nil {
 		p.opts.Corrupt(dstRank, seq, data)

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sdr_test_msgs_total", "messages")
+	c.Inc()
+	c.Add(4)
+	g := r.Gauge("sdr_test_bytes", "retained bytes")
+	g.Add(100)
+	g.Add(-30)
+	in := r.CounterWith("sdr_test_dir_total", "by direction", []string{"dir"}, []string{"in"})
+	out := r.CounterWith("sdr_test_dir_total", "by direction", []string{"dir"}, []string{"out"})
+	in.Add(2)
+	out.Add(3)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE sdr_test_msgs_total counter",
+		"sdr_test_msgs_total 5",
+		"# TYPE sdr_test_bytes gauge",
+		"sdr_test_bytes 70",
+		`sdr_test_dir_total{dir="in"} 2`,
+		`sdr_test_dir_total{dir="out"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// Exposition must round-trip through the scrape parser.
+	parsed, err := ParseText(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed["sdr_test_msgs_total"] != 5 {
+		t.Errorf("parsed counter = %v, want 5", parsed["sdr_test_msgs_total"])
+	}
+	if got := SumByName(parsed, "sdr_test_dir_total"); got != 5 {
+		t.Errorf("SumByName over labels = %v, want 5", got)
+	}
+	snap := r.Snapshot()
+	if snap[`sdr_test_dir_total{dir="out"}`] != 3 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestRegistryReuseReturnsSameChild(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("sdr_test_total", "x")
+	b := r.Counter("sdr_test_total", "x")
+	if a != b {
+		t.Fatal("re-registration handed out a different counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("children diverged")
+	}
+}
+
+func TestServerHealthzAndMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sdr_test_up_total", "x").Add(7)
+	srv, err := Serve("127.0.0.1:0", r, map[string]string{"proc": "3", "rank": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	h, err := Healthz(srv.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Info["proc"] != "3" || h.PID <= 0 {
+		t.Fatalf("healthz = %+v", h)
+	}
+
+	m, err := Scrape(srv.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["sdr_test_up_total"] != 7 {
+		t.Fatalf("scraped %v, want sdr_test_up_total=7", m)
+	}
+
+	// Unknown paths must 404, not accidentally serve metrics.
+	resp, err := http.Get("http://" + srv.Addr() + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /nope = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestTraceChainOrderAndRender(t *testing.T) {
+	tr := NewTrace()
+	ev := Ev(StagePark, "awaiting SIGKILL")
+	ev.Proc, ev.Rank, ev.Rep, ev.Step = 3, 1, 1, 5
+	tr.Emit(ev)
+	ev = Ev(StageKill, "SIGKILL delivered")
+	ev.Proc, ev.Rank, ev.Rep = 3, 1, 1
+	tr.Emit(ev)
+	// Three observers each record the same detection: the render collapses
+	// them into one line with a count.
+	for i := 0; i < 3; i++ {
+		ev = Ev(StageDetect, "declared dead; failure notification broadcast")
+		ev.Proc, ev.Rank = 3, 1
+		tr.Emit(ev)
+	}
+	ev = Ev(StageSubstitute, "surviving replica takes over")
+	ev.Rank, ev.Rep = 1, 0
+	tr.Emit(ev)
+	tr.Emit(Ev(StageMatch, "all survivors identical"))
+
+	events := tr.Events()
+	if len(events) != 7 {
+		t.Fatalf("recorded %d events, want 7", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Clock <= events[i-1].Clock {
+			t.Fatalf("Lamport clock not monotone: %v", events)
+		}
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Fatalf("Seq not dense: %v", events)
+		}
+	}
+
+	var buf bytes.Buffer
+	tr.Render(&buf)
+	out := buf.String()
+	for _, stage := range []string{"park", "kill", "detect", "substitute", "match"} {
+		if !strings.Contains(out, stage) {
+			t.Errorf("render missing stage %q:\n%s", stage, out)
+		}
+	}
+	if !strings.Contains(out, "(x3)") {
+		t.Errorf("duplicate detects not collapsed:\n%s", out)
+	}
+	// The ladder must read in order.
+	if !(strings.Index(out, "detect") < strings.Index(out, "substitute") &&
+		strings.Index(out, "substitute") < strings.Index(out, "match")) {
+		t.Errorf("chain out of order:\n%s", out)
+	}
+
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatal("Reset left events behind")
+	}
+}
+
+func TestRunStatsJSONAndBlock(t *testing.T) {
+	rs := NewRunStats()
+	rs.Protocol, rs.Ranks, rs.Procs = "sdr", 2, 4
+	rs.ElapsedSec = 1.5
+	rs.EpochsSec = []float64{1.5}
+	rs.Workers = []WorkerStats{
+		{Proc: 0, Rank: 0, Rep: 0, Addr: "127.0.0.1:1", Scraped: true,
+			Metrics: map[string]float64{"sdr_core_app_msgs_total": 10}},
+		{Proc: 1, Rank: 0, Rep: 1, Addr: "127.0.0.1:2", Err: "dead"},
+	}
+	b, err := rs.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"schema":"sdr.runstats/1"`) {
+		t.Fatalf("JSON missing schema: %s", b)
+	}
+	var buf bytes.Buffer
+	rs.WriteBlock(&buf)
+	if !strings.Contains(buf.String(), "app=10") || !strings.Contains(buf.String(), "scrape failed") {
+		t.Fatalf("block:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+)
+
+// Server is the per-worker observability endpoint: a loopback HTTP
+// listener serving
+//
+//	GET /healthz  → 200, JSON {"status":"ok","pid":…,"uptime_s":…,…info}
+//	GET /metrics  → 200, Prometheus text exposition of the registry
+//
+// The /healthz contract: any 200 answer means the process is up and its
+// event loops are scheduled (the handler runs on the shared runtime — a
+// wedged process stops answering, which is the signal). The body carries
+// static identity labels (proc, rank, rep, epoch) so a scraper can verify
+// it is talking to the incarnation it thinks it is. A worker publishes
+// its address through the rendezvous registry's hello message; the
+// coordinator scrapes /metrics from there.
+type Server struct {
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+}
+
+// Health is the /healthz response body.
+type Health struct {
+	Status  string            `json:"status"`
+	PID     int               `json:"pid"`
+	UptimeS float64           `json:"uptime_s"`
+	Info    map[string]string `json:"info,omitempty"`
+}
+
+// Serve starts the observability server on addr ("127.0.0.1:0" picks a
+// free loopback port), exposing reg at /metrics and the identity info at
+// /healthz. It never blocks; Close shuts it down.
+func Serve(addr string, reg *Registry, info map[string]string) (*Server, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(Health{
+			Status:  "ok",
+			PID:     os.Getpid(),
+			UptimeS: time.Since(s.start).Seconds(),
+			Info:    info,
+		})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.WriteText(w)
+	})
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (host:port) — what the worker publishes
+// in its hello.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Scrape fetches and parses one endpoint's /metrics within the timeout.
+func Scrape(addr string, timeout time.Duration) (map[string]float64, error) {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("obs: scrape %s: status %d", addr, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return ParseText(string(body))
+}
+
+// Healthz fetches one endpoint's /healthz within the timeout.
+func Healthz(addr string, timeout time.Duration) (*Health, error) {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get("http://" + addr + "/healthz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("obs: healthz %s: status %d", addr, resp.StatusCode)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}

@@ -1,0 +1,25 @@
+package transport
+
+import "repro/internal/obs"
+
+// Wire-level observability (sdr_transport_*), recorded into the
+// process-wide obs.Default registry. The children are resolved once at
+// init so the hot paths pay a single atomic add.
+var (
+	mPoolHitBuf = obs.Default.CounterWith("sdr_transport_pool_hits_total",
+		"pooled allocations served from a sync.Pool", []string{"pool"}, []string{"buf"})
+	mPoolMissBuf = obs.Default.CounterWith("sdr_transport_pool_misses_total",
+		"pooled allocations that fell through to the heap", []string{"pool"}, []string{"buf"})
+	mPoolHitMsg = obs.Default.CounterWith("sdr_transport_pool_hits_total",
+		"pooled allocations served from a sync.Pool", []string{"pool"}, []string{"msg"})
+	mPoolMissMsg = obs.Default.CounterWith("sdr_transport_pool_misses_total",
+		"pooled allocations that fell through to the heap", []string{"pool"}, []string{"msg"})
+	mBytesIn = obs.Default.CounterWith("sdr_transport_bytes_total",
+		"peer-wire bytes by direction", []string{"dir"}, []string{"in"})
+	mBytesOut = obs.Default.CounterWith("sdr_transport_bytes_total",
+		"peer-wire bytes by direction", []string{"dir"}, []string{"out"})
+	mRedials = obs.Default.Counter("sdr_transport_redials_total",
+		"peer connections dropped mid-write and redialed")
+	mDroppedDead = obs.Default.Counter("sdr_transport_dropped_dead_total",
+		"messages fail-stop-dropped because the peer is dead or unreachable")
+)

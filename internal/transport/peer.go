@@ -206,6 +206,7 @@ func (pw *PeerWire) readLoop(c net.Conn) {
 		if err != nil {
 			return
 		}
+		mBytesIn.Add(uint64(wireHeaderLen + len(m.Data)))
 		if m.Dst != pw.self {
 			// Misrouted frame: this listener only serves the local
 			// process. Drop it rather than corrupting a foreign queue.
@@ -230,6 +231,7 @@ func (pw *PeerWire) Deliver(m *Message) error {
 	for attempt := 0; attempt < 2; attempt++ {
 		tc, err := pw.conn(m.Dst)
 		if err != nil {
+			mDroppedDead.Inc()
 			return nil // unreachable or dead: bytes fall off the wire
 		}
 		tc.mu.Lock()
@@ -239,10 +241,13 @@ func (pw *PeerWire) Deliver(m *Message) error {
 		}
 		tc.mu.Unlock()
 		if err == nil {
+			mBytesOut.Add(uint64(wireHeaderLen + len(m.Data)))
 			return nil
 		}
 		pw.dropConn(m.Dst, tc)
+		mRedials.Inc()
 	}
+	mDroppedDead.Inc()
 	return nil
 }
 

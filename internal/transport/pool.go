@@ -57,8 +57,9 @@ const (
 	flagPooledData                   // Data came from a buffer pool
 )
 
-// msgPool recycles Message envelopes.
-var msgPool = sync.Pool{New: func() any { return new(Message) }}
+// msgPool recycles Message envelopes. No New hook: a nil Get is the
+// pool-miss signal the metrics distinguish.
+var msgPool sync.Pool
 
 // bufClasses are the payload size classes, chosen to cover the eager path
 // (default eager limit 64 KiB) with low internal fragmentation and to stop
@@ -95,8 +96,10 @@ func GetBuf(n int) []byte {
 	if pooling.Load() {
 		if ci := classFor(n); ci >= 0 {
 			if v := bufPools[ci].Get(); v != nil {
+				mPoolHitBuf.Inc()
 				return unsafe.Slice((*byte)(v.(unsafe.Pointer)), bufClasses[ci])[:n]
 			}
+			mPoolMissBuf.Inc()
 			return make([]byte, n, bufClasses[ci])
 		}
 	}
@@ -125,7 +128,14 @@ func FreeBuf(b []byte) {
 // is enabled. The caller owns it until it is handed to the wire or freed.
 func GetMessage() *Message {
 	if pooling.Load() {
-		m := msgPool.Get().(*Message)
+		if v := msgPool.Get(); v != nil {
+			mPoolHitMsg.Inc()
+			m := v.(*Message)
+			m.pflags = flagPooledEnv
+			return m
+		}
+		mPoolMissMsg.Inc()
+		m := new(Message)
 		m.pflags = flagPooledEnv
 		return m
 	}
