@@ -1,0 +1,32 @@
+// Command sdrlint is the stack's invariant checker: a vet-compatible
+// multichecker built from the analyzers in internal/analysis. It machine
+// checks the conventions this codebase's past bugs were made of — pool
+// ownership handoff, fail-closed codec pairs, the sdr_<layer>_* metric
+// taxonomy, and the SDR_DIST_* env contract.
+//
+// Usage:
+//
+//	go build -o sdrlint ./cmd/sdrlint
+//	go vet -vettool=./sdrlint ./...
+//
+// or directly (re-execs go vet under the hood):
+//
+//	./sdrlint ./...
+package main
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/codecsym"
+	"repro/internal/analysis/envcontract"
+	"repro/internal/analysis/metricname"
+	"repro/internal/analysis/poolhandoff"
+)
+
+func main() {
+	analysis.Main(
+		poolhandoff.Analyzer,
+		codecsym.Analyzer,
+		metricname.Analyzer,
+		envcontract.Analyzer,
+	)
+}

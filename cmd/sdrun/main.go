@@ -53,12 +53,9 @@ import (
 	"repro/internal/trace"
 )
 
-// App-selection side of the worker env contract (the cluster package owns
-// the topology side).
-const (
-	envApp   = "SDR_DIST_APP"
-	envScale = "SDR_DIST_SCALE"
-)
+// The app-selection side of the worker env contract (cluster.EnvApp,
+// cluster.EnvScale) is declared in the cluster env table alongside the
+// topology side, and read back through its typed accessors.
 
 // appEntry describes one launchable workload.
 type appEntry struct {
@@ -467,13 +464,13 @@ func workerMain() int {
 		fmt.Fprintln(os.Stderr, "sdrun worker:", err)
 		return 2
 	}
-	appName := os.Getenv(envApp)
+	appName := cluster.EnvString(cluster.EnvApp)
 	entry, ok := registry()[appName]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "sdrun worker: unknown app %q\n", appName)
 		return 2
 	}
-	scale, err := strconv.Atoi(os.Getenv(envScale))
+	scale, err := cluster.EnvInt(cluster.EnvScale)
 	if err != nil || scale <= 0 {
 		scale = 1
 	}
@@ -539,8 +536,8 @@ func runDistributed(o distOpts) int {
 		RecoveryMode:      o.recovery,
 		Timeout:           o.timeout,
 		WorkerEnv: []string{
-			envApp + "=" + o.app,
-			fmt.Sprintf("%s=%d", envScale, o.scale),
+			cluster.EnvApp + "=" + o.app,
+			fmt.Sprintf("%s=%d", cluster.EnvScale, o.scale),
 		},
 	})
 	if err := rep.FirstError(); err != nil {

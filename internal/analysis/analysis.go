@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker: a name for diagnostics, a doc
+// string explaining the invariant (and which bug motivated it), and the
+// Run function applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flag names. It must
+	// be a valid Go identifier.
+	Name string
+
+	// Doc is the help text: first line is the one-sentence summary.
+	Doc string
+
+	// Run applies the analyzer to one package. Diagnostics are delivered
+	// through pass.Report; the error return is for analysis failures
+	// (which abort the whole run), not findings.
+	Run func(*Pass) error
+}
+
+// Pass is the interface between the driver and one analyzer applied to
+// one package: the syntax, the type information, and the diagnostic sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver fills it in.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether pos is inside a _test.go file. Analyzers
+// whose invariant deliberately exempts test scaffolding (envcontract)
+// use it; the others check test code like any other code.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	if f == nil {
+		return false
+	}
+	name := f.Name()
+	return len(name) >= len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}
+
+// FuncOf resolves a call expression to the package-level function or
+// method it invokes, or nil (builtin, function value, type conversion).
+func FuncOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// PkgFunc reports whether call invokes a function named name declared in
+// a package whose Name() is pkgName. Matching by package *name* rather
+// than full path lets the same analyzer see both the real package
+// (repro/internal/transport) and the analysistest stub (testdata src
+// "transport").
+func PkgFunc(info *types.Info, call *ast.CallExpr, pkgName, name string) bool {
+	fn := FuncOf(info, call)
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Name() == pkgName
+}
+
+// IsBuiltin reports whether id is a use of the predeclared builtin with
+// the given name (len, cap, copy, make, ...). go/types records builtin
+// identifiers in Uses as *types.Builtin.
+func IsBuiltin(info *types.Info, id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// ConstString returns the compile-time string value of e, if it has one.
+func ConstString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

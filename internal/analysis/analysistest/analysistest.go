@@ -1,0 +1,157 @@
+// Package analysistest runs an analyzer over testdata packages and
+// checks its diagnostics against `// want "regexp"` comments, the same
+// convention as golang.org/x/tools — reimplemented on the standard
+// library so the suite carries no external dependency.
+//
+// Layout: testdata/src/<pkg>/*.go, GOPATH-style. A testdata package may
+// import sibling testdata packages (stubs of the real API under check)
+// by their bare name, or anything resolvable through the go build cache
+// (standard library, this module's packages).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// expectation is one want-regexp at one file:line, matched at most once.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each testdata package, applies the analyzer, and reports
+// any mismatch between diagnostics and want comments as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	srcRoot := filepath.Join(testdata, "src")
+	for _, pkg := range pkgs {
+		dir := filepath.Join(srcRoot, filepath.FromSlash(pkg))
+		lp, err := analysis.LoadDir(dir, []string{srcRoot})
+		if err != nil {
+			t.Errorf("%s: load %s: %v", a.Name, pkg, err)
+			continue
+		}
+		diags, err := analysis.RunAnalyzer(a, lp)
+		if err != nil {
+			t.Errorf("%s: run on %s: %v", a.Name, pkg, err)
+			continue
+		}
+		wants, err := parseWants(lp.Fset, lp.Files)
+		if err != nil {
+			t.Errorf("%s: %s: %v", a.Name, pkg, err)
+			continue
+		}
+		for _, d := range diags {
+			posn := lp.Fset.Position(d.Pos)
+			if !match(wants, posn.Filename, posn.Line, d.Message) {
+				t.Errorf("%s: %s:%d: unexpected diagnostic: %s",
+					a.Name, posn.Filename, posn.Line, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s: %s:%d: no diagnostic matching %q",
+					a.Name, w.file, w.line, w.raw)
+			}
+		}
+	}
+}
+
+// match consumes the first unmatched expectation at (file, line) whose
+// regexp matches msg.
+func match(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts the `// want "re" "re"...` expectations from every
+// comment in the files.
+func parseWants(fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				patterns, err := splitQuoted(strings.TrimPrefix(text, "want "))
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want comment: %v", posn.Filename, posn.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", posn.Filename, posn.Line, p, err)
+					}
+					wants = append(wants, &expectation{
+						file: posn.Filename, line: posn.Line, re: re, raw: p,
+					})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitQuoted parses a sequence of Go string literals ("..." or `...`)
+// separated by spaces.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		var lit string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated raw string in %q", s)
+			}
+			lit, s = s[:end+2], s[end+2:]
+		case '"':
+			i := 1
+			for ; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					break
+				}
+			}
+			if i >= len(s) {
+				return nil, fmt.Errorf("unterminated string in %q", s)
+			}
+			lit, s = s[:i+1], s[i+1:]
+		default:
+			return nil, fmt.Errorf("expected quoted regexp, got %q", s)
+		}
+		u, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("unquote %s: %v", lit, err)
+		}
+		out = append(out, u)
+	}
+}

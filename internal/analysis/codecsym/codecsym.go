@@ -1,0 +1,160 @@
+// Package codecsym checks the fail-closed codec conventions PR 5
+// established after the sequencer pinned-slot and replay-state bugs:
+//
+//   - Every exported package-level EncodeX has a DecodeX in the same
+//     package, and vice versa. A one-sided codec is how wire formats
+//     drift: the writer evolves and the (missing) reader silently keeps
+//     accepting stale frames.
+//   - Every exported DecodeX returns an error as its last result. The
+//     recovery ladder depends on decoders failing closed — returning an
+//     error the caller can turn into "ignore the frame" — never
+//     panicking or guessing.
+//   - Inside a DecodeX, an allocation sized from wire input
+//     (make([]T, n) with non-constant n) must be preceded by a length
+//     bound check (an if-condition involving len of the input). A
+//     corrupt count field must not be able to drive a multi-gigabyte
+//     allocation before validation.
+package codecsym
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the codecsym check.
+var Analyzer = &analysis.Analyzer{
+	Name: "codecsym",
+	Doc:  "check Encode/Decode pairing and fail-closed decoder discipline",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	encoders := map[string]*ast.FuncDecl{} // suffix X → EncodeX decl
+	decoders := map[string]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || !fd.Name.IsExported() {
+				continue
+			}
+			name := fd.Name.Name
+			switch {
+			case strings.HasPrefix(name, "Encode") && len(name) > len("Encode"):
+				encoders[name[len("Encode"):]] = fd
+			case strings.HasPrefix(name, "Decode") && len(name) > len("Decode"):
+				decoders[name[len("Decode"):]] = fd
+			}
+		}
+	}
+
+	for x, fd := range encoders {
+		if decoders[x] == nil {
+			pass.Reportf(fd.Name.Pos(),
+				"Encode%s has no matching Decode%s in package %s: codec pair is one-sided", x, x, pass.Pkg.Name())
+		}
+	}
+	for x, fd := range decoders {
+		if encoders[x] == nil {
+			pass.Reportf(fd.Name.Pos(),
+				"Decode%s has no matching Encode%s in package %s: codec pair is one-sided", x, x, pass.Pkg.Name())
+		}
+		checkDecoder(pass, fd)
+	}
+	return nil
+}
+
+// checkDecoder enforces the fail-closed rules on one DecodeX.
+func checkDecoder(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if !returnsError(pass, fd) {
+		pass.Reportf(fd.Name.Pos(),
+			"%s must return an error as its last result: decoders fail closed, they never guess", fd.Name.Name)
+	}
+	if fd.Body == nil {
+		return
+	}
+
+	// Collect the positions of every bound check: an if-condition that
+	// looks at len(x) (the input length, or a slice derived from it).
+	var guards []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if condUsesLen(pass, ifs.Cond) {
+			guards = append(guards, ifs.Pos())
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || !analysis.IsBuiltin(pass.TypesInfo, id, "make") || len(call.Args) < 2 {
+			return true
+		}
+		argType := pass.TypesInfo.Types[call.Args[0]].Type
+		if argType == nil {
+			return true
+		}
+		if _, isSlice := argType.Underlying().(*types.Slice); !isSlice {
+			return true
+		}
+		size := call.Args[1]
+		if tv, ok := pass.TypesInfo.Types[size]; ok && tv.Value != nil {
+			return true // constant size: harmless
+		}
+		if exprUsesLen(pass, size) {
+			return true // sized directly from the input length
+		}
+		for _, g := range guards {
+			if g < call.Pos() {
+				return true // a bound check dominates textually; good enough
+			}
+		}
+		pass.Reportf(call.Pos(),
+			"%s allocates from wire-derived size without a prior length bound check: validate before make", fd.Name.Name)
+		return true
+	})
+}
+
+func returnsError(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	obj := pass.TypesInfo.Defs[fd.Name]
+	if obj == nil {
+		return true // no type info: stay silent
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// condUsesLen reports whether the condition contains a builtin len(...)
+// call — the shape of every length bound check in the codecs.
+func condUsesLen(pass *analysis.Pass, cond ast.Expr) bool {
+	return exprUsesLen(pass, cond)
+}
+
+func exprUsesLen(pass *analysis.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && analysis.IsBuiltin(pass.TypesInfo, id, "len") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

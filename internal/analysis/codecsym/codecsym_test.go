@@ -1,0 +1,12 @@
+package codecsym_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/codecsym"
+)
+
+func TestCodecSym(t *testing.T) {
+	analysistest.Run(t, "testdata", codecsym.Analyzer, "codec")
+}

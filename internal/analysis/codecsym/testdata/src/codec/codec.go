@@ -1,0 +1,72 @@
+// Package codec exercises the codecsym diagnostics: one-sided pairs,
+// decoders that cannot fail closed, and unguarded wire-sized
+// allocations.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Rec is a fixed-size record for the well-formed pair below.
+type Rec struct{ A, B uint32 }
+
+// EncodeRecs is the good half of a symmetric pair.
+func EncodeRecs(dst []byte, recs []Rec) []byte {
+	for _, r := range recs {
+		dst = binary.LittleEndian.AppendUint32(dst, r.A)
+		dst = binary.LittleEndian.AppendUint32(dst, r.B)
+	}
+	return dst
+}
+
+// DecodeRecs bound-checks before allocating: the negative case.
+func DecodeRecs(b []byte) ([]Rec, error) {
+	if len(b)%8 != 0 {
+		return nil, errors.New("codec: truncated record frame")
+	}
+	n := len(b) / 8
+	out := make([]Rec, n)
+	for i := range out {
+		out[i].A = binary.LittleEndian.Uint32(b[i*8:])
+		out[i].B = binary.LittleEndian.Uint32(b[i*8+4:])
+	}
+	return out, nil
+}
+
+// EncodeOrphan has no decoder.
+func EncodeOrphan(dst []byte, v uint64) []byte { // want `EncodeOrphan has no matching DecodeOrphan`
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
+// DecodeWidow has no encoder.
+func DecodeWidow(b []byte) (uint64, error) { // want `DecodeWidow has no matching EncodeWidow`
+	if len(b) < 8 {
+		return 0, errors.New("codec: short frame")
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// EncodeLoose pairs with the lossy decoder below.
+func EncodeLoose(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+// DecodeLoose cannot report corruption.
+func DecodeLoose(b []byte) uint32 { // want `DecodeLoose must return an error`
+	return binary.LittleEndian.Uint32(b)
+}
+
+// EncodeGreedy pairs with the unguarded decoder below.
+func EncodeGreedy(dst []byte, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// DecodeGreedy trusts a wire-supplied count before validating it.
+func DecodeGreedy(b []byte) ([]byte, error) {
+	n := int(binary.LittleEndian.Uint32(b))
+	out := make([]byte, n) // want `allocates from wire-derived size without a prior length bound check`
+	copy(out, b[4:])
+	return out, nil
+}

@@ -1,0 +1,72 @@
+// Package analysis is an in-tree, stdlib-only reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass, Diagnostic)
+// plus a unitchecker-compatible driver, built so the repository's custom
+// invariant checkers can run as `go vet -vettool=sdrlint` without any
+// external dependency.
+//
+// # Why these analyzers exist
+//
+// Each analyzer in the subdirectories encodes an invariant that was, at
+// some point, only written down in a comment or a reviewer's head — and
+// each has a concrete bug behind it:
+//
+//   - poolhandoff: every transport.GetBuf/GetMessage acquisition must
+//     reach exactly one release (FreeBuf/FreeMessage) or ownership
+//     handoff (SetPooledData, a send, a return) on every path. The
+//     motivating bugs: the earlyAcks pool leak fixed in PR 4, where an
+//     early return skipped FreeMessage and slowly drained the buffer
+//     pool under failure churn, and its dual — a conditional double
+//     FreeBuf that poisoned the pool with an aliased buffer.
+//
+//   - codecsym: exported EncodeX/DecodeX pairs must both exist in the
+//     same package, decoders must return an error as their last result
+//     (fail closed, never guess), and a make() sized from wire input
+//     must sit behind a length bound check. Motivated by the PR 5 wire
+//     codecs: the sequencer pinned-slot and replay-state bugs both came
+//     from a decoder quietly accepting frames the encoder had stopped
+//     producing, and a corrupt count field must not drive a
+//     multi-gigabyte allocation before validation.
+//
+//   - metricname: obs.Registry registrations must be compile-time
+//     constant names matching the sdr_<layer>_<metric> taxonomy PR 6
+//     introduced, carry the registering package as the layer segment,
+//     use the _total suffix for counters (and not for gauges), and
+//     declare label names as a literal of constants at the registration
+//     site. Dashboards and the RunStats scraper key on these names; a
+//     misspelled layer silently falls off every graph.
+//
+//   - envcontract: every read of an SDR_* environment variable must go
+//     through the typed accessor table in internal/cluster/env.go
+//     (cluster.EnvString/EnvInt/EnvFlag/...). PRs 3–5 each grew the
+//     launcher/worker contract through stray os.Getenv calls scattered
+//     across cluster and cmd/sdrun, leaving variables undocumented and
+//     unvalidated; the table is now the single declaration point and
+//     rawEnv panics on undeclared names.
+//
+// # Running locally
+//
+// The suite builds into cmd/sdrlint and speaks the vet vettool
+// protocol, so it composes with the build cache and vet's package
+// loader:
+//
+//	go build -o sdrlint ./cmd/sdrlint
+//	go vet -vettool=./sdrlint ./...
+//
+// or, letting the tool re-exec vet itself:
+//
+//	go run ./cmd/sdrlint ./...
+//
+// CI runs the same two commands as a blocking step; a diagnostic from
+// any analyzer fails the build. The analyzers match target packages by
+// package name (transport, obs, cluster), so their analysistest suites
+// exercise the same code paths against small testdata stubs.
+//
+// # Driver notes
+//
+// unitchecker.go implements the contract `go vet -vettool` expects of a
+// tool: the -V=full version fingerprint, the -flags listing, and the
+// per-package .cfg invocation, resolving imports from the build cache's
+// export data via go/importer. analysistest/ is the matching test
+// harness: it loads a testdata/src/<pkg> tree, runs one analyzer, and
+// checks diagnostics against `// want "regexp"` comments.
+package analysis

@@ -1,0 +1,63 @@
+// Package envcontract checks that every read of an SDR_* environment
+// variable goes through the typed accessor table in
+// internal/cluster/env.go. The SDR_DIST_* contract is how the
+// coordinator, the relaunch paths, and the hidden worker mode agree on
+// a world — PRs 3 through 5 each grew it, and each stray os.Getenv was
+// a place the contract could drift undocumented and unvalidated. With
+// this check the table is the contract: one file declares every
+// variable, its type, and its documentation, and everything else calls
+// the typed accessors.
+//
+// Exemptions: the table file itself (package cluster, env.go) is the
+// single place allowed to touch os.Getenv for SDR_* names, and _test.go
+// files may manipulate the raw environment to stage worker scenarios.
+package envcontract
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the envcontract check.
+var Analyzer = &analysis.Analyzer{
+	Name: "envcontract",
+	Doc:  "check that SDR_* environment reads go through the cluster typed env table",
+	Run:  run,
+}
+
+// tableFile is the one file allowed to read SDR_* variables directly.
+const tableFile = "env.go"
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			isGetenv := analysis.PkgFunc(pass.TypesInfo, call, "os", "Getenv")
+			isLookup := analysis.PkgFunc(pass.TypesInfo, call, "os", "LookupEnv")
+			if !isGetenv && !isLookup || len(call.Args) != 1 {
+				return true
+			}
+			name, ok := analysis.ConstString(pass.TypesInfo, call.Args[0])
+			if !ok || !strings.HasPrefix(name, "SDR_") {
+				return true
+			}
+			if pass.IsTestFile(call.Pos()) {
+				return true // tests stage raw worker environments on purpose
+			}
+			posn := pass.Fset.Position(call.Pos())
+			if pass.Pkg.Name() == "cluster" && filepath.Base(posn.Filename) == tableFile {
+				return true // the table itself
+			}
+			pass.Reportf(call.Pos(),
+				"read of %s outside the cluster env table: use the typed accessors (cluster.EnvString/EnvInt/...) so the worker contract stays declared in one place", name)
+			return true
+		})
+	}
+	return nil
+}

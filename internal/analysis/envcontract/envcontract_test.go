@@ -1,0 +1,12 @@
+package envcontract_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/envcontract"
+)
+
+func TestEnvContract(t *testing.T) {
+	analysistest.Run(t, "testdata", envcontract.Analyzer, "cluster", "a")
+}

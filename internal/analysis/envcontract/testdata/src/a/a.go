@@ -1,0 +1,33 @@
+// Package a exercises the envcontract diagnostics from outside the
+// cluster package.
+package a
+
+import (
+	"os"
+
+	"cluster"
+)
+
+const worker = "SDR_DIST_WORKER"
+
+func direct() string {
+	return os.Getenv("SDR_DIST_APP") // want `read of SDR_DIST_APP outside the cluster env table`
+}
+
+func throughConst() string {
+	// The name resolves through a constant: still the raw contract.
+	return os.Getenv(worker) // want `read of SDR_DIST_WORKER outside the cluster env table`
+}
+
+func lookup() (string, bool) {
+	return os.LookupEnv(cluster.EnvProc) // want `read of SDR_DIST_PROC outside the cluster env table`
+}
+
+// Negative cases: non-contract variables and the typed accessor.
+func unrelated() string {
+	return os.Getenv("HOME")
+}
+
+func viaAccessor() string {
+	return cluster.EnvString(cluster.EnvProc)
+}

@@ -1,0 +1,22 @@
+// Package cluster stubs the env-table layout: this file (cluster/env.go)
+// is the single place allowed to read SDR_* variables directly.
+package cluster
+
+import "os"
+
+// EnvProc mirrors one contract variable.
+const EnvProc = "SDR_DIST_PROC"
+
+// EnvString is the stub typed accessor: direct reads here are the
+// negative case — the table file itself must not be flagged.
+func EnvString(name string) string {
+	return os.Getenv(name)
+}
+
+func tableRead() string {
+	return os.Getenv("SDR_DIST_PROC")
+}
+
+func tableLookup() (string, bool) {
+	return os.LookupEnv(EnvProc)
+}

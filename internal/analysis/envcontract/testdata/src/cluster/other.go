@@ -1,0 +1,8 @@
+package cluster
+
+import "os"
+
+// Even inside package cluster, only env.go may touch the raw contract.
+func strayInPackage() string {
+	return os.Getenv("SDR_DIST_RANKS") // want `read of SDR_DIST_RANKS outside the cluster env table`
+}

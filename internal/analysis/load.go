@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Loaded is one parsed and type-checked package, ready to run analyzers
+// over.
+type Loaded struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// NewTypesInfo allocates the maps every analyzer relies on.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// exportCache memoizes `go list -export` lookups of build-cache export
+// data, shared across all loads in the process (analysistest runs many).
+var exportCache sync.Map // import path → string file path ("" = failed)
+
+// exportDataFile asks the go command for the export-data file of one
+// import path (stdlib or in-module). The build cache makes repeat calls
+// cheap, and nothing here touches the network: the module has no
+// external dependencies.
+func exportDataFile(path string) (string, error) {
+	if v, ok := exportCache.Load(path); ok {
+		if f := v.(string); f != "" {
+			return f, nil
+		}
+		return "", fmt.Errorf("no export data for %q", path)
+	}
+	out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path).Output()
+	file := strings.TrimSpace(string(out))
+	if err != nil || file == "" {
+		exportCache.Store(path, "")
+		return "", fmt.Errorf("go list -export %s: %v", path, err)
+	}
+	exportCache.Store(path, file)
+	return file, nil
+}
+
+// dirLoader resolves imports first against GOPATH-style source roots
+// (testdata/src), then against the go command's build cache. Source-root
+// packages are themselves loaded (and memoized) recursively, so an
+// analyzer's testdata can stub the packages its invariant is about.
+type dirLoader struct {
+	fset     *token.FileSet
+	srcRoots []string
+	loaded   map[string]*types.Package
+	gc       types.Importer
+}
+
+func newDirLoader(fset *token.FileSet, srcRoots []string) *dirLoader {
+	l := &dirLoader{fset: fset, srcRoots: srcRoots, loaded: map[string]*types.Package{}}
+	l.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, err := exportDataFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(file)
+	})
+	return l
+}
+
+func (l *dirLoader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.loaded[path]; ok {
+		return pkg, nil
+	}
+	for _, root := range l.srcRoots {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			lp, err := l.load(dir, path)
+			if err != nil {
+				return nil, err
+			}
+			return lp.Pkg, nil
+		}
+	}
+	pkg, err := l.gc.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	l.loaded[path] = pkg
+	return pkg, nil
+}
+
+// load parses every non-test .go file in dir and type-checks it as the
+// package with the given import path.
+func (l *dirLoader) load(dir, path string) (*Loaded, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewTypesInfo()
+	conf := &types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	l.loaded[path] = pkg
+	return &Loaded{Fset: l.fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// LoadDir parses and type-checks the package in dir. Imports resolve
+// against srcRoots first (GOPATH-style: srcRoot/<import path>), then via
+// the go command's build cache — which covers both the standard library
+// and this module's own packages.
+func LoadDir(dir string, srcRoots []string) (*Loaded, error) {
+	importPath := filepath.Base(dir)
+	for _, root := range srcRoots {
+		if rel, err := filepath.Rel(root, dir); err == nil && !strings.HasPrefix(rel, "..") {
+			importPath = filepath.ToSlash(rel)
+		}
+	}
+	return newDirLoader(token.NewFileSet(), srcRoots).load(dir, importPath)
+}
+
+// RunAnalyzer applies one analyzer to a loaded package and returns the
+// diagnostics in position order.
+func RunAnalyzer(a *Analyzer, lp *Loaded) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      lp.Fset,
+		Files:     lp.Files,
+		Pkg:       lp.Pkg,
+		TypesInfo: lp.Info,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

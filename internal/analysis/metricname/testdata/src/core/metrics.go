@@ -1,0 +1,37 @@
+// Package core exercises the metricname diagnostics from the point of
+// view of one protocol layer (the package name is the layer segment).
+package core
+
+import "obs"
+
+var dynamicName = "sdr_core_runtime_total"
+
+var (
+	// Well-formed registrations: the negative cases.
+	mGood      = obs.Default.Counter("sdr_core_app_msgs_total", "app messages sent")
+	gGood      = obs.Default.Gauge("sdr_core_msglog_bytes", "sender log bytes retained")
+	mGoodLabel = obs.Default.CounterWith("sdr_core_bytes_total", "bytes by direction",
+		[]string{"dir"}, []string{"in"})
+
+	mWrongLayer = obs.Default.Counter("sdr_transport_oops_total", "registered under another layer") // want `must carry its layer`
+
+	mBadShape = obs.Default.Counter("core_messages_total", "missing the sdr_ prefix") // want `does not match the sdr_<layer>_<metric> taxonomy`
+
+	mNoTotal = obs.Default.Counter("sdr_core_app_msgs", "counter without _total") // want `must end in _total`
+
+	gTotal = obs.Default.Gauge("sdr_core_depth_total", "gauge with a counter suffix") // want `must not end in _total`
+
+	mComputed = obs.Default.Counter(dynamicName, "name not a compile-time constant") // want `must be a compile-time constant`
+
+	mVarLabels = obs.Default.CounterWith("sdr_core_acks_total", "label names from a variable",
+		labelNames, []string{"x"}) // want `label names must be a \[\]string literal`
+
+	mArity = obs.Default.CounterWith("sdr_core_drops_total", "two names, one value",
+		[]string{"kind", "dir"},
+		[]string{"ack"}) // want `1 label values for 2 label names`
+
+	mEmptyLabels = obs.Default.CounterWith("sdr_core_noop_total", "empty label set",
+		[]string{}, []string{}) // want `with no labels`
+)
+
+var labelNames = []string{"kind"}

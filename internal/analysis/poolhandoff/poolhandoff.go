@@ -1,0 +1,557 @@
+// Package poolhandoff checks the transport pool ownership protocol: a
+// buffer or envelope obtained from transport.GetBuf / transport.GetMessage
+// must, on every intra-procedural path, either be released exactly once
+// (FreeBuf / FreeMessage, inline or deferred) or escape into a handoff
+// (passed to a function, attached with SetPooledData, stored, sent,
+// returned). Two diagnostic kinds:
+//
+//   - "leaked": a path (early return, end of the declaring block) on
+//     which the object is still owned — the earlyAcks sweep bug of PR 4
+//     was exactly this class, a pooled message retained on a path nobody
+//     released.
+//   - "double release": a path on which the object may already have been
+//     released when a second release runs — releasing a pooled object
+//     twice hands the same backing array to two future owners, the
+//     corruption the paper's fail-stop model cannot see.
+//
+// The analysis is deliberately conservative: any use it cannot classify
+// (stored, aliased, captured by a closure, touched inside a loop) counts
+// as an ownership handoff and ends tracking. It therefore reports only
+// violations visible in straight-line/branching code — which is where
+// all of the historical bugs lived.
+package poolhandoff
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the poolhandoff check.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolhandoff",
+	Doc:  "check that transport pool objects are released exactly once or handed off on every path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkBody(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody finds pool obligations created at the top levels of this
+// function body (not inside nested function literals, which are visited
+// as their own bodies) and runs the path walk for each.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested scope: its obligations are its own
+		}
+		blk, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range blk.List {
+			if v, get := obligationAt(pass, stmt); v != nil {
+				o := &oblig{pass: pass, v: v, get: get}
+				o.analyze(blk.List[i+1:])
+			}
+		}
+		return true
+	})
+}
+
+// obligationAt recognizes `v := transport.GetBuf(...)` and
+// `v := transport.GetMessage(...)` (also plain `var v = ...`), returning
+// the variable object and the allocating call.
+func obligationAt(pass *analysis.Pass, stmt ast.Stmt) (*types.Var, *ast.CallExpr) {
+	var lhs ast.Expr
+	var rhs ast.Expr
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return nil, nil
+		}
+		lhs, rhs = s.Lhs[0], s.Rhs[0]
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || len(gd.Specs) != 1 {
+			return nil, nil
+		}
+		vs, ok := gd.Specs[0].(*ast.ValueSpec)
+		if !ok || len(vs.Names) != 1 || len(vs.Values) != 1 {
+			return nil, nil
+		}
+		lhs, rhs = vs.Names[0], vs.Values[0]
+	default:
+		return nil, nil
+	}
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, nil
+	}
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || !isPoolGet(pass, call) {
+		return nil, nil
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v, call
+}
+
+func isPoolGet(pass *analysis.Pass, call *ast.CallExpr) bool {
+	return analysis.PkgFunc(pass.TypesInfo, call, "transport", "GetBuf") ||
+		analysis.PkgFunc(pass.TypesInfo, call, "transport", "GetMessage")
+}
+
+func isPoolFree(pass *analysis.Pass, call *ast.CallExpr) bool {
+	return analysis.PkgFunc(pass.TypesInfo, call, "transport", "FreeBuf") ||
+		analysis.PkgFunc(pass.TypesInfo, call, "transport", "FreeMessage")
+}
+
+// stateSet is the may-analysis lattice: which ownership states are
+// possible at a program point. The empty set means "unreachable" (all
+// paths terminated).
+type stateSet uint8
+
+const (
+	owned    stateSet = 1 << iota // still this frame's responsibility
+	released                      // already given back to the pool
+)
+
+// oblig tracks one pooled object through the statements after its
+// allocation.
+type oblig struct {
+	pass     *analysis.Pass
+	v        *types.Var
+	get      *ast.CallExpr
+	deferred bool // a `defer Free*(v)` discharges every later exit
+	escaped  bool // unclassifiable use seen: stop all reporting
+}
+
+func (o *oblig) name() string { return o.v.Name() }
+
+func (o *oblig) allocName() string {
+	if fn := analysis.FuncOf(o.pass.TypesInfo, o.get); fn != nil {
+		return fn.Name()
+	}
+	return "pool Get"
+}
+
+// analyze walks the remainder of the declaring block. Falling off the
+// end of that block while possibly owned is a leak: the variable goes
+// out of scope with the pool still waiting.
+func (o *oblig) analyze(rest []ast.Stmt) {
+	s := o.execStmts(rest, owned)
+	if o.escaped {
+		return
+	}
+	if s&owned != 0 && !o.deferred {
+		o.pass.Reportf(o.get.Pos(),
+			"%s result %q may go out of scope without FreeBuf/FreeMessage or handoff: leaked pool object",
+			o.allocName(), o.name())
+	}
+}
+
+func (o *oblig) execStmts(list []ast.Stmt, s stateSet) stateSet {
+	for _, stmt := range list {
+		if o.escaped || s == 0 {
+			return s
+		}
+		s = o.exec(stmt, s)
+	}
+	return s
+}
+
+func (o *oblig) exec(stmt ast.Stmt, s stateSet) stateSet {
+	switch st := stmt.(type) {
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(st.X).(*ast.CallExpr)
+		if ok {
+			if o.releaseOf(call) {
+				if s&released != 0 || o.deferred {
+					o.pass.Reportf(call.Pos(),
+						"%q may already be released on this path: double release of pool object", o.name())
+				}
+				return released
+			}
+			if isTerminator(o.pass, call) {
+				o.scan(call) // args still escape-checked (panic(v) hands off)
+				return 0
+			}
+		}
+		o.scan(st.X)
+		return s
+
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			if o.mentions(r) {
+				o.escaped = true // ownership returned to the caller
+				return 0
+			}
+		}
+		if s&owned != 0 && !o.deferred {
+			o.pass.Reportf(st.Pos(),
+				"return without releasing %q (acquired via %s at line %d): leaked pool object",
+				o.name(), o.allocName(), o.pass.Fset.Position(o.get.Pos()).Line)
+		}
+		return 0
+
+	case *ast.AssignStmt:
+		for _, l := range st.Lhs {
+			if id, ok := ast.Unparen(l).(*ast.Ident); ok && o.isVar(id) {
+				// The only handle is overwritten; aliasing games are
+				// beyond this checker, so stop tracking.
+				o.escaped = true
+				return s
+			}
+			o.scanLHS(l)
+		}
+		for _, r := range st.Rhs {
+			o.scan(r)
+		}
+		return s
+
+	case *ast.DeclStmt:
+		o.scan(st.Decl)
+		return s
+
+	case *ast.DeferStmt:
+		if o.releaseOf(st.Call) {
+			if o.deferred {
+				o.pass.Reportf(st.Call.Pos(),
+					"%q is already released by an earlier defer: double release of pool object", o.name())
+			}
+			o.deferred = true
+			return s
+		}
+		o.scan(st.Call)
+		return s
+
+	case *ast.GoStmt:
+		o.scan(st.Call)
+		return s
+
+	case *ast.SendStmt:
+		if o.mentions(st.Value) {
+			o.escaped = true // handed to another goroutine
+			return s
+		}
+		o.scan(st.Chan)
+		return s
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s = o.exec(st.Init, s)
+		}
+		o.scan(st.Cond)
+		sThen := o.execStmts(st.Body.List, s)
+		sElse := s
+		if st.Else != nil {
+			sElse = o.exec(st.Else, s)
+		}
+		return sThen | sElse
+
+	case *ast.BlockStmt:
+		return o.execStmts(st.List, s)
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		return o.execSwitch(st, s)
+
+	case *ast.SelectStmt:
+		if len(st.Body.List) == 0 {
+			return 0 // `select {}` blocks forever
+		}
+		out := stateSet(0)
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				s = o.exec(cc.Comm, s)
+			}
+			out |= o.execStmts(cc.Body, s)
+		}
+		return out
+
+	case *ast.ForStmt, *ast.RangeStmt:
+		if o.usedIn(stmt) {
+			// Releases or uses under iteration need flow the walker does
+			// not model; treat as a handoff.
+			o.escaped = true
+			return s
+		}
+		// The loop cannot change the state, but returns inside it are
+		// still paths out of the function.
+		var body *ast.BlockStmt
+		if f, ok := stmt.(*ast.ForStmt); ok {
+			body = f.Body
+		} else {
+			body = stmt.(*ast.RangeStmt).Body
+		}
+		o.execStmts(body.List, s)
+		return s
+
+	case *ast.LabeledStmt:
+		return o.exec(st.Stmt, s)
+
+	case *ast.BranchStmt:
+		// break/continue leave the enclosing loop or switch arm; the
+		// union at the merge already over-approximates. goto is beyond
+		// the walker: give up on this obligation.
+		if st.Tok.String() == "goto" {
+			o.escaped = true
+		}
+		return s
+
+	case *ast.IncDecStmt:
+		o.scan(st.X)
+		return s
+
+	case *ast.EmptyStmt:
+		return s
+
+	default:
+		// Unknown statement kind: be safe, stop tracking if it touches v.
+		if o.usedIn(stmt) {
+			o.escaped = true
+		}
+		return s
+	}
+}
+
+func (o *oblig) execSwitch(stmt ast.Stmt, s stateSet) stateSet {
+	var init ast.Stmt
+	var body *ast.BlockStmt
+	var tag ast.Node
+	switch sw := stmt.(type) {
+	case *ast.SwitchStmt:
+		init, body, tag = sw.Init, sw.Body, sw.Tag
+	case *ast.TypeSwitchStmt:
+		init, body, tag = sw.Init, sw.Body, sw.Assign
+	}
+	if init != nil {
+		s = o.exec(init, s)
+	}
+	if e, ok := tag.(ast.Expr); ok && e != nil {
+		o.scan(e)
+	} else if st, ok := tag.(ast.Stmt); ok && st != nil {
+		s = o.exec(st, s)
+	}
+	out := stateSet(0)
+	hasDefault := false
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			o.scan(e)
+		}
+		out |= o.execStmts(cc.Body, s)
+	}
+	if !hasDefault {
+		out |= s // no case may match
+	}
+	return out
+}
+
+// releaseOf reports whether call is Free{Buf,Message}(v) (possibly of a
+// reslice of v).
+func (o *oblig) releaseOf(call *ast.CallExpr) bool {
+	if !isPoolFree(o.pass, call) || len(call.Args) != 1 {
+		return false
+	}
+	arg := ast.Unparen(call.Args[0])
+	if sl, ok := arg.(*ast.SliceExpr); ok {
+		arg = ast.Unparen(sl.X)
+	}
+	id, ok := arg.(*ast.Ident)
+	return ok && o.isVar(id)
+}
+
+func (o *oblig) isVar(id *ast.Ident) bool {
+	obj := o.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = o.pass.TypesInfo.Defs[id]
+	}
+	return obj == o.v
+}
+
+// mentions reports whether the expression tree contains v at all.
+func (o *oblig) mentions(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && o.isVar(id) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (o *oblig) usedIn(n ast.Node) bool { return o.mentions(n) }
+
+// scan classifies every use of v in an expression tree. Benign uses —
+// len/cap/copy, field access, indexing, method receiver, comparisons —
+// keep tracking; anything else is an ownership handoff and sets escaped.
+func (o *oblig) scan(n ast.Node) {
+	if o.escaped || n == nil {
+		return
+	}
+	switch e := n.(type) {
+	case *ast.Ident:
+		if o.isVar(e) {
+			o.escaped = true // bare value use in an escaping position
+		}
+	case *ast.ParenExpr:
+		o.scan(e.X)
+	case *ast.SelectorExpr:
+		// v.Field / v.Method — reading through v does not transfer
+		// ownership (the method value case v.M as a value would, but
+		// then v is the receiver of a bound method: treat as handoff).
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok && o.isVar(id) {
+			return
+		}
+		o.scan(e.X)
+	case *ast.IndexExpr:
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok && o.isVar(id) {
+			o.scan(e.Index)
+			return
+		}
+		o.scan(e.X)
+		o.scan(e.Index)
+	case *ast.SliceExpr:
+		// A reslice is an alias; only safe where the alias itself stays
+		// benign, which the caller contexts below arrange (copy/len).
+		o.scan(e.X)
+		o.scan(e.Low)
+		o.scan(e.High)
+		o.scan(e.Max)
+	case *ast.BinaryExpr:
+		// Comparisons and arithmetic never retain the operand.
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); !ok || !o.isVar(id) {
+			o.scan(e.X)
+		}
+		if id, ok := ast.Unparen(e.Y).(*ast.Ident); !ok || !o.isVar(id) {
+			o.scan(e.Y)
+		}
+	case *ast.CallExpr:
+		o.scanCall(e)
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" && o.mentions(e.X) {
+			o.escaped = true // address taken
+			return
+		}
+		o.scan(e.X)
+	case *ast.StarExpr:
+		o.scan(e.X)
+	case *ast.KeyValueExpr:
+		o.scan(e.Key)
+		o.scan(e.Value)
+	default:
+		if o.mentions(n) {
+			o.escaped = true
+		}
+	}
+}
+
+// scanLHS classifies v on the left of an assignment: writes through v
+// (v[i] = x, v.F = x) are benign; v itself as a store target was handled
+// by the caller.
+func (o *oblig) scanLHS(l ast.Expr) {
+	switch e := ast.Unparen(l).(type) {
+	case *ast.IndexExpr:
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok && o.isVar(id) {
+			o.scan(e.Index)
+			return
+		}
+		o.scan(e)
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok && o.isVar(id) {
+			return
+		}
+		o.scan(e)
+	default:
+		o.scan(l)
+	}
+}
+
+// scanCall handles calls: v as receiver of a method and v under
+// len/cap/copy stay benign; v as an ordinary argument is the canonical
+// ownership handoff.
+func (o *oblig) scanCall(call *ast.CallExpr) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		// Method call with v as receiver: SetPooledData and friends do
+		// not consume the receiver.
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && o.isVar(id) {
+			for _, a := range call.Args {
+				if o.mentions(a) {
+					o.escaped = true
+					return
+				}
+			}
+			return
+		}
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if analysis.IsBuiltin(o.pass.TypesInfo, id, "len") ||
+			analysis.IsBuiltin(o.pass.TypesInfo, id, "cap") ||
+			analysis.IsBuiltin(o.pass.TypesInfo, id, "copy") {
+			return // observing or moving bytes, never retaining ownership
+		}
+	}
+	for _, a := range call.Args {
+		if o.mentions(a) {
+			o.escaped = true // handoff: callee owns it now
+			return
+		}
+	}
+	o.scan(call.Fun)
+}
+
+// isTerminator recognizes calls that never return: panic, os.Exit,
+// runtime.Goexit, log.Fatal*, (*testing.T).Fatal*. Paths ending in them
+// are crash paths; a leak there is irrelevant.
+func isTerminator(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if analysis.IsBuiltin(pass.TypesInfo, fun, "panic") {
+			return true
+		}
+	case *ast.SelectorExpr:
+		fn := analysis.FuncOf(pass.TypesInfo, call)
+		if fn == nil {
+			return false
+		}
+		name := fn.Name()
+		if fn.Pkg() != nil {
+			switch fn.Pkg().Name() {
+			case "os":
+				return name == "Exit"
+			case "runtime":
+				return name == "Goexit"
+			case "log":
+				return name == "Fatal" || name == "Fatalf" || name == "Fatalln"
+			}
+		}
+		return name == "Fatal" || name == "Fatalf" || name == "FailNow" || name == "Skip" || name == "Skipf" || name == "SkipNow"
+	}
+	return false
+}

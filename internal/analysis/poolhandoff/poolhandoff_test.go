@@ -1,0 +1,12 @@
+package poolhandoff_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/poolhandoff"
+)
+
+func TestPoolHandoff(t *testing.T) {
+	analysistest.Run(t, "testdata", poolhandoff.Analyzer, "a")
+}

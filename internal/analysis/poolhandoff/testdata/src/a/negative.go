@@ -1,0 +1,102 @@
+package a
+
+import "transport"
+
+// This file must produce no diagnostics: every pattern here is a
+// legitimate release or handoff (the negative cases the analyzer must
+// not flag).
+
+// handoffSetPooledData: the canonical eager-send shape — ownership of
+// the payload transfers to the message, the message to the consumer.
+func handoffSetPooledData(data []byte, consume func(*transport.Message)) {
+	cp := transport.GetBuf(len(data))
+	copy(cp, data)
+	m := transport.GetMessage()
+	m.SetPooledData(cp)
+	consume(m)
+}
+
+// releasedOnAllPaths frees on both branches.
+func releasedOnAllPaths(n int, ok bool) {
+	b := transport.GetBuf(n)
+	if ok {
+		transport.FreeBuf(b)
+	} else {
+		transport.FreeBuf(b)
+	}
+}
+
+// deferredRelease discharges every exit, early returns included.
+func deferredRelease(n int, err error) error {
+	b := transport.GetBuf(n)
+	defer transport.FreeBuf(b)
+	if err != nil {
+		return err
+	}
+	_ = len(b)
+	return nil
+}
+
+// returnedToCaller: ownership moves out with the return value.
+func returnedToCaller(n int) []byte {
+	b := transport.GetBuf(n)
+	b[0] = 1
+	return b
+}
+
+// passedToCallee: the callee owns it now.
+func passedToCallee(n int, take func([]byte)) {
+	b := transport.GetBuf(n)
+	take(b)
+}
+
+// crashPathExempt: a panic path is fail-stop, not a leak.
+func crashPathExempt(n int, err error) {
+	b := transport.GetBuf(n)
+	if err != nil {
+		panic(err)
+	}
+	transport.FreeBuf(b)
+}
+
+// errorPathFrees: the decodeMessagePooled shape — free on failure, hand
+// off on success.
+func errorPathFrees(fill func(*transport.Message) error) (*transport.Message, error) {
+	m := transport.GetMessage()
+	if err := fill(m); err != nil {
+		transport.FreeMessage(m)
+		return nil, err
+	}
+	return m, nil
+}
+
+// loopTouched: flow under iteration is beyond the checker; it must stay
+// silent rather than guess.
+func loopTouched(n, k int) {
+	b := transport.GetBuf(n)
+	for i := 0; i < k; i++ {
+		if i == k-1 {
+			transport.FreeBuf(b)
+		}
+	}
+}
+
+// reassigned: the handle is overwritten — aliasing beyond the checker.
+func reassigned(n int) {
+	b := transport.GetBuf(n)
+	b = append(b, 0)
+	sink = b
+}
+
+// storedGlobally escapes into a longer-lived structure.
+func storedGlobally(n int) {
+	b := transport.GetBuf(n)
+	sink = b
+}
+
+// bareLiteral is not pool-owned: FreeMessage on it is the documented
+// no-op, and no obligation exists.
+func bareLiteral() {
+	m := &transport.Message{Tag: 1}
+	transport.FreeMessage(m)
+}

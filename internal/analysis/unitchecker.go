@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"go/version"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// This file implements the `go vet -vettool` protocol, so the sdrlint
+// binary plugs into the go command's build-and-cache machinery exactly
+// like the standard vet analyzers:
+//
+//	-V=full     print a version fingerprint for the build cache
+//	-flags      describe supported flags (JSON)
+//	foo.cfg     analyze the single compilation unit described by the
+//	            JSON config the go command wrote
+//
+// Invoked any other way, Main re-execs `go vet -vettool=<self>` with the
+// given package patterns, so `sdrlint ./...` works directly.
+
+// vetConfig mirrors the JSON the go command writes for each unit. Only
+// the fields this driver consumes are declared; unknown fields are
+// ignored by encoding/json.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of a vettool built from the given analyzers.
+// It never returns: process exit codes follow vet convention (0 clean,
+// 1 driver failure, 2 diagnostics reported).
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && args[0] == "-V=full":
+		// The go command hashes this line into the action cache key, so
+		// it must change whenever the analyzers do: fingerprint the
+		// executable itself.
+		fmt.Printf("%s version devel comments-go-here buildID=%s\n", progname, selfHash())
+		os.Exit(0)
+	case len(args) == 1 && args[0] == "-flags":
+		fmt.Println("[]")
+		os.Exit(0)
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		code, err := runUnit(args[0], analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+		os.Exit(code)
+	default:
+		// Convenience mode: behave like `go vet` over package patterns.
+		if len(args) == 0 {
+			args = []string{"./..."}
+		}
+		self, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+		cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		if err := cmd.Run(); err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				os.Exit(ee.ExitCode())
+			}
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+}
+
+// selfHash fingerprints the running executable for -V=full.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%02x", h.Sum(nil))
+}
+
+// runUnit analyzes one compilation unit. Returns the process exit code.
+func runUnit(cfgFile string, analyzers []*Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parse %s: %w", cfgFile, err)
+	}
+	// The go command may schedule fact-gathering runs over dependencies;
+	// these analyzers are factless, so the unit's output file is written
+	// empty and analysis is skipped.
+	if cfg.VetxOnly {
+		return 0, writeVetx(cfg.VetxOutput)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, writeVetx(cfg.VetxOutput)
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tconf := &types.Config{Importer: imp}
+	if cfg.GoVersion != "" {
+		tconf.GoVersion = version.Lang(cfg.GoVersion)
+	}
+	info := NewTypesInfo()
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, writeVetx(cfg.VetxOutput)
+		}
+		return 0, fmt.Errorf("typecheck %s: %w", cfg.ImportPath, err)
+	}
+
+	lp := &Loaded{Fset: fset, Files: files, Pkg: pkg, Info: info}
+	exit := 0
+	for _, a := range analyzers {
+		diags, err := RunAnalyzer(a, lp)
+		if err != nil {
+			return 0, err
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, a.Name)
+			exit = 2
+		}
+	}
+	return exit, writeVetx(cfg.VetxOutput)
+}
+
+// writeVetx satisfies the go command's expectation that each unit
+// produces a facts file (ours are always empty).
+func writeVetx(path string) error {
+	if path == "" {
+		return nil
+	}
+	return os.WriteFile(path, []byte("sdrlint.facts/1\n"), 0o666)
+}

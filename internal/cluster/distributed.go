@@ -17,49 +17,8 @@ import (
 	"repro/internal/transport"
 )
 
-// Worker environment contract: the distributed launcher re-execs its own
-// binary with these variables set; the binary detects DistWorkerEnv and
-// enters the hidden worker mode instead of parsing flags.
-const (
-	// EnvWorker selects worker mode ("1").
-	EnvWorker = "SDR_DIST_WORKER"
-	// EnvRegistry is the rendezvous registry address (host:port).
-	EnvRegistry = "SDR_DIST_REGISTRY"
-	// EnvProc is this worker's physical process ID (0..r·n-1).
-	EnvProc = "SDR_DIST_PROC"
-	// EnvRanks is the logical world size n.
-	EnvRanks = "SDR_DIST_RANKS"
-	// EnvRepl is the maximum replication degree r.
-	EnvRepl = "SDR_DIST_R"
-	// EnvDegrees is the comma-separated per-rank replication degree
-	// vector ("2,1,2,1"); empty means the uniform degree r for every
-	// rank. Workers rebuild the same dense degree-aware layout from it.
-	EnvDegrees = "SDR_DIST_DEGREES"
-	// EnvProtocol is the protocol name (native | sdr | mirror | leader).
-	EnvProtocol = "SDR_DIST_PROTOCOL"
-	// EnvCkptDir is the shared checkpoint directory (may be empty).
-	EnvCkptDir = "SDR_DIST_CKPT"
-	// EnvWave is the committed checkpoint wave to restore from (-1 for a
-	// fresh start).
-	EnvWave = "SDR_DIST_WAVE"
-	// EnvEpoch is the restart epoch index (0 for the first execution).
-	EnvEpoch = "SDR_DIST_EPOCH"
-	// EnvKills is the comma-separated list of step numbers at which THIS
-	// worker must report a kill boundary and block awaiting SIGKILL.
-	EnvKills = "SDR_DIST_KILLS"
-	// EnvRecovery is the recovery mode above the substitution rung:
-	// "rollback" (or empty) for global rollback only, "log" to arm
-	// sender-based message logging for every degree-1 rank and the
-	// localized-replay rung it enables (see RecoveryMode).
-	EnvRecovery = "SDR_DIST_RECOVERY"
-	// EnvReplay marks a localized-replay relaunch: the checkpoint wave
-	// THIS worker must restore (app state + replay state) before
-	// announcing itself in-band; -1 for a normal start.
-	EnvReplay = "SDR_DIST_REPLAY"
-	// EnvDead is the comma-separated list of procs already dead when THIS
-	// worker was (re)spawned mid-epoch; empty normally.
-	EnvDead = "SDR_DIST_DEAD"
-)
+// The worker environment contract (the Env* names and their typed
+// accessors) lives in env.go.
 
 // DistConfig describes one distributed run: the same knobs as Config, but
 // executed as real OS processes (one per layout slot) under a

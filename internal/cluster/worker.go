@@ -6,7 +6,6 @@ import (
 	"net"
 	"os"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
@@ -46,87 +45,60 @@ func (c WorkerConfig) recoveryLog() bool { return c.RecoveryMode == RecoveryLog 
 
 // DistWorkerActive reports whether this process was exec'd as a
 // distributed worker (the hidden mode commands enter before flag parsing).
-func DistWorkerActive() bool { return os.Getenv(EnvWorker) == "1" }
+func DistWorkerActive() bool { return EnvFlag(EnvWorker) }
 
-// WorkerConfigFromEnv decodes the worker env contract.
+// WorkerConfigFromEnv decodes the worker env contract through the typed
+// accessors in env.go — the single sanctioned path to the raw environment.
 func WorkerConfigFromEnv() (WorkerConfig, error) {
-	geti := func(key string) (int, error) {
-		v, err := strconv.Atoi(os.Getenv(key))
-		if err != nil {
-			return 0, fmt.Errorf("cluster: bad %s=%q: %w", key, os.Getenv(key), err)
-		}
-		return v, nil
-	}
 	var cfg WorkerConfig
 	var err error
 	var v int
-	if v, err = geti(EnvProc); err != nil {
+	if v, err = EnvInt(EnvProc); err != nil {
 		return cfg, err
 	}
 	cfg.Proc = transport.ProcID(v)
-	if cfg.Ranks, err = geti(EnvRanks); err != nil {
+	if cfg.Ranks, err = EnvInt(EnvRanks); err != nil {
 		return cfg, err
 	}
-	if cfg.Replication, err = geti(EnvRepl); err != nil {
+	if cfg.Replication, err = EnvInt(EnvRepl); err != nil {
 		return cfg, err
 	}
-	if cfg.RestartWave, err = geti(EnvWave); err != nil {
+	if cfg.RestartWave, err = EnvInt(EnvWave); err != nil {
 		return cfg, err
 	}
-	if cfg.Epoch, err = geti(EnvEpoch); err != nil {
+	if cfg.Epoch, err = EnvInt(EnvEpoch); err != nil {
 		return cfg, err
 	}
 	// Validate the string-typed env values at decode time: a typo'd
 	// protocol or recovery mode must fail fast with the env var named,
 	// not silently select a default behavior deep in the stack.
-	switch p := Protocol(os.Getenv(EnvProtocol)); p {
+	switch p := Protocol(EnvString(EnvProtocol)); p {
 	case Native, SDR, Mirror, Leader:
 		cfg.Protocol = p
 	default:
 		return cfg, fmt.Errorf("cluster: bad %s=%q (want native|sdr|mirror|leader)",
-			EnvProtocol, os.Getenv(EnvProtocol))
+			EnvProtocol, string(p))
 	}
-	cfg.Registry = os.Getenv(EnvRegistry)
-	cfg.CheckpointDir = os.Getenv(EnvCkptDir)
-	switch m := RecoveryMode(os.Getenv(EnvRecovery)); m {
+	cfg.Registry = EnvString(EnvRegistry)
+	cfg.CheckpointDir = EnvString(EnvCkptDir)
+	switch m := RecoveryMode(EnvString(EnvRecovery)); m {
 	case "", RecoveryRollback, RecoveryLog:
 		cfg.RecoveryMode = m
 	default:
 		return cfg, fmt.Errorf("cluster: bad %s=%q (want rollback|log)",
-			EnvRecovery, os.Getenv(EnvRecovery))
+			EnvRecovery, string(m))
 	}
-	cfg.ReplayWave = -1
-	if v := os.Getenv(EnvReplay); v != "" {
-		if cfg.ReplayWave, err = geti(EnvReplay); err != nil {
-			return cfg, err
-		}
+	if cfg.ReplayWave, err = EnvIntOr(EnvReplay, -1); err != nil {
+		return cfg, err
 	}
-	if ds := os.Getenv(EnvDead); ds != "" {
-		for _, s := range strings.Split(ds, ",") {
-			p, err := strconv.Atoi(s)
-			if err != nil {
-				return cfg, fmt.Errorf("cluster: bad %s entry %q", EnvDead, s)
-			}
-			cfg.DeadProcs = append(cfg.DeadProcs, p)
-		}
+	if cfg.DeadProcs, err = EnvInts(EnvDead); err != nil {
+		return cfg, err
 	}
-	if ks := os.Getenv(EnvKills); ks != "" {
-		for _, s := range strings.Split(ks, ",") {
-			st, err := strconv.Atoi(s)
-			if err != nil {
-				return cfg, fmt.Errorf("cluster: bad %s entry %q", EnvKills, s)
-			}
-			cfg.KillSteps = append(cfg.KillSteps, st)
-		}
+	if cfg.KillSteps, err = EnvInts(EnvKills); err != nil {
+		return cfg, err
 	}
-	if ds := os.Getenv(EnvDegrees); ds != "" {
-		for _, s := range strings.Split(ds, ",") {
-			d, err := strconv.Atoi(s)
-			if err != nil {
-				return cfg, fmt.Errorf("cluster: bad %s entry %q", EnvDegrees, s)
-			}
-			cfg.Degrees = append(cfg.Degrees, d)
-		}
+	if cfg.Degrees, err = EnvInts(EnvDegrees); err != nil {
+		return cfg, err
 	}
 	if cfg.Registry == "" {
 		return cfg, fmt.Errorf("cluster: %s not set", EnvRegistry)
