@@ -199,6 +199,8 @@ func main() {
 	degreesFlag := flag.String("degrees", "", "comma-separated per-rank replication degrees, one per rank (overrides the uniform -r; each in [1,r])")
 	recovery := flag.String("recovery", "rollback", "recovery mode above substitution: rollback (global) | log (sender-based message logging + localized replay for degree-1 ranks)")
 	statsJSON := flag.String("stats-json", "", "with -distributed: write the machine-readable RunStats JSON (schema sdr.runstats/1) to this file")
+	noRing := flag.Bool("no-ring", false, "with -distributed: disable the colocated shared-memory ring transport (all peers use TCP)")
+	health := flag.Duration("health", 0, "with -distributed: kill a worker silent on the control plane past this deadline (0 = default; raise for heavily oversubscribed hosts)")
 	flag.Var(&kills, "kill", "inject a crash: rank:rep:step (repeatable; SIGKILL under -distributed)")
 	flag.Parse()
 
@@ -257,11 +259,15 @@ func main() {
 			kills: kills, compare: *compare,
 			unreplicated: unrep, degrees: degrees,
 			recovery: mode, logged: logged,
-			statsJSON: *statsJSON,
+			statsJSON: *statsJSON, noRing: *noRing, health: *health,
 		}))
 	}
 	if *statsJSON != "" {
 		fmt.Fprintln(os.Stderr, "sdrun: -stats-json requires -distributed")
+		os.Exit(2)
+	}
+	if *noRing {
+		fmt.Fprintln(os.Stderr, "sdrun: -no-ring requires -distributed")
 		os.Exit(2)
 	}
 
@@ -508,6 +514,8 @@ type distOpts struct {
 	recovery     cluster.RecoveryMode
 	logged       []int
 	statsJSON    string
+	noRing       bool
+	health       time.Duration
 }
 
 // runDistributed is the coordinator side of -distributed: configure the
@@ -535,6 +543,8 @@ func runDistributed(o distOpts) int {
 		CheckpointDir:     ckptDir,
 		RecoveryMode:      o.recovery,
 		Timeout:           o.timeout,
+		NoRing:            o.noRing,
+		HealthTimeout:     o.health,
 		WorkerEnv: []string{
 			cluster.EnvApp + "=" + o.app,
 			fmt.Sprintf("%s=%d", cluster.EnvScale, o.scale),

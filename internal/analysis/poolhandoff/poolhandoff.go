@@ -14,6 +14,12 @@
 //     twice hands the same backing array to two future owners, the
 //     corruption the paper's fail-stop model cannot see.
 //
+// The batch-first wire contract adds one transfer shape: staging into a
+// batch slice (`batch = append(batch, m)`) is the ownership handoff — the
+// flush that empties the slice releases every element exactly once. The
+// analysis models the append as a release, so freeing a staged object (the
+// batch double-free) and staging an already-freed one are both reported.
+//
 // The analysis is deliberately conservative: any use it cannot classify
 // (stored, aliased, captured by a closure, touched inside a loop) counts
 // as an ownership handoff and ends tracking. It therefore reports only
@@ -23,6 +29,7 @@ package poolhandoff
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"repro/internal/analysis"
@@ -216,6 +223,17 @@ func (o *oblig) exec(stmt ast.Stmt, s stateSet) stateSet {
 		return 0
 
 	case *ast.AssignStmt:
+		if o.batchStageOf(st) {
+			// Staging into a batch slice is the ownership handoff of the
+			// batch-first wire contract: the flush that empties the slice
+			// releases every element exactly once. The object is as good as
+			// released here — a later Free is the batch double-free.
+			if s&released != 0 || o.deferred {
+				o.pass.Reportf(st.Pos(),
+					"%q may already be released on this path: staging a released pool object into a batch", o.name())
+			}
+			return released
+		}
 		for _, l := range st.Lhs {
 			if id, ok := ast.Unparen(l).(*ast.Ident); ok && o.isVar(id) {
 				// The only handle is overwritten; aliasing games are
@@ -370,6 +388,39 @@ func (o *oblig) execSwitch(stmt ast.Stmt, s stateSet) stateSet {
 		out |= s // no case may match
 	}
 	return out
+}
+
+// batchStageOf recognizes the batch staging idiom `batch = append(batch,
+// v)` with v the tracked pool object: the append transfers ownership into
+// the slice (whose flush is the one release for every element), so the
+// object transitions to released rather than merely escaping — which is
+// what makes the batch double-free detectable. The byte-splat form
+// append(out, v...) copies bytes without transferring ownership and is
+// left to the generic escape scan, as is any compound element burying v.
+func (o *oblig) batchStageOf(st *ast.AssignStmt) bool {
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 || o.mentions(st.Lhs[0]) {
+		return false
+	}
+	call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+	if !ok || call.Ellipsis != token.NoPos || len(call.Args) < 2 {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || !analysis.IsBuiltin(o.pass.TypesInfo, fn, "append") {
+		return false
+	}
+	if o.mentions(call.Args[0]) {
+		return false
+	}
+	staged := false
+	for _, a := range call.Args[1:] {
+		if id, ok := ast.Unparen(a).(*ast.Ident); ok && o.isVar(id) {
+			staged = true
+		} else if o.mentions(a) {
+			return false // v buried inside a compound element: beyond the rule
+		}
+	}
+	return staged
 }
 
 // releaseOf reports whether call is Free{Buf,Message}(v) (possibly of a

@@ -87,3 +87,32 @@ func innerBlockLeak(n int, ok bool) {
 	}
 	errors.New("unrelated")
 }
+
+// batchDoubleFree: staging into a batch IS the handoff — the flush that
+// empties the slice releases the envelope; freeing it here too hands the
+// same envelope to two owners.
+func batchDoubleFree(batch []*transport.Message) []*transport.Message {
+	m := transport.GetMessage()
+	batch = append(batch, m)
+	transport.FreeMessage(m) // want `double release`
+	return batch
+}
+
+// batchStageReleased: the mirror image — a freed envelope staged into a
+// batch flushes recycled memory to the wire.
+func batchStageReleased(batch []*transport.Message) []*transport.Message {
+	m := transport.GetMessage()
+	transport.FreeMessage(m)
+	batch = append(batch, m) // want `staging a released pool object`
+	return batch
+}
+
+// batchCondLeak: staged on one branch only; the other path still owns the
+// envelope when the function returns.
+func batchCondLeak(batch []*transport.Message, ok bool) []*transport.Message {
+	m := transport.GetMessage()
+	if ok {
+		batch = append(batch, m)
+	}
+	return batch // want `return without releasing "m"`
+}

@@ -100,3 +100,21 @@ func bareLiteral() {
 	m := &transport.Message{Tag: 1}
 	transport.FreeMessage(m)
 }
+
+// batchStaged: the staging append is the one ownership handoff; the
+// batch's flush releases the envelope, this frame owes nothing more.
+func batchStaged(batch []*transport.Message) []*transport.Message {
+	m := transport.GetMessage()
+	m.Tag = 3
+	batch = append(batch, m)
+	return batch
+}
+
+// byteSplat: appending a pooled buffer's BYTES copies them — ownership
+// stays here and the inline free is correct, not a double release.
+func byteSplat(n int, out []byte) []byte {
+	b := transport.GetBuf(n)
+	out = append(out, b...)
+	transport.FreeBuf(b)
+	return out
+}

@@ -805,13 +805,20 @@ func Run(cfg Config, app AppFunc) *Report {
 
 // runOnce executes one epoch: spawn, watchdog, aggregate.
 func runOnce(cfg Config, layout core.Layout, app AppFunc, store *ckpt.Store, fired *firedSet, restart [][]byte, restartWave, epoch int) (*Report, *runState) {
-	nw := transport.NewNetwork(layout.Procs(), cfg.Delay)
-	defer nw.Close()
+	var nw *transport.Network
 	if cfg.UseTCP {
-		if tw, err := transport.NewTCPWire(nw); err == nil {
+		var tw *transport.TCPWire
+		var err error
+		if nw, tw, err = transport.NewTCPNetwork(layout.Procs(), cfg.Delay); err != nil {
+			// Loopback listen failed (exotic sandbox): run in-process.
+			nw = transport.NewNetwork(layout.Procs(), cfg.Delay)
+		} else {
 			defer tw.Close()
 		}
+	} else {
+		nw = transport.NewNetwork(layout.Procs(), cfg.Delay)
 	}
+	defer nw.Close()
 	det := detect.NewService(nw)
 
 	rs := &runState{

@@ -74,6 +74,13 @@ type DistConfig struct {
 	RejoinTimeout time.Duration
 	// MaxRestarts bounds rollback-restart cycles (default len(Failures)+1).
 	MaxRestarts int
+
+	// NoRing disables the colocated shared-memory ring transport: every
+	// pair stays on loopback TCP. Rings are on by default — in a
+	// single-host run every pair is colocated. RingBytes overrides the
+	// per-pair ring capacity (0 = transport default).
+	NoRing    bool
+	RingBytes int
 }
 
 func (c DistConfig) timeout() time.Duration {
@@ -372,9 +379,22 @@ func runDistEpoch(cfg DistConfig, layout core.Layout, store *ckpt.Store, fired [
 	sink := &syncWriter{w: cfg.LogSink}
 	exitCh := make(chan procExit, 4*procs)
 	workers := make([]*distWorker, procs)
+
+	// Per-epoch ring directory: colocated pairs negotiate mmap'd ring
+	// files under it at rendezvous. Scoping the directory to one epoch
+	// guarantees a rollback never resumes a torn ring stream — the
+	// respawned world starts from empty rings.
+	ringDir := ""
+	if !cfg.NoRing {
+		if d, err := os.MkdirTemp("", "sdr-ring-*"); err == nil {
+			ringDir = d
+			defer os.RemoveAll(d)
+		}
+	}
+
 	start := time.Now()
 	for p := 0; p < procs; p++ {
-		w, err := spawnWorker(cfg, reg.Addr(), layout, p, fired, wave, epoch, sink, exitCh, -1, nil)
+		w, err := spawnWorker(cfg, reg.Addr(), layout, p, fired, wave, epoch, sink, exitCh, -1, nil, ringDir)
 		if err != nil {
 			// Abort the partial epoch: kill what already started.
 			for _, prev := range workers {
@@ -476,7 +496,7 @@ func runDistEpoch(cfg DistConfig, layout core.Layout, store *ckpt.Store, fired [
 			}
 		}
 		reg.forget(proc)
-		w, err := spawnWorker(cfg, reg.Addr(), layout, proc, fired, wave, epoch, sink, exitCh, seedWave, deadList)
+		w, err := spawnWorker(cfg, reg.Addr(), layout, proc, fired, wave, epoch, sink, exitCh, seedWave, deadList, ringDir)
 		if err != nil {
 			fmt.Fprintf(sink, "[coordinator] relaunch worker %d: %v; global rollback\n", proc, err)
 			return false
@@ -634,7 +654,7 @@ func validateDistReplay(store *ckpt.Store, rank int) (int, error) {
 // its output streamed line-by-line to the sink. replayWave >= 0 marks a
 // localized-replay relaunch (the worker restores that wave and announces
 // itself in-band); deadProcs lists workers already dead at spawn time.
-func spawnWorker(cfg DistConfig, regAddr string, layout core.Layout, proc int, fired []bool, wave, epoch int, sink io.Writer, exitCh chan<- procExit, replayWave int, deadProcs []int) (*distWorker, error) {
+func spawnWorker(cfg DistConfig, regAddr string, layout core.Layout, proc int, fired []bool, wave, epoch int, sink io.Writer, exitCh chan<- procExit, replayWave int, deadProcs []int, ringDir string) (*distWorker, error) {
 	rank := layout.RankOf(transport.ProcID(proc))
 	rep := layout.RepOf(transport.ProcID(proc))
 
@@ -668,7 +688,11 @@ func spawnWorker(cfg DistConfig, regAddr string, layout core.Layout, proc int, f
 		EnvRecovery+"="+string(cfg.RecoveryMode),
 		fmt.Sprintf("%s=%d", EnvReplay, replayWave),
 		EnvDead+"="+strings.Join(deads, ","),
+		EnvRing+"="+ringDir,
 	)
+	if cfg.RingBytes > 0 {
+		cmd.Env = append(cmd.Env, fmt.Sprintf("%s=%d", EnvRingBytes, cfg.RingBytes))
+	}
 	prefix := fmt.Sprintf("[r%d.%d] ", rank, rep)
 	stdout := &lineWriter{w: sink, prefix: prefix}
 	stderr := &lineWriter{w: sink, prefix: prefix}

@@ -208,10 +208,15 @@ func TestStaleReplayStateAfterRollback(t *testing.T) {
 		t.Fatalf("fault-free run: %v", err)
 	}
 
-	// Epoch 0: both replicas of rank 0 die at step 4 (wave 4 committed,
-	// mlog-r1-s4 on disk) → global rollback. Epoch 1: rank 1's single
-	// replica dies at step 5, BEFORE its first new checkpoint — the only
-	// candidate replay state is the pre-rollback one.
+	// Epoch 0: both replicas of rank 0 die at step 4 → global rollback.
+	// Epoch 1: rank 1's single replica dies at step 5. Which rung absorbs
+	// that second death depends on a race the schedule cannot pin: the
+	// step-4 kills may land before or after rank 0's wave-4 checkpoint
+	// save, so the rollback restarts from wave 4 (mlog-r1-s4 on disk is
+	// the PRE-rollback one, poison) or from wave 2 (the new epoch then
+	// legitimately commits a fresh wave 4 + mlog before rank 1 dies).
+	// Both are correct; the invariant under test is only that a replay
+	// never restores a state captured before the rollback it follows.
 	rep := Run(cfgFor(t.TempDir(), []FailureEvent{
 		{Rank: 0, Rep: 0, AtStep: 4},
 		{Rank: 0, Rep: 1, AtStep: 4},
@@ -220,11 +225,24 @@ func TestStaleReplayStateAfterRollback(t *testing.T) {
 	if err := rep.FirstError(); err != nil {
 		t.Fatal(err)
 	}
-	if rep.Replays != 0 {
-		t.Fatalf("replays = %d, want 0 (a pre-rollback replay state must never be restored)", rep.Replays)
+	if rep.Replays > 0 && rep.ReplayWave <= rep.RestartWave {
+		t.Fatalf("replayed wave %d after restarting from wave %d: any mlog at or before the restart wave is pre-rollback poison",
+			rep.ReplayWave, rep.RestartWave)
 	}
-	if rep.Restarts != 2 {
-		t.Fatalf("restarts = %d, want 2 (rank-0 exhaustion, then the fail-closed logging death)", rep.Restarts)
+	switch {
+	case rep.Replays == 0 && rep.Restarts == 2:
+		// Rollback came from wave 4: the sole mlog candidate was the
+		// stale one, pruning removed it, and the logging death failed
+		// closed into a second rollback.
+	case rep.Replays == 1 && rep.Restarts == 1:
+		// Rollback came from an earlier wave and the new epoch saved a
+		// fresh replay state first: the localized rung is then legal.
+		if rep.RestartWave >= 4 {
+			t.Fatalf("localized replay after restarting from wave %d: no fresh replay state can exist", rep.RestartWave)
+		}
+	default:
+		t.Fatalf("replays = %d restarts = %d, want (0,2) fail-closed or (1,1) fresh-state replay",
+			rep.Replays, rep.Restarts)
 	}
 	for _, p := range rep.Procs {
 		if p.Crashed {

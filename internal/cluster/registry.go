@@ -43,6 +43,12 @@ type ctlMsg struct {
 	Step  int      `json:"step,omitempty"`
 	Addr  string   `json:"addr,omitempty"`
 	Addrs []string `json:"addrs,omitempty"`
+	// Host is the worker's hostname (op == "hello") and Hosts the per-proc
+	// hostname table (op == "world"): the same-host detection that lets
+	// pairs of colocated workers negotiate the shared-memory ring
+	// transport instead of loopback TCP at rendezvous time.
+	Host  string   `json:"host,omitempty"`
+	Hosts []string `json:"hosts,omitempty"`
 	// For carries the subject of an acknowledgement when it differs from
 	// the sender (op == "reviveok": the revived proc being acked). Without
 	// it, concurrent rejoins could not credit acks to the right handshake.
@@ -132,6 +138,7 @@ type registry struct {
 	mu       sync.Mutex
 	conns    []*regConn // indexed by proc; nil until hello
 	addrs    []string
+	hosts    []string // per-proc hostnames (hello's host field)
 	joined   int
 	lastSeen []time.Time
 	saved    map[int]map[int]bool // step → ranks whose writer saved
@@ -183,6 +190,7 @@ func newRegistry(procs, ranks int, store *ckpt.Store, rejoinTimeout time.Duratio
 		events:        make(chan regEvent, 4*procs+16),
 		conns:         make([]*regConn, procs),
 		addrs:         make([]string, procs),
+		hosts:         make([]string, procs),
 		obsAddrs:      make([]string, procs),
 		lastSeen:      make([]time.Time, procs),
 		saved:         make(map[int]map[int]bool),
@@ -231,23 +239,26 @@ func (r *registry) serve(c net.Conn) {
 	rejoin := r.worldSent
 	r.conns[proc] = rc
 	r.addrs[proc] = hello.Addr
+	r.hosts[proc] = hello.Host
 	r.obsAddrs[proc] = hello.Obs
 	r.lastSeen[proc] = time.Now()
 	ready := false
-	var world []string
+	var world, hosts []string
 	if !rejoin {
 		r.joined++
 		if ready = r.joined == r.procs; ready {
 			r.worldSent = true
 			world = append([]string(nil), r.addrs...)
+			hosts = append([]string(nil), r.hosts...)
 		}
 	}
 	r.mu.Unlock()
 
 	if ready {
-		// Every worker's listener is up: publish the world table. From
-		// this moment peers may dial each other.
-		r.broadcast(ctlMsg{Op: opWorld, Addrs: world}, -1)
+		// Every worker's listener is up: publish the world table (with the
+		// hostname table for ring negotiation). From this moment peers may
+		// dial each other.
+		r.broadcast(ctlMsg{Op: opWorld, Addrs: world, Hosts: hosts}, -1)
 		r.events <- regEvent{kind: evReady}
 	}
 	if rejoin {
@@ -343,11 +354,14 @@ func (r *registry) rejoinFlow(proc int, rc *regConn, addr string) {
 		r.mu.Unlock()
 	}
 	// The world table must reflect peers revived while this handshake
-	// waited.
+	// waited. The hostname table rides along for contract uniformity,
+	// though a relaunched joiner never arms rings (its peers banned the
+	// pair when the previous incarnation died).
 	r.mu.Lock()
 	world := append([]string(nil), r.addrs...)
+	hosts := append([]string(nil), r.hosts...)
 	r.mu.Unlock()
-	_ = rc.send(ctlMsg{Op: opWorld, Addrs: world})
+	_ = rc.send(ctlMsg{Op: opWorld, Addrs: world, Hosts: hosts})
 }
 
 // noteCkpt mirrors runState.noteCkpt across process boundaries: count

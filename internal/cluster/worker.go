@@ -38,6 +38,12 @@ type WorkerConfig struct {
 	RecoveryMode RecoveryMode
 	ReplayWave   int
 	DeadProcs    []int
+
+	// RingDir is the coordinator-created per-epoch directory for the
+	// colocated shared-memory ring transport; empty keeps every pair on
+	// TCP. RingBytes overrides the per-pair ring capacity (0 = default).
+	RingDir   string
+	RingBytes int
 }
 
 // recoveryLog reports whether the localized-replay rung is armed.
@@ -98,6 +104,10 @@ func WorkerConfigFromEnv() (WorkerConfig, error) {
 		return cfg, err
 	}
 	if cfg.Degrees, err = EnvInts(EnvDegrees); err != nil {
+		return cfg, err
+	}
+	cfg.RingDir = EnvString(EnvRing)
+	if cfg.RingBytes, err = EnvIntOr(EnvRingBytes, 0); err != nil {
 		return cfg, err
 	}
 	if cfg.Registry == "" {
@@ -200,12 +210,11 @@ func RunWorker(cfg WorkerConfig, app AppFunc) int {
 
 	// Per-process transport: a full-size network whose only live endpoint
 	// is ours, wired to peers through the PeerWire.
-	nw := transport.NewNetwork(layout.Procs(), nil)
-	defer nw.Close()
-	pw, err := transport.NewPeerWire(nw, cfg.Proc, "")
+	nw, pw, err := transport.NewPeerNetwork(layout.Procs(), cfg.Proc, "")
 	if err != nil {
 		return fail(err)
 	}
+	defer nw.Close()
 	defer pw.Close()
 
 	// Rendezvous: register our listener, wait for the world table. A
@@ -213,7 +222,8 @@ func RunWorker(cfg WorkerConfig, app AppFunc) int {
 	// coordinator broadcast `dead` to the already-joined workers, so the
 	// handshake loop must tolerate (and remember) control traffic ahead
 	// of the world message instead of treating it as a protocol error.
-	if err := cc.send(ctlMsg{Op: opHello, Proc: int(cfg.Proc), Addr: pw.Addr(), Obs: obsAddr}); err != nil {
+	host, _ := os.Hostname()
+	if err := cc.send(ctlMsg{Op: opHello, Proc: int(cfg.Proc), Addr: pw.Addr(), Obs: obsAddr, Host: host}); err != nil {
 		return fail(fmt.Errorf("hello: %w", err))
 	}
 	var pendingDead []transport.ProcID
@@ -240,6 +250,17 @@ func RunWorker(cfg WorkerConfig, app AppFunc) int {
 		}
 	}
 	pw.SetPeers(world.Addrs)
+	// Arm the colocated ring transport for same-host peers. Relaunched
+	// workers (localized replay) never arm rings: their peers banned the
+	// pair at death, and a one-sided ring would tear FIFO with the TCP
+	// stream the survivors settled on.
+	if cfg.RingDir != "" && cfg.ReplayWave < 0 && host != "" {
+		colocated := make([]bool, len(world.Hosts))
+		for p, h := range world.Hosts {
+			colocated[p] = h == host && transport.ProcID(p) != cfg.Proc
+		}
+		pw.SetRingPeers(transport.RingConfig{Dir: cfg.RingDir, Bytes: cfg.RingBytes}, colocated)
+	}
 	for _, p := range cfg.DeadProcs {
 		pendingDead = append(pendingDead, transport.ProcID(p))
 	}

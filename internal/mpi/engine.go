@@ -463,7 +463,10 @@ func (e *Engine) handle(m *transport.Message) {
 
 // Progress drains and processes all deliverable inbound messages. It
 // returns true if any message was processed. It also realizes this
-// process's own crash, if one has been injected.
+// process's own crash, if one has been injected. After the protocol's
+// OnFlush hook (which may stage coalesced acks on the wire), aged wire
+// batches are flushed — the transport-level twin of ack coalescing, on
+// the same trigger schedule.
 func (e *Engine) Progress() bool {
 	e.checkCrash()
 	msgs := e.ep.Drain()
@@ -473,6 +476,7 @@ func (e *Engine) Progress() bool {
 	if e.OnFlush != nil {
 		e.OnFlush(false)
 	}
+	e.nw.FlushWire(e.ep.ID(), false)
 	return len(msgs) > 0
 }
 
@@ -490,6 +494,11 @@ func (e *Engine) WaitUntil(cond func() bool) {
 		if e.OnFlush != nil {
 			e.OnFlush(true)
 		}
+		// Force-flush staged wire batches before blocking (or returning):
+		// the acks OnFlush just staged — and any application frames still
+		// batched — must reach the peer, or both sides sleep on each
+		// other's staged bytes.
+		e.nw.FlushWire(e.ep.ID(), true)
 		if done {
 			return
 		}

@@ -127,6 +127,9 @@ func (r *Request) Wait() Status {
 		if e.OnFlush != nil {
 			e.OnFlush(true)
 		}
+		// Same pre-block discipline as WaitUntil: staged acks and frames
+		// go out before this process sleeps on the peer.
+		e.nw.FlushWire(e.ep.ID(), true)
 		if done {
 			break
 		}

@@ -1,0 +1,193 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// sentFrame is one message of the reference sequence: what went in must be
+// what comes out, byte for byte, in order.
+type sentFrame struct {
+	tag  int
+	data []byte
+}
+
+// genSequence builds a deterministic randomized message sequence: sizes
+// span empty control frames through multi-KB payloads, crossing both the
+// frame-count and byte-size batch thresholds many times.
+func genSequence(rng *rand.Rand, n int) []sentFrame {
+	out := make([]sentFrame, n)
+	for i := range out {
+		size := 0
+		switch rng.Intn(4) {
+		case 0: // control-sized
+		case 1:
+			size = rng.Intn(64)
+		case 2:
+			size = rng.Intn(4096)
+		case 3:
+			size = rng.Intn(16 << 10)
+		}
+		data := make([]byte, size)
+		for j := range data {
+			data[j] = byte(i + j)
+		}
+		out[i] = sentFrame{tag: i, data: data}
+	}
+	return out
+}
+
+// runSequence pushes seq from proc 0 to proc 1 over a fresh two-peer
+// world, interleaving forced flushes at the rng-chosen boundaries, and
+// returns the received sequence in arrival order.
+func runSequence(t *testing.T, rng *rand.Rand, seq []sentFrame) []sentFrame {
+	t.Helper()
+	nw0, nw1, pw0, _ := twoPeerWorld(t)
+	for _, f := range seq {
+		if err := nw0.Endpoint(0).Send(&Message{Dst: 1, Kind: KindEager, Tag: f.tag, Data: f.data}); err != nil {
+			t.Fatal(err)
+		}
+		// Random flush boundaries: roughly one forced flush per 8 sends,
+		// landing anywhere relative to the batch thresholds and the
+		// background flush tick.
+		if rng.Intn(8) == 0 {
+			if err := pw0.Flush(NoProc, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := pw0.Flush(NoProc, true); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []sentFrame
+	deadline := time.Now().Add(10 * time.Second)
+	for len(got) < len(seq) && time.Now().Before(deadline) {
+		for _, m := range nw1.Endpoint(1).Drain() {
+			data := append([]byte(nil), m.Data...)
+			got = append(got, sentFrame{tag: m.Tag, data: data})
+			FreeMessage(m)
+		}
+		nw1.Endpoint(1).WaitActivity(5 * time.Millisecond)
+	}
+	return got
+}
+
+// checkSequence asserts got reproduces want exactly: same frames, same
+// order, same bytes.
+func checkSequence(t *testing.T, label string, want, got []sentFrame) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: received %d/%d frames", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].tag != want[i].tag {
+			t.Fatalf("%s: frame %d: got tag %d, want %d (FIFO violated)", label, i, got[i].tag, want[i].tag)
+		}
+		if !bytes.Equal(got[i].data, want[i].data) {
+			t.Fatalf("%s: frame %d (tag %d): payload differs (%d vs %d bytes)",
+				label, i, want[i].tag, len(got[i].data), len(want[i].data))
+		}
+	}
+}
+
+func TestBatchedDeliveryMatchesUnbatched(t *testing.T) {
+	// The batch-first redesign's core property: batching is invisible to
+	// the receiver. The same message sequence, pushed through the wire
+	// with random flush boundaries, must arrive byte-identical and in the
+	// same per-pair order whether frames coalesce into vectored writes or
+	// go out one write per message (the pre-batching behavior, restored
+	// via SetBatchLimits(1,...)).
+	const n = 400
+	for _, mode := range []struct {
+		label  string
+		frames int
+		bytes  int
+		age    time.Duration
+	}{
+		{"batched", batchMaxFrames, batchMaxBytes, batchMaxAge},
+		{"unbatched", 1, 0, 0},
+		{"tiny-batches", 3, 1 << 10, 50 * time.Microsecond},
+	} {
+		t.Run(mode.label, func(t *testing.T) {
+			restore := SetBatchLimits(mode.frames, mode.bytes, mode.age)
+			defer restore()
+			rng := rand.New(rand.NewSource(42))
+			seq := genSequence(rng, n)
+			got := runSequence(t, rng, seq)
+			checkSequence(t, mode.label, seq, got)
+		})
+	}
+}
+
+func TestPeerWireRedialMidBatchKeepsFraming(t *testing.T) {
+	// A connection that dies with frames staged must not misframe: the
+	// flush retries the WHOLE batch on a fresh dial (the old stream is
+	// mid-batch and unusable), so the receiver sees either clean frames or
+	// nothing — never a torn header. Run under -race this also checks the
+	// staged frames' pool ownership across the redial.
+	nw0, nw1, pw0, _ := twoPeerWorld(t)
+
+	// Establish the (0,1) connection.
+	if err := nw0.Endpoint(0).Send(&Message{Dst: 1, Kind: KindEager, Tag: 0, Data: []byte("warmup")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pw0.Flush(NoProc, true); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, nw1.Endpoint(1), 2*time.Second)
+	FreeMessage(m)
+
+	// Sabotage the cached connection, then stage a multi-frame batch and
+	// flush: the vectored write fails mid-stream and the batch must come
+	// through intact on the redial.
+	pw0.mu.Lock()
+	tc := pw0.conns[1]
+	pw0.mu.Unlock()
+	if tc == nil {
+		t.Fatal("no cached connection after warmup")
+	}
+	tc.c.Close()
+
+	const n = 20
+	for i := 1; i <= n; i++ {
+		payload := []byte(fmt.Sprintf("frame-%03d", i))
+		if err := nw0.Endpoint(0).Send(&Message{Dst: 1, Kind: KindEager, Tag: i, Data: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pw0.Flush(NoProc, true); err != nil {
+		t.Fatal(err)
+	}
+
+	got := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for got < n && time.Now().Before(deadline) {
+		for _, m := range nw1.Endpoint(1).Drain() {
+			want := got + 1
+			if m.Tag != want {
+				t.Fatalf("frame %d arrived with tag %d: order or framing lost across redial", want, m.Tag)
+			}
+			if wantData := fmt.Sprintf("frame-%03d", want); string(m.Data) != wantData {
+				t.Fatalf("frame %d payload = %q, want %q", want, m.Data, wantData)
+			}
+			got++
+			FreeMessage(m)
+		}
+		nw1.Endpoint(1).WaitActivity(5 * time.Millisecond)
+	}
+	if got != n {
+		t.Fatalf("received %d/%d frames after mid-batch redial", got, n)
+	}
+
+	// The poisoned connection must be gone from the cache.
+	pw0.mu.Lock()
+	stale := pw0.conns[1] == tc
+	pw0.mu.Unlock()
+	if stale {
+		t.Fatal("poisoned connection still cached")
+	}
+}

@@ -15,10 +15,13 @@ const wireHeaderLen = 1 + 3 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 32 + 4
 // protecting the decoder against corrupt length fields.
 const maxWirePayload = 64 << 20
 
-// encodeMessage writes m to w in the fixed wire format.
-func encodeMessage(w *bufio.Writer, m *Message) error {
-	var hdr [wireHeaderLen]byte
+// putMessageHeader encodes m's fixed-size wire envelope into hdr, which
+// must be at least wireHeaderLen bytes. The batched wires use it to build
+// header segments for net.Buffers vectored writes without a bufio staging
+// copy.
+func putMessageHeader(hdr []byte, m *Message) {
 	hdr[0] = byte(m.Kind)
+	hdr[1], hdr[2], hdr[3] = 0, 0, 0
 	le := binary.LittleEndian
 	le.PutUint32(hdr[4:], uint32(int32(m.Src)))
 	le.PutUint32(hdr[8:], uint32(int32(m.Dst)))
@@ -31,6 +34,12 @@ func encodeMessage(w *bufio.Writer, m *Message) error {
 		le.PutUint64(hdr[48+8*i:], uint64(v))
 	}
 	le.PutUint32(hdr[80:], uint32(len(m.Data)))
+}
+
+// encodeMessage writes m to w in the fixed wire format.
+func encodeMessage(w *bufio.Writer, m *Message) error {
+	var hdr [wireHeaderLen]byte
+	putMessageHeader(hdr[:], m)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -63,14 +72,10 @@ func decodeMessagePooled(r *bufio.Reader) (*Message, error) {
 	return out, nil
 }
 
-// decodeMessageInto reads one message in the fixed wire format into m,
-// preserving m's pool-ownership flags. With pooledData it draws the
-// payload from the buffer pools.
-func decodeMessageInto(r *bufio.Reader, m *Message, pooledData bool) (*Message, error) {
-	var hdr [wireHeaderLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
+// parseMessageHeader decodes the fixed wire envelope from hdr into m,
+// preserving m's pool-ownership flags, and returns the payload length. A
+// length above maxWirePayload fails closed (corrupt or hostile stream).
+func parseMessageHeader(hdr []byte, m *Message) (int, error) {
 	le := binary.LittleEndian
 	m.Kind = Kind(hdr[0])
 	m.Src = ProcID(int32(le.Uint32(hdr[4:])))
@@ -85,11 +90,26 @@ func decodeMessageInto(r *bufio.Reader, m *Message, pooledData bool) (*Message, 
 	}
 	n := le.Uint32(hdr[80:])
 	if n > maxWirePayload {
-		return nil, fmt.Errorf("transport: wire payload %d exceeds limit", n)
+		return 0, fmt.Errorf("transport: wire payload %d exceeds limit", n)
+	}
+	return int(n), nil
+}
+
+// decodeMessageInto reads one message in the fixed wire format into m,
+// preserving m's pool-ownership flags. With pooledData it draws the
+// payload from the buffer pools.
+func decodeMessageInto(r *bufio.Reader, m *Message, pooledData bool) (*Message, error) {
+	var hdr [wireHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n, err := parseMessageHeader(hdr[:], m)
+	if err != nil {
+		return nil, err
 	}
 	if n > 0 {
 		if pooledData {
-			m.SetPooledData(GetBuf(int(n)))
+			m.SetPooledData(GetBuf(n))
 		} else {
 			m.Data = make([]byte, n)
 		}

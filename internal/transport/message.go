@@ -8,6 +8,20 @@
 // collectives, replication — only assumes the two properties the paper
 // assumes of channels: reliability and FIFO ordering per ordered pair of
 // processes.
+//
+// The wire API is batch-first: Wire.Deliver STAGES a frame toward its
+// destination (taking ownership of the message — envelope and payload —
+// in exchange for exactly one later release), and Wire.Flush emits what
+// is staged as one vectored write per destination (net.Buffers over TCP,
+// one push over a shared-memory ring). Flush points mirror the ack
+// coalescer's: outbound-to-destination, batch full (frames or bytes),
+// batch age, and always before blocking — the engine drives the last via
+// FlushWire next to its OnFlush hook, and a per-wire ticker backstops
+// engine-less callers. Batching never reorders: the per-destination
+// batch is FIFO and the batch mutex is held across the write, so per
+// ordered-pair FIFO holds across flush boundaries. See batch.go for the
+// staging/ownership mechanics, peer.go for the TCP wire, and ring.go for
+// the colocated shared-memory rings negotiated at rendezvous.
 package transport
 
 import "fmt"

@@ -20,6 +20,35 @@ var (
 		"peer-wire bytes by direction", []string{"dir"}, []string{"out"})
 	mRedials = obs.Default.Counter("sdr_transport_redials_total",
 		"peer connections dropped mid-write and redialed")
-	mDroppedDead = obs.Default.Counter("sdr_transport_dropped_dead_total",
-		"messages fail-stop-dropped because the peer is dead or unreachable")
+
+	// Fail-stop drops, split by reason so chaos runs can tell an expected
+	// "dead peer" drop from a frame genuinely lost to the wire:
+	//   dead        — the control plane declared the peer dead before the
+	//                 frame was staged or flushed;
+	//   unreachable — the bounded dial budget to a live-as-far-as-we-know
+	//                 peer was exhausted (no address, dial failure);
+	//   write       — an established stream failed mid-batch and the redial
+	//                 retry failed too: the frames fell off the wire.
+	mDroppedDead = obs.Default.CounterWith("sdr_transport_dropped_total",
+		"messages fail-stop-dropped, by reason", []string{"reason"}, []string{"dead"})
+	mDroppedUnreachable = obs.Default.CounterWith("sdr_transport_dropped_total",
+		"messages fail-stop-dropped, by reason", []string{"reason"}, []string{"unreachable"})
+	mDroppedWrite = obs.Default.CounterWith("sdr_transport_dropped_total",
+		"messages fail-stop-dropped, by reason", []string{"reason"}, []string{"write"})
+
+	// Batched-wire flush accounting: frames-per-flush is
+	// flush_frames_total / flushes_total, and bytes per flush syscall is
+	// bytes_total{dir=out} / flushes_total.
+	mFlushes = obs.Default.Counter("sdr_transport_flushes_total",
+		"vectored flush writes (one writev or ring push per batch)")
+	mFlushFrames = obs.Default.Counter("sdr_transport_flush_frames_total",
+		"frames emitted across all batch flushes")
+
+	// Colocated ring transport traffic (frames that bypassed loopback TCP).
+	mRingFramesOut = obs.Default.CounterWith("sdr_transport_ring_frames_total",
+		"frames moved over colocated shared-memory rings, by direction",
+		[]string{"dir"}, []string{"out"})
+	mRingFramesIn = obs.Default.CounterWith("sdr_transport_ring_frames_total",
+		"frames moved over colocated shared-memory rings, by direction",
+		[]string{"dir"}, []string{"in"})
 )

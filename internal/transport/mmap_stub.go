@@ -1,0 +1,19 @@
+//go:build !unix
+
+package transport
+
+import (
+	"errors"
+	"os"
+)
+
+// ringSupported reports whether the colocated shared-memory ring transport
+// can be used on this platform. Without a shared file-backed mmap the peer
+// wire falls back to loopback TCP for every pair.
+func ringSupported() bool { return false }
+
+func mapFile(*os.File, int) ([]byte, error) {
+	return nil, errors.New("transport: shared-memory ring unsupported on this platform")
+}
+
+func unmapFile([]byte) error { return nil }

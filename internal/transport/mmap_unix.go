@@ -1,0 +1,21 @@
+//go:build unix
+
+package transport
+
+import (
+	"os"
+	"syscall"
+)
+
+// ringSupported reports whether the colocated shared-memory ring transport
+// can be used on this platform (it needs a shared file-backed mmap).
+func ringSupported() bool { return true }
+
+// mapFile maps size bytes of f shared and read-write.
+func mapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+// unmapFile releases a mapFile mapping.
+func unmapFile(b []byte) error { return syscall.Munmap(b) }

@@ -53,16 +53,33 @@ func (s StatsSnapshot) TotalMsgs() uint64 {
 }
 
 // Wire is the mechanism that moves an already-enveloped message to the
-// destination endpoint's inbound queue. The in-process wire appends
-// directly; the TCP wire serializes through loopback sockets.
+// destination endpoint's inbound queue. The contract is batch-first:
+// Deliver stages (or immediately forwards) one message, Flush emits
+// whatever a source has staged. The in-process wire forwards on Deliver
+// and has nothing to flush; the socket-backed wires stage frames per
+// destination and emit them as single vectored writes at flush points
+// (see batch.go for the trigger set).
 //
-// Ownership: Deliver takes ownership of m (envelope and payload). A wire
-// either forwards it to the destination queue or releases it with
-// FreeMessage (after serializing it, or when delivery is impossible).
+// Ownership: Deliver takes ownership of m (envelope and payload). From
+// that point the message has exactly one owner — the wire's staged batch,
+// then either the destination queue or the pool (via FreeMessage after
+// serializing, or when delivery is impossible). A staged batch slice is
+// exactly one ownership handoff per element: the flush that empties it
+// serializes-and-releases or drops-and-releases each frame, once.
+//
+// FIFO: implementations must preserve per ordered-pair FIFO across flush
+// boundaries — staging order is emission order, and a batch never
+// overtakes an earlier batch for the same pair.
 type Wire interface {
-	// Deliver moves m toward its destination. It must preserve per
+	// Deliver stages m toward its destination. It must preserve per
 	// ordered-pair FIFO ordering and must not block indefinitely.
 	Deliver(m *Message) error
+	// Flush emits frames staged by source endpoint src (NoProc = every
+	// source this wire serves): all of them when force is true, only
+	// batches older than the age threshold otherwise. The engine calls
+	// it on the same schedule as Engine.OnFlush — non-forced from
+	// Progress, forced immediately before blocking.
+	Flush(src ProcID, force bool) error
 	// Close releases wire resources.
 	Close() error
 }
@@ -94,9 +111,28 @@ func NewNetwork(n int, delay *DelayModel) *Network {
 	return nw
 }
 
-// SetWire replaces the delivery mechanism (used to install the TCP wire).
-// Must be called before any traffic flows.
-func (nw *Network) SetWire(w Wire) { nw.wire = w }
+// installWire installs the delivery mechanism. It is unexported by design:
+// wires are injected at construction (NewTCPWire, NewPeerWire, or the
+// combined NewTCPNetwork/NewPeerNetwork constructors), never swapped on a
+// network that already carried traffic — the old exported SetWire made
+// that mutate-after-construct mistake expressible, and silently dropped
+// any frames the previous wire still had staged.
+func (nw *Network) installWire(w Wire) {
+	if _, ok := nw.wire.(inprocWire); !ok && nw.wire != nil {
+		panic("transport: network already has a wire installed")
+	}
+	nw.wire = w
+}
+
+// FlushWire flushes traffic staged on the wire by source endpoint src
+// (NoProc = all sources): everything when force is true, only aged batches
+// otherwise. The MPI engine calls this alongside its OnFlush hook —
+// non-forced on every Progress, forced immediately before blocking — so
+// staged frames never outlive the window in which batching helps. The
+// in-process wire delivers immediately and this is a no-op.
+func (nw *Network) FlushWire(src ProcID, force bool) error {
+	return nw.wire.Flush(src, force)
+}
 
 // Size returns the number of endpoints.
 func (nw *Network) Size() int { return nw.n }
@@ -203,6 +239,9 @@ func (w inprocWire) Deliver(m *Message) error {
 	dst.inject(m)
 	return nil
 }
+
+// Flush is a no-op: in-process delivery is immediate, nothing stages.
+func (w inprocWire) Flush(ProcID, bool) error { return nil }
 
 func (w inprocWire) Close() error { return nil }
 

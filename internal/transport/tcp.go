@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -16,6 +17,11 @@ import (
 // lazily). TCP preserves the per-pair FIFO property the upper layers
 // require, while exercising a realistic serialize/kernel/deserialize path.
 //
+// Outbound traffic is batch-first: Deliver stages frames per (src,dst)
+// pair and Flush emits each staged batch as a single net.Buffers vectored
+// write — one writev syscall for the whole batch instead of an
+// encode+flush round trip per message (see batch.go for the triggers).
+//
 // The simulated DelayModel is bypassed when a TCPWire is installed: the
 // wire's own latency applies instead.
 type TCPWire struct {
@@ -23,35 +29,63 @@ type TCPWire struct {
 	ln net.Listener
 
 	mu        sync.Mutex
-	conns     map[ProcID]map[ProcID]*tcpConn // conns[src][dst]
+	conns     map[ProcID]map[ProcID]*tcpConn  // conns[src][dst]
+	batches   map[ProcID]map[ProcID]*tcpBatch // batches[src][dst]
+	staged    atomic.Int64                    // frames staged across all batches
 	done      chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 }
 
+// tcpConn is one established ordered-pair stream. The scratch is the
+// per-connection vectored-write assembly area, guarded by mu together
+// with the socket itself.
 type tcpConn struct {
-	mu sync.Mutex
-	c  net.Conn
-	w  *bufio.Writer
+	mu      sync.Mutex
+	c       net.Conn
+	scratch batchScratch
+}
+
+// tcpBatch is the staged outbound traffic for one ordered pair.
+type tcpBatch struct {
+	outBatch
+	src, dst ProcID
 }
 
 // NewTCPWire creates a TCP wire bound to a loopback listener and installs
-// it on the network.
+// it on the network (constructor injection; there is no post-construction
+// wire swap).
 func NewTCPWire(nw *Network) (*TCPWire, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
 	tw := &TCPWire{
-		nw:    nw,
-		ln:    ln,
-		conns: make(map[ProcID]map[ProcID]*tcpConn),
-		done:  make(chan struct{}),
+		nw:      nw,
+		ln:      ln,
+		conns:   make(map[ProcID]map[ProcID]*tcpConn),
+		batches: make(map[ProcID]map[ProcID]*tcpBatch),
+		done:    make(chan struct{}),
 	}
 	tw.wg.Add(1)
 	go tw.acceptLoop()
-	nw.SetWire(tw)
+	tw.wg.Add(1)
+	go tw.flushLoop()
+	nw.installWire(tw)
 	return tw, nil
+}
+
+// NewTCPNetwork builds a network of n endpoints with the TCP loopback wire
+// injected at construction — the one-step replacement for the retired
+// NewNetwork-then-SetWire two-step. The delay model is recorded but
+// bypassed while the TCP wire is installed.
+func NewTCPNetwork(n int, delay *DelayModel) (*Network, *TCPWire, error) {
+	nw := NewNetwork(n, delay)
+	tw, err := NewTCPWire(nw)
+	if err != nil {
+		return nil, nil, err
+	}
+	return nw, tw, nil
 }
 
 // Addr returns the listener address.
@@ -87,6 +121,23 @@ func (tw *TCPWire) acceptLoop() {
 	}
 }
 
+// flushLoop is the liveness backstop: callers that stage traffic without
+// ever driving an engine flush (Endpoint.Send in tests, drain loops) still
+// see their frames emitted within a flush tick.
+func (tw *TCPWire) flushLoop() {
+	defer tw.wg.Done()
+	tick := time.NewTicker(flushTick)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tw.done:
+			return
+		case <-tick.C:
+			_ = tw.Flush(NoProc, true)
+		}
+	}
+}
+
 // readLoop decodes messages from one inbound connection and injects them
 // into the destination endpoint.
 func (tw *TCPWire) readLoop(c net.Conn) {
@@ -112,31 +163,109 @@ func (tw *TCPWire) readLoop(c net.Conn) {
 	}
 }
 
-// Deliver implements Wire by writing the message on the (src,dst) TCP
-// connection, dialing it on first use. The message is fully serialized
-// before Deliver returns, so its storage is released here — the TCP kernel
-// path owns the bytes from now on.
-//
-// A write error leaves the bufio.Writer mid-message: every later write on
-// the connection would be misframed, corrupting the (src,dst) pair's FIFO
-// stream for the rest of the run. The connection is therefore dropped on
-// failure; the next Deliver redials a clean one.
+// Deliver implements Wire by staging m on the (src,dst) pair's batch. The
+// batch that fills past the frame or byte threshold is flushed inline;
+// otherwise the frames ride until the next Flush (engine-triggered or the
+// flush-tick backstop).
 func (tw *TCPWire) Deliver(m *Message) error {
-	defer FreeMessage(m)
-	tc, err := tw.conn(m.Src, m.Dst)
+	b := tw.batch(m.Src, m.Dst)
+	b.mu.Lock()
+	full := b.stageLocked(m)
+	tw.staged.Add(1)
+	if !full {
+		b.mu.Unlock()
+		return nil
+	}
+	err := tw.flushBatchLocked(b)
+	b.mu.Unlock()
+	return err
+}
+
+// Flush implements Wire: emit batches staged by src (NoProc = every
+// source) — all of them when force is true, only aged ones otherwise. The
+// first error is returned after every due batch has been attempted; the
+// frames of a failed batch are dropped (fail-stop) and its connection is
+// forgotten, so the next flush redials a clean stream.
+func (tw *TCPWire) Flush(src ProcID, force bool) error {
+	if tw.staged.Load() == 0 {
+		return nil
+	}
+	tw.mu.Lock()
+	snap := make([]*tcpBatch, 0, 8)
+	for s, byDst := range tw.batches {
+		if src != NoProc && s != src {
+			continue
+		}
+		for _, b := range byDst {
+			snap = append(snap, b)
+		}
+	}
+	tw.mu.Unlock()
+	var firstErr error
+	for _, b := range snap {
+		b.mu.Lock()
+		if !b.dueLocked(force) {
+			b.mu.Unlock()
+			continue
+		}
+		if err := tw.flushBatchLocked(b); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		b.mu.Unlock()
+	}
+	return firstErr
+}
+
+// flushBatchLocked emits b's staged frames as one vectored write. Caller
+// holds b.mu — the per-pair serialization that keeps staging order and
+// emission order identical (FIFO across flush boundaries).
+//
+// A write error leaves the stream mid-batch: every later write would be
+// misframed, so the connection is dropped (the next flush redials) and the
+// batch's frames are released as fail-stop drops.
+func (tw *TCPWire) flushBatchLocked(b *tcpBatch) error {
+	frames := b.takeLocked()
+	if len(frames) == 0 {
+		return nil
+	}
+	tw.staged.Add(int64(-len(frames)))
+	tc, err := tw.conn(b.src, b.dst)
 	if err != nil {
+		dropFrames(frames, mDroppedUnreachable)
 		return err
 	}
 	tc.mu.Lock()
-	err = encodeMessage(tc.w, m)
-	if err == nil {
-		err = tc.w.Flush()
-	}
+	bufs, total := tc.scratch.build(frames)
+	_, err = bufs.WriteTo(tc.c)
 	tc.mu.Unlock()
 	if err != nil {
-		tw.dropConn(m.Src, m.Dst, tc)
+		tw.dropConn(b.src, b.dst, tc)
+		dropFrames(frames, mDroppedWrite)
+		return err
 	}
-	return err
+	mFlushes.Inc()
+	mFlushFrames.Add(uint64(len(frames)))
+	mBytesOut.Add(uint64(total))
+	freeFrames(frames)
+	return nil
+}
+
+// batch returns the (src,dst) pair's staging batch, creating it on first
+// use.
+func (tw *TCPWire) batch(src, dst ProcID) *tcpBatch {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	byDst := tw.batches[src]
+	if byDst == nil {
+		byDst = make(map[ProcID]*tcpBatch)
+		tw.batches[src] = byDst
+	}
+	b := byDst[dst]
+	if b == nil {
+		b = &tcpBatch{src: src, dst: dst}
+		byDst[dst] = b
+	}
+	return b
 }
 
 // dropConn closes tc and forgets it, provided the (src,dst) slot still
@@ -165,23 +294,24 @@ func (tw *TCPWire) conn(src, dst ProcID) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial tcp wire: %w", err)
 	}
-	w := bufio.NewWriterSize(c, 256<<10)
 	var pre [8]byte
 	binary.LittleEndian.PutUint32(pre[:], uint32(int32(src)))
 	binary.LittleEndian.PutUint32(pre[4:], uint32(int32(dst)))
-	if _, err := w.Write(pre[:]); err != nil {
+	if _, err := c.Write(pre[:]); err != nil {
 		c.Close()
 		return nil, err
 	}
-	tc := &tcpConn{c: c, w: w}
+	tc := &tcpConn{c: c}
 	byDst[dst] = tc
 	return tc, nil
 }
 
-// Close shuts the wire down, closing the listener and all connections.
-// Idempotent: the network's Close and a caller's deferred Close may race.
+// Close shuts the wire down: a final forced flush pushes out anything
+// staged, then the listener and all connections close. Idempotent: the
+// network's Close and a caller's deferred Close may race.
 func (tw *TCPWire) Close() error {
 	tw.closeOnce.Do(func() {
+		_ = tw.Flush(NoProc, true)
 		close(tw.done)
 		tw.ln.Close()
 		tw.mu.Lock()

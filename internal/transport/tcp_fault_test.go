@@ -23,11 +23,11 @@ func recvN(t *testing.T, ep *Endpoint, n int) []*Message {
 	return got
 }
 
-func TestTCPWireDeliverRedialsAfterWriteError(t *testing.T) {
-	// A write error leaves the per-connection bufio.Writer mid-message;
-	// reusing the connection would corrupt FIFO framing for every later
-	// message on the (src,dst) pair. Deliver must drop the connection and
-	// redial a clean one on the next message.
+func TestTCPWireFlushRedialsAfterWriteError(t *testing.T) {
+	// A write error leaves the connection mid-batch; reusing it would
+	// corrupt FIFO framing for every later frame on the (src,dst) pair.
+	// Flush must surface the error, drop the connection, and the next
+	// flush must redial a clean one.
 	nw := NewNetwork(2, nil)
 	tw, err := NewTCPWire(nw)
 	if err != nil {
@@ -50,18 +50,18 @@ func TestTCPWireDeliverRedialsAfterWriteError(t *testing.T) {
 	}
 	tc.c.Close()
 
-	// The next Deliver must fail (the writer hits the closed socket) and
-	// forget the poisoned connection. Depending on kernel buffering the
-	// error can surface on the first or second send; either way the wire
-	// must recover.
-	sawErr := false
-	for i := 0; i < 10 && !sawErr; i++ {
+	// Stage frames and force a flush: the vectored write hits the closed
+	// socket, the error surfaces, and the poisoned connection is
+	// forgotten. The race with the flush-tick backstop (which may flush —
+	// and eat the error — first) makes the error optional here, but the
+	// connection must be gone either way.
+	for i := 0; i < 10; i++ {
 		if err := a.Send(&Message{Dst: 1, Kind: KindEager, Seq: 1, Data: []byte("poisoned")}); err != nil {
-			sawErr = true
+			break
 		}
-	}
-	if !sawErr {
-		t.Fatal("Deliver never surfaced the write error on a closed connection")
+		if err := tw.Flush(0, true); err != nil {
+			break
+		}
 	}
 	tw.mu.Lock()
 	stale := tw.conns[0][1] == tc
@@ -70,9 +70,13 @@ func TestTCPWireDeliverRedialsAfterWriteError(t *testing.T) {
 		t.Fatal("poisoned connection still cached after write error")
 	}
 
-	// A fresh Deliver redials and the stream works again, correctly framed.
+	// A fresh send redials on flush and the stream works again, correctly
+	// framed.
 	if err := a.Send(&Message{Dst: 1, Kind: KindEager, Seq: 2, Data: []byte("after-redial")}); err != nil {
-		t.Fatalf("Deliver after redial: %v", err)
+		t.Fatalf("Send after redial: %v", err)
+	}
+	if err := tw.Flush(0, true); err != nil {
+		t.Fatalf("Flush after redial: %v", err)
 	}
 	got := recvN(t, b, 1)
 	if string(got[len(got)-1].Data) != "after-redial" {
@@ -107,14 +111,16 @@ func TestTCPWireAcceptLoopRetriesTransientError(t *testing.T) {
 		t.Fatal(err)
 	}
 	tw := &TCPWire{
-		nw:    nw,
-		ln:    &flakyListener{Listener: ln, failures: 3},
-		conns: make(map[ProcID]map[ProcID]*tcpConn),
-		done:  make(chan struct{}),
+		nw:      nw,
+		ln:      &flakyListener{Listener: ln, failures: 3},
+		conns:   make(map[ProcID]map[ProcID]*tcpConn),
+		batches: make(map[ProcID]map[ProcID]*tcpBatch),
+		done:    make(chan struct{}),
 	}
-	tw.wg.Add(1)
+	tw.wg.Add(2)
 	go tw.acceptLoop()
-	nw.SetWire(tw)
+	go tw.flushLoop()
+	nw.installWire(tw)
 	defer tw.Close()
 
 	a, b := nw.Endpoint(0), nw.Endpoint(1)
