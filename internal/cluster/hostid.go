@@ -1,0 +1,37 @@
+package cluster
+
+import (
+	"os"
+	"strings"
+)
+
+// hostIdentitySources are the machine-identity files folded into
+// hostIdentity beyond the hostname, where the platform exposes them.
+var hostIdentitySources = []string{
+	"/etc/machine-id",
+	"/proc/sys/kernel/random/boot_id",
+}
+
+// hostIdentity is the string two workers compare to decide they share a
+// host — the gate for moving their pair's traffic onto mmap'd
+// shared-memory rings. Raw hostname equality is not enough: cloned
+// images and containerized deployments routinely share a default
+// hostname across distinct hosts, and a false "colocated" verdict sends
+// frames into a ring file nobody reads (silent drops after the stall
+// timeout). The identity therefore also folds in the machine ID and boot
+// ID: distinct hosts differ in at least one component, while two
+// processes on one host read identical values. Best-effort hardening —
+// an unreadable source contributes nothing, degrading toward plain
+// hostname equality on platforms without these files.
+func hostIdentity() string {
+	host, _ := os.Hostname()
+	parts := []string{host}
+	for _, src := range hostIdentitySources {
+		if b, err := os.ReadFile(src); err == nil {
+			if s := strings.TrimSpace(string(b)); s != "" {
+				parts = append(parts, s)
+			}
+		}
+	}
+	return strings.Join(parts, "|")
+}

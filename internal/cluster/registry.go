@@ -43,10 +43,12 @@ type ctlMsg struct {
 	Step  int      `json:"step,omitempty"`
 	Addr  string   `json:"addr,omitempty"`
 	Addrs []string `json:"addrs,omitempty"`
-	// Host is the worker's hostname (op == "hello") and Hosts the per-proc
-	// hostname table (op == "world"): the same-host detection that lets
-	// pairs of colocated workers negotiate the shared-memory ring
-	// transport instead of loopback TCP at rendezvous time.
+	// Host is the worker's host identity (op == "hello") and Hosts the
+	// per-proc identity table (op == "world"): the same-host detection
+	// that lets pairs of colocated workers negotiate the shared-memory
+	// ring transport instead of loopback TCP at rendezvous time. The
+	// identity is hostIdentity() — hostname hardened with machine/boot
+	// IDs, since a bare hostname collides across cloned images.
 	Host  string   `json:"host,omitempty"`
 	Hosts []string `json:"hosts,omitempty"`
 	// For carries the subject of an acknowledgement when it differs from
@@ -138,7 +140,7 @@ type registry struct {
 	mu       sync.Mutex
 	conns    []*regConn // indexed by proc; nil until hello
 	addrs    []string
-	hosts    []string // per-proc hostnames (hello's host field)
+	hosts    []string // per-proc host identities (hello's host field)
 	joined   int
 	lastSeen []time.Time
 	saved    map[int]map[int]bool // step → ranks whose writer saved

@@ -222,7 +222,7 @@ func RunWorker(cfg WorkerConfig, app AppFunc) int {
 	// coordinator broadcast `dead` to the already-joined workers, so the
 	// handshake loop must tolerate (and remember) control traffic ahead
 	// of the world message instead of treating it as a protocol error.
-	host, _ := os.Hostname()
+	host := hostIdentity()
 	if err := cc.send(ctlMsg{Op: opHello, Proc: int(cfg.Proc), Addr: pw.Addr(), Obs: obsAddr, Host: host}); err != nil {
 		return fail(fmt.Errorf("hello: %w", err))
 	}

@@ -28,13 +28,17 @@ var (
 	//   unreachable — the bounded dial budget to a live-as-far-as-we-know
 	//                 peer was exhausted (no address, dial failure);
 	//   write       — an established stream failed mid-batch and the redial
-	//                 retry failed too: the frames fell off the wire.
+	//                 retry failed too: the frames fell off the wire;
+	//   closed      — the frame was staged or still pending when the wire
+	//                 shut down: nothing is left to emit it.
 	mDroppedDead = obs.Default.CounterWith("sdr_transport_dropped_total",
 		"messages fail-stop-dropped, by reason", []string{"reason"}, []string{"dead"})
 	mDroppedUnreachable = obs.Default.CounterWith("sdr_transport_dropped_total",
 		"messages fail-stop-dropped, by reason", []string{"reason"}, []string{"unreachable"})
 	mDroppedWrite = obs.Default.CounterWith("sdr_transport_dropped_total",
 		"messages fail-stop-dropped, by reason", []string{"reason"}, []string{"write"})
+	mDroppedClosed = obs.Default.CounterWith("sdr_transport_dropped_total",
+		"messages fail-stop-dropped, by reason", []string{"reason"}, []string{"closed"})
 
 	// Batched-wire flush accounting: frames-per-flush is
 	// flush_frames_total / flushes_total, and bytes per flush syscall is

@@ -100,13 +100,20 @@ type PeerWire struct {
 
 	// Ring transport state (guarded by mu except readers): ringTo[dst]
 	// true selects the ring path for the pair — set for colocated peers
-	// at SetRingPeers time, permanently cleared on death/revive or ring
-	// failure before first use.
+	// at SetRingPeers time, permanently cleared on death/revive or any
+	// ring failure (open failure, stalled or interrupted push).
 	ringCfg  RingConfig
 	ringTo   []bool
 	ringWr   []*ringWriter
 	readers  atomic.Pointer[[]*ringReader]
 	scanOnce sync.Once
+
+	// ringIO fences producer-side ring access against Close's unmap:
+	// flushRing holds it shared across its writes (application goroutines
+	// flushing inline are not tracked by wg), and Close takes it
+	// exclusively — after done is closed, so no writer parks on a full
+	// ring while holding it — before releasing the mappings.
+	ringIO sync.RWMutex
 
 	done      chan struct{}
 	closeOnce sync.Once
@@ -248,16 +255,18 @@ func (pw *PeerWire) MarkDead(p ProcID) {
 		tc.c.Close()
 	}
 	// Frames already staged for p are dropped now rather than at the next
-	// flush: the control plane said the bytes have nowhere to go.
+	// flush: the control plane said the bytes have nowhere to go. The drop
+	// happens under b.mu — takeLocked's slice aliases the batch's backing
+	// array, so it must be fully consumed before a concurrent Deliver can
+	// stage into the same slots.
 	if int(p) < len(pw.batches) {
 		b := pw.batches[p]
 		b.mu.Lock()
-		frames := b.takeLocked()
-		b.mu.Unlock()
-		if len(frames) > 0 {
+		if frames := b.takeLocked(); len(frames) > 0 {
 			pw.staged.Add(int64(-len(frames)))
 			dropFrames(frames, mDroppedDead)
 		}
+		b.mu.Unlock()
 	}
 }
 
@@ -447,6 +456,16 @@ func (pw *PeerWire) Deliver(m *Message) error {
 	}
 	b := pw.batches[m.Dst]
 	b.mu.Lock()
+	// The shutdown check lives under b.mu so it serializes with Close's
+	// drain sweep: any frame staged before the sweep takes the batch lock
+	// is swept, any Deliver arriving after it lands here and drops.
+	select {
+	case <-pw.done:
+		b.mu.Unlock()
+		dropFrames([]*Message{m}, mDroppedClosed)
+		return nil
+	default:
+	}
 	full := b.stageLocked(m)
 	pw.staged.Add(1)
 	if full {
@@ -488,6 +507,15 @@ func (pw *PeerWire) flushBatchLocked(dst ProcID, b *outBatch) {
 	}
 	pw.staged.Add(int64(-len(frames)))
 
+	// A flush racing with Close must not dial or touch ring mappings the
+	// teardown is about to release; its frames are shutdown drops.
+	select {
+	case <-pw.done:
+		dropFrames(frames, mDroppedClosed)
+		return
+	default:
+	}
+
 	pw.mu.Lock()
 	if pw.down[dst] {
 		pw.mu.Unlock()
@@ -507,8 +535,11 @@ func (pw *PeerWire) flushBatchLocked(dst ProcID, b *outBatch) {
 // reports false — leaving the frames for the TCP path — only when the
 // ring could not be opened at all (nothing was ever written to it, so
 // switching transports preserves FIFO). After the first successful open, a
-// push failure is a fail-stop drop: the consumer stopped draining, which
-// from this side is indistinguishable from death.
+// push failure is a fail-stop drop AND a permanent ban of the pair: the
+// consumer stopped draining, which from this side is indistinguishable
+// from death, and without the ban every later flush would re-pay the full
+// stall timeout under the batch lock — freezing the sender's progress
+// loop until the control plane declares the peer dead.
 func (pw *PeerWire) flushRing(dst ProcID, frames []*Message) bool {
 	pw.mu.Lock()
 	wr := pw.ringWr[dst]
@@ -522,14 +553,30 @@ func (pw *PeerWire) flushRing(dst ProcID, frames []*Message) bool {
 			pw.mu.Unlock()
 			return false
 		}
-		wr = &ringWriter{pipe: pipe}
+		wr = &ringWriter{pipe: pipe, done: pw.done}
 		pw.ringWr[dst] = wr
 	}
 	pw.mu.Unlock()
 
+	// The shared fence keeps Close from unmapping the ring while this
+	// (wg-untracked) goroutine is copying into it: a writer that observes
+	// done open here finishes its writes before Close can take the fence
+	// exclusively; one that observes it closed never touches the mapping.
+	pw.ringIO.RLock()
+	defer pw.ringIO.RUnlock()
+	select {
+	case <-pw.done:
+		dropFrames(frames, mDroppedClosed)
+		return true
+	default:
+	}
+
 	total := 0
 	for i, m := range frames {
 		if err := wr.writeFrame(m); err != nil {
+			pw.mu.Lock()
+			pw.banRingLocked(dst)
+			pw.mu.Unlock()
 			dropFrames(frames[i:], mDroppedWrite)
 			frames = frames[:i]
 			break
@@ -640,9 +687,11 @@ func (pw *PeerWire) dropConn(dst ProcID, tc *tcpConn) {
 
 // Close shuts the wire down: a final forced flush pushes out anything
 // staged, then listener, inbound readers, outbound connections and rings
-// close. Inbound connections must be closed here too — they are peers'
-// outbound conns, and waiting for the peer to close its side first would
-// deadlock two wires closing in sequence. Idempotent.
+// close; frames staged by a Deliver racing the shutdown are dropped and
+// freed (counted, reason "closed") rather than stranded. Inbound
+// connections must be closed here too — they are peers' outbound conns,
+// and waiting for the peer to close its side first would deadlock two
+// wires closing in sequence. Idempotent.
 func (pw *PeerWire) Close() error {
 	pw.closeOnce.Do(func() {
 		_ = pw.Flush(NoProc, true)
@@ -657,7 +706,22 @@ func (pw *PeerWire) Close() error {
 		}
 		pw.mu.Unlock()
 		pw.wg.Wait()
-		// The scan goroutine has exited: unmap the rings.
+		// Frames staged between the final flush snapshot and the done
+		// signal have no emitter left (flushLoop has exited): drop and
+		// free them rather than stranding pooled buffers. The sweep
+		// serializes with Deliver's under-lock shutdown check, so nothing
+		// can stage after it.
+		for _, b := range pw.batches {
+			b.mu.Lock()
+			if frames := b.takeLocked(); len(frames) > 0 {
+				pw.staged.Add(int64(-len(frames)))
+				dropFrames(frames, mDroppedClosed)
+			}
+			b.mu.Unlock()
+		}
+		// The scan goroutine has exited (readers idle) and the ringIO
+		// fence drains in-flight producer writes: unmap the rings.
+		pw.ringIO.Lock()
 		if rs := pw.readers.Load(); rs != nil {
 			for _, rr := range *rs {
 				rr.close()
@@ -670,6 +734,7 @@ func (pw *PeerWire) Close() error {
 			}
 		}
 		pw.mu.Unlock()
+		pw.ringIO.Unlock()
 	})
 	return nil
 }

@@ -119,10 +119,15 @@ func ringBackoff(idle *int) {
 // errRingStall reports a producer that gave up on a full, undrained ring.
 var errRingStall = fmt.Errorf("transport: ring stalled beyond %v", ringStallTimeout)
 
+// errRingClosed reports a producer interrupted by its wire shutting down.
+var errRingClosed = fmt.Errorf("transport: ring closed mid-write")
+
 // write copies p into the ring, blocking (bounded) while it is full.
 // Frames larger than the ring capacity stream through in chunks as the
-// consumer drains. Single producer only.
-func (r *ringPipe) write(p []byte) error {
+// consumer drains. A close on done (nil = never) aborts the wait
+// immediately so a closing wire is not held hostage by a full ring.
+// Single producer only.
+func (r *ringPipe) write(p []byte, done <-chan struct{}) error {
 	idle := 0
 	var stall time.Time
 	for len(p) > 0 {
@@ -130,6 +135,11 @@ func (r *ringPipe) write(p []byte) error {
 		tail := r.hdr.tail.Load()
 		free := r.size - (tail - head)
 		if free == 0 {
+			select {
+			case <-done:
+				return errRingClosed
+			default:
+			}
 			if stall.IsZero() {
 				stall = time.Now()
 			} else if time.Since(stall) > ringStallTimeout {
@@ -184,19 +194,22 @@ func (r *ringPipe) readAvail(p []byte) int {
 
 // ringWriter is the producer side of one ordered pair: frames staged for
 // the pair are pushed through it at flush time, in staging order (the
-// batch lock serializes flushes, preserving SPSC and FIFO).
+// batch lock serializes flushes, preserving SPSC and FIFO). done is the
+// owning wire's shutdown signal; a write parked on a full ring aborts
+// when it closes.
 type ringWriter struct {
 	pipe *ringPipe
+	done <-chan struct{}
 	hdr  [wireHeaderLen]byte
 }
 
 func (w *ringWriter) writeFrame(m *Message) error {
 	putMessageHeader(w.hdr[:], m)
-	if err := w.pipe.write(w.hdr[:]); err != nil {
+	if err := w.pipe.write(w.hdr[:], w.done); err != nil {
 		return err
 	}
 	if len(m.Data) > 0 {
-		return w.pipe.write(m.Data)
+		return w.pipe.write(m.Data, w.done)
 	}
 	return nil
 }

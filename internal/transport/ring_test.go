@@ -128,7 +128,7 @@ func TestRingProducerStallIsBounded(t *testing.T) {
 	defer w.close()
 
 	start := time.Now()
-	err = w.write(make([]byte, 4096)) // no consumer: must give up
+	err = w.write(make([]byte, 4096), nil) // no consumer: must give up
 	if err == nil {
 		t.Fatal("write into an undrained full ring succeeded")
 	}

@@ -170,6 +170,15 @@ func (tw *TCPWire) readLoop(c net.Conn) {
 func (tw *TCPWire) Deliver(m *Message) error {
 	b := tw.batch(m.Src, m.Dst)
 	b.mu.Lock()
+	// Serializes with Close's drain sweep (see PeerWire.Deliver): a frame
+	// staged after the sweep would have no emitter left, so it drops here.
+	select {
+	case <-tw.done:
+		b.mu.Unlock()
+		dropFrames([]*Message{m}, mDroppedClosed)
+		return nil
+	default:
+	}
 	full := b.stageLocked(m)
 	tw.staged.Add(1)
 	if !full {
@@ -307,8 +316,10 @@ func (tw *TCPWire) conn(src, dst ProcID) (*tcpConn, error) {
 }
 
 // Close shuts the wire down: a final forced flush pushes out anything
-// staged, then the listener and all connections close. Idempotent: the
-// network's Close and a caller's deferred Close may race.
+// staged, then the listener and all connections close; frames staged by a
+// Deliver racing the shutdown are dropped and freed (counted, reason
+// "closed") rather than stranded. Idempotent: the network's Close and a
+// caller's deferred Close may race.
 func (tw *TCPWire) Close() error {
 	tw.closeOnce.Do(func() {
 		_ = tw.Flush(NoProc, true)
@@ -320,8 +331,25 @@ func (tw *TCPWire) Close() error {
 				tc.c.Close()
 			}
 		}
+		snap := make([]*tcpBatch, 0, len(tw.batches))
+		for _, byDst := range tw.batches {
+			for _, b := range byDst {
+				snap = append(snap, b)
+			}
+		}
 		tw.mu.Unlock()
 		tw.wg.Wait()
+		// Drain frames staged between the final flush snapshot and the
+		// done signal; Deliver's under-lock shutdown check guarantees
+		// nothing stages after this sweep.
+		for _, b := range snap {
+			b.mu.Lock()
+			if frames := b.takeLocked(); len(frames) > 0 {
+				tw.staged.Add(int64(-len(frames)))
+				dropFrames(frames, mDroppedClosed)
+			}
+			b.mu.Unlock()
+		}
 	})
 	return nil
 }
