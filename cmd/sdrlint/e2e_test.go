@@ -1,0 +1,176 @@
+package main_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// plantedSrc is a self-contained module carrying one specimen of each
+// concurrency bug class the PR 8 postmortem turned into an analyzer:
+// a lock-order inversion against a declared rank edge, a sleep under a
+// ranked mutex, a goroutine a Close can never join, and a field that is
+// atomic in one method and plain in another. The e2e test asserts the
+// built binary — driven by the real `go vet -vettool` protocol, not the
+// in-process test harness — reports all four.
+const plantedSrc = `package planted
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ordered declares a < b, then inverts the acquisition.
+type ordered struct {
+	a sync.Mutex // sdr:lockrank pa < pb
+	b sync.Mutex // sdr:lockrank pb
+}
+
+func Invert(o *ordered) {
+	o.b.Lock()
+	defer o.b.Unlock()
+	o.a.Lock()
+	defer o.a.Unlock()
+}
+
+// Sleeper blocks while holding its ranked mutex.
+type Sleeper struct {
+	mu sync.Mutex // sdr:lockrank psleep
+	n  int
+}
+
+func (s *Sleeper) Poke() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+	s.n++
+}
+
+// Svc leaks its ticker goroutine: Close cannot join it.
+type Svc struct {
+	mu sync.Mutex
+	n  int
+	ch chan int
+}
+
+func (s *Svc) Start() {
+	go func() {
+		for {
+			time.Sleep(time.Millisecond)
+			s.mu.Lock()
+			s.n++
+			s.mu.Unlock()
+		}
+	}()
+}
+
+func (s *Svc) Close() { close(s.ch) }
+
+// Counter mixes atomic and plain access to n.
+type Counter struct {
+	n int64
+}
+
+func (c *Counter) Bump()       { atomic.AddInt64(&c.n, 1) }
+func (c *Counter) Read() int64 { return c.n }
+`
+
+// buildLint compiles the sdrlint binary into a temp dir.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	lint := filepath.Join(t.TempDir(), "sdrlint")
+	cmd := exec.Command("go", "build", "-o", lint, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/sdrlint: %v\n%s", err, out)
+	}
+	return lint
+}
+
+// plantModule writes the planted-bug module and returns its directory.
+func plantModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module planted\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "planted.go"), []byte(plantedSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestE2EPlantedBugs drives the built binary through `go vet -vettool`
+// against the planted module and demands one finding per analyzer.
+func TestE2EPlantedBugs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	lint := buildLint(t)
+	dir := plantModule(t)
+
+	cmd := exec.Command("go", "vet", "-vettool="+lint, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet exited 0; the planted bugs went unreported:\n%s", out)
+	}
+	for _, a := range []string{"lockorder", "holdblock", "golifecycle", "atomicfield"} {
+		if !strings.Contains(string(out), "["+a+"]") {
+			t.Errorf("planted %s bug not reported; vet output:\n%s", a, out)
+		}
+	}
+}
+
+// TestE2EJSONOutput checks the -json mode end to end: exit 0, and a
+// parseable importpath → analyzer → diagnostics object naming all four
+// planted bugs. go vet relays the vettool's stdout on its own stderr,
+// after a "# <package>" header — the parse starts at the first brace.
+func TestE2EJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	lint := buildLint(t)
+	dir := plantModule(t)
+
+	cmd := exec.Command("go", "vet", "-vettool="+lint, "-json", "./...")
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go vet -json should exit 0 (diagnostics are data, not errors): %v\nstderr:\n%s", err, stderr.String())
+	}
+
+	type diag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	raw := append(stdout.Bytes(), stderr.Bytes()...)
+	start := bytes.IndexByte(raw, '{')
+	if start < 0 {
+		t.Fatalf("no JSON object in vet output:\n%s", raw)
+	}
+	var report map[string]map[string][]diag
+	if err := json.Unmarshal(raw[start:], &report); err != nil {
+		t.Fatalf("vet output is not the JSON report shape: %v\n%s", err, raw[start:])
+	}
+	byAnalyzer := report["planted"]
+	if byAnalyzer == nil {
+		t.Fatalf("no entry for package planted in %s", stdout.String())
+	}
+	for _, a := range []string{"lockorder", "holdblock", "golifecycle", "atomicfield"} {
+		ds := byAnalyzer[a]
+		if len(ds) == 0 {
+			t.Errorf("JSON report has no %s findings", a)
+			continue
+		}
+		if ds[0].Posn == "" || ds[0].Message == "" {
+			t.Errorf("%s finding missing posn/message: %+v", a, ds[0])
+		}
+	}
+}

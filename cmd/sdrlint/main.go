@@ -2,7 +2,10 @@
 // multichecker built from the analyzers in internal/analysis. It machine
 // checks the conventions this codebase's past bugs were made of — pool
 // ownership handoff, fail-closed codec pairs, the sdr_<layer>_* metric
-// taxonomy, and the SDR_DIST_* env contract.
+// taxonomy, the SDR_DIST_* env contract, and (since the PR 8 shutdown
+// races) the concurrency discipline: declared lock ranks, no blocking
+// under a named mutex, joinable goroutines, and atomic/guarded field
+// access.
 //
 // Usage:
 //
@@ -12,12 +15,18 @@
 // or directly (re-execs go vet under the hood):
 //
 //	./sdrlint ./...
+//
+// Pass -json for machine-readable diagnostics on stdout.
 package main
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomicfield"
 	"repro/internal/analysis/codecsym"
 	"repro/internal/analysis/envcontract"
+	"repro/internal/analysis/golifecycle"
+	"repro/internal/analysis/holdblock"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/metricname"
 	"repro/internal/analysis/poolhandoff"
 )
@@ -28,5 +37,9 @@ func main() {
 		codecsym.Analyzer,
 		metricname.Analyzer,
 		envcontract.Analyzer,
+		lockorder.Analyzer,
+		holdblock.Analyzer,
+		golifecycle.Analyzer,
+		atomicfield.Analyzer,
 	)
 }

@@ -23,6 +23,13 @@ type Analyzer struct {
 	// through pass.Report; the error return is for analysis failures
 	// (which abort the whole run), not findings.
 	Run func(*Pass) error
+
+	// ExportFacts, when non-nil, serializes this analyzer's facts about
+	// the package — declarations importing packages need to check their
+	// own code against (lockorder exports its rank table this way). The
+	// driver runs it over every dependency and hands the blobs to the
+	// importing package's pass as ImportedFacts.
+	ExportFacts func(*Pass) ([]byte, error)
 }
 
 // Pass is the interface between the driver and one analyzer applied to
@@ -36,6 +43,11 @@ type Pass struct {
 
 	// Report delivers one diagnostic. The driver fills it in.
 	Report func(Diagnostic)
+
+	// ImportedFacts maps dependency import paths to the blob this
+	// analyzer's ExportFacts produced for them. Nil when no dependency
+	// exported facts (or the analyzer is factless).
+	ImportedFacts map[string][]byte
 }
 
 // Diagnostic is one finding at one position.

@@ -90,6 +90,11 @@ func parseWants(fset *token.FileSet, files []*ast.File) ([]*expectation, error) 
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
 				text = strings.TrimSpace(text)
+				// A want may follow another annotation on the same
+				// comment: `// sdr:lockrank a < ghost // want "..."`.
+				if i := strings.Index(text, "// want "); i >= 0 {
+					text = strings.TrimSpace(text[i+2:])
+				}
 				if !strings.HasPrefix(text, "want ") {
 					continue
 				}

@@ -1,0 +1,499 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// This file parses the sdr:* source annotations the concurrency analyzers
+// share. The grammar, all attached to struct fields or statements as line
+// comments:
+//
+//	// sdr:lockrank <rank> [< <rank> [< <rank> ...]]
+//	    On a sync.Mutex/sync.RWMutex field. The first name is this
+//	    field's rank; each `a < b` link declares that rank a is acquired
+//	    before rank b. Rank names are package-global.
+//
+//	// guarded by <field>
+//	    On any struct field (in its doc or trailing comment): the field
+//	    may only be accessed while the named sibling mutex field is held.
+//
+//	// sdr:holdblock-ok <reason>
+//	    On (or on the line above) a blocking operation performed under a
+//	    named mutex: the hold is deliberate and audited; <reason> says why.
+
+// RankEdge declares that rank Before is acquired before rank After.
+type RankEdge struct {
+	Before, After string
+	Pos           token.Pos
+}
+
+// Annot is the parsed annotation set of one package.
+type Annot struct {
+	// Ranks maps annotated mutex fields to their rank names.
+	Ranks map[*types.Var]string
+	// Owner maps annotated fields to the name of the struct type that
+	// declares them (the key half of the exported fact table).
+	Owner map[*types.Var]string
+	// Edges are the declared lock-order edges, in source order.
+	Edges []RankEdge
+	// Guards maps fields to the sibling mutex field that guards them.
+	Guards map[*types.Var]*types.Var
+	// holdOK maps file name → line → waiver reason.
+	holdOK map[string]map[int]string
+	// Problems are malformed annotations, reported by lockorder (one
+	// analyzer owns them so they are not triplicated).
+	Problems []Diagnostic
+}
+
+var (
+	rankNameRe  = regexp.MustCompile(`^[a-z][a-zA-Z0-9_]*$`)
+	guardedByRe = regexp.MustCompile(`\bguarded by ([A-Za-z_][A-Za-z0-9_]*)\b`)
+)
+
+// ParseAnnotations extracts the package's sdr:* annotations. It never
+// fails: malformed annotations land in Problems.
+func ParseAnnotations(pass *Pass) *Annot {
+	an := &Annot{
+		Ranks:  map[*types.Var]string{},
+		Owner:  map[*types.Var]string{},
+		Guards: map[*types.Var]*types.Var{},
+		holdOK: map[string]map[int]string{},
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				an.parseHoldOK(pass, c)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			an.parseStruct(pass, ts, st)
+			return false
+		})
+	}
+	return an
+}
+
+func (an *Annot) parseHoldOK(pass *Pass, c *ast.Comment) {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, "sdr:holdblock-ok") {
+		return
+	}
+	reason := strings.TrimSpace(strings.TrimPrefix(text, "sdr:holdblock-ok"))
+	if i := strings.Index(reason, "//"); i >= 0 {
+		reason = strings.TrimSpace(reason[:i])
+	}
+	posn := pass.Fset.Position(c.Pos())
+	if reason == "" {
+		an.Problems = append(an.Problems, Diagnostic{
+			Pos: c.Pos(), Message: "sdr:holdblock-ok needs a reason",
+		})
+	}
+	m := an.holdOK[posn.Filename]
+	if m == nil {
+		m = map[int]string{}
+		an.holdOK[posn.Filename] = m
+	}
+	m[posn.Line] = reason
+}
+
+// parseStruct walks one struct declaration, pairing AST fields with their
+// types objects by index (which also covers embedded fields).
+func (an *Annot) parseStruct(pass *Pass, ts *ast.TypeSpec, st *ast.StructType) {
+	tn, _ := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+	if tn == nil {
+		return
+	}
+	stt, _ := tn.Type().Underlying().(*types.Struct)
+	if stt == nil {
+		return
+	}
+	idx := 0
+	for _, fld := range st.Fields.List {
+		n := len(fld.Names)
+		if n == 0 {
+			n = 1 // embedded field
+		}
+		if idx+n > stt.NumFields() {
+			return // defensive: AST/types disagree
+		}
+		vars := make([]*types.Var, n)
+		for i := range vars {
+			vars[i] = stt.Field(idx + i)
+		}
+		idx += n
+		for _, line := range fieldCommentLines(fld) {
+			an.parseFieldLine(pass, ts.Name.Name, stt, fld, vars, line.text, line.pos)
+		}
+	}
+}
+
+type commentLine struct {
+	text string
+	pos  token.Pos
+}
+
+func fieldCommentLines(fld *ast.Field) []commentLine {
+	var out []commentLine
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			out = append(out, commentLine{
+				text: strings.TrimSpace(strings.TrimPrefix(c.Text, "//")),
+				pos:  c.Pos(),
+			})
+		}
+	}
+	return out
+}
+
+func (an *Annot) parseFieldLine(pass *Pass, typeName string, stt *types.Struct, fld *ast.Field, vars []*types.Var, line string, pos token.Pos) {
+	// An inner "//" ends the annotation (testdata uses it for want
+	// comments; production code may use it for prose).
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = strings.TrimSpace(line[:i])
+	}
+	if strings.HasPrefix(line, "sdr:lockrank") {
+		an.parseLockRank(typeName, vars, strings.TrimPrefix(line, "sdr:lockrank"), pos)
+		return
+	}
+	if m := guardedByRe.FindStringSubmatch(line); m != nil {
+		mu := mutexFieldNamed(stt, m[1])
+		if mu == nil {
+			return // prose, not a contract ("guarded by the engine", ...)
+		}
+		for _, v := range vars {
+			if v == mu {
+				continue
+			}
+			an.Guards[v] = mu
+			an.Owner[v] = typeName
+		}
+	}
+}
+
+func (an *Annot) parseLockRank(typeName string, vars []*types.Var, rest string, pos token.Pos) {
+	parts := strings.Split(rest, "<")
+	names := make([]string, 0, len(parts))
+	for _, p := range parts {
+		name := strings.TrimSpace(p)
+		if !rankNameRe.MatchString(name) {
+			an.Problems = append(an.Problems, Diagnostic{
+				Pos: pos, Message: fmt.Sprintf("sdr:lockrank: bad rank name %q", name),
+			})
+			return
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		an.Problems = append(an.Problems, Diagnostic{
+			Pos: pos, Message: "sdr:lockrank needs a rank name",
+		})
+		return
+	}
+	ranked := false
+	for _, v := range vars {
+		if !IsMutexType(v.Type()) {
+			an.Problems = append(an.Problems, Diagnostic{
+				Pos: pos, Message: fmt.Sprintf("sdr:lockrank on non-mutex field %s", v.Name()),
+			})
+			continue
+		}
+		if old, dup := an.Ranks[v]; dup && old != names[0] {
+			an.Problems = append(an.Problems, Diagnostic{
+				Pos: pos, Message: fmt.Sprintf("field %s already ranked %q", v.Name(), old),
+			})
+			continue
+		}
+		an.Ranks[v] = names[0]
+		an.Owner[v] = typeName
+		ranked = true
+	}
+	if !ranked {
+		return
+	}
+	for i := 0; i+1 < len(names); i++ {
+		an.Edges = append(an.Edges, RankEdge{Before: names[i], After: names[i+1], Pos: pos})
+	}
+}
+
+// mutexFieldNamed returns the struct's mutex field with the given name.
+func mutexFieldNamed(stt *types.Struct, name string) *types.Var {
+	for i := 0; i < stt.NumFields(); i++ {
+		f := stt.Field(i)
+		if f.Name() == name && IsMutexType(f.Type()) {
+			return f
+		}
+	}
+	return nil
+}
+
+// IsMutexType reports whether t is sync.Mutex or sync.RWMutex (or a
+// pointer to one).
+func IsMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// HoldOK returns the sdr:holdblock-ok waiver covering pos: a comment on
+// the same line or the line immediately above.
+func (an *Annot) HoldOK(fset *token.FileSet, pos token.Pos) (string, bool) {
+	posn := fset.Position(pos)
+	m := an.holdOK[posn.Filename]
+	if m == nil {
+		return "", false
+	}
+	if r, ok := m[posn.Line]; ok {
+		return r, true
+	}
+	if r, ok := m[posn.Line-1]; ok {
+		return r, true
+	}
+	return "", false
+}
+
+// RankFacts is the serialized lock-rank table one package exports: ranks
+// keyed "Type.Field" plus the declared ordering edges. Rank names are
+// global across packages by convention.
+type RankFacts struct {
+	Ranks map[string]string `json:"ranks,omitempty"`
+	Edges [][2]string       `json:"edges,omitempty"`
+}
+
+// ExportRankFacts serializes the package's rank declarations; nil when
+// there are none (so factless packages write no blob).
+func (an *Annot) ExportRankFacts() ([]byte, error) {
+	if len(an.Ranks) == 0 {
+		return nil, nil
+	}
+	f := RankFacts{Ranks: map[string]string{}}
+	for v, rank := range an.Ranks {
+		f.Ranks[an.Owner[v]+"."+v.Name()] = rank
+	}
+	for _, e := range an.Edges {
+		f.Edges = append(f.Edges, [2]string{e.Before, e.After})
+	}
+	sort.Slice(f.Edges, func(i, j int) bool {
+		if f.Edges[i][0] != f.Edges[j][0] {
+			return f.Edges[i][0] < f.Edges[j][0]
+		}
+		return f.Edges[i][1] < f.Edges[j][1]
+	})
+	return json.Marshal(f)
+}
+
+// RankIndex resolves mutex fields — local or imported — to rank names and
+// answers declared-order queries over the merged edge set.
+type RankIndex struct {
+	pass     *Pass
+	an       *Annot
+	imported map[string]*RankFacts
+	owner    map[*types.Var]string
+	edges    map[string]map[string]bool
+	ranks    map[string]bool
+	reach    map[string]map[string]bool
+}
+
+// NewRankIndex builds the index from the package's own annotations plus
+// any rank facts its dependencies exported.
+func NewRankIndex(pass *Pass, an *Annot) *RankIndex {
+	ix := &RankIndex{
+		pass:     pass,
+		an:       an,
+		imported: map[string]*RankFacts{},
+		owner:    map[*types.Var]string{},
+		edges:    map[string]map[string]bool{},
+		ranks:    map[string]bool{},
+		reach:    map[string]map[string]bool{},
+	}
+	for path, blob := range pass.ImportedFacts {
+		var f RankFacts
+		if json.Unmarshal(blob, &f) != nil {
+			continue
+		}
+		ix.imported[path] = &f
+		for _, r := range f.Ranks {
+			ix.ranks[r] = true
+		}
+		for _, e := range f.Edges {
+			ix.addEdge(e[0], e[1])
+		}
+	}
+	for _, r := range an.Ranks {
+		ix.ranks[r] = true
+	}
+	for _, e := range an.Edges {
+		ix.addEdge(e.Before, e.After)
+	}
+	return ix
+}
+
+func (ix *RankIndex) addEdge(a, b string) {
+	m := ix.edges[a]
+	if m == nil {
+		m = map[string]bool{}
+		ix.edges[a] = m
+	}
+	m[b] = true
+}
+
+// Empty reports whether no rank is declared anywhere in scope.
+func (ix *RankIndex) Empty() bool { return len(ix.ranks) == 0 }
+
+// Declared reports whether some package in scope declares rank name.
+func (ix *RankIndex) Declared(name string) bool { return ix.ranks[name] }
+
+// RankOf resolves a mutex field to its rank, consulting imported facts
+// for fields declared in dependencies.
+func (ix *RankIndex) RankOf(v *types.Var) (string, bool) {
+	if r, ok := ix.an.Ranks[v]; ok {
+		return r, true
+	}
+	if v.Pkg() == nil || v.Pkg() == ix.pass.Pkg {
+		return "", false
+	}
+	facts := ix.imported[v.Pkg().Path()]
+	if facts == nil {
+		return "", false
+	}
+	owner, ok := ix.ownerTypeName(v)
+	if !ok {
+		return "", false
+	}
+	r, ok := facts.Ranks[owner+"."+v.Name()]
+	return r, ok
+}
+
+// ownerTypeName finds the named struct type of v's package that declares
+// field v (imported facts are keyed by it).
+func (ix *RankIndex) ownerTypeName(v *types.Var) (string, bool) {
+	if name, ok := ix.owner[v]; ok {
+		return name, name != ""
+	}
+	scope := v.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				ix.owner[v] = name
+				return name, true
+			}
+		}
+	}
+	ix.owner[v] = ""
+	return "", false
+}
+
+// Before reports whether the declared order requires rank a to be
+// acquired before rank b (transitively).
+func (ix *RankIndex) Before(a, b string) bool {
+	if m, ok := ix.reach[a]; ok {
+		return m[b]
+	}
+	seen := map[string]bool{}
+	var dfs func(string)
+	dfs = func(n string) {
+		for next := range ix.edges[n] {
+			if !seen[next] {
+				seen[next] = true
+				dfs(next)
+			}
+		}
+	}
+	dfs(a)
+	ix.reach[a] = seen
+	return seen[b]
+}
+
+// Cycle returns one declared-order cycle as a rank path (nil if the edge
+// graph is a DAG).
+func (ix *RankIndex) Cycle() []string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var stack []string
+	var cycle []string
+	var dfs func(string) bool
+	dfs = func(n string) bool {
+		color[n] = gray
+		stack = append(stack, n)
+		for _, next := range sortedKeys(ix.edges[n]) {
+			switch color[next] {
+			case gray:
+				for i, s := range stack {
+					if s == next {
+						cycle = append(append([]string(nil), stack[i:]...), next)
+						return true
+					}
+				}
+			case white:
+				if dfs(next) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[n] = black
+		return false
+	}
+	for _, n := range sortedKeys2(ix.edges) {
+		if color[n] == white && dfs(n) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeys2(m map[string]map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,213 @@
+// Package atomicfield enforces two field-access disciplines:
+//
+//  1. A struct field passed to a sync/atomic package function anywhere
+//     (atomic.AddInt64(&s.n, 1)) must be accessed atomically everywhere
+//     — a single plain read or write next to atomic updates is a data
+//     race the race detector only catches if the schedule cooperates.
+//     (Typed atomics — atomic.Int64 and friends — are immune by
+//     construction and are what this tree uses; the rule catches the
+//     legacy mixed style creeping back in.)
+//
+//  2. A field annotated `// guarded by <mu>` may only be accessed while
+//     that sibling mutex is held, checked intra-procedurally along the
+//     same held-lock walk lockorder uses.
+//
+// Exemptions: functions whose name ends in "Locked" (the caller-holds
+// convention, e.g. stageLocked), accesses through a receiver freshly
+// allocated in the same function (constructors publish before sharing),
+// and test files.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "check atomic-everywhere and guarded-by field access discipline",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	an := analysis.ParseAnnotations(pass)
+	checkMixedAtomics(pass)
+	if len(an.Guards) == 0 {
+		return nil
+	}
+
+	guardMus := map[*types.Var]bool{}
+	for _, mu := range an.Guards {
+		guardMus[mu] = true
+	}
+	tracked := func(v *types.Var) bool { return guardMus[v] }
+
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			local := localAllocs(pass, fd)
+			reported := map[token.Pos]bool{}
+			w := &analysis.LockWalker{
+				Info:    pass.TypesInfo,
+				Tracked: tracked,
+				OnNode: func(n ast.Node, held []analysis.LockUse, _ bool) {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok || reported[sel.Pos()] {
+						return
+					}
+					fv := analysis.FieldVar(pass.TypesInfo, sel)
+					if fv == nil {
+						return
+					}
+					mu := an.Guards[fv]
+					if mu == nil {
+						return
+					}
+					if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && local[pass.TypesInfo.ObjectOf(id)] {
+						return
+					}
+					want := types.ExprString(sel.X) + "." + mu.Name()
+					for _, h := range held {
+						if h.Field == mu && h.Path == want {
+							return
+						}
+					}
+					reported[sel.Pos()] = true
+					pass.Reportf(sel.Pos(), "access to %s, guarded by %s, without holding %s",
+						types.ExprString(sel), mu.Name(), want)
+				},
+			}
+			w.Walk(fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkMixedAtomics implements rule 1: collect fields reaching legacy
+// sync/atomic calls by address, then flag every plain access to them.
+func checkMixedAtomics(pass *analysis.Pass) {
+	atomicFields := map[*types.Var]token.Pos{}
+	atomicSites := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.FuncOf(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // typed atomics' methods are always safe
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv := analysis.FieldVar(pass.TypesInfo, sel); fv != nil {
+					if _, seen := atomicFields[fv]; !seen {
+						atomicFields[fv] = sel.Pos()
+					}
+					atomicSites[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			local := localAllocs(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || atomicSites[sel] {
+					return true
+				}
+				fv := analysis.FieldVar(pass.TypesInfo, sel)
+				if fv == nil {
+					return true
+				}
+				first, ok := atomicFields[fv]
+				if !ok {
+					return true
+				}
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && local[pass.TypesInfo.ObjectOf(id)] {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "plain access to %s, which is accessed via sync/atomic at %s; a field touched atomically anywhere must be atomic everywhere",
+					types.ExprString(sel), pass.Fset.Position(first))
+				return true
+			})
+		}
+	}
+}
+
+// localAllocs collects objects assigned a fresh allocation (&T{}, T{},
+// new(T)) in fd: accesses through them are pre-publication and exempt.
+func localAllocs(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isAlloc(pass, rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isAlloc(pass *analysis.Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			return analysis.IsBuiltin(pass.TypesInfo, id, "new")
+		}
+	}
+	return false
+}

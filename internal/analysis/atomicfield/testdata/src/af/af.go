@@ -1,0 +1,95 @@
+package af
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Rule 1: atomic anywhere means atomic everywhere.
+
+type A struct {
+	n int64
+	m int64
+}
+
+func bump(a *A) {
+	atomic.AddInt64(&a.n, 1)
+}
+
+func load(a *A) int64 {
+	return atomic.LoadInt64(&a.n)
+}
+
+func mixedRead(a *A) int64 {
+	return a.n // want `plain access to a\.n, which is accessed via sync/atomic`
+}
+
+func mixedWrite(a *A) {
+	a.n = 0 // want `plain access to a\.n`
+}
+
+func untouched(a *A) int64 {
+	return a.m // never touched atomically: fine
+}
+
+func fresh() *A {
+	a := &A{}
+	a.n = 5 // pre-publication initialization: fine
+	return a
+}
+
+// Typed atomics are immune by construction.
+
+type T struct {
+	c atomic.Int64
+}
+
+func typedOK(t *T) int64 {
+	t.c.Add(1)
+	return t.c.Load()
+}
+
+// Rule 2: guarded-by fields need the mutex held.
+
+type G struct {
+	mu    sync.Mutex // sdr:lockrank gmu
+	count int        // guarded by mu
+}
+
+func okHeld(g *G) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.count
+}
+
+func okHeldWrite(g *G) {
+	g.mu.Lock()
+	g.count++
+	g.mu.Unlock()
+}
+
+func badRead(g *G) int {
+	return g.count // want `access to g\.count, guarded by mu, without holding g\.mu`
+}
+
+func badAfterUnlock(g *G) int {
+	g.mu.Lock()
+	g.mu.Unlock()
+	return g.count // want `access to g\.count, guarded by mu`
+}
+
+func crossInstance(g, h *G) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return h.count // want `access to h\.count, guarded by mu, without holding h\.mu`
+}
+
+func (g *G) bumpLocked() {
+	g.count++ // *Locked convention: the caller holds mu
+}
+
+func ctor() *G {
+	g := &G{}
+	g.count = 1 // fresh allocation: fine
+	return g
+}

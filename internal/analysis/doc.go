@@ -43,6 +43,65 @@
 //     unvalidated; the table is now the single declaration point and
 //     rawEnv panics on undeclared names.
 //
+// The PR 8 batched wire landed with three shutdown races (a flush/Close
+// deadlock through the batch and connection locks, writes against an
+// unmapped ring, and orphaned accept loops) that each took a -race CI
+// flake to find. The concurrency analyzers turn that class of bug into
+// a compile-time report:
+//
+//   - lockorder: mutex fields carry declared ranks; acquisitions while
+//     another ranked mutex is held must follow a declared edge of the
+//     partial order. Undeclared nestings, inversions, re-acquisition,
+//     same-rank nesting and cyclic declarations are all reported, and
+//     one-level call summaries catch nestings through helpers. Rank
+//     declarations export as facts, so cross-package nestings are
+//     checked too.
+//
+//   - holdblock: no blocking operation — network I/O, time.Sleep, JSON
+//     stream Encode/Decode, bare channel operations, selects without an
+//     escape arm, Cond.Wait outside a loop, WaitGroup.Wait — while a
+//     ranked mutex is held. Deliberate hold-across-write points (the
+//     per-pair FIFO flushes) carry an explicit sdr:holdblock-ok waiver
+//     with a reason.
+//
+//   - golifecycle: every goroutine launched from a type that has a
+//     Close/Stop/Shutdown must be joinable by it: the body receives on
+//     a done/ctx signal, or registers on a WaitGroup the closer waits
+//     on (Add before the go statement, Done in the body). There is no
+//     waiver comment by design — an unjoinable goroutine on a
+//     long-lived type is always a leak. Running this analyzer over the
+//     tree found four real leaks (the registry's accept/serve/rejoin
+//     goroutines and the obs server's accept loop), fixed in the same
+//     change that introduced it.
+//
+//   - atomicfield: a field accessed through legacy sync/atomic calls
+//     anywhere must be accessed atomically everywhere, and a field
+//     annotated "guarded by <mu>" may only be touched with that mutex
+//     held (intra-procedurally). Functions with the *Locked suffix,
+//     freshly allocated locals, and _test.go files are exempt.
+//
+// # Annotation grammar
+//
+// The concurrency analyzers read three comment forms, all attached to
+// struct fields or statements:
+//
+//	mu sync.Mutex // sdr:lockrank batch < ringio < peer
+//
+// names the field's rank (the first identifier) and declares ordering
+// edges between consecutive pairs. Multiple sdr:lockrank lines on one
+// field may repeat the field's own rank to declare further edges.
+//
+//	frames []*Message // guarded by mu
+//
+// declares that the field may only be accessed while the named sibling
+// mutex is held (enforced by atomicfield).
+//
+//	// sdr:holdblock-ok <reason>
+//
+// on the blocking line or the line above waives a holdblock finding;
+// the reason is mandatory and should say why holding the lock across
+// the blocking point is load-bearing.
+//
 // # Running locally
 //
 // The suite builds into cmd/sdrlint and speaks the vet vettool

@@ -1,0 +1,296 @@
+// Package golifecycle checks that every goroutine launched from a
+// long-lived type is joinable by that type's Close/Stop/Shutdown.
+//
+// A type is long-lived when it declares a Close, Stop, or Shutdown
+// method. For every `go` statement in its methods (and in constructors
+// returning it), the goroutine body must either
+//
+//   - receive on a done/ctx signal — a channel field of the owner type
+//     or ctx.Done() — so shutdown can interrupt it, or
+//   - be WaitGroup-registered on a path Close waits on: wg.Add on a
+//     WaitGroup field of the owner before the go statement, wg.Done in
+//     the body, and wg.Wait in Close/Stop/Shutdown.
+//
+// Anything else is a leak: the goroutine outlives Close, keeps its
+// captures alive, and races the teardown — exactly the leaked
+// flushTick/ring-scanner class in engine-less wire constructions the
+// PR 8 review hunted by hand. There is deliberately no waiver
+// annotation: a flagged goroutine gets fixed, not excused.
+//
+// Test files are exempt (test goroutines are bounded by the test).
+package golifecycle
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "golifecycle",
+	Doc:  "check that goroutines launched from long-lived types are joinable by Close",
+	Run:  run,
+}
+
+var closeNames = map[string]bool{"Close": true, "Stop": true, "Shutdown": true}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:       pass,
+		decls:      map[*types.Func]*ast.FuncDecl{},
+		closers:    map[*types.Named]bool{},
+		closeWaits: map[*types.Named]map[*types.Var]bool{},
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			c.decls[fn] = fd
+			if named := recvNamed(fn); named != nil && closeNames[fn.Name()] {
+				c.closers[named] = true
+			}
+		}
+	}
+	// Which WaitGroup fields each closer type's Close/Stop/Shutdown
+	// actually waits on.
+	for fn, fd := range c.decls {
+		named := recvNamed(fn)
+		if named == nil || !closeNames[fn.Name()] {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if v := analysis.FieldVar(pass.TypesInfo, sel.X); v != nil && isWaitGroup(v.Type()) && isFieldOf(named, v) {
+					m := c.closeWaits[named]
+					if m == nil {
+						m = map[*types.Var]bool{}
+						c.closeWaits[named] = m
+					}
+					m[v] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for fn, fd := range c.decls {
+		if pass.IsTestFile(fd.Pos()) {
+			continue
+		}
+		owner := c.ownerOf(fn)
+		if owner == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			c.checkGo(g, fd, owner)
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass       *analysis.Pass
+	decls      map[*types.Func]*ast.FuncDecl
+	closers    map[*types.Named]bool
+	closeWaits map[*types.Named]map[*types.Var]bool
+}
+
+// ownerOf resolves the long-lived type a function launches goroutines
+// from: its receiver, or — for constructors — a result type that has a
+// closer.
+func (c *checker) ownerOf(fn *types.Func) *types.Named {
+	if named := recvNamed(fn); named != nil {
+		if c.closers[named] {
+			return named
+		}
+		return nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return nil
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if named := namedOf(sig.Results().At(i).Type()); named != nil && c.closers[named] {
+			return named
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkGo(g *ast.GoStmt, enclosing *ast.FuncDecl, owner *types.Named) {
+	body := c.goBody(g)
+	if body != nil {
+		if c.hasDoneSignal(body, owner) {
+			return
+		}
+		if wg := c.wgDoneField(body, owner); wg != nil {
+			if !c.addBefore(enclosing, g, wg) {
+				c.pass.Reportf(g.Pos(), "goroutine runs %s.Done but %s.Add does not precede the go statement; the WaitGroup can hit zero early", wg.Name(), wg.Name())
+				return
+			}
+			if !c.closeWaits[owner][wg] {
+				c.pass.Reportf(g.Pos(), "goroutine registers on %s but %s's Close/Stop/Shutdown never calls %s.Wait; the goroutine is not joined", wg.Name(), owner.Obj().Name(), wg.Name())
+				return
+			}
+			return
+		}
+	}
+	c.pass.Reportf(g.Pos(), "goroutine launched from %s (which has Close/Stop/Shutdown) is not joinable: its body neither receives on a done/ctx channel of %s nor registers on a WaitGroup that Close waits on",
+		owner.Obj().Name(), owner.Obj().Name())
+}
+
+// goBody resolves the launched function's body: a literal, or a
+// function/method declared in this package.
+func (c *checker) goBody(g *ast.GoStmt) *ast.BlockStmt {
+	if fl, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		return fl.Body
+	}
+	if fn := analysis.FuncOf(c.pass.TypesInfo, g.Call); fn != nil {
+		if fd := c.decls[fn]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// hasDoneSignal reports whether the body receives on a channel field of
+// the owner (directly, in a select, or by range) or on ctx.Done().
+func (c *checker) hasDoneSignal(body *ast.BlockStmt, owner *types.Named) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		var recv ast.Expr
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				recv = n.X
+			}
+		case *ast.RangeStmt:
+			recv = n.X
+		}
+		if recv == nil {
+			return true
+		}
+		tv, ok := c.pass.TypesInfo.Types[recv]
+		if !ok {
+			return true
+		}
+		if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+			return true
+		}
+		if call, ok := ast.Unparen(recv).(*ast.CallExpr); ok {
+			if fn := analysis.FuncOf(c.pass.TypesInfo, call); fn != nil && fn.Name() == "Done" && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+				found = true
+			}
+			return true
+		}
+		if v := analysis.FieldVar(c.pass.TypesInfo, recv); v != nil && isFieldOf(owner, v) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// wgDoneField returns the owner WaitGroup field the body calls Done on
+// (directly or deferred), if any.
+func (c *checker) wgDoneField(body *ast.BlockStmt, owner *types.Named) *types.Var {
+	var wg *types.Var
+	ast.Inspect(body, func(n ast.Node) bool {
+		if wg != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" {
+			return true
+		}
+		if v := analysis.FieldVar(c.pass.TypesInfo, sel.X); v != nil && isWaitGroup(v.Type()) && isFieldOf(owner, v) {
+			wg = v
+		}
+		return true
+	})
+	return wg
+}
+
+// addBefore reports whether enclosing calls Add on the WaitGroup field
+// before the go statement.
+func (c *checker) addBefore(enclosing *ast.FuncDecl, g *ast.GoStmt, wg *types.Var) bool {
+	found := false
+	ast.Inspect(enclosing.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if call.Pos() >= g.Pos() {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Add" {
+			if v := analysis.FieldVar(c.pass.TypesInfo, sel.X); v == wg {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func recvNamed(fn *types.Func) *types.Named {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	return namedOf(sig.Recv().Type())
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func isFieldOf(named *types.Named, v *types.Var) bool {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i) == v {
+			return true
+		}
+	}
+	return false
+}
+
+func isWaitGroup(t types.Type) bool {
+	named := namedOf(t)
+	return named != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}

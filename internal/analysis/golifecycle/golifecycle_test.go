@@ -1,0 +1,12 @@
+package golifecycle_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/golifecycle"
+)
+
+func TestGolifecycle(t *testing.T) {
+	analysistest.Run(t, "testdata", golifecycle.Analyzer, "gl")
+}

@@ -1,0 +1,129 @@
+package gl
+
+import (
+	"context"
+	"sync"
+)
+
+// Svc is long-lived: it has a Close.
+type Svc struct {
+	mu   sync.Mutex
+	wg   sync.WaitGroup
+	done chan struct{}
+	ch   chan int
+	n    int
+}
+
+func (s *Svc) Close() error {
+	close(s.done)
+	s.wg.Wait()
+	return nil
+}
+
+func doneOK(s *Svc) *Svc {
+	go func() {
+		for {
+			select {
+			case <-s.done:
+				return
+			case v := <-s.ch:
+				_ = v
+			}
+		}
+	}()
+	return s
+}
+
+func rangeOK(s *Svc) *Svc {
+	go func() {
+		for v := range s.ch {
+			_ = v
+		}
+	}()
+	return s
+}
+
+func (s *Svc) StartWG() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.n++
+	}()
+}
+
+func (s *Svc) StartCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func (s *Svc) loop() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case v := <-s.ch:
+			_ = v
+		}
+	}
+}
+
+func (s *Svc) StartMethod() {
+	go s.loop() // body of a declared method counts too
+}
+
+func (s *Svc) StartLeak() {
+	go func() { // want `not joinable`
+		s.n++
+	}()
+}
+
+func (s *Svc) StartNoAdd() {
+	go func() { // want `Add does not precede the go statement`
+		defer s.wg.Done()
+		s.n++
+	}()
+}
+
+func NewSvc() *Svc {
+	s := &Svc{done: make(chan struct{}), ch: make(chan int)}
+	go func() { // want `not joinable`
+		for v := range s.ch2() {
+			_ = v
+		}
+	}()
+	return s
+}
+
+func (s *Svc) ch2() chan int { return make(chan int) }
+
+// Orphan has a Close that never waits, so WaitGroup registration on it
+// does not join.
+type Orphan struct {
+	wg sync.WaitGroup
+	n  int
+}
+
+func (o *Orphan) Close() error { return nil }
+
+func (o *Orphan) Start() {
+	o.wg.Add(1)
+	go func() { // want `Close/Stop/Shutdown never calls wg\.Wait`
+		defer o.wg.Done()
+		o.n++
+	}()
+}
+
+// Plain has no Close: its goroutines are not checked.
+type Plain struct{ n int }
+
+func (p *Plain) Start() {
+	go func() {
+		p.n++
+	}()
+}
+
+// freeFunc returns nothing long-lived: not checked.
+func freeFunc() {
+	go func() {}()
+}

@@ -1,0 +1,265 @@
+// Package holdblock flags blocking operations performed while a named
+// (sdr:lockrank-annotated) mutex is held.
+//
+// Blocking operations: time.Sleep; net dials, listens, and connection
+// I/O (Read/Write/ReadFrom/WriteTo on net types, including the vectored
+// net.Buffers.WriteTo); JSON stream Encode/Decode (the control plane's
+// conn-backed codecs); sync.WaitGroup.Wait; sync.Cond.Wait outside a for
+// loop; bare channel sends and receives; range over a channel; and a
+// select with neither a default nor a done-ish case. A call to a
+// same-package function whose body directly contains an unwaived
+// blocking operation is flagged at the call site too (one level deep),
+// which is how a dial hidden behind a helper surfaces.
+//
+// A deliberate, audited hold-while-blocking site carries
+// // sdr:holdblock-ok <reason> on the same line or the line above — the
+// PR 8 FIFO-across-flush design (batch mutex held across the vectored
+// write so staging order IS emission order) becomes one annotation
+// instead of folklore.
+package holdblock
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "holdblock",
+	Doc:  "flag blocking operations while a named mutex is held",
+	Run:  run,
+}
+
+// blocked is one direct blocking operation inside a function body.
+type blocked struct {
+	desc string
+	pos  token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	an := analysis.ParseAnnotations(pass)
+	if len(an.Ranks) == 0 {
+		return nil
+	}
+	tracked := func(v *types.Var) bool { _, ok := an.Ranks[v]; return ok }
+
+	c := &checker{pass: pass, an: an, inFor: map[*ast.CallExpr]bool{}, reported: map[token.Pos]bool{}}
+	c.markForLoops()
+
+	// One-level summaries: each function's direct, unwaived blocking ops.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	summaries := map[*types.Func][]blocked{}
+	for fn, fd := range decls {
+		var ops []blocked
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if desc, ok := c.blockingCall(call); ok {
+				if _, waived := an.HoldOK(pass.Fset, call.Pos()); !waived {
+					ops = append(ops, blocked{desc: desc, pos: call.Pos()})
+				}
+			}
+			return true
+		})
+		if len(ops) > 0 {
+			summaries[fn] = ops
+		}
+	}
+
+	for _, fd := range decls {
+		w := &analysis.LockWalker{
+			Info:    pass.TypesInfo,
+			Tracked: tracked,
+			OnNode: func(n ast.Node, held []analysis.LockUse, inComm bool) {
+				if len(held) == 0 {
+					return
+				}
+				c.checkNode(n, held, inComm, summaries)
+			},
+		}
+		w.Walk(fd.Body)
+	}
+	return nil
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	an       *analysis.Annot
+	inFor    map[*ast.CallExpr]bool // calls lexically inside a for/range body
+	reported map[token.Pos]bool
+}
+
+// markForLoops records which calls sit inside a loop body, for the
+// cond.Wait-must-loop rule.
+func (c *checker) markForLoops() {
+	for _, f := range c.pass.Files {
+		var ranges [][2]token.Pos
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				ranges = append(ranges, [2]token.Pos{n.Body.Pos(), n.Body.End()})
+			case *ast.RangeStmt:
+				ranges = append(ranges, [2]token.Pos{n.Body.Pos(), n.Body.End()})
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, r := range ranges {
+				if call.Pos() >= r[0] && call.End() <= r[1] {
+					c.inFor[call] = true
+					break
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (c *checker) report(pos token.Pos, desc string, held []analysis.LockUse) {
+	if c.reported[pos] {
+		return
+	}
+	if _, ok := c.an.HoldOK(c.pass.Fset, pos); ok {
+		return
+	}
+	c.reported[pos] = true
+	names := make([]string, len(held))
+	for i, h := range held {
+		names[i] = fmt.Sprintf("%s (rank %s)", h.Path, c.an.Ranks[h.Field])
+	}
+	c.pass.Reportf(pos, "%s while holding %s; release the lock or annotate sdr:holdblock-ok <reason>",
+		desc, strings.Join(names, ", "))
+}
+
+func (c *checker) checkNode(n ast.Node, held []analysis.LockUse, inComm bool, summaries map[*types.Func][]blocked) {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		if desc, ok := c.blockingCall(n); ok {
+			c.report(n.Pos(), desc, held)
+			return
+		}
+		if fn := analysis.FuncOf(c.pass.TypesInfo, n); fn != nil {
+			if ops := summaries[fn]; len(ops) > 0 {
+				c.report(n.Pos(), fmt.Sprintf("call to %s, which blocks (%s at %s),",
+					fn.Name(), ops[0].desc, c.pass.Fset.Position(ops[0].pos)), held)
+			}
+		}
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW && !inComm {
+			c.report(n.Pos(), "bare channel receive", held)
+		}
+	case *ast.SendStmt:
+		if !inComm {
+			c.report(n.Pos(), "bare channel send", held)
+		}
+	case *ast.RangeStmt:
+		if tv, ok := c.pass.TypesInfo.Types[n.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				c.report(n.Pos(), "range over channel", held)
+			}
+		}
+	case *ast.SelectStmt:
+		if !selectHasEscape(n) {
+			c.report(n.Pos(), "select with no default and no done/ctx case", held)
+		}
+	}
+}
+
+// blockingCall classifies one call as a known blocking operation.
+func (c *checker) blockingCall(call *ast.CallExpr) (string, bool) {
+	fn := analysis.FuncOf(c.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	pkg, name := fn.Pkg().Name(), fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return "", false
+	}
+	if sig.Recv() == nil {
+		switch {
+		case pkg == "time" && name == "Sleep":
+			return "time.Sleep", true
+		case pkg == "net" && (name == "Dial" || name == "DialTimeout" || name == "Listen" || name == "ListenPacket"):
+			return "net." + name, true
+		}
+		return "", false
+	}
+	switch {
+	case pkg == "net" && (name == "Read" || name == "Write" || name == "ReadFrom" || name == "WriteTo"):
+		return "net connection " + name, true
+	case pkg == "json" && (name == "Encode" || name == "Decode"):
+		return "json stream " + name, true
+	case pkg == "sync" && name == "Wait":
+		recv := sig.Recv().Type().String()
+		if strings.HasSuffix(recv, "Cond") {
+			if c.inFor[call] {
+				return "", false // the correct cond.Wait idiom
+			}
+			return "sync.Cond.Wait outside a for loop", true
+		}
+		return "sync.WaitGroup.Wait", true
+	}
+	return "", false
+}
+
+// selectHasEscape reports whether a select can avoid blocking
+// indefinitely: a default case, or a done-ish receive (done/quit/stop
+// channel fields, ctx.Done()) that shutdown closes.
+func selectHasEscape(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default
+		}
+		var recv ast.Expr
+		switch s := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := s.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				recv = u.X
+			}
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				if u, ok := s.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					recv = u.X
+				}
+			}
+		}
+		if recv == nil {
+			continue
+		}
+		src := strings.ToLower(types.ExprString(recv))
+		for _, hint := range []string{"done", "quit", "stop", "close", "ctx"} {
+			if strings.Contains(src, hint) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package holdblock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/holdblock"
+)
+
+func TestHoldblock(t *testing.T) {
+	analysistest.Run(t, "testdata", holdblock.Analyzer, "hb")
+}

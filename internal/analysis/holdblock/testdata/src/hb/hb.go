@@ -1,0 +1,168 @@
+package hb
+
+import (
+	"encoding/json"
+	"net"
+	"sync"
+	"time"
+)
+
+type H struct {
+	mu   sync.Mutex // sdr:lockrank hb
+	cv   *sync.Cond
+	wg   sync.WaitGroup
+	n    int
+	ch   chan int
+	done chan struct{}
+	conn net.Conn
+}
+
+func sleepHeld(h *H) {
+	h.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding h\.mu \(rank hb\)`
+	h.mu.Unlock()
+}
+
+func sleepWaivedSameLine(h *H) {
+	h.mu.Lock()
+	time.Sleep(time.Millisecond) // sdr:holdblock-ok startup settle under test
+	h.mu.Unlock()
+}
+
+func sleepWaivedLineAbove(h *H) {
+	h.mu.Lock()
+	// sdr:holdblock-ok retry pacing is deliberate here
+	time.Sleep(time.Millisecond)
+	h.mu.Unlock()
+}
+
+func notHeld(h *H) {
+	time.Sleep(time.Millisecond)
+	<-h.ch
+	h.ch <- 1
+}
+
+func netWriteHeld(h *H) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, _ = h.conn.Write(nil) // want `net connection Write while holding h\.mu \(rank hb\)`
+}
+
+func dialHeld(h *H) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c, err := net.Dial("tcp", "localhost:0") // want `net\.Dial while holding`
+	if err == nil {
+		c.Close()
+	}
+}
+
+func encodeHeld(h *H, enc *json.Encoder) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_ = enc.Encode(h.n) // want `json stream Encode while holding`
+}
+
+func recvHeld(h *H) {
+	h.mu.Lock()
+	v := <-h.ch // want `bare channel receive while holding`
+	_ = v
+	h.mu.Unlock()
+}
+
+func sendHeld(h *H) {
+	h.mu.Lock()
+	h.ch <- 1 // want `bare channel send while holding`
+	h.mu.Unlock()
+}
+
+func rangeHeld(h *H) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for range h.ch { // want `range over channel while holding`
+	}
+}
+
+func selectNoEscape(h *H) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select { // want `select with no default and no done/ctx case while holding`
+	case v := <-h.ch:
+		_ = v
+	}
+}
+
+func selectDefaultOK(h *H) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select {
+	case v := <-h.ch:
+		_ = v
+	default:
+	}
+}
+
+func selectDoneOK(h *H) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select {
+	case <-h.done:
+	case v := <-h.ch:
+		_ = v
+	}
+}
+
+func condLoopOK(h *H) {
+	h.mu.Lock()
+	for h.n == 0 {
+		h.cv.Wait()
+	}
+	h.mu.Unlock()
+}
+
+func condNoLoop(h *H) {
+	h.mu.Lock()
+	h.cv.Wait() // want `sync\.Cond\.Wait outside a for loop while holding`
+	h.mu.Unlock()
+}
+
+func wgWaitHeld(h *H) {
+	h.mu.Lock()
+	h.wg.Wait() // want `sync\.WaitGroup\.Wait while holding`
+	h.mu.Unlock()
+}
+
+func dialBackoff() {
+	time.Sleep(time.Millisecond)
+}
+
+func viaHelper(h *H) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	dialBackoff() // want `call to dialBackoff, which blocks \(time\.Sleep at .*\), while holding h\.mu`
+}
+
+func flushLocked(h *H) {
+	_, _ = h.conn.Write(nil) // sdr:holdblock-ok audited FIFO flush for the test corpus
+}
+
+func viaWaivedHelper(h *H) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	flushLocked(h) // the helper's blocking op is waived: no finding
+}
+
+func spawnOK(h *H) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond) // runs on its own goroutine: fine
+	}()
+}
+
+func litOK(h *H) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f := func() { time.Sleep(time.Millisecond) }
+	_ = f
+}

@@ -23,6 +23,16 @@ type Loaded struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+
+	// SrcDeps holds every package source-loaded in the same session
+	// (testdata stubs), keyed by import path; RunAnalyzer computes facts
+	// over them for fact-exporting analyzers.
+	SrcDeps map[string]*Loaded
+
+	// Facts carries pre-read dependency fact blobs, analyzer name →
+	// import path → blob (the unitchecker driver fills it from the vetx
+	// files the go command hands it).
+	Facts map[string]map[string][]byte
 }
 
 // NewTypesInfo allocates the maps every analyzer relies on.
@@ -69,11 +79,12 @@ type dirLoader struct {
 	fset     *token.FileSet
 	srcRoots []string
 	loaded   map[string]*types.Package
+	src      map[string]*Loaded // source-loaded packages, by import path
 	gc       types.Importer
 }
 
 func newDirLoader(fset *token.FileSet, srcRoots []string) *dirLoader {
-	l := &dirLoader{fset: fset, srcRoots: srcRoots, loaded: map[string]*types.Package{}}
+	l := &dirLoader{fset: fset, srcRoots: srcRoots, loaded: map[string]*types.Package{}, src: map[string]*Loaded{}}
 	l.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		file, err := exportDataFile(path)
 		if err != nil {
@@ -140,7 +151,9 @@ func (l *dirLoader) load(dir, path string) (*Loaded, error) {
 		return nil, fmt.Errorf("typecheck %s: %w", path, err)
 	}
 	l.loaded[path] = pkg
-	return &Loaded{Fset: l.fset, Files: files, Pkg: pkg, Info: info}, nil
+	lp := &Loaded{Fset: l.fset, Files: files, Pkg: pkg, Info: info, SrcDeps: l.src}
+	l.src[path] = lp
+	return lp, nil
 }
 
 // LoadDir parses and type-checks the package in dir. Imports resolve
@@ -158,20 +171,104 @@ func LoadDir(dir string, srcRoots []string) (*Loaded, error) {
 }
 
 // RunAnalyzer applies one analyzer to a loaded package and returns the
-// diagnostics in position order.
+// diagnostics in position order. Fact-exporting analyzers see the facts
+// of their dependencies: driver-supplied blobs (lp.Facts) merged with
+// facts computed on the fly over source-loaded testdata packages.
 func RunAnalyzer(a *Analyzer, lp *Loaded) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	pass := &Pass{
-		Analyzer:  a,
-		Fset:      lp.Fset,
-		Files:     lp.Files,
-		Pkg:       lp.Pkg,
-		TypesInfo: lp.Info,
-		Report:    func(d Diagnostic) { diags = append(diags, d) },
+		Analyzer:      a,
+		Fset:          lp.Fset,
+		Files:         lp.Files,
+		Pkg:           lp.Pkg,
+		TypesInfo:     lp.Info,
+		Report:        func(d Diagnostic) { diags = append(diags, d) },
+		ImportedFacts: importedFactsFor(a, lp),
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %w", a.Name, err)
 	}
 	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
 	return diags, nil
+}
+
+// ExportFactsFor runs a's fact exporter over lp (with its dependencies'
+// facts resolved the same way as RunAnalyzer). Nil for factless
+// analyzers and factless packages.
+func ExportFactsFor(a *Analyzer, lp *Loaded) ([]byte, error) {
+	if a.ExportFacts == nil {
+		return nil, nil
+	}
+	pass := &Pass{
+		Analyzer:      a,
+		Fset:          lp.Fset,
+		Files:         lp.Files,
+		Pkg:           lp.Pkg,
+		TypesInfo:     lp.Info,
+		Report:        func(Diagnostic) {},
+		ImportedFacts: importedFactsFor(a, lp),
+	}
+	return a.ExportFacts(pass)
+}
+
+// importedFactsFor assembles the dependency fact blobs one analyzer sees
+// over one package.
+func importedFactsFor(a *Analyzer, lp *Loaded) map[string][]byte {
+	out := map[string][]byte{}
+	for p, blob := range lp.Facts[a.Name] {
+		out[p] = blob
+	}
+	if a.ExportFacts != nil {
+		memo := map[string][]byte{}
+		for path, dep := range lp.SrcDeps {
+			if lp.Pkg != nil && path == lp.Pkg.Path() {
+				continue
+			}
+			if blob := srcFactsOf(a, dep, memo); blob != nil {
+				out[path] = blob
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// srcFactsOf memoizes fact computation over one source-loaded package
+// (testdata stubs import each other, so recursion resolves their facts
+// in dependency order; the nil placeholder guards against cycles).
+func srcFactsOf(a *Analyzer, lp *Loaded, memo map[string][]byte) []byte {
+	path := lp.Pkg.Path()
+	if blob, ok := memo[path]; ok {
+		return blob
+	}
+	memo[path] = nil
+	imported := map[string][]byte{}
+	for p, dep := range lp.SrcDeps {
+		if p == path {
+			continue
+		}
+		if blob := srcFactsOf(a, dep, memo); blob != nil {
+			imported[p] = blob
+		}
+	}
+	if len(imported) == 0 {
+		imported = nil
+	}
+	pass := &Pass{
+		Analyzer:      a,
+		Fset:          lp.Fset,
+		Files:         lp.Files,
+		Pkg:           lp.Pkg,
+		TypesInfo:     lp.Info,
+		Report:        func(Diagnostic) {},
+		ImportedFacts: imported,
+	}
+	blob, err := a.ExportFacts(pass)
+	if err != nil {
+		return nil
+	}
+	memo[path] = blob
+	return blob
 }

@@ -1,0 +1,433 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file generalizes the per-function path walking poolhandoff
+// introduced: a source-order walk of a function body that tracks which
+// tracked mutexes are held on the current path. Branches are walked with
+// a copy of the held set and merged by intersection (a lock is "held"
+// after a branch only if every non-terminating arm still holds it);
+// loop bodies are walked once; function literals are walked separately
+// with an empty held set (they run on their own goroutine or call path).
+
+// LockUse identifies one acquisition or release of a tracked mutex
+// field: the field object (rank identity) plus the printed receiver path
+// (instance identity — "pw.mu" and "b.mu" are different locks even if
+// the fields coincide).
+type LockUse struct {
+	Field *types.Var
+	Path  string
+	Read  bool // RLock/RUnlock
+	Pos   token.Pos
+}
+
+// LockWalker drives the walk. Tracked selects the mutex fields to
+// follow; OnAcquire fires at each tracked Lock/RLock with the locks
+// already held; OnNode fires for every scanned expression and statement
+// of interest (calls, receives, sends, selects, selectors, range) with
+// the current held set. inSelectComm marks nodes inside a select comm
+// clause header, whose receive/send is the select's to judge, not a bare
+// blocking op.
+type LockWalker struct {
+	Info      *types.Info
+	Tracked   func(*types.Var) bool
+	OnAcquire func(acq LockUse, held []LockUse)
+	OnNode    func(n ast.Node, held []LockUse, inSelectComm bool)
+
+	queue []*ast.BlockStmt
+}
+
+// Walk traverses body, then every function literal encountered (each
+// with an empty held set).
+func (w *LockWalker) Walk(body *ast.BlockStmt) {
+	w.queue = append(w.queue[:0], body)
+	for len(w.queue) > 0 {
+		b := w.queue[0]
+		w.queue = w.queue[1:]
+		w.stmts(b.List, nil)
+	}
+}
+
+func cloneHeld(h []LockUse) []LockUse { return append([]LockUse(nil), h...) }
+
+// stmts walks a statement list; the bool result reports path termination
+// (return, branch, or a select/switch whose every arm terminates).
+func (w *LockWalker) stmts(list []ast.Stmt, held []LockUse) ([]LockUse, bool) {
+	for _, s := range list {
+		var term bool
+		held, term = w.stmt(s, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (w *LockWalker) stmt(s ast.Stmt, held []LockUse) ([]LockUse, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if use, kind := w.lockCall(call); kind != 0 {
+				if kind > 0 {
+					if w.OnAcquire != nil {
+						w.OnAcquire(use, held)
+					}
+					held = append(cloneHeld(held), use)
+				} else {
+					held = releaseLock(held, use)
+				}
+				return held, false
+			}
+		}
+		w.scan(s.X, held, false)
+		return held, false
+
+	case *ast.DeferStmt:
+		if _, kind := w.lockCall(s.Call); kind != 0 {
+			// Deferred unlock: the lock stays held to the end of the
+			// function, which is exactly what the held set already says.
+			return held, false
+		}
+		w.scan(s.Call, held, false)
+		return held, false
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.scan(r, held, false)
+		}
+		return held, true
+
+	case *ast.BranchStmt:
+		return held, true
+
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		w.scan(s.Cond, held, false)
+		var outs [][]LockUse
+		if bh, bt := w.stmts(s.Body.List, cloneHeld(held)); !bt {
+			outs = append(outs, bh)
+		}
+		if s.Else != nil {
+			if eh, et := w.stmt(s.Else, cloneHeld(held)); !et {
+				outs = append(outs, eh)
+			}
+		} else {
+			outs = append(outs, held)
+		}
+		if len(outs) == 0 {
+			return held, true
+		}
+		return intersectHeld(outs), false
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.scan(s.Cond, held, false)
+		}
+		w.stmts(s.Body.List, cloneHeld(held))
+		if s.Post != nil {
+			w.stmt(s.Post, cloneHeld(held))
+		}
+		return held, false
+
+	case *ast.RangeStmt:
+		if w.OnNode != nil {
+			w.OnNode(s, held, false)
+		}
+		w.scan(s.X, held, false)
+		w.stmts(s.Body.List, cloneHeld(held))
+		return held, false
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.scan(s.Tag, held, false)
+		}
+		return w.caseArms(s.Body, held)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		w.scan(s.Assign, held, false)
+		return w.caseArms(s.Body, held)
+
+	case *ast.SelectStmt:
+		if w.OnNode != nil {
+			w.OnNode(s, held, false)
+		}
+		var outs [][]LockUse
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			h := cloneHeld(held)
+			if cc.Comm != nil {
+				w.scan(cc.Comm, h, true)
+			}
+			if hh, t := w.stmts(cc.Body, h); !t {
+				outs = append(outs, hh)
+			}
+		}
+		if len(outs) == 0 {
+			return held, len(s.Body.List) > 0
+		}
+		return intersectHeld(outs), false
+
+	case *ast.GoStmt:
+		if w.OnNode != nil {
+			w.OnNode(s, held, false)
+		}
+		// The spawned call runs on its own goroutine, so it does not nest
+		// under the caller's locks: only the synchronously-evaluated
+		// arguments are scanned, and a literal body is queued for its own
+		// empty-held walk.
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.queue = append(w.queue, fl.Body)
+		}
+		for _, a := range s.Call.Args {
+			w.scan(a, held, false)
+		}
+		return held, false
+
+	case *ast.SendStmt:
+		if w.OnNode != nil {
+			w.OnNode(s, held, false)
+		}
+		w.scan(s.Chan, held, false)
+		w.scan(s.Value, held, false)
+		return held, false
+
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scan(e, held, false)
+		}
+		for _, e := range s.Lhs {
+			w.scan(e, held, false)
+		}
+		return held, false
+
+	default:
+		w.scan(s, held, false)
+		return held, false
+	}
+}
+
+// caseArms merges a switch body's clause exits; a switch without a
+// default can match nothing, so the entry state joins the merge.
+func (w *LockWalker) caseArms(body *ast.BlockStmt, held []LockUse) ([]LockUse, bool) {
+	var outs [][]LockUse
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			w.scan(e, held, false)
+		}
+		if hh, t := w.stmts(cc.Body, cloneHeld(held)); !t {
+			outs = append(outs, hh)
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, held)
+	}
+	if len(outs) == 0 {
+		return held, true
+	}
+	return intersectHeld(outs), false
+}
+
+// scan inspects an expression (or simple statement) subtree, reporting
+// interesting nodes to OnNode. Function literals are queued for their
+// own empty-held walk.
+func (w *LockWalker) scan(n ast.Node, held []LockUse, inComm bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			w.queue = append(w.queue, c.Body)
+			return false
+		case *ast.CallExpr, *ast.UnaryExpr, *ast.SelectorExpr, *ast.SendStmt:
+			if w.OnNode != nil {
+				w.OnNode(c, held, inComm)
+			}
+		}
+		return true
+	})
+}
+
+// lockCall classifies a call as a tracked mutex acquisition (+1) or
+// release (-1); 0 for anything else.
+func (w *LockWalker) lockCall(call *ast.CallExpr) (LockUse, int) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return LockUse{}, 0
+	}
+	var kind int
+	read := false
+	switch sel.Sel.Name {
+	case "Lock":
+		kind = 1
+	case "RLock":
+		kind, read = 1, true
+	case "Unlock":
+		kind = -1
+	case "RUnlock":
+		kind, read = -1, true
+	default:
+		return LockUse{}, 0
+	}
+	fn, _ := w.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return LockUse{}, 0
+	}
+	fv := FieldVar(w.Info, sel.X)
+	if fv == nil || (w.Tracked != nil && !w.Tracked(fv)) {
+		return LockUse{}, 0
+	}
+	return LockUse{Field: fv, Path: types.ExprString(sel.X), Read: read, Pos: call.Pos()}, kind
+}
+
+// FieldVar resolves an expression to the struct field it selects, or nil
+// (locals, package-level vars, methods).
+func FieldVar(info *types.Info, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := info.Selections[sel]; ok {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+		return nil
+	}
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+func releaseLock(held []LockUse, use LockUse) []LockUse {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].Field == use.Field && held[i].Path == use.Path {
+			out := cloneHeld(held[:i])
+			return append(out, held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// intersectHeld keeps the locks held on every merged path.
+func intersectHeld(outs [][]LockUse) []LockUse {
+	var merged []LockUse
+	for _, u := range outs[0] {
+		onAll := true
+		for _, other := range outs[1:] {
+			found := false
+			for _, v := range other {
+				if v.Field == u.Field && v.Path == u.Path {
+					found = true
+					break
+				}
+			}
+			if !found {
+				onAll = false
+				break
+			}
+		}
+		if onAll {
+			merged = append(merged, u)
+		}
+	}
+	return merged
+}
+
+// FuncAcquires computes, for every function declared in the package, the
+// tracked mutexes the function — or, transitively, any same-package
+// function it calls — may acquire while its caller waits. Goroutine
+// bodies and function literals are excluded: their acquisitions do not
+// nest under the caller's locks. lockorder uses the summaries to catch
+// inversions hidden one or more calls deep (Deliver holding the batch
+// mutex while flushBatchLocked dials through the wire mutex).
+func FuncAcquires(pass *Pass, tracked func(*types.Var) bool) map[*types.Func]map[*types.Var]token.Pos {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	direct := map[*types.Func]map[*types.Var]token.Pos{}
+	callees := map[*types.Func][]*types.Func{}
+	w := &LockWalker{Info: pass.TypesInfo, Tracked: tracked}
+	for fn, fd := range decls {
+		acq := map[*types.Var]token.Pos{}
+		var calls []*types.Func
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			case *ast.CallExpr:
+				if use, kind := w.lockCall(n); kind > 0 {
+					if _, ok := acq[use.Field]; !ok {
+						acq[use.Field] = use.Pos
+					}
+					return false
+				}
+				if callee := FuncOf(pass.TypesInfo, n); callee != nil {
+					if _, ok := decls[callee]; ok {
+						calls = append(calls, callee)
+					}
+				}
+			}
+			return true
+		})
+		direct[fn] = acq
+		callees[fn] = calls
+	}
+	// Propagate to a fixed point (the call graph is small and cycles are
+	// rare; each round only adds fields).
+	for changed := true; changed; {
+		changed = false
+		for fn, calls := range callees {
+			for _, callee := range calls {
+				for v, pos := range direct[callee] {
+					if _, ok := direct[fn][v]; !ok {
+						direct[fn][v] = pos
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return direct
+}

@@ -1,0 +1,137 @@
+// Package lockorder checks mutex acquisitions against the lock-rank
+// partial order declared by // sdr:lockrank annotations.
+//
+// Every mutex field carrying an annotation gets a rank; `a < b` links
+// declare that a lock of rank a is acquired before one of rank b. The
+// analyzer walks each function tracking the held set and reports:
+//
+//   - an acquisition whose rank is declared to come BEFORE a rank
+//     already held (the classic inversion);
+//   - any nesting of two ranked mutexes with no declared order — the
+//     order must be written down, not folklore;
+//   - re-acquisition of a mutex already held, and same-rank nesting;
+//   - a cycle in the declared edges themselves.
+//
+// Calls are checked against transitive same-package summaries, so an
+// inversion hidden behind a helper (Deliver holding the batch mutex
+// while flushBatchLocked dials through the wire mutex) is still caught.
+// Rank tables of dependencies arrive as facts, so cross-package nests
+// are checked too.
+//
+// Motivated by the PR 8 review: the batched peer wire's shutdown races
+// all lived in the unwritten ordering between the batch mutex, the wire
+// mutex, and the ringIO fence.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:        "lockorder",
+	Doc:         "check mutex acquisitions against declared sdr:lockrank ordering",
+	Run:         run,
+	ExportFacts: exportFacts,
+}
+
+func exportFacts(pass *analysis.Pass) ([]byte, error) {
+	return analysis.ParseAnnotations(pass).ExportRankFacts()
+}
+
+func run(pass *analysis.Pass) error {
+	an := analysis.ParseAnnotations(pass)
+	for _, p := range an.Problems {
+		pass.Report(p)
+	}
+	ix := analysis.NewRankIndex(pass, an)
+	if ix.Empty() {
+		return nil
+	}
+	for _, e := range an.Edges {
+		for _, name := range []string{e.Before, e.After} {
+			if !ix.Declared(name) {
+				pass.Reportf(e.Pos, "sdr:lockrank edge references undeclared rank %q", name)
+			}
+		}
+	}
+	if cyc := ix.Cycle(); cyc != nil {
+		pos := token.NoPos
+		if len(an.Edges) > 0 {
+			pos = an.Edges[0].Pos
+		} else if len(pass.Files) > 0 {
+			pos = pass.Files[0].Pos()
+		}
+		pass.Reportf(pos, "declared lock ranks form a cycle: %s", strings.Join(cyc, " < "))
+	}
+
+	tracked := func(v *types.Var) bool { _, ok := ix.RankOf(v); return ok }
+	summaries := analysis.FuncAcquires(pass, tracked)
+	reported := map[token.Pos]bool{}
+	report := func(pos token.Pos, format string, args ...any) {
+		if !reported[pos] {
+			reported[pos] = true
+			pass.Reportf(pos, format, args...)
+		}
+	}
+
+	checkPair := func(pos token.Pos, how string, acqPath, acqRank string, held analysis.LockUse) {
+		heldRank, _ := ix.RankOf(held.Field)
+		switch {
+		case acqPath != "" && acqPath == held.Path:
+			report(pos, "%s %s, which is already held (acquired at %s)",
+				how, acqPath, pass.Fset.Position(held.Pos))
+		case acqRank == heldRank:
+			report(pos, "%s rank %s while already holding %s (same rank %s): same-rank nesting needs distinct ranks",
+				how, acqRank, held.Path, heldRank)
+		case ix.Before(acqRank, heldRank):
+			report(pos, "%s rank %s while holding %s (rank %s): declared order is %s < %s",
+				how, acqRank, held.Path, heldRank, acqRank, heldRank)
+		case !ix.Before(heldRank, acqRank):
+			report(pos, "%s rank %s while holding %s (rank %s) with no declared order; declare sdr:lockrank %s < %s or restructure",
+				how, acqRank, held.Path, heldRank, heldRank, acqRank)
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &analysis.LockWalker{
+				Info:    pass.TypesInfo,
+				Tracked: tracked,
+				OnAcquire: func(acq analysis.LockUse, held []analysis.LockUse) {
+					rank, _ := ix.RankOf(acq.Field)
+					for _, h := range held {
+						checkPair(acq.Pos, fmt.Sprintf("acquires %s,", acq.Path), acq.Path, rank, h)
+					}
+				},
+				OnNode: func(n ast.Node, held []analysis.LockUse, _ bool) {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || len(held) == 0 {
+						return
+					}
+					fn := analysis.FuncOf(pass.TypesInfo, call)
+					if fn == nil {
+						return
+					}
+					for v := range summaries[fn] {
+						rank, _ := ix.RankOf(v)
+						for _, h := range held {
+							checkPair(call.Pos(), fmt.Sprintf("call to %s may acquire", fn.Name()), "", rank, h)
+						}
+					}
+				},
+			}
+			w.Walk(fd.Body)
+		}
+	}
+	return nil
+}

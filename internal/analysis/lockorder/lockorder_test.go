@@ -1,0 +1,18 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "lo", "lobad", "locyc")
+}
+
+// TestLockorderFacts exercises the cross-package fact path: uses imports
+// locks, whose rank table arrives as an exported fact.
+func TestLockorderFacts(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "uses")
+}

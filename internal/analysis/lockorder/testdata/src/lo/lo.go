@@ -1,0 +1,107 @@
+package lo
+
+import "sync"
+
+type S struct {
+	mu    sync.Mutex   // sdr:lockrank outer < inner
+	in    sync.Mutex   // sdr:lockrank inner
+	other sync.RWMutex // sdr:lockrank other
+	plain sync.Mutex   // unranked: invisible to the analyzer
+}
+
+func ok(s *S) {
+	s.mu.Lock()
+	s.in.Lock() // outer < inner: fine
+	s.in.Unlock()
+	s.mu.Unlock()
+}
+
+func okDefer(s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.in.Lock()
+	defer s.in.Unlock()
+}
+
+func inverted(s *S) {
+	s.in.Lock()
+	s.mu.Lock() // want `acquires s\.mu, rank outer while holding s\.in \(rank inner\): declared order is outer < inner`
+	s.mu.Unlock()
+	s.in.Unlock()
+}
+
+func reacquire(s *S) {
+	s.mu.Lock()
+	s.mu.Lock() // want `acquires s\.mu, s\.mu, which is already held`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func undeclared(s *S) {
+	s.mu.Lock()
+	s.other.Lock() // want `no declared order`
+	s.other.Unlock()
+	s.mu.Unlock()
+}
+
+func sequentialOK(s *S) {
+	s.in.Lock()
+	s.in.Unlock()
+	s.mu.Lock() // released first: no nesting, no finding
+	s.mu.Unlock()
+}
+
+func branchRelease(s *S, full bool) {
+	s.mu.Lock()
+	if !full {
+		s.mu.Unlock()
+		return
+	}
+	s.in.Lock() // still outer < inner on the surviving path: fine
+	s.in.Unlock()
+	s.mu.Unlock()
+}
+
+func viaHelper(s *S) {
+	s.in.Lock()
+	defer s.in.Unlock()
+	lockOuter(s) // want `call to lockOuter may acquire rank outer while holding s\.in \(rank inner\)`
+}
+
+func lockOuter(s *S) {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+func viaTwoLevels(s *S) {
+	s.in.Lock()
+	defer s.in.Unlock()
+	helper2(s) // want `call to helper2 may acquire rank outer`
+}
+
+func helper2(s *S) { lockOuter(s) }
+
+func sameRank(a, b *S) {
+	a.mu.Lock()
+	b.mu.Lock() // want `same-rank nesting`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func untrackedOK(s *S) {
+	s.plain.Lock() // unranked mutexes are not checked
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.plain.Unlock()
+}
+
+func goroutineNotNested(s *S) {
+	s.in.Lock()
+	defer s.in.Unlock()
+	go lockOuterAsync(s) // async acquisition does not nest: fine
+}
+
+func lockOuterAsync(s *S) {
+	s.mu.Lock()
+	s.mu.Unlock()
+}

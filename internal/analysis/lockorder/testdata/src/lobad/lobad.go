@@ -1,0 +1,15 @@
+package lobad
+
+import "sync"
+
+// Malformed annotations are findings themselves.
+
+type Bad struct {
+	mu sync.Mutex // sdr:lockrank first < ghost // want `edge references undeclared rank "ghost"`
+	n  int        // sdr:lockrank nonmutex // want `sdr:lockrank on non-mutex field n`
+}
+
+func use(b *Bad) {
+	b.mu.Lock()
+	b.mu.Unlock()
+}

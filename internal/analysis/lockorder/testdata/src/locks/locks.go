@@ -1,0 +1,10 @@
+// Package locks exports ranked mutexes; package uses imports it and is
+// checked against these facts.
+package locks
+
+import "sync"
+
+type Box struct {
+	MuA sync.Mutex // sdr:lockrank boxa < boxb
+	MuB sync.Mutex // sdr:lockrank boxb
+}

@@ -1,0 +1,17 @@
+package locyc
+
+import "sync"
+
+// A cycle in the declared edges is reported at the first declaration.
+
+type Cyclic struct {
+	a sync.Mutex // sdr:lockrank ca < cb // want `declared lock ranks form a cycle`
+	b sync.Mutex // sdr:lockrank cb < ca
+}
+
+func use(c *Cyclic) {
+	c.a.Lock()
+	c.a.Unlock()
+	c.b.Lock()
+	c.b.Unlock()
+}

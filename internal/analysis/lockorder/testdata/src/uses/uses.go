@@ -1,0 +1,17 @@
+package uses
+
+import "locks"
+
+func ok(b *locks.Box) {
+	b.MuA.Lock()
+	b.MuB.Lock()
+	b.MuB.Unlock()
+	b.MuA.Unlock()
+}
+
+func inverted(b *locks.Box) {
+	b.MuB.Lock()
+	b.MuA.Lock() // want `acquires b\.MuA, rank boxa while holding b\.MuB \(rank boxb\): declared order is boxa < boxb`
+	b.MuA.Unlock()
+	b.MuB.Unlock()
+}

@@ -1,10 +1,12 @@
 package analysis
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -23,11 +25,20 @@ import (
 //
 //	-V=full     print a version fingerprint for the build cache
 //	-flags      describe supported flags (JSON)
+//	-json       emit diagnostics as JSON on stdout (exit 0) instead of
+//	            text on stderr (exit 2)
 //	foo.cfg     analyze the single compilation unit described by the
 //	            JSON config the go command wrote
 //
 // Invoked any other way, Main re-execs `go vet -vettool=<self>` with the
 // given package patterns, so `sdrlint ./...` works directly.
+//
+// Facts: analyzers with an ExportFacts hook write their per-package fact
+// blob into the unit's vetx output file; the go command schedules
+// VetxOnly runs over dependencies and hands their vetx files back via
+// PackageVetx, from which the importing unit's ImportedFacts are read.
+// The format is one magic line plus a JSON object mapping analyzer name
+// to blob.
 
 // vetConfig mirrors the JSON the go command writes for each unit. Only
 // the fields this driver consumes are declared; unknown fields are
@@ -41,6 +52,7 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
@@ -48,10 +60,21 @@ type vetConfig struct {
 
 // Main is the entry point of a vettool built from the given analyzers.
 // It never returns: process exit codes follow vet convention (0 clean,
-// 1 driver failure, 2 diagnostics reported).
+// 1 driver failure, 2 diagnostics reported; in -json mode diagnostics
+// go to stdout and the exit code stays 0).
 func Main(analyzers ...*Analyzer) {
 	progname := filepath.Base(os.Args[0])
-	args := os.Args[1:]
+	jsonOut := false
+	var args []string
+	for _, a := range os.Args[1:] {
+		switch a {
+		case "-json", "-json=true", "--json", "--json=true":
+			jsonOut = true
+		case "-json=false", "--json=false":
+		default:
+			args = append(args, a)
+		}
+	}
 	switch {
 	case len(args) == 1 && args[0] == "-V=full":
 		// The go command hashes this line into the action cache key, so
@@ -60,10 +83,10 @@ func Main(analyzers ...*Analyzer) {
 		fmt.Printf("%s version devel comments-go-here buildID=%s\n", progname, selfHash())
 		os.Exit(0)
 	case len(args) == 1 && args[0] == "-flags":
-		fmt.Println("[]")
+		fmt.Println(`[{"Name":"json","Bool":true,"Usage":"emit JSON diagnostics on stdout instead of text on stderr"}]`)
 		os.Exit(0)
 	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
-		code, err := runUnit(args[0], analyzers)
+		code, err := runUnit(args[0], analyzers, jsonOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 			os.Exit(1)
@@ -79,7 +102,11 @@ func Main(analyzers ...*Analyzer) {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 			os.Exit(1)
 		}
-		cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+		vetArgs := []string{"vet", "-vettool=" + self}
+		if jsonOut {
+			vetArgs = append(vetArgs, "-json")
+		}
+		cmd := exec.Command("go", append(vetArgs, args...)...)
 		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
 		if err := cmd.Run(); err != nil {
 			if ee, ok := err.(*exec.ExitError); ok {
@@ -111,7 +138,7 @@ func selfHash() string {
 }
 
 // runUnit analyzes one compilation unit. Returns the process exit code.
-func runUnit(cfgFile string, analyzers []*Analyzer) (int, error) {
+func runUnit(cfgFile string, analyzers []*Analyzer, jsonOut bool) (int, error) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		return 0, err
@@ -120,11 +147,17 @@ func runUnit(cfgFile string, analyzers []*Analyzer) (int, error) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return 0, fmt.Errorf("parse %s: %w", cfgFile, err)
 	}
-	// The go command may schedule fact-gathering runs over dependencies;
-	// these analyzers are factless, so the unit's output file is written
-	// empty and analysis is skipped.
-	if cfg.VetxOnly {
-		return 0, writeVetx(cfg.VetxOutput)
+	needFacts := false
+	for _, a := range analyzers {
+		if a.ExportFacts != nil {
+			needFacts = true
+		}
+	}
+	// Fact-gathering runs over dependencies: skip the expensive
+	// parse+typecheck when no analyzer exports facts, and always for
+	// standard-library units — no sdr:* annotation lives there.
+	if cfg.VetxOnly && (!needFacts || stdlibUnit(&cfg)) {
+		return 0, writeVetx(cfg.VetxOutput, nil)
 	}
 
 	fset := token.NewFileSet()
@@ -132,8 +165,8 @@ func runUnit(cfgFile string, analyzers []*Analyzer) (int, error) {
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
-			if cfg.SucceedOnTypecheckFailure {
-				return 0, writeVetx(cfg.VetxOutput)
+			if cfg.SucceedOnTypecheckFailure || cfg.VetxOnly {
+				return 0, writeVetx(cfg.VetxOutput, nil)
 			}
 			return 0, err
 		}
@@ -161,32 +194,140 @@ func runUnit(cfgFile string, analyzers []*Analyzer) (int, error) {
 	info := NewTypesInfo()
 	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return 0, writeVetx(cfg.VetxOutput)
+		if cfg.SucceedOnTypecheckFailure || cfg.VetxOnly {
+			return 0, writeVetx(cfg.VetxOutput, nil)
 		}
 		return 0, fmt.Errorf("typecheck %s: %w", cfg.ImportPath, err)
 	}
 
 	lp := &Loaded{Fset: fset, Files: files, Pkg: pkg, Info: info}
+	lp.Facts = readImportedFacts(&cfg)
+
+	if cfg.VetxOnly {
+		return 0, writeUnitFacts(&cfg, analyzers, lp)
+	}
+
 	exit := 0
+	jsonDiags := map[string][]jsonDiagnostic{}
 	for _, a := range analyzers {
 		diags, err := RunAnalyzer(a, lp)
 		if err != nil {
 			return 0, err
 		}
 		for _, d := range diags {
+			if jsonOut {
+				jsonDiags[a.Name] = append(jsonDiags[a.Name], jsonDiagnostic{
+					Posn:    fset.Position(d.Pos).String(),
+					Message: d.Message,
+				})
+				continue
+			}
 			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, a.Name)
 			exit = 2
 		}
 	}
-	return exit, writeVetx(cfg.VetxOutput)
+	if jsonOut && len(jsonDiags) > 0 {
+		// The x/tools unitchecker shape: one object per unit keyed by
+		// import path, diagnostics grouped per analyzer, exit 0 so the
+		// go command keeps collecting units.
+		out, _ := json.MarshalIndent(map[string]map[string][]jsonDiagnostic{
+			cfg.ImportPath: jsonDiags,
+		}, "", "\t")
+		fmt.Fprintf(os.Stdout, "%s\n", out)
+	}
+	return exit, writeUnitFacts(&cfg, analyzers, lp)
 }
 
-// writeVetx satisfies the go command's expectation that each unit
-// produces a facts file (ours are always empty).
-func writeVetx(path string) error {
+// jsonDiagnostic is one -json finding, mirroring x/tools unitchecker.
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// stdlibUnit reports whether the unit's sources live under GOROOT.
+func stdlibUnit(cfg *vetConfig) bool {
+	if len(cfg.GoFiles) == 0 {
+		return false
+	}
+	goroot := build.Default.GOROOT
+	if goroot == "" {
+		return false
+	}
+	rel, err := filepath.Rel(goroot, cfg.GoFiles[0])
+	return err == nil && !strings.HasPrefix(rel, "..")
+}
+
+// readImportedFacts loads the dependency vetx files the go command
+// scheduled for this unit: analyzer name → import path → blob. Missing
+// or old-format files contribute nothing (tolerant by design: a stale
+// cache entry must not fail the build).
+func readImportedFacts(cfg *vetConfig) map[string]map[string][]byte {
+	if len(cfg.PackageVetx) == 0 {
+		return nil
+	}
+	out := map[string]map[string][]byte{}
+	for path, file := range cfg.PackageVetx {
+		for aname, blob := range readVetx(file) {
+			am := out[aname]
+			if am == nil {
+				am = map[string][]byte{}
+				out[aname] = am
+			}
+			am[path] = blob
+			if mapped, ok := cfg.ImportMap[path]; ok && mapped != path {
+				am[mapped] = blob
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// writeUnitFacts runs the fact exporters and writes the unit's vetx.
+func writeUnitFacts(cfg *vetConfig, analyzers []*Analyzer, lp *Loaded) error {
+	var facts map[string]json.RawMessage
+	for _, a := range analyzers {
+		blob, err := ExportFactsFor(a, lp)
+		if err != nil || blob == nil {
+			continue // a fact failure degrades to factless, not a build break
+		}
+		if facts == nil {
+			facts = map[string]json.RawMessage{}
+		}
+		facts[a.Name] = blob
+	}
+	return writeVetx(cfg.VetxOutput, facts)
+}
+
+const vetxMagic = "sdrlint.facts/2\n"
+
+// writeVetx writes the unit's facts file: the magic line plus a JSON
+// object mapping analyzer name to blob (empty object when factless).
+func writeVetx(path string, facts map[string]json.RawMessage) error {
 	if path == "" {
 		return nil
 	}
-	return os.WriteFile(path, []byte("sdrlint.facts/1\n"), 0o666)
+	buf := bytes.NewBufferString(vetxMagic)
+	if len(facts) == 0 {
+		buf.WriteString("{}\n")
+	} else if err := json.NewEncoder(buf).Encode(facts); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o666)
+}
+
+// readVetx parses one vetx file; nil on any mismatch (v1 files, foreign
+// tools, truncation).
+func readVetx(path string) map[string]json.RawMessage {
+	data, err := os.ReadFile(path)
+	if err != nil || !bytes.HasPrefix(data, []byte(vetxMagic)) {
+		return nil
+	}
+	var facts map[string]json.RawMessage
+	if json.Unmarshal(data[len(vetxMagic):], &facts) != nil {
+		return nil
+	}
+	return facts
 }

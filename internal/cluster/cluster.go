@@ -518,8 +518,8 @@ type AppFunc func(env *Env) (any, error)
 // happened once — rolling the application back does not resurrect it — so
 // a restarted epoch must not re-kill the same replicas and loop forever.
 type firedSet struct {
-	mu sync.Mutex
-	m  map[int]bool
+	mu sync.Mutex   // sdr:lockrank fired
+	m  map[int]bool // guarded by mu
 }
 
 // fire marks event i as realized, reporting whether this call was the one
@@ -559,16 +559,16 @@ type runState struct {
 	restartWave int
 	epoch       int
 
-	mu         sync.Mutex
-	recovered  map[int]bool         // recovery event index → done
-	ckptSaved  map[int]map[int]bool // step → set of ranks whose writer saved
-	reports    []ProcReport
-	recorders  map[transport.ProcID]*trace.Recorder
+	mu         sync.Mutex                           // sdr:lockrank runstate
+	recovered  map[int]bool                         // guarded by mu; recovery event index → done
+	ckptSaved  map[int]map[int]bool                 // guarded by mu; step → set of ranks whose writer saved
+	reports    []ProcReport                         // guarded by mu
+	recorders  map[transport.ProcID]*trace.Recorder // guarded by mu
 	wg         sync.WaitGroup
-	sdcTotal   int
-	cloneStart time.Time
-	replays    int // completed localized relaunches this epoch
-	replayWave int // wave of the last localized relaunch
+	sdcTotal   int       // guarded by mu
+	cloneStart time.Time // guarded by mu
+	replays    int       // guarded by mu; completed localized relaunches this epoch
+	replayWave int       // guarded by mu; wave of the last localized relaunch
 
 	// exhaustedRank+1 of the first rank observed to lose its last
 	// replica; 0 while replication still holds.

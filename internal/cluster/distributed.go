@@ -720,8 +720,8 @@ func spawnWorker(cfg DistConfig, regAddr string, layout core.Layout, proc int, f
 
 // syncWriter serializes concurrent writers onto one sink.
 type syncWriter struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu sync.Mutex // sdr:lockrank sink
+	w  io.Writer  // guarded by mu
 }
 
 func (sw *syncWriter) Write(p []byte) (int, error) {

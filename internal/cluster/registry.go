@@ -117,14 +117,15 @@ type regEvent struct {
 
 // regConn is the registry's handle on one worker connection.
 type regConn struct {
-	mu  sync.Mutex
-	c   net.Conn
-	enc *json.Encoder
+	mu  sync.Mutex    // sdr:lockrank regconn
+	c   net.Conn      // closed without mu to interrupt a blocked serve
+	enc *json.Encoder // guarded by mu
 }
 
 func (rc *regConn) send(m ctlMsg) error {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
+	// sdr:holdblock-ok control-plane framing: the encoder lock is what keeps concurrent ctl messages unmixed
 	return rc.enc.Encode(m)
 }
 
@@ -137,14 +138,21 @@ type registry struct {
 
 	events chan regEvent
 
-	mu       sync.Mutex
-	conns    []*regConn // indexed by proc; nil until hello
-	addrs    []string
-	hosts    []string // per-proc host identities (hello's host field)
-	joined   int
-	lastSeen []time.Time
-	saved    map[int]map[int]bool // step → ranks whose writer saved
-	closed   bool
+	// done is closed by Close; wg joins the accept loop and every serve /
+	// rejoinFlow goroutine, so Close returns only once the control plane
+	// is fully quiescent.
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex           // sdr:lockrank regmu
+	open     map[net.Conn]bool    // guarded by mu; every accepted conn, registered or not
+	conns    []*regConn           // guarded by mu; indexed by proc; nil until hello
+	addrs    []string             // guarded by mu
+	hosts    []string             // guarded by mu; per-proc host identities (hello's host field)
+	joined   int                  // guarded by mu
+	lastSeen []time.Time          // guarded by mu
+	saved    map[int]map[int]bool // guarded by mu; step → ranks whose writer saved
+	closed   bool                 // guarded by mu
 
 	// Rejoin (localized replay) state: worldSent marks the epoch's world
 	// broadcast done, after which a hello is a relaunched worker. Each
@@ -152,8 +160,8 @@ type registry struct {
 	// survivor acks carry that key (ctlMsg.For), so concurrent rejoins
 	// proceed in parallel without cross-crediting — a hung survivor only
 	// delays the joiners still missing ITS ack, never unrelated ones.
-	worldSent   bool
-	reviveWaits map[int]*reviveWait
+	worldSent   bool                // guarded by mu
+	reviveWaits map[int]*reviveWait // guarded by mu
 
 	// rejoinTimeout bounds how long a rejoin waits for survivor acks
 	// before proceeding anyway (a hung survivor is the health probe's
@@ -190,6 +198,8 @@ func newRegistry(procs, ranks int, store *ckpt.Store, rejoinTimeout time.Duratio
 		ranks:         ranks,
 		store:         store,
 		events:        make(chan regEvent, 4*procs+16),
+		done:          make(chan struct{}),
+		open:          make(map[net.Conn]bool),
 		conns:         make([]*regConn, procs),
 		addrs:         make([]string, procs),
 		hosts:         make([]string, procs),
@@ -199,8 +209,18 @@ func newRegistry(procs, ranks int, store *ckpt.Store, rejoinTimeout time.Duratio
 		reviveWaits:   make(map[int]*reviveWait),
 		rejoinTimeout: rejoinTimeout,
 	}
+	r.wg.Add(1)
 	go r.acceptLoop()
 	return r, nil
+}
+
+// emit surfaces one event to the coordinator, giving up if the registry
+// is shutting down (the coordinator has stopped draining by then).
+func (r *registry) emit(ev regEvent) {
+	select {
+	case r.events <- ev:
+	case <-r.done:
+	}
 }
 
 // Addr returns the registry's listen address (the worker env contract's
@@ -208,17 +228,38 @@ func newRegistry(procs, ranks int, store *ckpt.Store, rejoinTimeout time.Duratio
 func (r *registry) Addr() string { return r.ln.Addr().String() }
 
 func (r *registry) acceptLoop() {
+	defer r.wg.Done()
 	for {
 		c, err := r.ln.Accept()
 		if err != nil {
 			return // listener closed: epoch over
 		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			c.Close()
+			continue
+		}
+		// Track the raw conn so Close can unblock a serve goroutine still
+		// stuck in its hello decode (it is not in r.conns yet). Adding to
+		// the WaitGroup here is safe against a concurrent Close: the
+		// accept loop holds its own count, so the group cannot have hit
+		// zero, and r.closed (checked above under mu) gates the race.
+		r.open[c] = true
+		r.wg.Add(1)
+		r.mu.Unlock()
 		go r.serve(c)
 	}
 }
 
 // serve handles one worker connection: hello, then the event stream.
 func (r *registry) serve(c net.Conn) {
+	defer r.wg.Done()
+	defer func() {
+		r.mu.Lock()
+		delete(r.open, c)
+		r.mu.Unlock()
+	}()
 	dec := json.NewDecoder(c)
 	var hello ctlMsg
 	if err := dec.Decode(&hello); err != nil || hello.Op != opHello {
@@ -261,7 +302,7 @@ func (r *registry) serve(c net.Conn) {
 		// hostname table for ring negotiation). From this moment peers may
 		// dial each other.
 		r.broadcast(ctlMsg{Op: opWorld, Addrs: world, Hosts: hosts}, -1)
-		r.events <- regEvent{kind: evReady}
+		r.emit(regEvent{kind: evReady})
 	}
 	if rejoin {
 		// A relaunched worker (localized replay). Point every survivor's
@@ -276,6 +317,7 @@ func (r *registry) serve(c net.Conn) {
 		// joiner's traffic — a still-handshaking joiner must be able to
 		// acknowledge OTHER rejoins (its control stream carries reviveok
 		// messages while it waits for its own world table).
+		r.wg.Add(1)
 		go r.rejoinFlow(proc, rc, hello.Addr)
 	}
 
@@ -287,7 +329,7 @@ func (r *registry) serve(c net.Conn) {
 				r.conns[proc] = nil
 			}
 			r.mu.Unlock()
-			r.events <- regEvent{kind: evLost, proc: proc}
+			r.emit(regEvent{kind: evLost, proc: proc})
 			return
 		}
 		r.mu.Lock()
@@ -312,11 +354,11 @@ func (r *registry) serve(c net.Conn) {
 		case opCkpt:
 			r.noteCkpt(m.Rank, m.Step)
 		case opKillMe:
-			r.events <- regEvent{kind: evKillMe, proc: proc, msg: m}
+			r.emit(regEvent{kind: evKillMe, proc: proc, msg: m})
 		case opExhausted:
-			r.events <- regEvent{kind: evExhausted, proc: proc, msg: m}
+			r.emit(regEvent{kind: evExhausted, proc: proc, msg: m})
 		case opDone:
-			r.events <- regEvent{kind: evDone, proc: proc, msg: m}
+			r.emit(regEvent{kind: evDone, proc: proc, msg: m})
 		}
 	}
 }
@@ -326,6 +368,7 @@ func (r *registry) serve(c net.Conn) {
 // For-keyed ack, then hand the joiner its world table. Runs concurrently
 // with the joiner's serve loop.
 func (r *registry) rejoinFlow(proc int, rc *regConn, addr string) {
+	defer r.wg.Done()
 	r.mu.Lock()
 	live := 0
 	for p, other := range r.conns {
@@ -350,6 +393,14 @@ func (r *registry) rejoinFlow(proc int, rc *regConn, addr string) {
 			// with it. Proceed — worst case its traffic to the joiner is
 			// dropped a little longer.
 			mRejoinTimeouts.Inc()
+		case <-r.done:
+			// Registry shutting down mid-handshake: nobody is left to
+			// receive the world table, stop here.
+			timer.Stop()
+			r.mu.Lock()
+			delete(r.reviveWaits, proc)
+			r.mu.Unlock()
+			return
 		}
 		r.mu.Lock()
 		delete(r.reviveWaits, proc)
@@ -448,8 +499,9 @@ func (r *registry) stalest(live func(int) bool) (int, time.Duration) {
 	return proc, worst
 }
 
-// Close shuts the registry down, closing the listener and every worker
-// connection.
+// Close shuts the registry down: closes the listener and every accepted
+// connection (registered or still in its hello), releases any rejoin
+// handshake still waiting, and joins every control-plane goroutine.
 func (r *registry) Close() {
 	r.mu.Lock()
 	if r.closed {
@@ -457,12 +509,15 @@ func (r *registry) Close() {
 		return
 	}
 	r.closed = true
-	conns := append([]*regConn(nil), r.conns...)
-	r.mu.Unlock()
-	r.ln.Close()
-	for _, rc := range conns {
-		if rc != nil {
-			rc.c.Close()
-		}
+	open := make([]net.Conn, 0, len(r.open))
+	for c := range r.open {
+		open = append(open, c)
 	}
+	r.mu.Unlock()
+	close(r.done)
+	r.ln.Close()
+	for _, c := range open {
+		c.Close()
+	}
+	r.wg.Wait()
 }

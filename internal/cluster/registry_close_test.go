@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestRegistryCloseJoinsRejoinFlow is the regression test for the
+// registry goroutine leak: serve and rejoinFlow goroutines were launched
+// unjoined, so a Close issued while a rejoin handshake waited for
+// survivor acks left the handshake parked on its (up to 10s) timer and
+// every serve loop racing the teardown. Close must now interrupt the
+// wait and return only once the whole control plane has quiesced — even
+// with an accepted connection that never sent its hello.
+func TestRegistryCloseJoinsRejoinFlow(t *testing.T) {
+	reg, err := newRegistry(2, 2, nil, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w0 := dialRegistry(t, reg.Addr())
+	w0.send(t, ctlMsg{Op: opHello, Proc: 0, Addr: "127.0.0.1:6000"})
+	w1 := dialRegistry(t, reg.Addr())
+	w1.send(t, ctlMsg{Op: opHello, Proc: 1, Addr: "127.0.0.1:6001"})
+	for _, w := range []*fakeWorker{w0, w1} {
+		if m := w.recv(t); m.Op != opWorld {
+			t.Fatalf("op = %q, want world", m.Op)
+		}
+	}
+	if ev := <-reg.events; ev.kind != evReady {
+		t.Fatalf("event %v, want evReady", ev.kind)
+	}
+
+	// Worker 1 dies and its relaunch starts a rejoin handshake that the
+	// survivor never acknowledges: rejoinFlow parks on its 30s deadline.
+	w1.c.Close()
+	if ev := <-reg.events; ev.kind != evLost || ev.proc != 1 {
+		t.Fatalf("event %v proc %d, want evLost proc 1", ev.kind, ev.proc)
+	}
+	reg.forget(1)
+	w1b := dialRegistry(t, reg.Addr())
+	w1b.send(t, ctlMsg{Op: opHello, Proc: 1, Addr: "127.0.0.1:6999"})
+	if rev := w0.recv(t); rev.Op != opRevive {
+		t.Fatalf("survivor saw %q, want revive", rev.Op)
+	}
+
+	// A connection that never completes its hello: its serve goroutine is
+	// blocked in the handshake decode and is only reachable via the open
+	// set.
+	stuck, err := net.Dial("tcp", reg.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stuck.Close()
+
+	done := make(chan struct{})
+	go func() {
+		reg.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("registry.Close did not return: a control-plane goroutine is not joinable")
+	}
+}

@@ -119,13 +119,14 @@ func WorkerConfigFromEnv() (WorkerConfig, error) {
 // ctlClient is the worker's connection to the registry; safe for
 // concurrent senders (app goroutine, ping goroutine).
 type ctlClient struct {
-	mu  sync.Mutex
-	enc *json.Encoder
+	mu  sync.Mutex    // sdr:lockrank ctl
+	enc *json.Encoder // guarded by mu
 }
 
 func (cc *ctlClient) send(m ctlMsg) error {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
+	// sdr:holdblock-ok control-plane framing: the encoder lock is what keeps concurrent ctl messages unmixed
 	return cc.enc.Encode(m)
 }
 

@@ -38,8 +38,8 @@ const (
 type Service struct {
 	nw *transport.Network
 
-	mu    sync.Mutex
-	alive []bool
+	mu    sync.Mutex // sdr:lockrank detect
+	alive []bool     // guarded by mu
 }
 
 // NewService builds the detector and attaches it to the network's monitor

@@ -83,8 +83,8 @@ type family struct {
 // Registry holds metric families. The zero value is not usable; call
 // NewRegistry (or use Default).
 type Registry struct {
-	mu       sync.Mutex
-	families map[string]*family
+	mu       sync.Mutex         // sdr:lockrank obsreg
+	families map[string]*family // guarded by mu
 }
 
 // NewRegistry creates an empty registry.

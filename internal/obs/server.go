@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 )
 
@@ -27,6 +28,7 @@ type Server struct {
 	ln    net.Listener
 	srv   *http.Server
 	start time.Time
+	wg    sync.WaitGroup
 }
 
 // Health is the /healthz response body.
@@ -64,7 +66,11 @@ func Serve(addr string, reg *Registry, info map[string]string) (*Server, error) 
 		_ = reg.WriteText(w)
 	})
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go func() { _ = s.srv.Serve(ln) }()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = s.srv.Serve(ln)
+	}()
 	return s, nil
 }
 
@@ -72,8 +78,12 @@ func Serve(addr string, reg *Registry, info map[string]string) (*Server, error) 
 // in its hello.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close shuts the server down and joins the accept loop.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	s.wg.Wait()
+	return err
+}
 
 // Scrape fetches and parses one endpoint's /metrics within the timeout.
 func Scrape(addr string, timeout time.Duration) (map[string]float64, error) {

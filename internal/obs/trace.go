@@ -66,10 +66,10 @@ type Event struct {
 
 // Trace is a thread-safe, append-only event log.
 type Trace struct {
-	mu     sync.Mutex
+	mu     sync.Mutex // sdr:lockrank obstrace
 	clock  trace.LClock
-	events []Event
-	start  time.Time
+	events []Event   // guarded by mu
+	start  time.Time // guarded by mu
 	// OnEvent, when set (before any Emit), observes every event as it is
 	// recorded — distributed workers print their events to stdout so the
 	// coordinator's line-prefixed sink carries them.

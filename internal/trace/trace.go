@@ -33,13 +33,13 @@ func HashPayload(data []byte) uint64 {
 // plus (optionally) the explicit event list. The chain alone suffices to
 // compare executions; the event list makes divergences diagnosable.
 type Recorder struct {
-	mu       sync.Mutex
-	chain    uint64
-	count    int
+	mu       sync.Mutex // sdr:lockrank tracerec
+	chain    uint64     // guarded by mu
+	count    int        // guarded by mu
 	keepAll  bool
-	events   []SendEvent
+	events   []SendEvent // guarded by mu
 	maxKeep  int
-	overflow bool
+	overflow bool // guarded by mu
 }
 
 // NewRecorder creates a recorder. If keepEvents > 0, up to that many
@@ -121,8 +121,8 @@ func CheckSendDeterminism(rs ...*Recorder) error {
 // LClock is a Lamport logical clock; the recovery tests use it to check
 // that the notification broadcast is ordered w.r.t. replayed messages.
 type LClock struct {
-	mu sync.Mutex
-	t  uint64
+	mu sync.Mutex // sdr:lockrank lclock
+	t  uint64     // guarded by mu
 }
 
 // Tick advances the clock for a local event and returns the new time.

@@ -61,10 +61,13 @@ func SetBatchLimits(frames, bytes int, age time.Duration) (restore func()) {
 // destination, which is what preserves per ordered-pair FIFO across flush
 // boundaries.
 type outBatch struct {
+	// sdr:lockrank batch < ringio < peer
+	// sdr:lockrank batch < tcpwire
+	// sdr:lockrank batch < conn
 	mu     sync.Mutex
-	frames []*Message
-	bytes  int
-	since  time.Time // when the oldest staged frame arrived
+	frames []*Message // guarded by mu
+	bytes  int        // guarded by mu
+	since  time.Time  // guarded by mu; when the oldest staged frame arrived
 }
 
 // stageLocked appends m and reports whether the batch is now due for an

@@ -95,8 +95,8 @@ type Network struct {
 	stats Stats
 
 	// Monitors to notify on kill/revive (the failure detection service).
-	mu       sync.Mutex
-	monitors []func(p ProcID, alive bool)
+	mu       sync.Mutex                   // sdr:lockrank netmon
+	monitors []func(p ProcID, alive bool) // guarded by mu
 }
 
 // NewNetwork creates a network of n endpoints with the given delay model
@@ -261,8 +261,8 @@ const queueShards = 8
 // qshard is one slice of an endpoint's inbound queue, with its own lock.
 // The pad keeps hot shard headers on distinct cache lines.
 type qshard struct {
-	mu sync.Mutex
-	q  []queued
+	mu sync.Mutex // sdr:lockrank epshard
+	q  []queued   // guarded by mu
 	_  [32]byte
 }
 
@@ -282,7 +282,7 @@ type Endpoint struct {
 
 	// mu/cond only coordinate blocking receivers with (rare) wakeups; the
 	// delivery hot path never takes mu when nobody sleeps.
-	mu   sync.Mutex
+	mu   sync.Mutex // sdr:lockrank epwake
 	cond *sync.Cond
 
 	// drainBuf backs the slice returned by Drain; owned by the receiving
@@ -291,10 +291,10 @@ type Endpoint struct {
 
 	// sender-side link serialization state: for each destination, when
 	// the previous transfer finishes occupying the link.
-	sendMu   sync.Mutex
-	linkFree map[ProcID]time.Time
-	tseq     map[ProcID]uint64
-	lastOut  time.Time // end of this process's previous send overhead
+	sendMu   sync.Mutex           // sdr:lockrank epsend
+	linkFree map[ProcID]time.Time // guarded by sendMu
+	tseq     map[ProcID]uint64    // guarded by sendMu
+	lastOut  time.Time            // guarded by sendMu; end of this process's previous send overhead
 }
 
 func newEndpoint(id ProcID, nw *Network) *Endpoint {
@@ -549,6 +549,7 @@ func (ep *Endpoint) WaitActivity(timeout time.Duration) bool {
 			ep.mu.Unlock()
 			continue
 		}
+		// sdr:holdblock-ok condition wait: Wait releases mu while parked; the timed path must sleep to poll
 		waitWithTimeout(ep.cond, &ep.mu, deadline)
 		ep.sleepers.Add(-1)
 		ep.mu.Unlock()

@@ -86,11 +86,11 @@ type PeerWire struct {
 	self ProcID
 	ln   net.Listener
 
-	mu      sync.Mutex
-	addrs   []string // proc → listener address ("" = unknown/local)
-	conns   map[ProcID]*tcpConn
-	down    map[ProcID]bool // peers declared dead by the control plane
-	inbound map[net.Conn]struct{}
+	mu      sync.Mutex            // sdr:lockrank peer
+	addrs   []string              // guarded by mu; proc → listener address ("" = unknown/local)
+	conns   map[ProcID]*tcpConn   // guarded by mu
+	down    map[ProcID]bool       // guarded by mu; peers declared dead by the control plane
+	inbound map[net.Conn]struct{} // guarded by mu
 
 	// Outbound staging, indexed by destination; staged counts frames
 	// across all batches so engine-driven flushes are a cheap no-op when
@@ -98,13 +98,13 @@ type PeerWire struct {
 	batches []*outBatch
 	staged  atomic.Int64
 
-	// Ring transport state (guarded by mu except readers): ringTo[dst]
-	// true selects the ring path for the pair — set for colocated peers
-	// at SetRingPeers time, permanently cleared on death/revive or any
-	// ring failure (open failure, stalled or interrupted push).
-	ringCfg  RingConfig
-	ringTo   []bool
-	ringWr   []*ringWriter
+	// Ring transport state: ringTo[dst] true selects the ring path for
+	// the pair — set for colocated peers at SetRingPeers time,
+	// permanently cleared on death/revive or any ring failure (open
+	// failure, stalled or interrupted push).
+	ringCfg  RingConfig    // guarded by mu
+	ringTo   []bool        // guarded by mu
+	ringWr   []*ringWriter // guarded by mu
 	readers  atomic.Pointer[[]*ringReader]
 	scanOnce sync.Once
 
@@ -113,7 +113,7 @@ type PeerWire struct {
 	// flushing inline are not tracked by wg), and Close takes it
 	// exclusively — after done is closed, so no writer parks on a full
 	// ring while holding it — before releasing the mappings.
-	ringIO sync.RWMutex
+	ringIO sync.RWMutex // sdr:lockrank ringio
 
 	done      chan struct{}
 	closeOnce sync.Once
@@ -607,6 +607,7 @@ func (pw *PeerWire) flushTCP(dst ProcID, frames []*Message) {
 		}
 		tc.mu.Lock()
 		bufs, total := tc.scratch.build(frames)
+		// sdr:holdblock-ok per-pair FIFO: the conn lock must cover the vectored write so flushes never interleave
 		_, err = bufs.WriteTo(tc.c)
 		tc.mu.Unlock()
 		if err == nil {

@@ -28,9 +28,9 @@ type TCPWire struct {
 	nw *Network
 	ln net.Listener
 
-	mu        sync.Mutex
-	conns     map[ProcID]map[ProcID]*tcpConn  // conns[src][dst]
-	batches   map[ProcID]map[ProcID]*tcpBatch // batches[src][dst]
+	mu        sync.Mutex                      // sdr:lockrank tcpwire
+	conns     map[ProcID]map[ProcID]*tcpConn  // guarded by mu; conns[src][dst]
+	batches   map[ProcID]map[ProcID]*tcpBatch // guarded by mu; batches[src][dst]
 	staged    atomic.Int64                    // frames staged across all batches
 	done      chan struct{}
 	closeOnce sync.Once
@@ -41,9 +41,9 @@ type TCPWire struct {
 // per-connection vectored-write assembly area, guarded by mu together
 // with the socket itself.
 type tcpConn struct {
-	mu      sync.Mutex
+	mu      sync.Mutex // sdr:lockrank conn
 	c       net.Conn
-	scratch batchScratch
+	scratch batchScratch // guarded by mu
 }
 
 // tcpBatch is the staged outbound traffic for one ordered pair.
@@ -245,6 +245,7 @@ func (tw *TCPWire) flushBatchLocked(b *tcpBatch) error {
 	}
 	tc.mu.Lock()
 	bufs, total := tc.scratch.build(frames)
+	// sdr:holdblock-ok per-pair FIFO: the conn lock must cover the vectored write so flushes never interleave
 	_, err = bufs.WriteTo(tc.c)
 	tc.mu.Unlock()
 	if err != nil {
@@ -290,16 +291,19 @@ func (tw *TCPWire) dropConn(src, dst ProcID, tc *tcpConn) {
 
 func (tw *TCPWire) conn(src, dst ProcID) (*tcpConn, error) {
 	tw.mu.Lock()
-	defer tw.mu.Unlock()
-	byDst := tw.conns[src]
-	if byDst == nil {
-		byDst = make(map[ProcID]*tcpConn)
-		tw.conns[src] = byDst
+	if byDst := tw.conns[src]; byDst != nil {
+		if tc, ok := byDst[dst]; ok {
+			tw.mu.Unlock()
+			return tc, nil
+		}
 	}
-	if tc, ok := byDst[dst]; ok {
-		return tc, nil
-	}
-	c, err := dialRetry(tw.ln.Addr().String())
+	addr := tw.ln.Addr().String()
+	tw.mu.Unlock()
+
+	// Dial and send the (src,dst) preamble without holding tw.mu: the
+	// retry loop and handshake can stall, and every other pair's flush
+	// path funnels through this lock.
+	c, err := dialRetry(addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial tcp wire: %w", err)
 	}
@@ -309,6 +313,20 @@ func (tw *TCPWire) conn(src, dst ProcID) (*tcpConn, error) {
 	if _, err := c.Write(pre[:]); err != nil {
 		c.Close()
 		return nil, err
+	}
+
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	byDst := tw.conns[src]
+	if byDst == nil {
+		byDst = make(map[ProcID]*tcpConn)
+		tw.conns[src] = byDst
+	}
+	if prev, ok := byDst[dst]; ok {
+		// Lost the dial race: keep the installed stream (FIFO lives
+		// there) and retire ours.
+		c.Close()
+		return prev, nil
 	}
 	tc := &tcpConn{c: c}
 	byDst[dst] = tc
