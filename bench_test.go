@@ -302,13 +302,14 @@ func BenchmarkSDCDetection(b *testing.B) {
 }
 
 // BenchmarkWireScale tracks the batch-first transport's scaling curve
-// (ISSUE 8): the windowed neighbor exchange on an in-process PeerWire
-// mesh, ranks × mode, with the batching density (frames/flush), the
-// payload moved per flush syscall, and the flush cost per application
-// message reported alongside the timing. The full ranks × degree × size
-// sweep is `go run ./cmd/sdrbench -exp wirescale`.
+// (ISSUE 8, extended to 256 ranks by ISSUE 10): the windowed neighbor
+// exchange on an in-process PeerWire mesh, ranks × mode, with the batching
+// density (frames/flush), the payload moved per flush syscall, and the
+// flush cost per application message reported alongside the timing. The
+// full ranks × degree × size sweep is `go run ./cmd/sdrbench -exp
+// wirescale`.
 func BenchmarkWireScale(b *testing.B) {
-	for _, n := range []int{8, 32, 64} {
+	for _, n := range []int{8, 32, 64, 128, 256} {
 		for _, mode := range []string{"unbatched", "tcp", "ring"} {
 			b.Run(fmt.Sprintf("ranks=%d/%s", n, mode), func(b *testing.B) {
 				var row bench.WireScaleRow

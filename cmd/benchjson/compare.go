@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Compare mode: diff two archived artifacts and fail on regressions.
+//
+//	benchjson -compare BENCH_PR8.json BENCH_PR10.json
+//
+// Benchmarks are matched by name; rows present in only one document are
+// reported but never fail the comparison (curves gain and lose points as
+// the harness evolves). A matched row regresses when its ns/op grew by
+// more than the threshold (default 20%); any regression makes the exit
+// status nonzero, so CI can surface the diff as a warning step without
+// guessing at thresholds itself.
+
+// benchDelta is one matched row of the comparison.
+type benchDelta struct {
+	Name       string
+	OldNs      float64
+	NewNs      float64
+	Ratio      float64 // new/old; >1 is slower
+	Regression bool
+}
+
+// compareDocs matches benchmarks by name and flags ns/op growth beyond
+// thresholdPct. Rows with a zero old ns/op (broken or truncated captures)
+// are skipped rather than dividing by zero.
+func compareDocs(old, new Doc, thresholdPct float64) (deltas []benchDelta, onlyOld, onlyNew []string) {
+	oldByName := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldByName[b.Name] = b
+	}
+	seen := make(map[string]bool, len(new.Benchmarks))
+	for _, nb := range new.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldByName[nb.Name]
+		if !ok {
+			onlyNew = append(onlyNew, nb.Name)
+			continue
+		}
+		if ob.NsPerOp <= 0 {
+			continue
+		}
+		ratio := nb.NsPerOp / ob.NsPerOp
+		deltas = append(deltas, benchDelta{
+			Name:       nb.Name,
+			OldNs:      ob.NsPerOp,
+			NewNs:      nb.NsPerOp,
+			Ratio:      ratio,
+			Regression: ratio > 1+thresholdPct/100,
+		})
+	}
+	for _, ob := range old.Benchmarks {
+		if !seen[ob.Name] {
+			onlyOld = append(onlyOld, ob.Name)
+		}
+	}
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return deltas, onlyOld, onlyNew
+}
+
+// renderCompare prints the comparison and reports whether any row
+// regressed.
+func renderCompare(w io.Writer, deltas []benchDelta, onlyOld, onlyNew []string, thresholdPct float64) bool {
+	regressed := false
+	for _, d := range deltas {
+		mark := " "
+		switch {
+		case d.Regression:
+			mark, regressed = "!", true
+		case d.Ratio < 1:
+			mark = "+"
+		}
+		fmt.Fprintf(w, "%s %-70s %14.1f -> %14.1f ns/op  %+7.1f%%\n",
+			mark, d.Name, d.OldNs, d.NewNs, (d.Ratio-1)*100)
+	}
+	for _, name := range onlyOld {
+		fmt.Fprintf(w, "- %-70s (dropped)\n", name)
+	}
+	for _, name := range onlyNew {
+		fmt.Fprintf(w, "* %-70s (new)\n", name)
+	}
+	if regressed {
+		fmt.Fprintf(w, "FAIL: ns/op regressions beyond %.0f%% (rows marked !)\n", thresholdPct)
+	} else {
+		fmt.Fprintf(w, "ok: %d matched rows within %.0f%%\n", len(deltas), thresholdPct)
+	}
+	return regressed
+}
+
+// loadDoc reads one archived artifact.
+func loadDoc(path string) (Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Doc{}, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return Doc{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// runCompare is the -compare entry point: 0 clean, 1 regressions, 2
+// unusable inputs.
+func runCompare(w io.Writer, oldPath, newPath string, thresholdPct float64) int {
+	old, err := loadDoc(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	new, err := loadDoc(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	deltas, onlyOld, onlyNew := compareDocs(old, new, thresholdPct)
+	if renderCompare(w, deltas, onlyOld, onlyNew, thresholdPct) {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func doc(rows map[string]float64) Doc {
+	d := Doc{}
+	for name, ns := range rows {
+		d.Benchmarks = append(d.Benchmarks, Benchmark{Name: name, Iterations: 1, NsPerOp: ns})
+	}
+	return d
+}
+
+func TestCompareFlagsRegressionsBeyondThreshold(t *testing.T) {
+	old := doc(map[string]float64{
+		"BenchmarkA": 100, // 15% slower: within the 20% budget
+		"BenchmarkB": 100, // 50% slower: regression
+		"BenchmarkC": 100, // faster: never a regression
+	})
+	new := doc(map[string]float64{
+		"BenchmarkA": 115,
+		"BenchmarkB": 150,
+		"BenchmarkC": 40,
+	})
+	deltas, onlyOld, onlyNew := compareDocs(old, new, 20)
+	if len(deltas) != 3 || len(onlyOld) != 0 || len(onlyNew) != 0 {
+		t.Fatalf("deltas=%d onlyOld=%v onlyNew=%v", len(deltas), onlyOld, onlyNew)
+	}
+	want := map[string]bool{"BenchmarkA": false, "BenchmarkB": true, "BenchmarkC": false}
+	for _, d := range deltas {
+		if d.Regression != want[d.Name] {
+			t.Errorf("%s: regression=%v, want %v (ratio %.2f)", d.Name, d.Regression, want[d.Name], d.Ratio)
+		}
+	}
+	var out bytes.Buffer
+	if !renderCompare(&out, deltas, onlyOld, onlyNew, 20) {
+		t.Error("renderCompare did not report the regression")
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("output lacks FAIL marker:\n%s", out.String())
+	}
+}
+
+func TestCompareUnmatchedRowsNeverFail(t *testing.T) {
+	// Curves gain and lose points as the harness evolves (this PR adds
+	// 128/256-rank rows): new or dropped names are informational only.
+	old := doc(map[string]float64{"BenchmarkOld": 100, "BenchmarkShared": 100})
+	new := doc(map[string]float64{"BenchmarkShared": 105, "BenchmarkNew": 9999})
+	deltas, onlyOld, onlyNew := compareDocs(old, new, 20)
+	if len(deltas) != 1 || deltas[0].Name != "BenchmarkShared" {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "BenchmarkOld" {
+		t.Errorf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "BenchmarkNew" {
+		t.Errorf("onlyNew = %v", onlyNew)
+	}
+	var out bytes.Buffer
+	if renderCompare(&out, deltas, onlyOld, onlyNew, 20) {
+		t.Errorf("unmatched rows failed the comparison:\n%s", out.String())
+	}
+}
+
+func TestCompareSkipsZeroBaselines(t *testing.T) {
+	old := doc(map[string]float64{"BenchmarkZ": 0})
+	new := doc(map[string]float64{"BenchmarkZ": 50})
+	deltas, _, _ := compareDocs(old, new, 20)
+	if len(deltas) != 0 {
+		t.Fatalf("zero-baseline row compared: %+v", deltas)
+	}
+}

@@ -7,11 +7,18 @@
 //
 // Non-benchmark lines (ok/PASS/goos/...) are ignored, so piping a whole
 // test run through is safe.
+//
+// With -compare it instead diffs two archived artifacts and exits
+// nonzero when any matched benchmark's ns/op regressed beyond -threshold
+// percent (see compare.go):
+//
+//	benchjson -compare -threshold 20 BENCH_PR8.json BENCH_PR10.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -106,6 +113,16 @@ func run(in *bufio.Scanner, out *json.Encoder) error {
 }
 
 func main() {
+	compare := flag.Bool("compare", false, "diff two artifacts: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 20, "ns/op growth (percent) a -compare row may show before it counts as a regression")
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare takes exactly two artifact paths")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold))
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	enc := json.NewEncoder(os.Stdout)

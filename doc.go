@@ -142,13 +142,25 @@
 //
 // # Fast path
 //
-// Two default-on mechanisms keep the small-message path hardware-bound
-// rather than allocation- and ack-bound: transport buffer/envelope
+// Five default-on mechanisms keep the message path hardware-bound rather
+// than allocation-, syscall- and ack-bound: transport buffer/envelope
 // pooling with explicit ownership hand-off (transport.SetPooling toggles
 // it for measurement; see internal/transport/pool.go for the ownership
-// rules), and receiver-side ack coalescing in the replication protocol
+// rules); receiver-side ack coalescing in the replication protocol
 // (core.Options.NoAckCoalesce restores one discrete ack per message and
-// replica; see internal/core/acks.go for the flush triggers).
+// replica; see internal/core/acks.go for the flush triggers); the
+// batch-first wire API (staged frames flushed as net.Buffers vectored
+// writes) with colocated shared-memory rings negotiated at rendezvous
+// (internal/transport/batch.go, ring.go); dense per-(context, rank)
+// sequencing on both protocol paths — flat counter slices and
+// seq-indexed stash rings sized from core.Layout replace the seed's
+// per-message map hashing and copy()-per-insert sorted stash
+// (internal/core/sequencer.go) — and inbound queue shards sized to the
+// world (next power of two ≥ peer count, clamped to [8, 64]) so 256
+// senders don't contend on the 8 shards an 8-rank default assumed
+// (internal/transport/network.go). The wirescale experiment and
+// BenchmarkSequencer track the result as a committed 8–256-rank curve
+// (BENCH_PR10.json).
 //
 // Entry points: cmd/sdrbench regenerates the paper's artifacts by
 // experiment id, cmd/netpipe runs the ping-pong sweep, cmd/faultdemo

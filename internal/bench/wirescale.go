@@ -112,6 +112,15 @@ func RunWireScale(cfg WireScaleConfig) (WireScaleRow, error) {
 		defer restore()
 	}
 
+	// Fd preflight: the in-process mesh holds n listeners plus, in tcp
+	// mode, both ends of every dialed exchange connection — at 256 ranks
+	// that clears the default 1024 soft limit. Budget for the exchange
+	// topology (2·degree peers per rank) with slack for stdio and the test
+	// harness; failure surfaces before a half-built mesh starts timing.
+	if _, err := transport.EnsureFileLimit(uint64(n + 4*n*cfg.Degree + 64)); err != nil {
+		return WireScaleRow{}, err
+	}
+
 	// The mesh: one network + peer wire per proc, rendezvous done by hand.
 	nws := make([]*transport.Network, n)
 	pws := make([]*transport.PeerWire, n)

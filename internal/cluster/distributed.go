@@ -392,6 +392,19 @@ func runDistEpoch(cfg DistConfig, layout core.Layout, store *ckpt.Store, fired [
 		}
 	}
 
+	// Fd-budget preflight: the coordinator holds two pipe ends and one
+	// registry connection per worker, plus its listener and stdio. Raise
+	// the soft RLIMIT_NOFILE toward that budget (or fail with both numbers
+	// in hand) BEFORE the spawn loop — at 128–256 workers the default soft
+	// limit of 1024 otherwise dies mid-spawn as EMFILE on pipe(2), which
+	// presents as a half-built world instead of a clear answer.
+	fdBudget := uint64(3*procs + 64)
+	if limit, err := transport.EnsureFileLimit(fdBudget); err != nil {
+		return distEpoch{err: fmt.Errorf("cluster: fd preflight for %d workers: %w", procs, err)}
+	} else {
+		fmt.Fprintf(sink, "[coordinator] fd preflight: budget %d for %d workers, soft limit %d\n", fdBudget, procs, limit)
+	}
+
 	start := time.Now()
 	for p := 0; p < procs; p++ {
 		w, err := spawnWorker(cfg, reg.Addr(), layout, p, fired, wave, epoch, sink, exitCh, -1, nil, ringDir)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ckpt"
@@ -144,15 +145,23 @@ type registry struct {
 	done chan struct{}
 	wg   sync.WaitGroup
 
-	mu       sync.Mutex           // sdr:lockrank regmu
-	open     map[net.Conn]bool    // guarded by mu; every accepted conn, registered or not
-	conns    []*regConn           // guarded by mu; indexed by proc; nil until hello
-	addrs    []string             // guarded by mu
-	hosts    []string             // guarded by mu; per-proc host identities (hello's host field)
-	joined   int                  // guarded by mu
-	lastSeen []time.Time          // guarded by mu
-	saved    map[int]map[int]bool // guarded by mu; step → ranks whose writer saved
-	closed   bool                 // guarded by mu
+	mu     sync.Mutex           // sdr:lockrank regmu
+	open   map[net.Conn]bool    // guarded by mu; every accepted conn, registered or not
+	conns  []*regConn           // guarded by mu; indexed by proc; nil until hello
+	addrs  []string             // guarded by mu
+	hosts  []string             // guarded by mu; per-proc host identities (hello's host field)
+	joined int                  // guarded by mu
+	saved  map[int]map[int]bool // guarded by mu; step → ranks whose writer saved
+	closed bool                 // guarded by mu
+
+	// lastSeen[proc] is the unix-nano stamp of the worker's last decoded
+	// control message. Atomic, not mu-guarded: every serve goroutine
+	// stamps it on every message — at 256 workers pinging twice a second
+	// that is the control plane's hottest write, and funneling it through
+	// regmu made liveness bookkeeping contend with rendezvous and
+	// checkpoint traffic. The health probe batches its reads off the same
+	// atomics (see stalest), so probe fan-out stays off the serve path.
+	lastSeen []atomic.Int64
 
 	// Rejoin (localized replay) state: worldSent marks the epoch's world
 	// broadcast done, after which a hello is a relaunched worker. Each
@@ -204,7 +213,7 @@ func newRegistry(procs, ranks int, store *ckpt.Store, rejoinTimeout time.Duratio
 		addrs:         make([]string, procs),
 		hosts:         make([]string, procs),
 		obsAddrs:      make([]string, procs),
-		lastSeen:      make([]time.Time, procs),
+		lastSeen:      make([]atomic.Int64, procs),
 		saved:         make(map[int]map[int]bool),
 		reviveWaits:   make(map[int]*reviveWait),
 		rejoinTimeout: rejoinTimeout,
@@ -284,7 +293,7 @@ func (r *registry) serve(c net.Conn) {
 	r.addrs[proc] = hello.Addr
 	r.hosts[proc] = hello.Host
 	r.obsAddrs[proc] = hello.Obs
-	r.lastSeen[proc] = time.Now()
+	r.lastSeen[proc].Store(time.Now().UnixNano())
 	ready := false
 	var world, hosts []string
 	if !rejoin {
@@ -332,9 +341,7 @@ func (r *registry) serve(c net.Conn) {
 			r.emit(regEvent{kind: evLost, proc: proc})
 			return
 		}
-		r.mu.Lock()
-		r.lastSeen[proc] = time.Now()
-		r.mu.Unlock()
+		r.lastSeen[proc].Store(time.Now().UnixNano())
 		switch m.Op {
 		case opPing:
 			// liveness only
@@ -482,17 +489,24 @@ func (r *registry) announceDead(proc int) {
 }
 
 // stalest returns the proc with the oldest lastSeen among `live` and how
-// stale it is. Used by the coordinator's health check.
+// stale it is. Used by the coordinator's health check. The probe batches:
+// one short mu window snapshots which procs are registered, then the whole
+// fan-out scan reads the atomic stamps off the lock — the serve goroutines
+// stamping liveness never wait behind it.
 func (r *registry) stalest(live func(int) bool) (int, time.Duration) {
+	registered := make([]bool, r.procs)
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	proc, worst := -1, time.Duration(0)
-	now := time.Now()
 	for p := 0; p < r.procs; p++ {
-		if r.conns[p] == nil || !live(p) {
+		registered[p] = r.conns[p] != nil
+	}
+	r.mu.Unlock()
+	proc, worst := -1, time.Duration(0)
+	now := time.Now().UnixNano()
+	for p := 0; p < r.procs; p++ {
+		if !registered[p] || !live(p) {
 			continue
 		}
-		if age := now.Sub(r.lastSeen[p]); age > worst {
+		if age := time.Duration(now - r.lastSeen[p].Load()); age > worst {
 			proc, worst = p, age
 		}
 	}

@@ -188,7 +188,7 @@ func (p *Replicated) applyAck(ctx uint32, seq uint64, src transport.ProcID) {
 		// the acknowledged send: seq at or beyond our counter) from a
 		// *late* one (entry already completed or converted after a
 		// failure). Early acks are remembered and consumed by Isend.
-		if seq >= p.sendSeq[seqKey{ctx, ackerRank}] {
+		if seq >= p.sendSeq.peek(ctx, ackerRank) {
 			ea := p.earlyAcks[key]
 			if ea == nil {
 				ea = make(map[transport.ProcID]bool)

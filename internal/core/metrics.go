@@ -18,4 +18,6 @@ var (
 		"messages re-sent to a recovered process (retention + sender log)")
 	gMsglogBytes = obs.Default.Gauge("sdr_core_msglog_bytes",
 		"payload bytes currently held in the sender-based message log")
+	gSeqStashDepth = obs.Default.Gauge("sdr_core_seq_stash_depth",
+		"out-of-order application messages held back by the sequencer")
 )

@@ -183,15 +183,9 @@ func DecodeSeqRecs(b []byte) ([]SeqRec, error) {
 // then senders keep everything, so a crash between checkpoint and
 // broadcast only costs extra (deduplicated) re-sends.
 func (p *Replicated) BroadcastLogTruncate() {
-	recs := make([]SeqRec, 0, len(p.recvNext))
-	for k, next := range p.recvNext {
-		recs = append(recs, SeqRec{Ctx: k.ctx, Rank: k.rank, Next: next})
-	}
-	sort.Slice(recs, func(i, j int) bool {
-		if recs[i].Ctx != recs[j].Ctx {
-			return recs[i].Ctx < recs[j].Ctx
-		}
-		return recs[i].Rank < recs[j].Rank
+	var recs []SeqRec
+	p.recvSeq.forEach(func(ctx uint32, rank int, next uint64) {
+		recs = append(recs, SeqRec{Ctx: ctx, Rank: rank, Next: next})
 	})
 	payload := EncodeSeqRecs(nil, recs)
 	for i := 0; i < p.layout.Procs(); i++ {
@@ -277,27 +271,15 @@ func (p *Replicated) CaptureReplayState(collSeq uint64) ([]byte, error) {
 		return nil, fmt.Errorf("core: replay capture with %d retained sends", len(p.retain))
 	}
 	st := replayState{collSeq: collSeq}
-	for k, v := range p.sendSeq {
-		st.send = append(st.send, SeqRec{Ctx: k.ctx, Rank: k.rank, Next: v})
-	}
-	for k, v := range p.recvNext {
-		st.recv = append(st.recv, SeqRec{Ctx: k.ctx, Rank: k.rank, Next: v})
-	}
-	sortSeqRecs(st.send)
-	sortSeqRecs(st.recv)
-	keys := make([]seqKey, 0, len(p.pending))
-	for k := range p.pending {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].ctx != keys[j].ctx {
-			return keys[i].ctx < keys[j].ctx
-		}
-		return keys[i].rank < keys[j].rank
+	p.sendSeq.forEach(func(ctx uint32, rank int, next uint64) {
+		st.send = append(st.send, SeqRec{Ctx: ctx, Rank: rank, Next: next})
 	})
-	for _, k := range keys {
-		st.pending = append(st.pending, p.pending[k]...)
-	}
+	p.recvSeq.forEach(func(ctx uint32, rank int, next uint64) {
+		st.recv = append(st.recv, SeqRec{Ctx: ctx, Rank: rank, Next: next})
+	})
+	p.recvSeq.forEachStash(func(ctx uint32, rank int, stash *seqStash) {
+		st.pending = stash.collect(st.pending)
+	})
 	st.unexpected = p.eng.UnexpectedMessages()
 	for _, m := range append(append([]*transport.Message(nil), st.pending...), st.unexpected...) {
 		if m.Kind != transport.KindEager {
@@ -305,15 +287,6 @@ func (p *Replicated) CaptureReplayState(collSeq uint64) ([]byte, error) {
 		}
 	}
 	return encodeReplayState(st), nil
-}
-
-func sortSeqRecs(recs []SeqRec) {
-	sort.Slice(recs, func(i, j int) bool {
-		if recs[i].Ctx != recs[j].Ctx {
-			return recs[i].Ctx < recs[j].Ctx
-		}
-		return recs[i].Rank < recs[j].Rank
-	})
 }
 
 func encodeReplayState(st replayState) []byte {
@@ -466,22 +439,24 @@ func (p *Replicated) RestoreReplayState(b []byte) (collSeq uint64, err error) {
 	if err != nil {
 		return 0, err
 	}
-	p.sendSeq = make(map[seqKey]uint64, len(st.send))
+	p.sendSeq = newSeqTable(p.layout.N, false)
 	for _, r := range st.send {
-		p.sendSeq[seqKey{r.Ctx, r.Rank}] = r.Next
+		p.sendSeq.at(r.Ctx).next[r.Rank] = r.Next
 	}
-	p.recvNext = make(map[seqKey]uint64, len(st.recv))
+	p.recvSeq = newSeqTable(p.layout.N, true)
 	for _, r := range st.recv {
-		p.recvNext[seqKey{r.Ctx, r.Rank}] = r.Next
+		p.recvSeq.at(r.Ctx).next[r.Rank] = r.Next
 	}
-	p.pending = make(map[seqKey][]*transport.Message)
 	for _, m := range st.pending {
 		m.Dst = p.proc.ID()
-		key := seqKey{m.Ctx, int(m.Meta[mpi.MetaSrcRank])}
-		p.pending[key] = append(p.pending[key], m)
-	}
-	for _, q := range p.pending {
-		sort.Slice(q, func(i, j int) bool { return q[i].Seq < q[j].Seq })
+		rank := int(m.Meta[mpi.MetaSrcRank])
+		rc := p.recvSeq.at(m.Ctx)
+		// Stashed messages are strictly ahead of the counter by the capture
+		// invariant; anything at or below it is a duplicate — drop it
+		// rather than underflow the ring offset.
+		if m.Seq > rc.next[rank] && rc.stash[rank].insert(rc.next[rank], m) {
+			gSeqStashDepth.Add(1)
+		}
 	}
 	for _, m := range st.unexpected {
 		m.Dst = p.proc.ID()

@@ -89,7 +89,7 @@ func TestSequencerStateDrainsAfterRun(t *testing.T) {
 		}
 	})
 	for id, p := range protos {
-		if got := len(p.pending); got != 0 {
+		if got := p.stashTotal(); got != 0 {
 			t.Errorf("proc %d: %d stashed messages after quiescence", id, got)
 		}
 		if got := len(p.earlyAcks); got != 0 {
@@ -118,14 +118,16 @@ func TestSequenceNumbersAdvanceIdenticallyAcrossReplicas(t *testing.T) {
 	for rank := 0; rank < 3; rank++ {
 		a := protos[layout.Phys(0, rank)]
 		b := protos[layout.Phys(1, rank)]
-		for k, v := range a.sendSeq {
-			if b.sendSeq[k] != v {
-				t.Errorf("rank %d: sendSeq[%v] differs: %d vs %d", rank, k, v, b.sendSeq[k])
+		aSend, bSend := a.sendSeq.snapshot(), b.sendSeq.snapshot()
+		for k, v := range aSend {
+			if bSend[k] != v {
+				t.Errorf("rank %d: sendSeq[%v] differs: %d vs %d", rank, k, v, bSend[k])
 			}
 		}
-		for k, v := range a.recvNext {
-			if b.recvNext[k] != v {
-				t.Errorf("rank %d: recvNext[%v] differs: %d vs %d", rank, k, v, b.recvNext[k])
+		aRecv, bRecv := a.recvSeq.snapshot(), b.recvSeq.snapshot()
+		for k, v := range aRecv {
+			if bRecv[k] != v {
+				t.Errorf("rank %d: recvNext[%v] differs: %d vs %d", rank, k, v, bRecv[k])
 			}
 		}
 	}

@@ -46,26 +46,20 @@ func (p *Replicated) ForkFor(revived transport.ProcID) *CloneState {
 	}
 	cs := &CloneState{
 		Revived:  revived,
-		SendSeq:  make(map[seqKey]uint64, len(p.sendSeq)),
-		RecvNext: make(map[seqKey]uint64, len(p.recvNext)),
-		Pending:  make(map[seqKey][]*transport.Message, len(p.pending)),
+		SendSeq:  p.sendSeq.snapshot(),
+		RecvNext: p.recvSeq.snapshot(),
+		Pending:  make(map[seqKey][]*transport.Message),
 	}
-	for k, v := range p.sendSeq {
-		cs.SendSeq[k] = v
-	}
-	for k, v := range p.recvNext {
-		cs.RecvNext[k] = v
-	}
-	for k, v := range p.pending {
+	p.recvSeq.forEachStash(func(ctx uint32, rank int, st *seqStash) {
 		// Deep-copy: the substitute keeps consuming (and recycling) its
 		// own stashed messages, while the clones travel to the
 		// replacement process — they must not share pooled storage.
-		ms := make([]*transport.Message, len(v))
-		for i, m := range v {
+		ms := st.collect(nil)
+		for i, m := range ms {
 			ms[i] = m.Clone()
 		}
-		cs.Pending[k] = ms
-	}
+		cs.Pending[seqKey{ctx, rank}] = ms
+	})
 	cs.Unexpected = p.eng.UnexpectedMessages()
 	return cs
 }
@@ -102,17 +96,17 @@ func (p *Replicated) Restore(cs *CloneState) {
 	if cs.Revived != p.proc.ID() {
 		panic("core: restoring a clone state forked for a different process")
 	}
-	p.sendSeq = make(map[seqKey]uint64, len(cs.SendSeq))
-	for k, v := range cs.SendSeq {
-		p.sendSeq[k] = v
-	}
-	p.recvNext = make(map[seqKey]uint64, len(cs.RecvNext))
-	for k, v := range cs.RecvNext {
-		p.recvNext[k] = v
-	}
-	p.pending = make(map[seqKey][]*transport.Message, len(cs.Pending))
+	p.sendSeq.load(cs.SendSeq)
+	p.recvSeq.load(cs.RecvNext)
 	for k, v := range cs.Pending {
-		p.pending[k] = append([]*transport.Message(nil), v...)
+		rc := p.recvSeq.at(k.ctx)
+		for _, m := range v {
+			// Fork-state stashes are strictly ahead of the counters; guard
+			// anyway so a malformed clone cannot underflow the ring offset.
+			if m.Seq > rc.next[k.rank] && rc.stash[k.rank].insert(rc.next[k.rank], m) {
+				gSeqStashDepth.Add(1)
+			}
+		}
 	}
 	p.eng.SeedUnexpected(cs.Unexpected)
 	p.alive[int(p.proc.ID())] = true

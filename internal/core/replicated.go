@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sort"
 	"time"
 
 	"repro/internal/detect"
@@ -29,23 +28,25 @@ type Replicated struct {
 	substitute    []int                // rep → rep emitting on its behalf (my rank's replica set)
 	alive         []bool               // local consistent failure view
 
-	// Sender state: per-(ctx, dstRank) next sequence number, and the
-	// retention buffer of unacknowledged messages. earlyAcks holds acks
-	// that arrived before this replica posted the corresponding send —
-	// replicas may diverge temporarily (§3.1), so the other world's
-	// receiver can complete (and acknowledge) a logical message before
-	// this world has emitted its own copy.
-	sendSeq   map[seqKey]uint64
+	// Sender state: per-(ctx, dstRank) next sequence number (dense, see
+	// sequencer.go), and the retention buffer of unacknowledged messages.
+	// earlyAcks holds acks that arrived before this replica posted the
+	// corresponding send — replicas may diverge temporarily (§3.1), so the
+	// other world's receiver can complete (and acknowledge) a logical
+	// message before this world has emitted its own copy.
+	sendSeq   *seqTable
 	retain    map[retKey]*sendEntry
 	earlyAcks map[retKey]map[transport.ProcID]bool
 
 	// Receiver state: per-(ctx, srcRank) next expected sequence, plus
-	// out-of-order arrivals held back for in-order delivery into the
-	// matching engine. The sequencer both deduplicates re-sent messages
-	// after a failure and preserves logical-rank FIFO across the
-	// replica-to-substitute switchover.
-	recvNext map[seqKey]uint64
-	pending  map[seqKey][]*transport.Message
+	// out-of-order arrivals held back in per-rank rings for in-order
+	// delivery into the matching engine. The sequencer both deduplicates
+	// re-sent messages after a failure and preserves logical-rank FIFO
+	// across the replica-to-substitute switchover. injectBuf is the
+	// reusable batch an in-order arrival and the stashed run it releases
+	// enter matching through — one injection pass per arrival.
+	recvSeq   *seqTable
+	injectBuf []*transport.Message
 
 	// SDC state: per-(ctx, srcRank, seq) expected payload hashes from
 	// other-world senders not yet paired with a local reception, and
@@ -89,12 +90,11 @@ func NewReplicated(proc *mpi.Proc, layout Layout, mode Mode, det *detect.Service
 		opts:      opts,
 		myRank:    layout.RankOf(proc.ID()),
 		myRep:     layout.RepOf(proc.ID()),
-		sendSeq:   make(map[seqKey]uint64),
+		sendSeq:   newSeqTable(layout.N, false),
 		retain:    make(map[retKey]*sendEntry),
 		earlyAcks: make(map[retKey]map[transport.ProcID]bool),
 
-		recvNext:  make(map[seqKey]uint64),
-		pending:   make(map[seqKey][]*transport.Message),
+		recvSeq:   newSeqTable(layout.N, true),
 		sdcRemote: make(map[retKey][]int64),
 		sdcLocal:  make(map[retKey]uint64),
 		logDests:  opts.LogDests,
@@ -207,9 +207,7 @@ func (p *Replicated) AliveView(q transport.ProcID) bool { return p.alive[int(q)]
 // destination rank (lines 4–9 of Algorithm 1).
 func (p *Replicated) Isend(c *mpi.Comm, ctx uint32, to mpi.Rank, tag int, data []byte) *mpi.Request {
 	dstRank := int(c.BaseRank(to))
-	key := seqKey{ctx, dstRank}
-	seq := p.sendSeq[key]
-	p.sendSeq[key] = seq + 1
+	seq := p.sendSeq.take(ctx, dstRank)
 	mAppMsgs.Inc()
 
 	if p.opts.Corrupt != nil {
@@ -349,8 +347,8 @@ func (p *Replicated) finishRecv(r *mpi.Request) *mpi.Request {
 // itself.
 func (p *Replicated) onArrive(m *transport.Message) bool {
 	srcRank := int(m.Meta[mpi.MetaSrcRank])
-	key := seqKey{m.Ctx, srcRank}
-	next := p.recvNext[key]
+	rc := p.recvSeq.at(m.Ctx)
+	next := rc.next[srcRank]
 	if Debug {
 		println(mpi.DbgUS(), "proc", int(p.proc.ID()), "ARRIVE kind", int(m.Kind), "tag", m.Tag, "srcRank", srcRank, "seq", int(m.Seq), "from", int(m.Src))
 	}
@@ -359,12 +357,33 @@ func (p *Replicated) onArrive(m *transport.Message) bool {
 		p.discardDuplicate(m)
 		return false
 	case m.Seq > next:
-		p.stash(key, m)
+		p.stash(rc, srcRank, m)
 		return false
 	}
-	p.recvNext[key] = next + 1
-	p.eng.InjectMatch(m)
-	p.flush(key)
+	// In-order: admit m and the consecutive stashed run it unblocks in a
+	// single engine injection pass.
+	buf := append(p.injectBuf[:0], m)
+	next++
+	st := &rc.stash[srcRank]
+	for st.n > 0 {
+		q := st.pop(next)
+		if q == nil {
+			break
+		}
+		buf = append(buf, q)
+		next++
+	}
+	rc.next[srcRank] = next
+	if released := len(buf) - 1; released > 0 {
+		gSeqStashDepth.Add(-int64(released))
+	}
+	p.eng.InjectMatchBatch(buf)
+	// Unpin the handed-off messages: the buffer is reused across arrivals
+	// and would otherwise keep pooled messages reachable.
+	for i := range buf {
+		buf[i] = nil
+	}
+	p.injectBuf = buf[:0]
 	return false
 }
 
@@ -385,40 +404,19 @@ func (p *Replicated) discardDuplicate(m *transport.Message) {
 	transport.FreeMessage(m)
 }
 
-// stash inserts an out-of-order arrival, keeping the slice seq-sorted and
-// duplicate-free.
-func (p *Replicated) stash(key seqKey, m *transport.Message) {
-	q := p.pending[key]
-	i := sort.Search(len(q), func(i int) bool { return q[i].Seq >= m.Seq })
-	if i < len(q) && q[i].Seq == m.Seq {
-		p.discardDuplicate(m)
-		return // duplicate of a stashed message
+// stash inserts an out-of-order arrival into the rank's ring (O(1); the
+// occupied-slot check doubles as duplicate detection).
+func (p *Replicated) stash(rc *seqCtx, srcRank int, m *transport.Message) {
+	if !rc.stash[srcRank].insert(rc.next[srcRank], m) {
+		p.discardDuplicate(m) // duplicate of a stashed message
+		return
 	}
-	q = append(q, nil)
-	copy(q[i+1:], q[i:])
-	q[i] = m
-	p.pending[key] = q
+	gSeqStashDepth.Add(1)
 }
 
-// flush releases consecutive stashed messages that have become in-order.
-func (p *Replicated) flush(key seqKey) {
-	q := p.pending[key]
-	for len(q) > 0 && q[0].Seq == p.recvNext[key] {
-		m := q[0]
-		// Clear the drained slot: the re-sliced queue keeps its backing
-		// array, which would otherwise pin the pooled message reachable
-		// for the rest of an out-of-order burst.
-		q[0] = nil
-		q = q[1:]
-		p.recvNext[key] = m.Seq + 1
-		p.eng.InjectMatch(m)
-	}
-	if len(q) == 0 {
-		delete(p.pending, key)
-	} else {
-		p.pending[key] = q
-	}
-}
+// stashTotal counts messages currently held back by the sequencer (tests
+// and quiescence checks).
+func (p *Replicated) stashTotal() int { return p.recvSeq.stashTotal() }
 
 // onRecvComplete implements lines 15–17 of Algorithm 1: on the
 // irecvComplete event, acknowledge the message to every other alive

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/detect"
+	"repro/internal/mpi"
+	"repro/internal/transport"
+)
+
+// Sequencer microbenchmark (ISSUE 10): the dense per-rank tables and
+// seq-indexed stash rings against the seed's map-keyed sequencer, at the
+// source-rank counts the 128–256-rank curve cares about. Both
+// implementations run against the same matching engine and the same
+// pre-built arrival schedules; one op is one full round of
+// sources × seqWindow arrivals, with the engine drained off the clock
+// between rounds.
+//
+//	order=inorder      every arrival is the expected next seq — the pure
+//	                   lookup/advance fast path
+//	order=adversarial  each source's window arrives seq-reversed, so
+//	                   every message but the last stashes and the gap
+//	                   fill releases the whole run
+const seqWindow = 16
+
+// seqBenchHarness builds one replicated receiver in an N-rank layout and
+// returns it with its engine.
+func seqBenchHarness(b *testing.B, sources int) (*Replicated, *mpi.Engine) {
+	b.Helper()
+	layout := Layout{N: sources, R: 1}
+	nw := transport.NewNetwork(layout.Procs(), nil)
+	b.Cleanup(func() { nw.Close() })
+	det := detect.NewService(nw)
+	proc := mpi.NewProc(nw, 0)
+	p := NewReplicated(proc, layout, ModeParallel, det, Options{})
+	return p, proc.Engine()
+}
+
+// seqBenchSchedule pre-builds the arrival schedule for one round: one
+// message per (source, window slot), ordered round-robin across sources.
+// Seq fields are restamped per round by stampRound; the structs
+// themselves are reused (FreeMessage is a no-op on unpooled messages, so
+// engine-side consumption never recycles them out from under the next
+// round).
+func seqBenchSchedule(sources int) []*transport.Message {
+	ms := make([]*transport.Message, 0, sources*seqWindow)
+	payload := []byte{0}
+	for w := 0; w < seqWindow; w++ {
+		for src := 0; src < sources; src++ {
+			var meta [4]int64
+			meta[mpi.MetaSrcRank] = int64(src)
+			ms = append(ms, &transport.Message{
+				Src: transport.ProcID(src), Kind: transport.KindEager,
+				Ctx: 2, Tag: w, Meta: meta, Data: payload,
+			})
+		}
+	}
+	return ms
+}
+
+// stampRound writes the absolute sequence numbers for one round into the
+// schedule. base advances by seqWindow per round so the sequencer's
+// counters move forward exactly as in a live run.
+func stampRound(ms []*transport.Message, sources int, base uint64, adversarial bool) {
+	for i, m := range ms {
+		w := uint64(i / sources)
+		if adversarial {
+			w = uint64(seqWindow-1) - w
+		}
+		m.Seq = base + w
+	}
+}
+
+// mapSequencer is the seed's sequencer, verbatim: map-keyed per-(ctx,
+// rank) counters and sort.Search-maintained pending slices, one
+// InjectMatch per released message. It is the ns/op baseline the dense
+// tables are measured against.
+type mapSequencer struct {
+	eng      *mpi.Engine
+	recvNext map[seqKey]uint64
+	pending  map[seqKey][]*transport.Message
+}
+
+func newMapSequencer(eng *mpi.Engine) *mapSequencer {
+	return &mapSequencer{
+		eng:      eng,
+		recvNext: make(map[seqKey]uint64),
+		pending:  make(map[seqKey][]*transport.Message),
+	}
+}
+
+func (s *mapSequencer) onArrive(m *transport.Message) bool {
+	srcRank := int(m.Meta[mpi.MetaSrcRank])
+	key := seqKey{m.Ctx, srcRank}
+	next := s.recvNext[key]
+	switch {
+	case m.Seq < next:
+		transport.FreeMessage(m)
+		return false
+	case m.Seq > next:
+		s.stash(key, m)
+		return false
+	}
+	s.recvNext[key] = next + 1
+	s.eng.InjectMatch(m)
+	s.flush(key)
+	return false
+}
+
+func (s *mapSequencer) stash(key seqKey, m *transport.Message) {
+	q := s.pending[key]
+	i := sort.Search(len(q), func(i int) bool { return q[i].Seq >= m.Seq })
+	if i < len(q) && q[i].Seq == m.Seq {
+		transport.FreeMessage(m)
+		return
+	}
+	q = append(q, nil)
+	copy(q[i+1:], q[i:])
+	q[i] = m
+	s.pending[key] = q
+}
+
+func (s *mapSequencer) flush(key seqKey) {
+	q := s.pending[key]
+	for len(q) > 0 && q[0].Seq == s.recvNext[key] {
+		m := q[0]
+		q[0] = nil
+		q = q[1:]
+		s.recvNext[key] = m.Seq + 1
+		s.eng.InjectMatch(m)
+	}
+	if len(q) == 0 {
+		delete(s.pending, key)
+	} else {
+		s.pending[key] = q
+	}
+}
+
+func benchSequencer(b *testing.B, sources int, adversarial bool, arrive func(*transport.Message) bool, eng *mpi.Engine) {
+	ms := seqBenchSchedule(sources)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for round := 0; round < b.N; round++ {
+		b.StopTimer()
+		stampRound(ms, sources, uint64(round)*seqWindow, adversarial)
+		b.StartTimer()
+		for _, m := range ms {
+			arrive(m)
+		}
+		b.StopTimer()
+		if got := eng.TakeUnexpected(); len(got) != len(ms) {
+			b.Fatalf("round %d: admitted %d messages, want %d", round, len(got), len(ms))
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(ms)), "ns/msg")
+}
+
+func BenchmarkSequencer(b *testing.B) {
+	for _, sources := range []int{64, 128, 256} {
+		for _, order := range []string{"inorder", "adversarial"} {
+			adversarial := order == "adversarial"
+			b.Run(fmt.Sprintf("sources=%d/order=%s/impl=dense", sources, order), func(b *testing.B) {
+				p, eng := seqBenchHarness(b, sources)
+				benchSequencer(b, sources, adversarial, p.onArrive, eng)
+			})
+			b.Run(fmt.Sprintf("sources=%d/order=%s/impl=map", sources, order), func(b *testing.B) {
+				_, eng := seqBenchHarness(b, sources)
+				s := newMapSequencer(eng)
+				benchSequencer(b, sources, adversarial, s.onArrive, eng)
+			})
+		}
+	}
+}

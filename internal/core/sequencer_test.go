@@ -117,18 +117,22 @@ func TestSequencerFlushReleasesDrainedSlots(t *testing.T) {
 
 	arrive(eagerMsg(2, 102))
 	arrive(eagerMsg(1, 101))
-	key := seqKey{2, 1}
-	stashed := p.pending[key]
-	if len(stashed) != 2 {
-		t.Fatalf("stashed %d messages, want 2", len(stashed))
+	if got := p.stashTotal(); got != 2 {
+		t.Fatalf("stashed %d messages, want 2", got)
 	}
+	ring := p.recvSeq.at(2).stash[1].buf
 	arrive(eagerMsg(0, 100)) // fills the gap: both stashed messages drain
-	if len(p.pending) != 0 {
-		t.Fatalf("pending not empty after flush: %d keys", len(p.pending))
+	if got := p.stashTotal(); got != 0 {
+		t.Fatalf("stash not empty after flush: %d messages", got)
 	}
-	for i, m := range stashed {
+	for i, m := range ring {
 		if m != nil {
-			t.Errorf("drained slot %d still pins a message (seq %d)", i, m.Seq)
+			t.Errorf("drained ring slot %d still pins a message (seq %d)", i, m.Seq)
+		}
+	}
+	for i, m := range p.injectBuf[:cap(p.injectBuf)] {
+		if m != nil {
+			t.Errorf("inject buffer slot %d still pins a message (seq %d)", i, m.Seq)
 		}
 	}
 }

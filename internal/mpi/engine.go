@@ -299,6 +299,17 @@ func (e *Engine) SeedUnexpected(ms []*transport.Message) {
 	e.unexpected = append(e.unexpected, ms...)
 }
 
+// TakeUnexpected hands the unexpected queue to the caller — ownership of
+// the messages transfers with it — and leaves the queue empty. The
+// sequencer tests and benchmarks drain admitted messages this way: the
+// queue preserves admission order, and taking it whole avoids the
+// per-message removal cost of head-matched receives.
+func (e *Engine) TakeUnexpected() []*transport.Message {
+	ms := e.unexpected
+	e.unexpected = nil
+	return ms
+}
+
 // RetargetRecvs redirects every posted receive that names physical source
 // old to name new instead (Algorithm 1, lines 34-35), then re-runs
 // matching against the unexpected queue, since messages from the new
@@ -349,6 +360,35 @@ func (e *Engine) InjectMatch(m *transport.Message) {
 		return
 	}
 	e.unexpected = append(e.unexpected, m)
+	if len(e.unexpected) > e.unexpHW {
+		e.unexpHW = len(e.unexpected)
+	}
+}
+
+// InjectMatchBatch feeds an in-order run of application messages into the
+// matching engine — the admitted arrival plus every consecutive stashed
+// message it released. One pass amortizes the unexpected-queue growth and
+// high-water bookkeeping over the whole run instead of per message; order
+// within the batch is preserved (it IS the sequence order).
+func (e *Engine) InjectMatchBatch(ms []*transport.Message) {
+	if need := len(e.unexpected) + len(ms); len(ms) > 1 && cap(e.unexpected) < need {
+		// Grow once for the whole batch, but never below doubling — exact
+		// sizing here would recopy the queue on every batch of a burst.
+		newCap := 2 * cap(e.unexpected)
+		if newCap < need {
+			newCap = need
+		}
+		grown := make([]*transport.Message, len(e.unexpected), newCap)
+		copy(grown, e.unexpected)
+		e.unexpected = grown
+	}
+	for _, m := range ms {
+		if req := e.findPosted(m); req != nil {
+			e.deliver(req, m)
+			continue
+		}
+		e.unexpected = append(e.unexpected, m)
+	}
 	if len(e.unexpected) > e.unexpHW {
 		e.unexpHW = len(e.unexpected)
 	}

@@ -1,0 +1,29 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// The dial backoff must stay inside the doubling ceiling (the bounded
+// worst-case stall the fail-stop drop policy relies on) while actually
+// spreading retries across the window — a degenerate constant would
+// re-align a 256-worker rendezvous herd on every retry wave.
+func TestJitteredBackoffBounds(t *testing.T) {
+	for attempt := 1; attempt < DialAttempts+2; attempt++ {
+		ceiling := dialBackoff << (attempt - 1)
+		distinct := make(map[time.Duration]struct{})
+		for i := 0; i < 2000; i++ {
+			d := jitteredBackoff(attempt)
+			if d <= 0 || d > ceiling {
+				t.Fatalf("attempt %d: backoff %v outside (0, %v]", attempt, d, ceiling)
+			}
+			distinct[d] = struct{}{}
+		}
+		// 2000 draws over tens of millions of nanoseconds: a handful of
+		// distinct values means the jitter is broken, not unlucky.
+		if len(distinct) < 100 {
+			t.Errorf("attempt %d: only %d distinct backoffs in 2000 draws", attempt, len(distinct))
+		}
+	}
+}

@@ -48,6 +48,16 @@ var (
 	mFlushFrames = obs.Default.Counter("sdr_transport_flush_frames_total",
 		"frames emitted across all batch flushes")
 
+	// Inbound-path scaling gauges: the shard count endpoints were built
+	// with (sized from the world, see shardCountFor) and the current
+	// occupancy of the sharded inbound queues. Occupancy is refreshed from
+	// the endpoint's existing atomic counter at Drain time — one store per
+	// drain sweep, never per message.
+	gQueueShards = obs.Default.Gauge("sdr_transport_queue_shards",
+		"inbound queue shards per endpoint (next power of two over the peer count, capped)")
+	gInqDepth = obs.Default.Gauge("sdr_transport_inq_depth",
+		"messages waiting in the endpoint's sharded inbound queues")
+
 	// Colocated ring transport traffic (frames that bypassed loopback TCP).
 	mRingFramesOut = obs.Default.CounterWith("sdr_transport_ring_frames_total",
 		"frames moved over colocated shared-memory rings, by direction",

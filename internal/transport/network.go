@@ -251,12 +251,29 @@ type queued struct {
 	deliverAt time.Time
 }
 
-// queueShards is the number of independent inbound queues per endpoint.
-// Senders hash by source process, so with many ranks concurrent deliveries
-// no longer serialize on one lock; per-ordered-pair FIFO is preserved
-// because one source always lands in the same shard. Must be a power of
-// two.
-const queueShards = 8
+// Inbound queue shard sizing. Senders hash by source process, so with many
+// ranks concurrent deliveries no longer serialize on one lock; per-
+// ordered-pair FIFO is preserved because one source always lands in the
+// same shard. The count is sized from the world at endpoint construction —
+// the next power of two covering the peer count — so 8 ranks get the old 8
+// shards while a 256-rank world no longer funnels 32 sources through each
+// lock. The floor keeps small worlds at the tuned PR 8 geometry; the cap
+// bounds per-endpoint footprint (wirescale builds hundreds of endpoints in
+// one process) — above it, sources wrap around shards evenly.
+const (
+	minQueueShards = 8
+	maxQueueShards = 64
+)
+
+// shardCountFor returns the shard count for a world of n processes: the
+// next power of two ≥ n, clamped to [minQueueShards, maxQueueShards].
+func shardCountFor(n int) int {
+	c := minQueueShards
+	for c < n && c < maxQueueShards {
+		c <<= 1
+	}
+	return c
+}
 
 // qshard is one slice of an endpoint's inbound queue, with its own lock.
 // The pad keeps hot shard headers on distinct cache lines.
@@ -274,9 +291,12 @@ type Endpoint struct {
 	nw *Network
 
 	// Inbound path: per-source shards plus atomic coordination state, so
-	// delivery does not serialize every sender on one endpoint lock.
-	shards   [queueShards]qshard
-	dead     atomic.Bool
+	// delivery does not serialize every sender on one endpoint lock. The
+	// shard slice is sized from the world at construction (shardCountFor)
+	// and never resized, so shardMask needs no synchronization.
+	shards    []qshard
+	shardMask uint
+	dead      atomic.Bool
 	nq       atomic.Int64 // queued messages across all shards
 	sleepers atomic.Int32 // receivers blocked in WaitActivity
 
@@ -298,13 +318,17 @@ type Endpoint struct {
 }
 
 func newEndpoint(id ProcID, nw *Network) *Endpoint {
+	shards := shardCountFor(nw.n)
 	ep := &Endpoint{
-		id:       id,
-		nw:       nw,
-		linkFree: make(map[ProcID]time.Time),
-		tseq:     make(map[ProcID]uint64),
+		id:        id,
+		nw:        nw,
+		shards:    make([]qshard, shards),
+		shardMask: uint(shards - 1),
+		linkFree:  make(map[ProcID]time.Time),
+		tseq:      make(map[ProcID]uint64),
 	}
 	ep.cond = sync.NewCond(&ep.mu)
+	gQueueShards.Set(int64(shards))
 	return ep
 }
 
@@ -315,10 +339,11 @@ func (ep *Endpoint) ID() ProcID { return ep.id }
 // goroutine checks this at library entries to realize its own crash.
 func (ep *Endpoint) Crashed() bool { return ep.dead.Load() }
 
-// shardOf maps a source process to its inbound shard. Src may be NoProc
-// (-1) for service-injected messages.
-func shardOf(src ProcID) int {
-	return int(uint(int(src)+1) & (queueShards - 1))
+// shardOf maps a source process to its inbound shard, masking with this
+// endpoint's world-sized shard count. Src may be NoProc (-1) for
+// service-injected messages.
+func (ep *Endpoint) shardOf(src ProcID) int {
+	return int(uint(int(src)+1) & ep.shardMask)
 }
 
 // Send transmits m to m.Dst. Sends to dead destinations are silently
@@ -401,7 +426,7 @@ func (nw *Network) deliverDelayed(m *Message, at time.Time) error {
 func (ep *Endpoint) inject(m *Message) { ep.injectAt(m, time.Time{}) }
 
 func (ep *Endpoint) injectAt(m *Message, at time.Time) {
-	sh := &ep.shards[shardOf(m.Src)]
+	sh := &ep.shards[ep.shardOf(m.Src)]
 	sh.mu.Lock()
 	// The dead check happens under the shard lock, and Kill passes a
 	// lock barrier over every shard after setting the flag: an append
@@ -457,7 +482,9 @@ func (ep *Endpoint) clearQueues() {
 // the returned messages transfers to the caller, which releases each with
 // FreeMessage once consumed.
 func (ep *Endpoint) Drain() []*Message {
-	if ep.nq.Load() == 0 {
+	n := ep.nq.Load()
+	gInqDepth.Set(n)
+	if n == 0 {
 		return nil
 	}
 	var out []*Message

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"path/filepath"
 	"runtime"
@@ -28,16 +29,22 @@ const (
 	dialBackoff = 25 * time.Millisecond
 )
 
-// dialRetry dials addr with DialTimeout per attempt and bounded backoff
-// between attempts. It returns the first successful connection or the last
-// error once the attempt budget is spent.
+// dialRetry dials addr with DialTimeout per attempt and full-jitter
+// backoff between attempts. It returns the first successful connection or
+// the last error once the attempt budget is spent.
+//
+// The jitter matters at scale: a 256-worker rendezvous has every worker
+// dialing every exchange peer in the same instant, and a deterministic
+// 25/50/100 ms ladder re-aligns the whole herd on each retry — the
+// listeners that dropped the first SYN flood get the identical flood again.
+// Full jitter (uniform in (0, ceiling], ceiling doubling per retry) spreads
+// each wave across the whole window while keeping the worst-case stall
+// identical to the old deterministic ladder.
 func dialRetry(addr string) (net.Conn, error) {
 	var lastErr error
-	backoff := dialBackoff
 	for attempt := 0; attempt < DialAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
+			time.Sleep(jitteredBackoff(attempt))
 		}
 		c, err := net.DialTimeout("tcp", addr, DialTimeout)
 		if err == nil {
@@ -46,6 +53,13 @@ func dialRetry(addr string) (net.Conn, error) {
 		lastErr = err
 	}
 	return nil, lastErr
+}
+
+// jitteredBackoff returns the sleep before retry `attempt` (1-based):
+// uniform in (0, dialBackoff·2^(attempt-1)].
+func jitteredBackoff(attempt int) time.Duration {
+	ceiling := dialBackoff << (attempt - 1)
+	return time.Duration(rand.Int64N(int64(ceiling))) + 1
 }
 
 // RingConfig arms the colocated shared-memory ring transport on a peer

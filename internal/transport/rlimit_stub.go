@@ -1,0 +1,10 @@
+//go:build !unix
+
+package transport
+
+// EnsureFileLimit is a no-op where rlimits do not exist; the platform's
+// own descriptor ceiling applies. It reports the budget as satisfied so
+// callers need no platform switch.
+func EnsureFileLimit(budget uint64) (uint64, error) {
+	return budget, nil
+}
